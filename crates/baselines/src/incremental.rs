@@ -1,0 +1,289 @@
+//! Incremental sliding-window algorithms of Wesley & Xu (PVLDB 2016).
+//!
+//! These maintain an aggregation state under `add`/`remove` as the frame
+//! slides (§3.2): distinct counts with a hash multiset (O(1) per update —
+//! O(n) total), percentiles with a sorted array (O(frame) per insert — the
+//! O(n²) row of Table 1), and modes with counts-of-counts. Non-monotonic
+//! frames make the same tuple enter and leave repeatedly, degrading all of
+//! them (§6.5); the generic slide driver below handles that case by moving
+//! both bounds in either direction.
+
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Slides a state across `frames`, calling `out` per row. Frames may move
+/// non-monotonically; both endpoints chase the target in either direction.
+pub fn slide<S>(
+    frames: &[(usize, usize)],
+    state: &mut S,
+    mut add: impl FnMut(&mut S, usize),
+    mut remove: impl FnMut(&mut S, usize),
+    mut out: impl FnMut(&mut S, usize),
+) {
+    let (mut cs, mut ce) = (0usize, 0usize);
+    for (i, &(a, b)) in frames.iter().enumerate() {
+        if a >= ce || b <= cs {
+            // Disjoint target: drain and reposition.
+            while cs < ce {
+                remove(state, cs);
+                cs += 1;
+            }
+            cs = a;
+            ce = a;
+        }
+        while ce < b {
+            add(state, ce);
+            ce += 1;
+        }
+        while ce > b {
+            ce -= 1;
+            remove(state, ce);
+        }
+        while cs > a {
+            cs -= 1;
+            add(state, cs);
+        }
+        while cs < a {
+            remove(state, cs);
+            cs += 1;
+        }
+        out(state, i);
+    }
+}
+
+/// Incremental windowed distinct count over pre-hashed values — O(n) total
+/// for monotonic frames (Table 1 row 1).
+pub fn distinct_count(hashes: &[u64], frames: &[(usize, usize)]) -> Vec<usize> {
+    let mut out = vec![0usize; frames.len()];
+    struct St {
+        counts: FxHashMap<u64, u32>,
+        distinct: usize,
+    }
+    let mut st = St { counts: FxHashMap::default(), distinct: 0 };
+    slide(
+        frames,
+        &mut st,
+        |s, p| {
+            let c = s.counts.entry(hashes[p]).or_insert(0);
+            if *c == 0 {
+                s.distinct += 1;
+            }
+            *c += 1;
+        },
+        |s, p| {
+            let c = s.counts.get_mut(&hashes[p]).expect("remove of absent value");
+            *c -= 1;
+            if *c == 0 {
+                s.distinct -= 1;
+            }
+        },
+        |s, i| out[i] = s.distinct,
+    );
+    out
+}
+
+/// Incremental windowed percentile with a sorted array — O(frame) per update,
+/// the O(n²) percentile row of Table 1. Returns `None` for empty frames.
+pub fn percentile(values: &[i64], frames: &[(usize, usize)], p: f64) -> Vec<Option<i64>> {
+    let mut out = vec![None; frames.len()];
+    let mut sorted: Vec<i64> = Vec::new();
+    slide(
+        frames,
+        &mut sorted,
+        |s, pos| {
+            let idx = s.partition_point(|&v| v < values[pos]);
+            s.insert(idx, values[pos]);
+        },
+        |s, pos| {
+            let idx = s.partition_point(|&v| v < values[pos]);
+            debug_assert_eq!(s[idx], values[pos]);
+            s.remove(idx);
+        },
+        |s, i| {
+            if !s.is_empty() {
+                // PERCENTILE_DISC: j = ceil(p * s), 1-based.
+                let j = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len());
+                out[i] = Some(s[j - 1]);
+            }
+        },
+    );
+    out
+}
+
+/// Incremental windowed mode (smallest among the most frequent values),
+/// counts-of-counts bookkeeping as in Wesley & Xu. Returns `None` for empty
+/// frames.
+pub fn mode(values: &[i64], frames: &[(usize, usize)]) -> Vec<Option<i64>> {
+    struct St {
+        freq: FxHashMap<i64, usize>,
+        buckets: FxHashMap<usize, BTreeSet<i64>>,
+        max_count: usize,
+    }
+    impl St {
+        fn retag(&mut self, v: i64, from: usize, to: usize) {
+            if from > 0 {
+                let b = self.buckets.get_mut(&from).unwrap();
+                b.remove(&v);
+                if b.is_empty() {
+                    self.buckets.remove(&from);
+                    if self.max_count == from {
+                        self.max_count = to.max(if self.buckets.is_empty() {
+                            0
+                        } else {
+                            // from and to differ by 1; the next candidate is
+                            // from − 1 (still occupied) or to.
+                            from - 1
+                        });
+                    }
+                }
+            }
+            if to > 0 {
+                self.buckets.entry(to).or_default().insert(v);
+                self.max_count = self.max_count.max(to);
+            }
+        }
+    }
+    let mut st = St { freq: FxHashMap::default(), buckets: FxHashMap::default(), max_count: 0 };
+    let mut out = vec![None; frames.len()];
+    slide(
+        frames,
+        &mut st,
+        |s, p| {
+            let v = values[p];
+            let c = s.freq.entry(v).or_insert(0);
+            *c += 1;
+            let to = *c;
+            s.retag(v, to - 1, to);
+        },
+        |s, p| {
+            let v = values[p];
+            let c = s.freq.get_mut(&v).expect("remove of absent value");
+            *c -= 1;
+            let to = *c;
+            if to == 0 {
+                s.freq.remove(&v);
+            }
+            s.retag(v, to + 1, to);
+        },
+        |s, i| {
+            if s.max_count > 0 {
+                out[i] = s.buckets[&s.max_count].first().copied();
+            }
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_distinct(vals: &[u64], a: usize, b: usize) -> usize {
+        let set: std::collections::HashSet<_> = vals[a..b].iter().collect();
+        set.len()
+    }
+
+    fn brute_pct(vals: &[i64], a: usize, b: usize, p: f64) -> Option<i64> {
+        let mut w: Vec<i64> = vals[a..b].to_vec();
+        if w.is_empty() {
+            return None;
+        }
+        w.sort_unstable();
+        let j = ((p * w.len() as f64).ceil() as usize).clamp(1, w.len());
+        Some(w[j - 1])
+    }
+
+    fn brute_mode(vals: &[i64], a: usize, b: usize) -> Option<i64> {
+        if a >= b {
+            return None;
+        }
+        let mut freq = std::collections::HashMap::new();
+        for &v in &vals[a..b] {
+            *freq.entry(v).or_insert(0usize) += 1;
+        }
+        let maxc = *freq.values().max().unwrap();
+        freq.iter().filter(|(_, &c)| c == maxc).map(|(&v, _)| v).min()
+    }
+
+    fn sliding_frames(n: usize, w: usize) -> Vec<(usize, usize)> {
+        (0..n).map(|i| (i.saturating_sub(w - 1), i + 1)).collect()
+    }
+
+    fn random_frames(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
+        (0..n)
+            .map(|_| {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(a..=n);
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distinct_count_sliding_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vals: Vec<u64> = (0..300).map(|_| rng.gen_range(0..20)).collect();
+        for w in [1usize, 5, 50, 300] {
+            let frames = sliding_frames(vals.len(), w);
+            let got = distinct_count(&vals, &frames);
+            for (i, &(a, b)) in frames.iter().enumerate() {
+                assert_eq!(got[i], brute_distinct(&vals, a, b), "w={w} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_count_non_monotonic_frames() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals: Vec<u64> = (0..150).map(|_| rng.gen_range(0..10)).collect();
+        let frames = random_frames(&mut rng, vals.len());
+        let got = distinct_count(&vals, &frames);
+        for (i, &(a, b)) in frames.iter().enumerate() {
+            assert_eq!(got[i], brute_distinct(&vals, a, b), "i={i} a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn percentile_sliding_and_random() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let vals: Vec<i64> = (0..200).map(|_| rng.gen_range(-50..50)).collect();
+        for p in [0.0, 0.5, 0.9, 1.0] {
+            let frames = sliding_frames(vals.len(), 17);
+            let got = percentile(&vals, &frames, p);
+            for (i, &(a, b)) in frames.iter().enumerate() {
+                assert_eq!(got[i], brute_pct(&vals, a, b, p), "p={p} i={i}");
+            }
+            let frames = random_frames(&mut rng, vals.len());
+            let got = percentile(&vals, &frames, p);
+            for (i, &(a, b)) in frames.iter().enumerate() {
+                assert_eq!(got[i], brute_pct(&vals, a, b, p), "rand p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_sliding_and_random() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let vals: Vec<i64> = (0..200).map(|_| rng.gen_range(0..8)).collect();
+        let frames = sliding_frames(vals.len(), 23);
+        let got = mode(&vals, &frames);
+        for (i, &(a, b)) in frames.iter().enumerate() {
+            assert_eq!(got[i], brute_mode(&vals, a, b), "i={i}");
+        }
+        let frames = random_frames(&mut rng, vals.len());
+        let got = mode(&vals, &frames);
+        for (i, &(a, b)) in frames.iter().enumerate() {
+            assert_eq!(got[i], brute_mode(&vals, a, b), "rand i={i} a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(distinct_count(&[], &[]).is_empty());
+        assert!(percentile(&[], &[], 0.5).is_empty());
+        let vals = vec![1i64, 2];
+        let frames = vec![(1, 1), (0, 2)];
+        assert_eq!(percentile(&vals, &frames, 0.5), vec![None, Some(1)]);
+    }
+}

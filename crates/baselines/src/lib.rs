@@ -1,0 +1,25 @@
+//! # holistic-baselines — every comparator from the paper's evaluation
+//!
+//! * [`naive`] — per-row re-evaluation from scratch, O(n · frame). Twice
+//!   useful: it is the paper's "naive" competitor *and* an independent
+//!   semantics oracle for the merge-sort-tree engine (every function is
+//!   re-derived from the SQL definition with plain scans).
+//! * [`incremental`] — Wesley & Xu's sliding-state algorithms (PVLDB 2016):
+//!   hash-multiset distinct counts, ordered-multiset percentiles, and modes.
+//! * [`ostree`] — an order-statistic counted B-tree (Tatham-style), the
+//!   `O(n log n)` serial competitor for percentiles and ranks (§5.5).
+//! * [`taskpar`] — task-based parallel wrappers that split the output into
+//!   fixed-size tasks and re-warm per-task state, reproducing §3.2's
+//!   quadratic parallelization penalty for stateful algorithms.
+//! * [`sqlsim`] — the "traditional SQL" rewritings of Figure 9 (correlated
+//!   subquery and self join), executed as the nested-loop plans real
+//!   optimizers produce for them, plus the client-side-tool simulator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod incremental;
+pub mod naive;
+pub mod ostree;
+pub mod sqlsim;
+pub mod taskpar;

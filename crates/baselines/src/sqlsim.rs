@@ -1,0 +1,162 @@
+//! Simulators of the "traditional SQL" formulations and the client-side
+//! tool of Figure 9 (§6.2).
+//!
+//! Without the paper's SQL extensions, a framed median must be written as a
+//! correlated subquery or a self join over row numbers. All evaluated systems
+//! (PostgreSQL, DuckDB, Hyper) execute those as O(n²) nested loops; we run
+//! precisely those plans. Tableau's client-side `WINDOW_MEDIAN` is simulated
+//! by the same incremental algorithm an application-layer interpreter would
+//! use, with per-row dynamic dispatch and value boxing to model interpreter
+//! overhead.
+//!
+//! All functions take `values` already sorted by the window ORDER BY and a
+//! trailing window of `w` rows (`ROWS BETWEEN w-1 PRECEDING AND CURRENT
+//! ROW`), matching the benchmark query of §6.2.
+
+/// PERCENTILE_DISC(0.5) of a sorted slice.
+fn median_of_sorted(w: &[i64]) -> i64 {
+    let j = ((0.5 * w.len() as f64).ceil() as usize).clamp(1, w.len());
+    w[j - 1]
+}
+
+/// The correlated-subquery plan: for every outer row, *scan the entire
+/// inner relation* for rows whose row number falls into the window, then
+/// aggregate. O(n²) scanning + O(n · w log w) aggregation.
+pub fn correlated_subquery_median(values: &[i64], w: usize) -> Vec<i64> {
+    let n = values.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = (i + 1).saturating_sub(w);
+        // The subquery's predicate `l2.rn BETWEEN l1.rn - (w-1) AND l1.rn`
+        // is evaluated against every inner row — no index exists.
+        let mut window = Vec::new();
+        for (j, &v) in values.iter().enumerate() {
+            if j >= lo && j <= i {
+                window.push(v);
+            }
+        }
+        window.sort_unstable();
+        out.push(median_of_sorted(&window));
+    }
+    out
+}
+
+/// The self-join plan: a nested-loop band join materializes every
+/// (outer, inner) pair before the group-by computes medians. O(n · w) pair
+/// materialization on top of the O(n²) join predicate evaluations.
+pub fn self_join_median(values: &[i64], w: usize) -> Vec<i64> {
+    let n = values.len();
+    // Band join: emit (i, value_j) pairs.
+    let mut pairs: Vec<(u32, i64)> = Vec::new();
+    for i in 0..n {
+        let lo = (i + 1).saturating_sub(w);
+        for (j, &v) in values.iter().enumerate() {
+            if j >= lo && j <= i {
+                pairs.push((i as u32, v));
+            }
+        }
+    }
+    // Group by the outer row number and aggregate.
+    pairs.sort_unstable();
+    let mut out = Vec::with_capacity(n);
+    let mut s = 0usize;
+    while s < pairs.len() {
+        let key = pairs[s].0;
+        let mut e = s;
+        while e < pairs.len() && pairs[e].0 == key {
+            e += 1;
+        }
+        let mut window: Vec<i64> = pairs[s..e].iter().map(|&(_, v)| v).collect();
+        window.sort_unstable();
+        out.push(median_of_sorted(&window));
+        s = e;
+    }
+    out
+}
+
+/// A dynamically typed cell, as an application-layer interpreter holds it.
+#[derive(Clone)]
+enum Cell {
+    Num(f64),
+    #[allow(dead_code)]
+    Str(String),
+    #[allow(dead_code)]
+    Missing,
+}
+
+/// The client-side tool: a `WINDOW_MEDIAN` table calculation interpreted in
+/// the application layer — single-threaded, dynamically typed, re-evaluating
+/// the window for every row through field-name lookups and boxed comparator
+/// calls (the O(n · w) evaluation model that motivated Wesley & Xu's work;
+/// the interpreter overhead dominates even where better algorithms exist).
+pub fn client_tool_median(values: &[i64], w: usize) -> Vec<i64> {
+    use rustc_hash::FxHashMap;
+    // The tool materializes its working table as rows of name→cell maps.
+    let rows: Vec<FxHashMap<String, Cell>> = values
+        .iter()
+        .map(|&v| {
+            let mut m = FxHashMap::default();
+            m.insert("measure".to_string(), Cell::Num(v as f64));
+            m
+        })
+        .collect();
+    let field = "measure";
+    let as_num: Box<dyn Fn(&Cell) -> f64> = Box::new(|c| match c {
+        Cell::Num(x) => *x,
+        _ => f64::NAN,
+    });
+    type Comparator = Box<dyn Fn(&Cell, &Cell) -> std::cmp::Ordering>;
+    let cmp: Comparator = Box::new(move |a, b| as_num(a).total_cmp(&as_num(b)));
+
+    let mut out = Vec::with_capacity(values.len());
+    for i in 0..rows.len() {
+        let lo = (i + 1).saturating_sub(w);
+        // Re-gather the window's cells for this row (the table calc is
+        // re-evaluated per mark).
+        let mut window: Vec<Cell> =
+            rows[lo..=i].iter().map(|r| r[field].clone()).collect();
+        window.sort_by(|a, b| cmp(a, b));
+        let j = ((0.5 * window.len() as f64).ceil() as usize).clamp(1, window.len());
+        out.push(match &window[j - 1] {
+            Cell::Num(x) => *x as i64,
+            _ => 0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn oracle(values: &[i64], w: usize) -> Vec<i64> {
+        (0..values.len())
+            .map(|i| {
+                let lo = (i + 1).saturating_sub(w);
+                let mut win: Vec<i64> = values[lo..=i].to_vec();
+                win.sort_unstable();
+                median_of_sorted(&win)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_plans_agree_with_oracle() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let values: Vec<i64> = (0..200).map(|_| rng.gen_range(0..1000)).collect();
+        for w in [1usize, 3, 25, 200, 500] {
+            let expect = oracle(&values, w);
+            assert_eq!(correlated_subquery_median(&values, w), expect, "subquery w={w}");
+            assert_eq!(self_join_median(&values, w), expect, "self join w={w}");
+            assert_eq!(client_tool_median(&values, w), expect, "client w={w}");
+        }
+    }
+
+    #[test]
+    fn single_row() {
+        assert_eq!(correlated_subquery_median(&[42], 10), vec![42]);
+        assert_eq!(self_join_median(&[42], 10), vec![42]);
+        assert_eq!(client_tool_median(&[42], 10), vec![42]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion companion of Figure 9: framed median, native algorithms vs the
+//! traditional SQL plans (scaled down; the `fig09` binary runs the paper's
+//! exact 20 000-tuple setting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holistic_baselines::{incremental, sqlsim, taskpar};
+use holistic_bench::algos;
+use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
+use holistic_core::MstParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 5_000;
+    let w = 250;
+    let data = sorted_lineitem(n, 42);
+    let values = &data.extendedprice;
+    let frames = sliding_frames(n, w);
+
+    let mut g = c.benchmark_group("fig09_framed_median");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function(BenchmarkId::new("sql_correlated_subquery", n), |b| {
+        b.iter(|| black_box(sqlsim::correlated_subquery_median(values, w)))
+    });
+    g.bench_function(BenchmarkId::new("sql_self_join", n), |b| {
+        b.iter(|| black_box(sqlsim::self_join_median(values, w)))
+    });
+    g.bench_function(BenchmarkId::new("client_tool", n), |b| {
+        b.iter(|| black_box(sqlsim::client_tool_median(values, w)))
+    });
+    g.bench_function(BenchmarkId::new("native_naive", n), |b| {
+        b.iter(|| black_box(taskpar::naive_percentile(values, &frames, 0.5)))
+    });
+    g.bench_function(BenchmarkId::new("native_incremental", n), |b| {
+        b.iter(|| black_box(incremental::percentile(values, &frames, 0.5)))
+    });
+    g.bench_function(BenchmarkId::new("native_merge_sort_tree", n), |b| {
+        b.iter(|| black_box(algos::mst_percentile(values, &frames, 0.5, MstParams::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

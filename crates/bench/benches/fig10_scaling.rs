@@ -1,0 +1,70 @@
+//! Criterion companion of Figure 10: algorithm throughput vs input size
+//! (frame = 5 % of n; the `fig10` binary runs the full sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_baselines::taskpar;
+use holistic_bench::algos;
+use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
+use holistic_core::MstParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_scaling");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for n in [20_000usize, 80_000] {
+        let data = sorted_lineitem(n, 42);
+        let frames = sliding_frames(n, n / 20);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("median_mst", n), |b| {
+            b.iter(|| {
+                black_box(algos::mst_percentile(
+                    &data.extendedprice,
+                    &frames,
+                    0.5,
+                    MstParams::default(),
+                ))
+            })
+        });
+        g.bench_function(BenchmarkId::new("median_ostree_taskpar", n), |b| {
+            b.iter(|| {
+                black_box(taskpar::ostree_percentile(
+                    &data.extendedprice,
+                    &frames,
+                    0.5,
+                    taskpar::HYPER_TASK_SIZE,
+                    true,
+                ))
+            })
+        });
+        g.bench_function(BenchmarkId::new("rank_mst", n), |b| {
+            b.iter(|| black_box(algos::mst_rank(&data.extendedprice, &frames, MstParams::default())))
+        });
+        g.bench_function(BenchmarkId::new("lead_mst", n), |b| {
+            b.iter(|| black_box(algos::mst_lead(&data.extendedprice, &frames, MstParams::default())))
+        });
+        g.bench_function(BenchmarkId::new("distinct_mst", n), |b| {
+            b.iter(|| {
+                black_box(algos::mst_distinct_count(
+                    &data.partkey_hash,
+                    &frames,
+                    MstParams::default(),
+                ))
+            })
+        });
+        g.bench_function(BenchmarkId::new("distinct_incremental_taskpar", n), |b| {
+            b.iter(|| {
+                black_box(taskpar::distinct_count(
+                    &data.partkey_hash,
+                    &frames,
+                    taskpar::HYPER_TASK_SIZE,
+                    true,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

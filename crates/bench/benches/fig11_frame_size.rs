@@ -1,0 +1,48 @@
+//! Criterion companion of Figure 11: framed median vs frame size. The MST
+//! must stay flat while naive/incremental degrade with the frame.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_baselines::{incremental, taskpar};
+use holistic_bench::algos;
+use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
+use holistic_core::MstParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 50_000;
+    let data = sorted_lineitem(n, 42);
+    let vals = &data.extendedprice;
+    let mut g = c.benchmark_group("fig11_frame_size");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(n as u64));
+    for w in [10usize, 1_000, 50_000] {
+        let frames = sliding_frames(n, w);
+        g.bench_function(BenchmarkId::new("mst", w), |b| {
+            b.iter(|| black_box(algos::mst_percentile(vals, &frames, 0.5, MstParams::default())))
+        });
+        g.bench_function(BenchmarkId::new("ostree", w), |b| {
+            b.iter(|| {
+                black_box(taskpar::ostree_percentile(
+                    vals,
+                    &frames,
+                    0.5,
+                    taskpar::HYPER_TASK_SIZE,
+                    true,
+                ))
+            })
+        });
+        if w <= 1_000 {
+            g.bench_function(BenchmarkId::new("incremental", w), |b| {
+                b.iter(|| black_box(incremental::percentile(vals, &frames, 0.5)))
+            });
+            g.bench_function(BenchmarkId::new("naive", w), |b| {
+                b.iter(|| black_box(taskpar::naive_percentile(vals, &frames, 0.5)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

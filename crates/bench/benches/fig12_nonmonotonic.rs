@@ -1,0 +1,35 @@
+//! Criterion companion of Figure 12: non-monotonic frames. The incremental
+//! algorithm must collapse as soon as m > 0; the MST must not care.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_baselines::{incremental, taskpar};
+use holistic_bench::algos;
+use holistic_bench::workloads::{nonmonotonic_frames, sorted_lineitem};
+use holistic_core::MstParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 50_000;
+    let data = sorted_lineitem(n, 42);
+    let vals = &data.extendedprice;
+    let mut g = c.benchmark_group("fig12_nonmonotonic");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(n as u64));
+    for m_pct in [0u32, 50, 100] {
+        let frames = nonmonotonic_frames(vals, m_pct as f64 / 100.0);
+        g.bench_function(BenchmarkId::new("mst", m_pct), |b| {
+            b.iter(|| black_box(algos::mst_percentile(vals, &frames, 0.5, MstParams::default())))
+        });
+        g.bench_function(BenchmarkId::new("incremental", m_pct), |b| {
+            b.iter(|| black_box(incremental::percentile(vals, &frames, 0.5)))
+        });
+        g.bench_function(BenchmarkId::new("naive", m_pct), |b| {
+            b.iter(|| black_box(taskpar::naive_percentile(vals, &frames, 0.5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion companion of Figure 13: fanout × sampling corners of the
+//! parameter grid (the `fig13` binary runs the full grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_bench::algos;
+use holistic_bench::workloads::{random_ints, sliding_frames};
+use holistic_core::MstParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let vals = random_ints(n, 7);
+    let frames = sliding_frames(n, n / 20);
+    let mut g = c.benchmark_group("fig13_fanout_sampling");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(n as u64));
+    for (f, k) in [(2usize, 32usize), (16, 4), (32, 32), (256, 1), (256, 1024)] {
+        let params = MstParams::new(f, k).serial();
+        g.bench_function(BenchmarkId::new("rank", format!("f{f}_k{k}")), |b| {
+            b.iter(|| black_box(algos::mst_rank(&vals, &frames, params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

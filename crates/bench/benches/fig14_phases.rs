@@ -1,0 +1,31 @@
+//! Criterion companion of Figure 14: the end-to-end framed distinct count
+//! through the engine pipeline (per-phase times come from the `fig14`
+//! binary; here we pin the end-to-end number).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_tpch::lineitem;
+use holistic_window::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let table = lineitem(n, 42).to_table();
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("l_shipdate"))])
+            .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::count_distinct(col("l_partkey")).named("cd"));
+
+    let mut g = c.benchmark_group("fig14_pipeline");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("engine_running_distinct_count", n), |b| {
+        b.iter(|| black_box(q.execute(&table).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

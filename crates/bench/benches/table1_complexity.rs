@@ -1,0 +1,60 @@
+//! Criterion companion of Table 1: build/probe costs of the competing index
+//! structures at one size (the `table1` binary measures growth ratios).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use holistic_baselines::ostree::OrderStatisticTree;
+use holistic_bench::workloads::random_ints;
+use holistic_core::{MergeSortTree, MstParams};
+use holistic_segtree::{SegmentTree, SortedListSegTree, SumMonoid};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let vals = random_ints(n, 3);
+    let vals_u32: Vec<u32> = vals.iter().map(|&v| (v as u32) ^ (1 << 31)).collect();
+
+    let mut g = c.benchmark_group("table1_structures");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function(BenchmarkId::new("build_merge_sort_tree", n), |b| {
+        b.iter(|| black_box(MergeSortTree::<u32>::build(&vals_u32, MstParams::default())))
+    });
+    g.bench_function(BenchmarkId::new("build_sorted_list_segtree", n), |b| {
+        b.iter(|| black_box(SortedListSegTree::build(&vals, true)))
+    });
+    g.bench_function(BenchmarkId::new("build_segment_tree_sum", n), |b| {
+        b.iter(|| black_box(SegmentTree::<SumMonoid>::build(&vals, true)))
+    });
+    g.bench_function(BenchmarkId::new("build_order_statistic_tree", n), |b| {
+        b.iter(|| {
+            let mut t = OrderStatisticTree::new();
+            for &v in &vals {
+                t.insert(v);
+            }
+            black_box(t.len())
+        })
+    });
+
+    let mst = MergeSortTree::<u32>::build(&vals_u32, MstParams::default());
+    g.bench_function(BenchmarkId::new("probe_mst_count_below", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 9973) % n;
+            black_box(mst.count_below(i / 2, n - i / 3, vals_u32[i]))
+        })
+    });
+    let slst = SortedListSegTree::build(&vals, true);
+    g.bench_function(BenchmarkId::new("probe_segtree_select", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 9973) % (n / 2);
+            black_box(slst.select(i, i + n / 2, n / 4))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Array-level algorithm implementations benchmarked against each other.
+//!
+//! All take values pre-sorted by the window ORDER BY plus per-row frames,
+//! exactly like the paper's window operator after its sort phase. The merge
+//! sort tree paths mirror `holistic-window`'s evaluators without the engine's
+//! dynamic-value overhead, so algorithm comparisons measure the algorithms.
+
+use holistic_core::{
+    dense_codes, prev_idcs_by_key, MergeSortTree, MstParams, RangeSet,
+};
+
+/// Framed PERCENTILE_DISC via permutation array + merge sort tree (§4.5).
+pub fn mst_percentile(
+    values: &[i64],
+    frames: &[(usize, usize)],
+    p: f64,
+    params: MstParams,
+) -> Vec<Option<i64>> {
+    let dc = dense_codes(values, params.parallel);
+    let perm: Vec<u32> = dc.perm.iter().map(|&x| x as u32).collect();
+    let tree = MergeSortTree::<u32>::build(&perm, params);
+    let probe = |&(a, b): &(usize, usize)| -> Option<i64> {
+        let s = b.saturating_sub(a);
+        if s == 0 {
+            return None;
+        }
+        let j = ((p * s as f64).ceil() as usize).clamp(1, s);
+        let rank = tree.select(&RangeSet::single(a, b), j - 1).expect("j <= s");
+        Some(values[dc.perm[rank]])
+    };
+    maybe_par_map(frames, params.parallel, probe)
+}
+
+/// Framed COUNT(DISTINCT) via prevIdcs + merge sort tree (§4.2).
+pub fn mst_distinct_count(
+    hashes: &[u64],
+    frames: &[(usize, usize)],
+    params: MstParams,
+) -> Vec<usize> {
+    let prev: Vec<u32> = prev_idcs_by_key(hashes, params.parallel)
+        .iter()
+        .map(|&x| x as u32)
+        .collect();
+    let tree = MergeSortTree::<u32>::build(&prev, params);
+    maybe_par_map(frames, params.parallel, |&(a, b)| {
+        tree.count_below(a, b.max(a), a as u32 + 1)
+    })
+}
+
+/// Framed RANK via dense codes + merge sort tree (§4.4).
+pub fn mst_rank(values: &[i64], frames: &[(usize, usize)], params: MstParams) -> Vec<usize> {
+    let dc = dense_codes(values, params.parallel);
+    let codes: Vec<u32> = dc.code.iter().map(|&c| c as u32).collect();
+    let tree = MergeSortTree::<u32>::build(&codes, params);
+    let gmin = &dc.group_min;
+    maybe_par_map_idx(frames, params.parallel, |i, &(a, b)| {
+        tree.count_below(a, b.max(a), gmin[i] as u32) + 1
+    })
+}
+
+/// Framed LEAD(value, 1) by value order via both trees (§4.6).
+pub fn mst_lead(values: &[i64], frames: &[(usize, usize)], params: MstParams) -> Vec<Option<i64>> {
+    let dc = dense_codes(values, params.parallel);
+    let codes: Vec<u32> = dc.code.iter().map(|&c| c as u32).collect();
+    let code_tree = MergeSortTree::<u32>::build(&codes, params);
+    let perm: Vec<u32> = dc.perm.iter().map(|&x| x as u32).collect();
+    let select_tree = MergeSortTree::<u32>::build(&perm, params);
+    let code = &dc.code;
+    let perm_usize = &dc.perm;
+    maybe_par_map_idx(frames, params.parallel, |i, &(a, b)| {
+        let b = b.max(a);
+        let s = b - a;
+        let rs = RangeSet::single(a, b);
+        let rn0 = code_tree.count_below(a, b, code[i] as u32);
+        let target = rn0 + 1;
+        if target >= s {
+            return None;
+        }
+        let rank = select_tree.select(&rs, target).expect("target < s");
+        Some(values[perm_usize[rank]])
+    })
+}
+
+/// Framed percentile on the sorted-list segment tree (base intervals,
+/// O(n (log n)²) — Table 1's "segment tree" row).
+pub fn segtree_percentile(
+    values: &[i64],
+    frames: &[(usize, usize)],
+    p: f64,
+    parallel: bool,
+) -> Vec<Option<i64>> {
+    let st = holistic_segtree::SortedListSegTree::build(values, parallel);
+    maybe_par_map(frames, parallel, |&(a, b)| {
+        let s = b.saturating_sub(a);
+        if s == 0 {
+            return None;
+        }
+        let j = ((p * s as f64).ceil() as usize).clamp(1, s);
+        st.select(a, b, j - 1)
+    })
+}
+
+fn maybe_par_map<T: Send + Sync, O: Send>(
+    items: &[T],
+    parallel: bool,
+    f: impl Fn(&T) -> O + Send + Sync,
+) -> Vec<O> {
+    use rayon::prelude::*;
+    if parallel && items.len() >= 2048 {
+        items.par_iter().map(f).collect()
+    } else {
+        items.iter().map(f).collect()
+    }
+}
+
+fn maybe_par_map_idx<T: Send + Sync, O: Send>(
+    items: &[T],
+    parallel: bool,
+    f: impl Fn(usize, &T) -> O + Send + Sync,
+) -> Vec<O> {
+    use rayon::prelude::*;
+    if parallel && items.len() >= 2048 {
+        items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    } else {
+        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistic_baselines::taskpar;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sliding(n: usize, w: usize) -> Vec<(usize, usize)> {
+        (0..n).map(|i| (i.saturating_sub(w - 1), i + 1)).collect()
+    }
+
+    #[test]
+    fn mst_percentile_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let vals: Vec<i64> = (0..500).map(|_| rng.gen_range(0..200)).collect();
+        for w in [1usize, 13, 100, 500] {
+            let frames = sliding(vals.len(), w);
+            for p in [0.1, 0.5, 0.99] {
+                assert_eq!(
+                    mst_percentile(&vals, &frames, p, MstParams::default()),
+                    taskpar::naive_percentile(&vals, &frames, p),
+                    "w={w} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mst_distinct_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let vals: Vec<u64> = (0..400).map(|_| rng.gen_range(0..30)).collect();
+        let frames = sliding(vals.len(), 77);
+        assert_eq!(
+            mst_distinct_count(&vals, &frames, MstParams::default()),
+            taskpar::naive_distinct_count(&vals, &frames)
+        );
+    }
+
+    #[test]
+    fn mst_rank_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let vals: Vec<i64> = (0..400).map(|_| rng.gen_range(0..40)).collect();
+        let frames = sliding(vals.len(), 50);
+        assert_eq!(
+            mst_rank(&vals, &frames, MstParams::default()),
+            taskpar::naive_rank(&vals, &frames)
+        );
+    }
+
+    #[test]
+    fn mst_lead_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let vals: Vec<i64> = (0..300).map(|_| rng.gen_range(0..25)).collect();
+        let frames = sliding(vals.len(), 40);
+        assert_eq!(
+            mst_lead(&vals, &frames, MstParams::default()),
+            taskpar::naive_lead(&vals, &frames)
+        );
+    }
+
+    #[test]
+    fn segtree_percentile_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let vals: Vec<i64> = (0..300).map(|_| rng.gen_range(-50..50)).collect();
+        let frames = sliding(vals.len(), 64);
+        assert_eq!(
+            segtree_percentile(&vals, &frames, 0.5, false),
+            taskpar::naive_percentile(&vals, &frames, 0.5)
+        );
+    }
+
+    #[test]
+    fn non_monotonic_frames_agree_across_algorithms() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let vals: Vec<i64> = (0..300).map(|_| rng.gen_range(0..100)).collect();
+        let frames: Vec<(usize, usize)> = (0..vals.len())
+            .map(|i| {
+                let jitter = (vals[i] * 7703).rem_euclid(59) as usize;
+                let a = i.saturating_sub(jitter);
+                let b = (i + 60 - jitter).min(vals.len()).max(a);
+                (a, b)
+            })
+            .collect();
+        let expect = taskpar::naive_percentile(&vals, &frames, 0.5);
+        assert_eq!(mst_percentile(&vals, &frames, 0.5, MstParams::default()), expect);
+        assert_eq!(
+            holistic_baselines::incremental::percentile(&vals, &frames, 0.5),
+            expect
+        );
+        assert_eq!(segtree_percentile(&vals, &frames, 0.5, false), expect);
+    }
+}

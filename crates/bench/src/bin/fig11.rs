@@ -1,0 +1,73 @@
+//! Figure 11 — throughput of a framed median for increasing frame sizes.
+//!
+//! Paper query (§6.4): median of `l_extendedprice` over
+//! `ROWS BETWEEN size PRECEDING AND CURRENT ROW`, scale factor 1.
+//!
+//! Expected shape: the merge sort tree is flat across all frame sizes; naive
+//! and incremental cross below it around frame sizes ~130 and ~700
+//! respectively (their per-row cost grows with the frame); the order
+//! statistic tree survives until the frame size reaches the 20 000-tuple
+//! task granularity, where per-task warm-up work blows up; for SQL's default
+//! frame (the whole prefix) only the merge sort tree remains practical.
+
+use holistic_baselines::{incremental, taskpar};
+use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
+use holistic_bench::{algos, env_usize, mtps, time_once};
+use holistic_core::MstParams;
+
+fn main() {
+    let n = env_usize("N", 200_000);
+    let work_cap = env_usize("WORK_CAP", 2_000_000_000);
+    let task = taskpar::HYPER_TASK_SIZE;
+    let data = sorted_lineitem(n, 42);
+    let vals = &data.extendedprice;
+
+    let mut frame_sizes =
+        vec![1usize, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, n];
+    frame_sizes.retain(|&w| w <= n);
+    frame_sizes.dedup();
+
+    println!("# Figure 11: framed median throughput (Mtuples/s) vs frame size, n={n}");
+    println!(
+        "{:<10} | {:>10} {:>10} {:>12} {:>10}",
+        "frame", "mst", "ostree", "incremental", "naive"
+    );
+    let fmt = |o: Option<f64>| o.map(|x| format!("{x:.3}")).unwrap_or_else(|| "skip".into());
+
+    for &w in &frame_sizes {
+        let frames = sliding_frames(n, w);
+        let (_, d) = time_once(|| algos::mst_percentile(vals, &frames, 0.5, MstParams::default()));
+        let mst = Some(mtps(n, d));
+        let ost = {
+            let warmup = (n / task + 1) * w.min(n) * 20;
+            if n * 60 + warmup <= work_cap {
+                let (_, d) =
+                    time_once(|| taskpar::ostree_percentile(vals, &frames, 0.5, task, true));
+                Some(mtps(n, d))
+            } else {
+                None
+            }
+        };
+        let inc = if n.saturating_mul(w / 2).max(n) <= work_cap {
+            let (_, d) = time_once(|| incremental::percentile(vals, &frames, 0.5));
+            Some(mtps(n, d))
+        } else {
+            None
+        };
+        let naive = if n.saturating_mul(w * 11).max(n) <= work_cap {
+            let (_, d) = time_once(|| taskpar::naive_percentile(vals, &frames, 0.5));
+            Some(mtps(n, d))
+        } else {
+            None
+        };
+        println!(
+            "{:<10} | {:>10} {:>10} {:>12} {:>10}",
+            w,
+            fmt(mst),
+            fmt(ost),
+            fmt(inc),
+            fmt(naive)
+        );
+    }
+    println!("# crossover check: find where each competitor's column drops below mst's");
+}

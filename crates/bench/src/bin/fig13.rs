@@ -1,0 +1,61 @@
+//! Figure 13 — runtime of a windowed rank for different fanout (f) and
+//! cascading-pointer sampling (k) parameters, single-threaded, on uniformly
+//! distributed random integers.
+//!
+//! Expected shape (§6.6): a valley around moderate f and k — f = 16, k = 4 is
+//! fastest, but f = k = 32 is within a few percent while using far less
+//! memory; very small f (deep trees) and very large k (wide refinement
+//! scans) both hurt; f = 256 with k = 1 is the worst corner. The memory
+//! table shows the exponential payoff of larger fanouts.
+
+use holistic_bench::workloads::sliding_frames;
+use holistic_bench::{algos, env_usize, time_once};
+use holistic_core::{MergeSortTree, MstParams};
+
+fn main() {
+    // Default scaled down for the single-core runner; N=1000000 reproduces
+    // the paper's exact setting.
+    let n = env_usize("N", 300_000);
+    let vals = holistic_bench::workloads::random_ints(n, 7);
+    let frames = sliding_frames(n, n / 20);
+
+    let fanouts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let samplings = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+    println!("# Figure 13: windowed rank runtime (s) on {n} random ints, single-threaded");
+    print!("{:>6} |", "f\\k");
+    for &k in &samplings {
+        print!("{k:>8}");
+    }
+    println!();
+    for &f in &fanouts {
+        print!("{f:>6} |");
+        for &k in &samplings {
+            let params = MstParams::new(f, k).serial();
+            let (_, d) = time_once(|| algos::mst_rank(&vals, &frames, params));
+            print!("{:>8.2}", d.as_secs_f64());
+        }
+        println!();
+    }
+
+    println!("\n# memory (bytes per input element: data + pointers, u32 trees)");
+    print!("{:>6} |", "f\\k");
+    for &k in &[4usize, 32] {
+        print!("{k:>10}");
+    }
+    println!();
+    let mem_n = n.min(1_000_000);
+    let mem_vals: Vec<u32> = (0..mem_n as u32).collect();
+    for &f in &[16usize, 32] {
+        print!("{f:>6} |");
+        for &k in &[4usize, 32] {
+            let t = MergeSortTree::<u32>::build(&mem_vals, MstParams::new(f, k).serial());
+            let s = t.stats();
+            print!("{:>10.2}", s.bytes as f64 / mem_n as f64);
+        }
+        println!();
+    }
+    println!(
+        "# paper: f=16,k=4 fastest but 12.4 GB at 100M elements; f=k=32 chosen (4.4 GB)"
+    );
+}

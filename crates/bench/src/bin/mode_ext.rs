@@ -1,0 +1,83 @@
+//! Extension experiment (not a paper figure): framed MODE evaluated with the
+//! √-decomposition range mode index vs Wesley & Xu's incremental mode and
+//! naive recomputation — completing the aggregate set of Wesley & Xu that merge
+//! sort trees cannot express (§3.1).
+//!
+//! Expected shape: for monotonic frames the incremental algorithm wins
+//! (O(1) updates); the range-mode index is frame-size independent; under
+//! non-monotonic frames the incremental algorithm degrades like in
+//! Figure 12 while the index does not care.
+
+use holistic_baselines::incremental;
+use holistic_bench::workloads::{nonmonotonic_frames, sliding_frames, sorted_lineitem};
+use holistic_bench::{env_usize, mtps, time_once};
+use holistic_rangemode::RangeModeIndex;
+
+fn naive_mode(values: &[u32], frames: &[(usize, usize)]) -> Vec<Option<u32>> {
+    frames
+        .iter()
+        .map(|&(a, b)| {
+            if a >= b {
+                return None;
+            }
+            let mut counts = values[a..b].to_vec();
+            counts.sort_unstable();
+            let mut best = (0u32, 0u32);
+            let mut i = 0;
+            while i < counts.len() {
+                let mut j = i + 1;
+                while j < counts.len() && counts[j] == counts[i] {
+                    j += 1;
+                }
+                let c = (j - i) as u32;
+                if c > best.1 {
+                    best = (counts[i], c);
+                }
+                i = j;
+            }
+            Some(best.0)
+        })
+        .collect()
+}
+
+fn main() {
+    let n = env_usize("N", 100_000);
+    let data = sorted_lineitem(n, 42);
+    // Mode over supplier-ish ids: reuse partkey hashes compressed to ids.
+    let mut ids: Vec<u32> = data.partkey_hash.iter().map(|&h| (h % 2003) as u32).collect();
+    let u = 2003;
+    ids.truncate(n);
+    let ids64: Vec<i64> = ids.iter().map(|&v| v as i64).collect();
+
+    println!("# Extension: framed MODE throughput (Mtuples/s), n={n}, {u} distinct values");
+    println!("{:<22} | {:>12} {:>12} {:>10}", "frames", "rangemode", "incremental", "naive");
+
+    for (label, frames) in [
+        ("sliding w=500", sliding_frames(n, 500)),
+        ("sliding w=5%n", sliding_frames(n, n / 20)),
+        ("non-monotonic m=1", nonmonotonic_frames(&ids64, 1.0)),
+    ] {
+        let (idx_out, d_build_probe) = time_once(|| {
+            let idx = RangeModeIndex::build(&ids, u);
+            frames.iter().map(|&(a, b)| idx.query(a, b).map(|(v, _)| v)).collect::<Vec<_>>()
+        });
+        let rm = mtps(n, d_build_probe);
+        let (inc_out, d) = time_once(|| incremental::mode(&ids64, &frames));
+        let inc = mtps(n, d);
+        let (naive_out, d) = time_once(|| naive_mode(&ids, &frames));
+        let nv = mtps(n, d);
+        // Cross-verify counts agree (values may differ only on ties — our
+        // implementations share the smallest-value tie-break, so compare
+        // directly).
+        for i in 0..n {
+            assert_eq!(
+                idx_out[i].map(|v| v as i64),
+                inc_out[i],
+                "rangemode vs incremental at {i}"
+            );
+            assert_eq!(idx_out[i], naive_out[i], "rangemode vs naive at {i}");
+        }
+        println!("{:<22} | {:>12.3} {:>12.3} {:>10.3}", label, rm, inc, nv);
+    }
+    println!("# (all three algorithms verified to produce identical modes)");
+}

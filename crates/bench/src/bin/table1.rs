@@ -1,0 +1,106 @@
+//! Table 1 — empirical verification of the complexity table: runtime
+//! scaling, parallelizability, and space of each algorithm × aggregate.
+//!
+//! For each cell we measure total runtime at n and 2n with the paper's
+//! default frame (`UNBOUNDED PRECEDING .. CURRENT ROW`, i.e. frame size
+//! O(n)) and report the growth factor. Theory: an O(n log n) algorithm
+//! roughly doubles (×2.2); an O(n²) one quadruples. For the merge sort tree
+//! we additionally report measured O(n log n) space.
+
+use holistic_baselines::{incremental, taskpar};
+use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
+use holistic_bench::{algos, env_usize, time_best};
+use holistic_core::{paper_element_estimate, MergeSortTree, MstParams};
+
+fn growth(f: impl Fn(usize) -> f64, n: usize) -> (f64, f64, f64) {
+    let t1 = f(n);
+    let t2 = f(2 * n);
+    (t1, t2, t2 / t1)
+}
+
+fn main() {
+    let n = env_usize("N", 30_000);
+    println!("# Table 1: measured runtime growth for doubled input (default frame: whole prefix)");
+    println!(
+        "{:<14} {:<22} {:>9} {:>9} {:>7} {:>11}",
+        "aggregate", "algorithm", "t(n) ms", "t(2n) ms", "ratio", "theory"
+    );
+
+    let run = |nn: usize, which: &str| -> f64 {
+        let data = sorted_lineitem(nn, 42);
+        let frames = sliding_frames(nn, nn); // the SQL default frame
+        let vals = &data.extendedprice;
+        let hashes = &data.partkey_hash;
+        let (_, d) = time_best(2, || match which {
+            "inc-dc" => {
+                incremental::distinct_count(hashes, &frames);
+            }
+            "mst-dc" => {
+                algos::mst_distinct_count(hashes, &frames, MstParams::default());
+            }
+            "naive-dc" => {
+                taskpar::naive_distinct_count(hashes, &frames);
+            }
+            "inc-pct" => {
+                incremental::percentile(vals, &frames, 0.5);
+            }
+            "seg-pct" => {
+                algos::segtree_percentile(vals, &frames, 0.5, true);
+            }
+            "ost-pct" => {
+                taskpar::ostree_percentile(vals, &frames, 0.5, usize::MAX, false);
+            }
+            "mst-pct" => {
+                algos::mst_percentile(vals, &frames, 0.5, MstParams::default());
+            }
+            "ost-rank" => {
+                taskpar::ostree_rank(vals, &frames, usize::MAX, false);
+            }
+            "mst-rank" => {
+                algos::mst_rank(vals, &frames, MstParams::default());
+            }
+            _ => unreachable!(),
+        });
+        d.as_secs_f64() * 1e3
+    };
+
+    let rows: Vec<(&str, &str, &str, &str)> = vec![
+        ("dist. count", "incremental [38]", "inc-dc", "O(n) serial"),
+        ("dist. count", "MST (ours)", "mst-dc", "O(n log n)"),
+        ("dist. count", "naive", "naive-dc", "O(n^2)"),
+        ("percentile", "incremental [38]", "inc-pct", "O(n^2)"),
+        ("percentile", "segment tree [1,27]", "seg-pct", "O(n log^2 n)"),
+        ("percentile", "order stat. tree [17]", "ost-pct", "O(n log n)"),
+        ("percentile", "MST (ours)", "mst-pct", "O(n log n)"),
+        ("rank", "order stat. tree [17]", "ost-rank", "O(n log n)"),
+        ("rank", "MST (ours)", "mst-rank", "O(n log n)"),
+    ];
+    for (agg, alg, key, theory) in rows {
+        // Quadratic algorithms get a smaller n so the run stays bounded.
+        let nn = if theory == "O(n^2)" { n.min(20_000) } else { n };
+        let (t1, t2, r) = growth(|x| run(x, key), nn);
+        println!(
+            "{:<14} {:<22} {:>9.1} {:>9.1} {:>6.2}x {:>11}",
+            agg, alg, t1, t2, r, theory
+        );
+    }
+
+    println!("\n# space: merge sort tree elements vs the paper's n log n estimate (f = k = 32)");
+    println!("{:<10} {:>14} {:>14} {:>9}", "n", "measured", "estimate", "bytes/elt");
+    for nn in [100_000usize, 400_000, 1_600_000] {
+        let vals: Vec<u32> = holistic_bench::workloads::random_ints(nn, 3)
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
+        let t = MergeSortTree::<u32>::build(&vals, MstParams::default());
+        let s = t.stats();
+        println!(
+            "{:<10} {:>14} {:>14} {:>9.2}",
+            nn,
+            s.elements + s.pointers,
+            paper_element_estimate(nn, 32, 32),
+            s.bytes as f64 / nn as f64
+        );
+    }
+    println!("# parallel: MST build/probe = yes (rayon); incremental/order-statistic = no (task warm-up, §3.2)");
+}

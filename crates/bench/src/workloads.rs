@@ -1,0 +1,107 @@
+//! Benchmark workload preparation: lineitem samples pre-sorted by the window
+//! ORDER BY, plus the frame generators of §6.3–§6.5.
+
+use holistic_tpch::lineitem;
+use holistic_window::hash::hash_value;
+use holistic_window::Value;
+
+/// A lineitem sample sorted by `l_shipdate`, reduced to the arrays the
+/// benchmark queries touch.
+pub struct SortedLineitem {
+    /// `l_extendedprice` in ship-date order (median / rank / lead column).
+    pub extendedprice: Vec<i64>,
+    /// Hashes of `l_partkey` in ship-date order (distinct-count column).
+    pub partkey_hash: Vec<u64>,
+    /// `l_shipdate` (sorted ascending).
+    pub shipdate: Vec<i32>,
+}
+
+/// Generates and sorts `n` lineitem rows (the window operator's sort phase,
+/// performed once so per-algorithm timings exclude it — the paper's
+/// algorithms all share it anyway).
+pub fn sorted_lineitem(n: usize, seed: u64) -> SortedLineitem {
+    let li = lineitem(n, seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| (li.shipdate[i], i));
+    SortedLineitem {
+        extendedprice: order.iter().map(|&i| li.extendedprice[i]).collect(),
+        partkey_hash: order
+            .iter()
+            .map(|&i| hash_value(&Value::Int(li.partkey[i])))
+            .collect(),
+        shipdate: order.iter().map(|&i| li.shipdate[i]).collect(),
+    }
+}
+
+/// `ROWS BETWEEN w-1 PRECEDING AND CURRENT ROW` (the sliding frames of
+/// §6.2–§6.4).
+pub fn sliding_frames(n: usize, w: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i.saturating_sub(w.saturating_sub(1)), i + 1)).collect()
+}
+
+/// The non-monotonic frames of §6.5:
+/// `ROWS BETWEEN m·mod(price·7703, 499) PRECEDING
+///       AND 500 − m·mod(price·7703, 499) FOLLOWING`,
+/// where `m` scales the pseudo-random jitter (m = 0 → monotonic, size-500
+/// frames; m = 1 → full jitter at unchanged frame size).
+pub fn nonmonotonic_frames(prices: &[i64], m: f64) -> Vec<(usize, usize)> {
+    let n = prices.len();
+    (0..n)
+        .map(|i| {
+            let r = (prices[i].wrapping_mul(7703)).rem_euclid(499) as f64;
+            let back = (m * r) as usize;
+            let fwd = 500usize.saturating_sub((m * r) as usize);
+            let a = i.saturating_sub(back);
+            let b = (i + fwd + 1).min(n).max(a);
+            (a, b)
+        })
+        .collect()
+}
+
+/// Uniformly distributed random integers (the Figure 13 microbenchmark).
+pub fn random_ints(n: usize, seed: u64) -> Vec<i64> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<i32>() as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_lineitem_is_sorted() {
+        let s = sorted_lineitem(2_000, 1);
+        assert!(s.shipdate.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.extendedprice.len(), 2_000);
+        assert_eq!(s.partkey_hash.len(), 2_000);
+    }
+
+    #[test]
+    fn sliding_frames_shapes() {
+        let f = sliding_frames(5, 3);
+        assert_eq!(f, vec![(0, 1), (0, 2), (0, 3), (1, 4), (2, 5)]);
+        let f = sliding_frames(3, 1);
+        assert_eq!(f, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn nonmonotonic_m0_is_monotonic_500() {
+        let prices: Vec<i64> = (0..2_000).map(|i| i * 37 % 1000).collect();
+        let frames = nonmonotonic_frames(&prices, 0.0);
+        assert!(frames.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        // Interior frames have 501 rows (i ..= i+500).
+        assert_eq!(frames[0], (0, 501));
+        assert_eq!(frames[100].1 - frames[100].0, 501);
+    }
+
+    #[test]
+    fn nonmonotonic_m1_jitters_but_keeps_size() {
+        let prices: Vec<i64> = (0..3_000).map(|i| i * 911 % 10_000).collect();
+        let frames = nonmonotonic_frames(&prices, 1.0);
+        // Interior frames keep ~501 rows but starts are not monotone.
+        let interior = &frames[600..2_400];
+        assert!(interior.iter().all(|&(a, b)| b - a == 501));
+        assert!(interior.windows(2).any(|w| w[1].0 < w[0].0), "starts must jump backwards");
+    }
+}

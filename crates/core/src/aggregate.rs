@@ -1,0 +1,203 @@
+//! Distributive aggregate interface for annotated merge sort trees (§4.3).
+//!
+//! Framed `DISTINCT` aggregates combine per-run *prefix* aggregation states.
+//! Crucially, only a `combine` function is required — no inverse ("remove a
+//! value") function, which makes the scheme applicable to arbitrary
+//! user-defined aggregates (§4.3).
+
+/// A distributive (or algebraic) aggregate, usable as `AGG(DISTINCT x) OVER`.
+///
+/// Implementations must form a commutative monoid over `State` with
+/// [`identity`](Self::identity) as the neutral element. Per-run prefix states
+/// are precomputed at build time; each query combines O(log n) of them.
+pub trait DistinctAggregate: Send + Sync + 'static {
+    /// Per-row input value carried through the merge.
+    type Payload: Copy + Default + Send + Sync + 'static;
+    /// Aggregation state (stored in prefix arrays, hence `Copy`).
+    type State: Copy + Send + Sync + 'static;
+    /// Final result type.
+    type Output;
+
+    /// The neutral aggregation state.
+    fn identity() -> Self::State;
+    /// Lifts one input value into a state.
+    fn lift(payload: Self::Payload) -> Self::State;
+    /// Combines two states. Must be associative.
+    fn combine(a: Self::State, b: Self::State) -> Self::State;
+    /// Produces the final aggregate value.
+    fn finish(state: Self::State) -> Self::Output;
+}
+
+/// `SUM(DISTINCT x)` over 64-bit integers; accumulates in 128 bits so that no
+/// realistic frame can overflow.
+pub struct SumI64;
+
+impl DistinctAggregate for SumI64 {
+    type Payload = i64;
+    type State = i128;
+    type Output = i128;
+    fn identity() -> i128 {
+        0
+    }
+    fn lift(p: i64) -> i128 {
+        p as i128
+    }
+    fn combine(a: i128, b: i128) -> i128 {
+        a + b
+    }
+    fn finish(s: i128) -> i128 {
+        s
+    }
+}
+
+/// `SUM(DISTINCT x)` over floats.
+pub struct SumF64;
+
+impl DistinctAggregate for SumF64 {
+    type Payload = f64;
+    type State = f64;
+    type Output = f64;
+    fn identity() -> f64 {
+        0.0
+    }
+    fn lift(p: f64) -> f64 {
+        p
+    }
+    fn combine(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn finish(s: f64) -> f64 {
+        s
+    }
+}
+
+/// `MIN(DISTINCT x)` ≡ `MIN(x)`, included for completeness of the DISTINCT
+/// machinery (and used to test non-invertible aggregates: MIN has no remove).
+pub struct MinI64;
+
+impl DistinctAggregate for MinI64 {
+    type Payload = i64;
+    type State = i64;
+    type Output = i64;
+    fn identity() -> i64 {
+        i64::MAX
+    }
+    fn lift(p: i64) -> i64 {
+        p
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.min(b)
+    }
+    fn finish(s: i64) -> i64 {
+        s
+    }
+}
+
+/// `MAX(DISTINCT x)`.
+pub struct MaxI64;
+
+impl DistinctAggregate for MaxI64 {
+    type Payload = i64;
+    type State = i64;
+    type Output = i64;
+    fn identity() -> i64 {
+        i64::MIN
+    }
+    fn lift(p: i64) -> i64 {
+        p
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.max(b)
+    }
+    fn finish(s: i64) -> i64 {
+        s
+    }
+}
+
+/// `COUNT(DISTINCT x)` expressed through the annotated-tree interface (the
+/// plain tree's `count_below` is the faster path; this exists so the generic
+/// machinery can be cross-checked against it).
+pub struct CountAgg;
+
+impl DistinctAggregate for CountAgg {
+    type Payload = i64;
+    type State = u64;
+    type Output = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn lift(_: i64) -> u64 {
+        1
+    }
+    fn combine(a: u64, b: u64) -> u64 {
+        a + b
+    }
+    fn finish(s: u64) -> u64 {
+        s
+    }
+}
+
+/// `AVG(DISTINCT x)`: the classic algebraic decomposition into SUM and COUNT.
+pub struct AvgF64;
+
+impl DistinctAggregate for AvgF64 {
+    type Payload = f64;
+    type State = (f64, u64);
+    type Output = Option<f64>;
+    fn identity() -> (f64, u64) {
+        (0.0, 0)
+    }
+    fn lift(p: f64) -> (f64, u64) {
+        (p, 1)
+    }
+    fn combine(a: (f64, u64), b: (f64, u64)) -> (f64, u64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+    fn finish((sum, cnt): (f64, u64)) -> Option<f64> {
+        if cnt == 0 {
+            None
+        } else {
+            Some(sum / cnt as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_monoid_laws() {
+        let vals = [3i64, -7, 11];
+        let mut acc = SumI64::identity();
+        for v in vals {
+            acc = SumI64::combine(acc, SumI64::lift(v));
+        }
+        assert_eq!(SumI64::finish(acc), 7);
+        assert_eq!(SumI64::combine(SumI64::identity(), 5), 5);
+    }
+
+    #[test]
+    fn min_max_identities() {
+        assert_eq!(MinI64::combine(MinI64::identity(), 42), 42);
+        assert_eq!(MaxI64::combine(MaxI64::identity(), -42), -42);
+        assert_eq!(MinI64::combine(3, 9), 3);
+        assert_eq!(MaxI64::combine(3, 9), 9);
+    }
+
+    #[test]
+    fn avg_counts_and_divides() {
+        let mut s = AvgF64::identity();
+        for v in [1.0, 2.0, 6.0] {
+            s = AvgF64::combine(s, AvgF64::lift(v));
+        }
+        assert_eq!(AvgF64::finish(s), Some(3.0));
+        assert_eq!(AvgF64::finish(AvgF64::identity()), None);
+    }
+
+    #[test]
+    fn count_ignores_payload() {
+        let s = CountAgg::combine(CountAgg::lift(99), CountAgg::lift(-1));
+        assert_eq!(CountAgg::finish(s), 2);
+    }
+}

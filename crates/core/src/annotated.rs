@@ -1,0 +1,250 @@
+//! Annotated merge sort trees for arbitrary framed DISTINCT aggregates (§4.3).
+//!
+//! Each tree element carries, besides its merge key (the shifted previous-
+//! occurrence index), the aggregation payload of its row. After every merge
+//! the per-run payloads are folded into *prefix* aggregation states (Figure 5):
+//! `prefix[i]` combines the payloads of run elements `0..=i`. A framed
+//! distinct aggregate then (1) covers the frame with sorted runs, (2) locates
+//! the frame start inside each run, and (3) combines the corresponding prefix
+//! states — O(log n) per output row.
+
+use crate::aggregate::DistinctAggregate;
+use crate::index::TreeIndex;
+use crate::mst::{build_levels, Level, MergeSortTree};
+use crate::params::MstParams;
+use crate::range_set::RangeSet;
+use rayon::prelude::*;
+
+/// A merge sort tree whose runs carry prefix aggregation states.
+pub struct AnnotatedMst<I: TreeIndex, A: DistinctAggregate> {
+    tree: MergeSortTree<I>,
+    /// Per level, aligned with the level's data: prefix states per run.
+    prefix: Vec<Vec<A::State>>,
+}
+
+impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
+    /// Builds an annotated tree over the merge keys `values` (shifted
+    /// prevIdcs) and per-row aggregation `payloads`.
+    pub fn build(values: &[I], payloads: &[A::Payload], params: MstParams) -> Self {
+        assert_eq!(values.len(), payloads.len());
+        let n = values.len();
+        let base: Vec<(I, A::Payload)> =
+            values.iter().copied().zip(payloads.iter().copied()).collect();
+        let pair_levels = build_levels::<I, (I, A::Payload)>(base, params);
+
+        let mut key_levels = Vec::with_capacity(pair_levels.len());
+        let mut prefix = Vec::with_capacity(pair_levels.len());
+        for lvl in pair_levels {
+            let keys: Vec<I> = lvl.data.iter().map(|&(k, _)| k).collect();
+            let run_len = lvl.run_len;
+            let mut states: Vec<A::State> = Vec::with_capacity(n);
+            // Prefix-fold every run. Runs are independent; fold them in
+            // parallel via chunked iteration.
+            if params.parallel && n >= 4096 {
+                states.resize(n, A::identity());
+                states
+                    .par_chunks_mut(run_len)
+                    .zip(lvl.data.par_chunks(run_len))
+                    .for_each(|(out, data)| {
+                        let mut acc = A::identity();
+                        for (o, &(_, p)) in out.iter_mut().zip(data.iter()) {
+                            acc = A::combine(acc, A::lift(p));
+                            *o = acc;
+                        }
+                    });
+            } else {
+                for chunk in lvl.data.chunks(run_len.max(1)) {
+                    let mut acc = A::identity();
+                    for &(_, p) in chunk {
+                        acc = A::combine(acc, A::lift(p));
+                        states.push(acc);
+                    }
+                }
+            }
+            key_levels.push(Level {
+                data: keys,
+                run_len,
+                ptrs: lvl.ptrs,
+                sample_offsets: lvl.sample_offsets,
+            });
+            prefix.push(states);
+        }
+        AnnotatedMst { tree: MergeSortTree { levels: key_levels, params, n }, prefix }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Combines the payloads of all elements at positions `[a, b)` whose key
+    /// is smaller than `t`, returning the state and the number of combined
+    /// rows. For shifted prevIdcs keys with `t = a + 1` this is exactly
+    /// "aggregate each distinct value of the frame once" (§4.3).
+    pub fn aggregate_below(&self, a: usize, b: usize, t: I) -> (A::State, usize) {
+        let mut state = A::identity();
+        let mut count = 0usize;
+        self.tree.decompose_below(a, b, t, |level, run_start, pos| {
+            if pos > 0 {
+                state = A::combine(state, self.prefix[level][run_start + pos - 1]);
+                count += pos;
+            }
+        });
+        (state, count)
+    }
+
+    /// [`Self::aggregate_below`] over a frame with exclusion holes.
+    ///
+    /// Note: for a multi-piece frame, the threshold for "first occurrence"
+    /// must still be the start of the *whole* frame region handled by the
+    /// caller per piece — see `holistic-window`'s distinct evaluation, which
+    /// passes piece-specific thresholds and deduplicates across pieces.
+    pub fn aggregate_below_multi(&self, ranges: &RangeSet, t: I) -> (A::State, usize) {
+        let mut state = A::identity();
+        let mut count = 0usize;
+        for (a, b) in ranges.iter() {
+            let (s, c) = self.aggregate_below(a, b, t);
+            state = A::combine(state, s);
+            count += c;
+        }
+        (state, count)
+    }
+
+    /// The underlying plain tree (for count queries on the same keys).
+    pub fn tree(&self) -> &MergeSortTree<I> {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AvgF64, CountAgg, MaxI64, MinI64, SumI64};
+    use crate::prev_idcs::prev_idcs_by_key;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Reference: distinct sum of values[a..b].
+    fn brute_distinct_sum(values: &[i64], a: usize, b: usize) -> i128 {
+        let mut seen = std::collections::HashSet::new();
+        values[a..b].iter().filter(|v| seen.insert(**v)).map(|&v| v as i128).sum()
+    }
+
+    fn shifted_prev(values: &[i64]) -> Vec<u32> {
+        prev_idcs_by_key(values, false).iter().map(|&p| p as u32).collect()
+    }
+
+    #[test]
+    fn figure5_sum_distinct() {
+        // Values with duplicates; frame = whole input.
+        let values: Vec<i64> = vec![10, 20, 20, 10, 30, 20];
+        let prev = shifted_prev(&values);
+        let t = AnnotatedMst::<u32, SumI64>::build(&prev, &values, MstParams::new(2, 1));
+        let (s, cnt) = t.aggregate_below(0, 6, 1);
+        assert_eq!(SumI64::finish(s), 60);
+        assert_eq!(cnt, 3);
+        // Frame [2, 6): distinct values 20, 10, 30.
+        let (s, _) = t.aggregate_below(2, 6, 3);
+        assert_eq!(SumI64::finish(s), 60);
+        // Frame [3, 5): distinct 10, 30.
+        let (s, _) = t.aggregate_below(3, 5, 4);
+        assert_eq!(SumI64::finish(s), 40);
+    }
+
+    #[test]
+    fn random_sum_distinct_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &(f, k) in &[(2, 1), (4, 8), (32, 32)] {
+            for _ in 0..6 {
+                let n = rng.gen_range(0..300);
+                let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..20)).collect();
+                let prev = shifted_prev(&values);
+                let tree =
+                    AnnotatedMst::<u32, SumI64>::build(&prev, &values, MstParams::new(f, k));
+                for _ in 0..30 {
+                    let a = rng.gen_range(0..=n);
+                    let b = rng.gen_range(a..=n);
+                    let (s, _) = tree.aggregate_below(a, b, a as u32 + 1);
+                    assert_eq!(
+                        SumI64::finish(s),
+                        brute_distinct_sum(&values, a, b),
+                        "n={n} f={f} k={k} a={a} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_agg_matches_plain_count_below() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let n = 200;
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+        let prev = shifted_prev(&values);
+        let tree = AnnotatedMst::<u32, CountAgg>::build(&prev, &values, MstParams::default());
+        for a in (0..n as usize).step_by(7) {
+            for b in (a..=n as usize).step_by(13) {
+                let (s, cnt) = tree.aggregate_below(a, b, a as u32 + 1);
+                let plain = tree.tree().count_below(a, b, a as u32 + 1);
+                assert_eq!(CountAgg::finish(s) as usize, plain);
+                assert_eq!(cnt, plain);
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_distinct_equal_plain_min_max() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let n = 150usize;
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+        let prev = shifted_prev(&values);
+        let tmin = AnnotatedMst::<u32, MinI64>::build(&prev, &values, MstParams::new(4, 4));
+        let tmax = AnnotatedMst::<u32, MaxI64>::build(&prev, &values, MstParams::new(4, 4));
+        for a in (0..n).step_by(11) {
+            for b in ((a + 1)..=n).step_by(17) {
+                let (smin, _) = tmin.aggregate_below(a, b, a as u32 + 1);
+                let (smax, _) = tmax.aggregate_below(a, b, a as u32 + 1);
+                assert_eq!(MinI64::finish(smin), *values[a..b].iter().min().unwrap());
+                assert_eq!(MaxI64::finish(smax), *values[a..b].iter().max().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn avg_distinct_on_floats() {
+        let values: Vec<f64> = vec![1.0, 2.0, 1.0, 4.0];
+        // prevIdcs on float keys via their bit patterns through i64 keys.
+        let keys: Vec<i64> = values.iter().map(|v| v.to_bits() as i64).collect();
+        let prev = shifted_prev(&keys);
+        let tree = AnnotatedMst::<u32, AvgF64>::build(&prev, &values, MstParams::new(2, 2));
+        let (s, _) = tree.aggregate_below(0, 4, 1);
+        // Distinct values 1.0, 2.0, 4.0 → avg 7/3.
+        assert!((AvgF64::finish(s).unwrap() - 7.0 / 3.0).abs() < 1e-12);
+        let (s, _) = tree.aggregate_below(2, 2, 3);
+        assert_eq!(AvgF64::finish(s), None);
+    }
+
+    #[test]
+    fn multi_range_aggregate_sums_pieces() {
+        let values: Vec<i64> = vec![5, 6, 7, 8, 9, 10];
+        let prev = shifted_prev(&values); // all distinct → all zeros
+        let tree = AnnotatedMst::<u32, SumI64>::build(&prev, &values, MstParams::new(2, 1));
+        let rs = RangeSet::from_ranges(&[(0, 2), (4, 6)]);
+        let (s, cnt) = tree.aggregate_below_multi(&rs, 1);
+        assert_eq!(SumI64::finish(s), 5 + 6 + 9 + 10);
+        assert_eq!(cnt, 4);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = AnnotatedMst::<u32, SumI64>::build(&[], &[], MstParams::default());
+        assert!(tree.is_empty());
+        let (s, cnt) = tree.aggregate_below(0, 0, 1);
+        assert_eq!(SumI64::finish(s), 0);
+        assert_eq!(cnt, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Index/payload integer types stored inside merge sort trees.
+//!
+//! The paper (§5.1) represents merge sort trees as contiguous integer arrays
+//! and picks 32-bit or 64-bit integers per window partition at runtime: all
+//! payloads (previous-occurrence indices, dense rank codes, permutation
+//! entries) are indices into the partition and therefore fit in 32 bits for
+//! partitions of up to 2³² rows. Smaller integers halve memory bandwidth.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An unsigned integer type usable as a merge sort tree element.
+///
+/// Elements of a merge sort tree are always integers: the preprocessing steps
+/// of §5.1 map every SQL type to dense integer codes or positional indices
+/// before tree construction. Implementations exist for `u32` and `u64`; the
+/// caller picks the narrowest type that fits the partition size (see
+/// [`fits_u32`]).
+pub trait TreeIndex:
+    Copy + Ord + Eq + Hash + Debug + Send + Sync + Default + 'static
+{
+    /// Largest representable value (used as +∞ sentinel in searches).
+    const MAX: Self;
+    /// Zero.
+    const ZERO: Self;
+    /// Converts from `usize`, panicking in debug builds on overflow.
+    fn from_usize(v: usize) -> Self;
+    /// Converts to `usize` (always lossless on 64-bit targets).
+    fn to_usize(self) -> usize;
+    /// Midpoint of two values, used by value-domain binary searches.
+    fn midpoint(a: Self, b: Self) -> Self;
+    /// Successor, saturating at `MAX`.
+    fn saturating_succ(self) -> Self;
+}
+
+macro_rules! impl_tree_index {
+    ($t:ty) => {
+        impl TreeIndex for $t {
+            const MAX: Self = <$t>::MAX;
+            const ZERO: Self = 0;
+            #[inline]
+            fn from_usize(v: usize) -> Self {
+                debug_assert!(v <= <$t>::MAX as usize, "index overflow for {}", stringify!($t));
+                v as $t
+            }
+            #[inline]
+            fn to_usize(self) -> usize {
+                self as usize
+            }
+            #[inline]
+            fn midpoint(a: Self, b: Self) -> Self {
+                a + (b - a) / 2
+            }
+            #[inline]
+            fn saturating_succ(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    };
+}
+
+impl_tree_index!(u32);
+impl_tree_index!(u64);
+
+/// Returns true when all positional payloads of a partition with `n` rows fit
+/// into `u32` trees (the shifted prevIdcs encoding needs `n + 1` values).
+#[inline]
+pub fn fits_u32(n: usize) -> bool {
+    n < u32::MAX as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(u32::from_usize(42).to_usize(), 42);
+        assert_eq!(u64::from_usize(1 << 40).to_usize(), 1 << 40);
+        assert_eq!(<u32 as TreeIndex>::MAX, u32::MAX);
+    }
+
+    #[test]
+    fn midpoint_is_within_bounds() {
+        assert_eq!(u32::midpoint(0, 10), 5);
+        assert_eq!(u32::midpoint(10, 10), 10);
+        assert_eq!(u32::midpoint(u32::MAX - 1, u32::MAX), u32::MAX - 1);
+        assert_eq!(u64::midpoint(0, u64::MAX), u64::MAX / 2);
+    }
+
+    #[test]
+    fn saturating_succ_saturates() {
+        assert_eq!(5u32.saturating_succ(), 6);
+        assert_eq!(u32::MAX.saturating_succ(), u32::MAX);
+    }
+
+    #[test]
+    fn fits_u32_boundaries() {
+        assert!(fits_u32(0));
+        assert!(fits_u32(u32::MAX as usize - 1));
+        assert!(!fits_u32(u32::MAX as usize));
+    }
+}

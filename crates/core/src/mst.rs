@@ -1,0 +1,639 @@
+//! The merge sort tree data structure (§4.2, §4.5, §5.1).
+
+use crate::index::TreeIndex;
+use crate::merge::{merge_run, Keyed, RunChildren};
+use crate::params::MstParams;
+use crate::range_set::RangeSet;
+use rayon::prelude::*;
+
+/// One level of a merge sort tree: sorted runs of nominal length `run_len`
+/// stored contiguously, plus sampled cascading pointers into the level below.
+#[derive(Debug, Clone)]
+pub(crate) struct Level<T, I> {
+    /// All runs, concatenated; total length = input length.
+    pub data: Vec<T>,
+    /// Nominal run length `fanout^level` (the final run may be shorter).
+    pub run_len: usize,
+    /// Cascading pointers, laid out `[run][sample][child]`; empty at level 0.
+    /// Entry `(r, s, c)` is the number of elements of child run `c` among the
+    /// first `s·k` elements of run `r` (the persisted merge iterator of §4.2).
+    pub ptrs: Vec<I>,
+    /// Per-run start offset into `ptrs`, in units of samples (`len + 1`
+    /// entries, last = total sample count).
+    pub sample_offsets: Vec<usize>,
+}
+
+impl<T, I> Level<T, I> {
+    /// Actual length of run `r` given `n` total elements.
+    #[inline]
+    pub fn run_bounds(&self, r: usize, n: usize) -> (usize, usize) {
+        let start = r * self.run_len;
+        (start, (start + self.run_len).min(n))
+    }
+}
+
+/// Builds all levels above the provided base level.
+pub(crate) fn build_levels<I: TreeIndex, T: Keyed<I>>(
+    base: Vec<T>,
+    params: MstParams,
+) -> Vec<Level<T, I>> {
+    params.validate();
+    let n = base.len();
+    let mut levels = vec![Level { data: base, run_len: 1, ptrs: Vec::new(), sample_offsets: Vec::new() }];
+    while levels.last().unwrap().run_len < n {
+        let next = build_next_level(levels.last().unwrap(), n, params);
+        levels.push(next);
+    }
+    levels
+}
+
+/// Merges one level's runs into the next level (fanout-way).
+pub(crate) fn build_next_level<I: TreeIndex, T: Keyed<I>>(
+    child: &Level<T, I>,
+    n: usize,
+    params: MstParams,
+) -> Level<T, I> {
+    let (f, k) = (params.fanout, params.sampling);
+    {
+        let child_run_len = child.run_len;
+        let run_len = child_run_len.saturating_mul(f);
+        let num_runs = n.div_ceil(run_len);
+
+        // Per-run sample counts depend on actual run lengths.
+        let mut sample_offsets = Vec::with_capacity(num_runs + 1);
+        sample_offsets.push(0usize);
+        for r in 0..num_runs {
+            let start = r * run_len;
+            let len = (start + run_len).min(n) - start;
+            sample_offsets.push(sample_offsets[r] + len / k + 2);
+        }
+        let total_samples = *sample_offsets.last().unwrap();
+
+        let mut data = vec![T::default(); n];
+        let mut ptrs = vec![I::ZERO; total_samples * f];
+
+        // Carve output and pointer storage into per-run slices.
+        let mut out_parts: Vec<&mut [T]> = Vec::with_capacity(num_runs);
+        let mut ptr_parts: Vec<&mut [I]> = Vec::with_capacity(num_runs);
+        {
+            let mut data_rest = &mut data[..];
+            let mut ptr_rest = &mut ptrs[..];
+            for r in 0..num_runs {
+                let start = r * run_len;
+                let len = (start + run_len).min(n) - start;
+                let (h, t) = data_rest.split_at_mut(len);
+                out_parts.push(h);
+                data_rest = t;
+                let slots = (sample_offsets[r + 1] - sample_offsets[r]) * f;
+                let (ph, pt) = ptr_rest.split_at_mut(slots);
+                ptr_parts.push(ph);
+                ptr_rest = pt;
+            }
+        }
+
+        let child_data = &child.data;
+        let make_children = |r: usize| -> RunChildren<'_, T> {
+            let start = r * run_len;
+            let end = (start + run_len).min(n);
+            let mut children = Vec::with_capacity(f);
+            let mut cs = start;
+            while cs < end {
+                let ce = (cs + child_run_len).min(end);
+                children.push(&child_data[cs..ce]);
+                cs = ce;
+            }
+            RunChildren { children }
+        };
+
+        if params.parallel && num_runs > 1 {
+            // Lower levels: one merge task per run (§5.2).
+            out_parts
+                .into_par_iter()
+                .zip(ptr_parts)
+                .enumerate()
+                .for_each(|(r, (out, snaps))| {
+                    merge_run(&make_children(r), f, k, out, snaps, false);
+                });
+        } else {
+            // Upper levels (single run): parallelize inside the merge.
+            for (r, (out, snaps)) in out_parts.into_iter().zip(ptr_parts).enumerate() {
+                merge_run(&make_children(r), f, k, out, snaps, params.parallel);
+            }
+        }
+
+        Level { data, run_len, ptrs, sample_offsets }
+    }
+}
+
+/// A merge sort tree over integer payloads.
+///
+/// Payloads are produced by the preprocessing steps of §4/§5.1 (previous
+/// occurrence indices, dense rank codes, or permutation entries) and are
+/// always integers, so the tree itself is query-independent (§5.4).
+#[derive(Debug, Clone)]
+pub struct MergeSortTree<I: TreeIndex> {
+    pub(crate) levels: Vec<Level<I, I>>,
+    pub(crate) params: MstParams,
+    pub(crate) n: usize,
+}
+
+impl<I: TreeIndex> MergeSortTree<I> {
+    /// Builds a tree over `values` (level 0 keeps the original order).
+    pub fn build(values: &[I], params: MstParams) -> Self {
+        let n = values.len();
+        let levels = build_levels(values.to_vec(), params);
+        MergeSortTree { levels, params, n }
+    }
+
+    /// Like [`Self::build`], but also reports the wall time spent merging
+    /// each level — the "build tree layer" phases of the paper's cost
+    /// breakdown (Figure 14).
+    pub fn build_profiled(
+        values: &[I],
+        params: MstParams,
+    ) -> (Self, Vec<std::time::Duration>) {
+        params.validate();
+        let n = values.len();
+        let mut levels = vec![Level {
+            data: values.to_vec(),
+            run_len: 1,
+            ptrs: Vec::new(),
+            sample_offsets: Vec::new(),
+        }];
+        let mut times = Vec::new();
+        while levels.last().unwrap().run_len < n {
+            let t0 = std::time::Instant::now();
+            let next = build_next_level(levels.last().unwrap(), n, params);
+            times.push(t0.elapsed());
+            levels.push(next);
+        }
+        (MergeSortTree { levels, params, n }, times)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Build parameters.
+    pub fn params(&self) -> MstParams {
+        self.params
+    }
+
+    /// The element stored at (level-0) position `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> I {
+        self.levels[0].data[i]
+    }
+
+    /// Cascaded refinement: given the lower-bound position `pos` of threshold
+    /// `t` within run `r` of `level`, returns the lower-bound position of `t`
+    /// within child run `c`.
+    #[inline]
+    pub(crate) fn cascade(
+        &self,
+        level: usize,
+        run: usize,
+        pos: usize,
+        c: usize,
+        t: I,
+    ) -> usize {
+        let lvl = &self.levels[level];
+        let child = &self.levels[level - 1];
+        let child_run = run * (lvl.run_len / child.run_len) + c;
+        let (cs, ce) = child.run_bounds(child_run, self.n);
+        let clen = ce - cs;
+        if !self.params.cascading {
+            // Ablation mode: full binary search on every level (Figure 2's
+            // O((log n)²) query instead of Figure 3's O(log n)).
+            return child.data[cs..ce].partition_point(|&x| x < t);
+        }
+        let f = self.params.fanout;
+        let k = self.params.sampling;
+        let s = pos / k;
+        let base = (lvl.sample_offsets[run] + s) * f + c;
+        let lo = lvl.ptrs[base].to_usize();
+        let hi = lvl.ptrs[base + f].to_usize().min(clen);
+        debug_assert!(lo <= hi);
+        lo + child.data[cs + lo..cs + hi].partition_point(|&x| x < t)
+    }
+
+    /// Counts the elements at positions `[a, b)` whose value is smaller than
+    /// `t`. O(log n) with the default parameters. This is the 2-d range
+    /// counting query of §4.2 (distinct counts) and §4.4 (rank functions).
+    pub fn count_below(&self, a: usize, b: usize, t: I) -> usize {
+        let mut total = 0usize;
+        self.decompose_below(a, b, t, |_, _, pos| total += pos);
+        total
+    }
+
+    /// [`Self::count_below`] over a set of disjoint ranges (frames with
+    /// exclusion holes, §4.7).
+    pub fn count_below_multi(&self, ranges: &RangeSet, t: I) -> usize {
+        ranges.iter().map(|(a, b)| self.count_below(a, b, t)).sum()
+    }
+
+    /// Decomposes the position range `[a, b)` into covering runs, invoking
+    /// `visit(level, run_start, pos_of_t_in_run)` for every run that is fully
+    /// contained in the query range. The visited `pos` values are the per-run
+    /// lower bounds of `t`; their sum is `count_below`.
+    pub(crate) fn decompose_below(
+        &self,
+        a: usize,
+        b: usize,
+        t: I,
+        mut visit: impl FnMut(usize, usize, usize),
+    ) {
+        let b = b.min(self.n);
+        if a >= b {
+            return;
+        }
+        let top = self.levels.len() - 1;
+        let top_pos = self.levels[top].data[..self.n].partition_point(|&x| x < t);
+        self.descend_below(top, 0, a, b, t, top_pos, &mut visit);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn descend_below(
+        &self,
+        level: usize,
+        run: usize,
+        a: usize,
+        b: usize,
+        t: I,
+        pos: usize,
+        visit: &mut impl FnMut(usize, usize, usize),
+    ) {
+        let lvl = &self.levels[level];
+        let (rs, re) = lvl.run_bounds(run, self.n);
+        debug_assert!(rs <= a && b <= re);
+        if a == rs && b == re {
+            visit(level, rs, pos);
+            return;
+        }
+        debug_assert!(level > 0, "partial overlap impossible on singleton runs");
+        let child_len = self.levels[level - 1].run_len;
+        let ratio = lvl.run_len / child_len;
+        for c in 0..self.params.fanout.min(ratio) {
+            let cs = rs + c * child_len;
+            if cs >= re {
+                break;
+            }
+            let ce = (cs + child_len).min(re);
+            let lo = a.max(cs);
+            let hi = b.min(ce);
+            if lo >= hi {
+                continue;
+            }
+            let cpos = self.cascade(level, run, pos, c, t);
+            if lo == cs && hi == ce {
+                visit(level - 1, cs, cpos);
+            } else {
+                self.descend_below(level - 1, cs / child_len, lo, hi, t, cpos, visit);
+            }
+        }
+    }
+
+    /// Finds the level-0 position of the `j`-th element (0-based) whose
+    /// *value* lies within the given half-open value ranges, or `None` if
+    /// fewer than `j + 1` elements qualify.
+    ///
+    /// Qualifying elements are enumerated in *level-0 position order*. This is
+    /// exactly §4.5's "the j-th index pointing into the frame": the tree is
+    /// built over a permutation array sorted by the inner ORDER BY, so array
+    /// position order *is* rank order, values are original row positions, and
+    /// the frame is a value range. The returned position is the rank of the
+    /// selected row; `perm[rank]` recovers the row itself.
+    pub fn select(&self, ranges: &RangeSet, j: usize) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        let top = self.levels.len() - 1;
+        let top_data = &self.levels[top].data[..self.n];
+        // Per-range (lower, upper) positions within the current run; frames
+        // decompose into at most MAX_RANGES pieces, so fixed-size scratch
+        // keeps the probe loop allocation-free.
+        let nr = ranges.len();
+        let mut bounds = [(0usize, 0usize); crate::range_set::MAX_RANGES];
+        for (ri, (lo, hi)) in ranges.iter().enumerate() {
+            bounds[ri] = (
+                top_data.partition_point(|&x| x.to_usize() < lo),
+                top_data.partition_point(|&x| x.to_usize() < hi),
+            );
+        }
+        let total: usize = bounds[..nr].iter().map(|&(l, h)| h - l).sum();
+        if j >= total {
+            return None;
+        }
+        let mut j = j;
+        let mut level = top;
+        let mut run = 0usize;
+        while level > 0 {
+            let lvl = &self.levels[level];
+            let (rs, re) = lvl.run_bounds(run, self.n);
+            let child_len = self.levels[level - 1].run_len;
+            let mut found = false;
+            let mut scratch = [(0usize, 0usize); crate::range_set::MAX_RANGES];
+            for c in 0..self.params.fanout {
+                let cs = rs + c * child_len;
+                if cs >= re {
+                    break;
+                }
+                let mut cnt = 0usize;
+                for ri in 0..nr {
+                    let (blo, bhi) = bounds[ri];
+                    let (lo_v, hi_v) = ranges.nth(ri);
+                    let pl = self.cascade(level, run, blo, c, I::from_usize(lo_v));
+                    let ph = self.cascade(level, run, bhi, c, I::from_usize(hi_v));
+                    cnt += ph - pl;
+                    scratch[ri] = (pl, ph);
+                }
+                if j < cnt {
+                    bounds = scratch;
+                    run = cs / child_len;
+                    level -= 1;
+                    found = true;
+                    break;
+                }
+                j -= cnt;
+            }
+            debug_assert!(found, "select descent lost the target");
+            if !found {
+                return None;
+            }
+        }
+        // Level 0: singleton run.
+        Some(run)
+    }
+
+    /// Convenience: select within a single position... value range `[lo, hi)`.
+    pub fn select_in_range(&self, lo: usize, hi: usize, j: usize) -> Option<usize> {
+        self.select(&RangeSet::single(lo, hi), j)
+    }
+
+    /// Total number of stored elements across all levels (memory accounting,
+    /// §5.1/§6.6).
+    pub fn stored_elements(&self) -> usize {
+        self.levels.iter().map(|l| l.data.len()).sum()
+    }
+
+    /// Total number of stored cascading pointers.
+    pub fn stored_pointers(&self) -> usize {
+        self.levels.iter().map(|l| l.ptrs.len()).sum()
+    }
+
+    /// Number of levels (including the base level).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_count_below(vals: &[u32], a: usize, b: usize, t: u32) -> usize {
+        let b = b.min(vals.len());
+        if a >= b {
+            return 0;
+        }
+        vals[a..b].iter().filter(|&&v| v < t).count()
+    }
+
+    fn brute_select(vals: &[u32], lo: usize, hi: usize, j: usize) -> Option<usize> {
+        // j-th qualifying element in POSITION order.
+        vals.iter()
+            .enumerate()
+            .filter(|(_, &v)| (v as usize) >= lo && (v as usize) < hi)
+            .map(|(i, _)| i)
+            .nth(j)
+    }
+
+    #[test]
+    fn figure1_distinct_count() {
+        // prevIdcs of Figure 1 in shifted encoding (0 = none).
+        let prev: Vec<u32> = vec![0, 0, 2, 1, 0, 3, 5, 4];
+        let tree = MergeSortTree::<u32>::build(&prev, MstParams::new(2, 1));
+        // Frame [3, 8): entries < 3+1 = 4.
+        assert_eq!(tree.count_below(3, 8, 4), 3);
+        // Whole input: 3 distinct values (entries < 0+1).
+        assert_eq!(tree.count_below(0, 8, 1), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let tree = MergeSortTree::<u32>::build(&[], MstParams::default());
+        assert_eq!(tree.count_below(0, 0, 5), 0);
+        assert!(tree.is_empty());
+        assert!(tree.select_in_range(0, 10, 0).is_none());
+
+        let tree = MergeSortTree::<u32>::build(&[7], MstParams::default());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.count_below(0, 1, 8), 1);
+        assert_eq!(tree.count_below(0, 1, 7), 0);
+        assert_eq!(tree.select_in_range(7, 8, 0), Some(0));
+        assert_eq!(tree.select_in_range(7, 8, 1), None);
+    }
+
+    #[test]
+    fn height_matches_fanout() {
+        let vals: Vec<u32> = (0..100).collect();
+        let t2 = MergeSortTree::<u32>::build(&vals, MstParams::new(2, 4));
+        assert_eq!(t2.height(), 8); // 2^7 = 128 >= 100
+        let t32 = MergeSortTree::<u32>::build(&vals, MstParams::new(32, 4));
+        assert_eq!(t32.height(), 3); // 32^2 >= 100
+    }
+
+    #[test]
+    fn count_below_random_many_params() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(f, k) in &[(2, 1), (2, 3), (4, 2), (8, 32), (32, 32), (5, 7)] {
+            for _ in 0..8 {
+                let n = rng.gen_range(0..300);
+                let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+                let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(f, k));
+                for _ in 0..40 {
+                    let a = rng.gen_range(0..=n);
+                    let b = rng.gen_range(0..=n);
+                    let t = rng.gen_range(0..55);
+                    assert_eq!(
+                        tree.count_below(a, b, t),
+                        brute_count_below(&vals, a, b.min(n), t),
+                        "n={n} f={f} k={k} a={a} b={b} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_random_many_params() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for &(f, k) in &[(2, 1), (3, 2), (8, 32), (32, 32)] {
+            for _ in 0..8 {
+                let n = rng.gen_range(1..250);
+                // Values are a permutation (the §4.5 use case).
+                let mut vals: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    vals.swap(i, rng.gen_range(0..=i));
+                }
+                let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(f, k));
+                for _ in 0..40 {
+                    let lo = rng.gen_range(0..=n);
+                    let hi = rng.gen_range(0..=n);
+                    let j = rng.gen_range(0..n + 2);
+                    assert_eq!(
+                        tree.select_in_range(lo, hi, j),
+                        brute_select(&vals, lo, hi, j),
+                        "n={n} f={f} k={k} lo={lo} hi={hi} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_with_duplicate_values() {
+        // Qualifying elements enumerate in position order.
+        let vals: Vec<u32> = vec![5, 3, 5, 3, 5];
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(2, 1));
+        for j in 0..5 {
+            assert_eq!(tree.select_in_range(3, 6, j), Some(j));
+        }
+        assert_eq!(tree.select_in_range(5, 6, 1), Some(2));
+        assert_eq!(tree.select_in_range(3, 4, 1), Some(3));
+        assert_eq!(tree.select_in_range(3, 4, 2), None);
+    }
+
+    #[test]
+    fn select_multi_range() {
+        let vals: Vec<u32> = (0..20).rev().collect(); // 19, 18, ..., 0
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(4, 2));
+        // Value ranges [2,5) and [10,12): qualifying values 11,10,4,3,2 appear
+        // at positions 8, 9, 15, 16, 17 (value v sits at position 19 - v).
+        let rs = RangeSet::from_ranges(&[(2, 5), (10, 12)]);
+        let positions: Vec<Option<usize>> = (0..6).map(|j| tree.select(&rs, j)).collect();
+        assert_eq!(
+            positions,
+            vec![Some(8), Some(9), Some(15), Some(16), Some(17), None]
+        );
+    }
+
+    #[test]
+    fn count_below_multi_sums_ranges() {
+        let vals: Vec<u32> = vec![1, 9, 2, 8, 3, 7, 4, 6, 5, 0];
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(2, 2));
+        let rs = RangeSet::from_ranges(&[(0, 3), (6, 9)]);
+        let brute: usize = [0..3usize, 6..9usize]
+            .iter()
+            .flat_map(|r| vals[r.clone()].iter())
+            .filter(|&&v| v < 5)
+            .count();
+        assert_eq!(tree.count_below_multi(&rs, 5), brute);
+    }
+
+    #[test]
+    fn u64_tree_matches_u32_tree() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let n = 200;
+        let vals32: Vec<u32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+        let vals64: Vec<u64> = vals32.iter().map(|&v| v as u64).collect();
+        let t32 = MergeSortTree::<u32>::build(&vals32, MstParams::default());
+        let t64 = MergeSortTree::<u64>::build(&vals64, MstParams::default());
+        for a in (0..n as usize).step_by(17) {
+            for t in (0..100).step_by(13) {
+                assert_eq!(
+                    t32.count_below(a, n as usize, t as u32),
+                    t64.count_below(a, n as usize, t as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_equals_parallel_build() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let vals: Vec<u32> = (0..5000).map(|_| rng.gen_range(0..1000)).collect();
+        let tp = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 8));
+        let ts = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 8).serial());
+        for lvl in 0..tp.height() {
+            assert_eq!(tp.levels[lvl].data, ts.levels[lvl].data, "level {lvl} data");
+            assert_eq!(tp.levels[lvl].ptrs, ts.levels[lvl].ptrs, "level {lvl} ptrs");
+        }
+    }
+
+    #[test]
+    fn levels_are_sorted_run_permutations() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let vals: Vec<u32> = (0..777).map(|_| rng.gen_range(0..100)).collect();
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(4, 8));
+        let mut sorted_all = vals.clone();
+        sorted_all.sort_unstable();
+        for lvl in &tree.levels {
+            // Each level is a permutation of the input.
+            let mut level_sorted = lvl.data.clone();
+            level_sorted.sort_unstable();
+            assert_eq!(level_sorted, sorted_all);
+            // Each run is sorted.
+            let mut r = 0;
+            while r * lvl.run_len < vals.len() {
+                let (s, e) = lvl.run_bounds(r, vals.len());
+                assert!(lvl.data[s..e].windows(2).all(|w| w[0] <= w[1]));
+                r += 1;
+            }
+        }
+        // Top level is fully sorted.
+        assert_eq!(tree.levels.last().unwrap().data, sorted_all);
+    }
+
+    #[test]
+    fn no_cascading_gives_identical_answers() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let n = 400;
+        let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..120)).collect();
+        let with = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 16));
+        let without = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 16).no_cascading());
+        for _ in 0..200 {
+            let a = rng.gen_range(0..=n as usize);
+            let b = rng.gen_range(a..=n as usize);
+            let t = rng.gen_range(0..130);
+            assert_eq!(with.count_below(a, b, t), without.count_below(a, b, t));
+            let (lo, hi) = (rng.gen_range(0..60), rng.gen_range(60..130));
+            let j = rng.gen_range(0..n as usize);
+            assert_eq!(
+                with.select_in_range(lo, hi, j),
+                without.select_in_range(lo, hi, j)
+            );
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_formula() {
+        // §5.1: ⌈log_f n⌉·n data elements above... including base level the
+        // tree stores (height)·n elements; pointer count ≈ (height−1)·n·f/k.
+        let n = 4096usize;
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let (f, k) = (4, 8);
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(f, k));
+        assert_eq!(tree.stored_elements(), tree.height() * n);
+        let expected_ptrs: usize = (1..tree.height())
+            .map(|lvl| {
+                let run_len = f.pow(lvl as u32);
+                let runs = n.div_ceil(run_len);
+                (0..runs)
+                    .map(|r| {
+                        let len = ((r + 1) * run_len).min(n) - r * run_len;
+                        (len / k + 2) * f
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(tree.stored_pointers(), expected_ptrs);
+    }
+}

@@ -1,0 +1,182 @@
+//! Small sets of disjoint half-open ranges.
+//!
+//! Window frames are usually one contiguous range, but frame exclusion
+//! clauses (EXCLUDE CURRENT ROW / GROUP / TIES, §4.7) punch up to two holes
+//! into it, leaving at most three contiguous pieces. All merge sort tree
+//! query primitives therefore accept a [`RangeSet`] instead of a single range.
+
+/// Up to [`MAX_RANGES`] disjoint, ascending half-open `[lo, hi)` ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeSet {
+    ranges: [(usize, usize); MAX_RANGES],
+    len: u8,
+}
+
+/// Maximum number of pieces a frame can decompose into (§4.7: three).
+pub const MAX_RANGES: usize = 3;
+
+impl RangeSet {
+    /// An empty set.
+    pub fn empty() -> Self {
+        RangeSet { ranges: [(0, 0); MAX_RANGES], len: 0 }
+    }
+
+    /// A single range `[lo, hi)`; empty input ranges are dropped.
+    pub fn single(lo: usize, hi: usize) -> Self {
+        let mut rs = Self::empty();
+        rs.push(lo, hi);
+        rs
+    }
+
+    /// Builds from ascending disjoint ranges, dropping empty ones.
+    ///
+    /// Panics if more than [`MAX_RANGES`] non-empty ranges are given or if
+    /// they are not ascending and disjoint.
+    pub fn from_ranges(ranges: &[(usize, usize)]) -> Self {
+        let mut rs = Self::empty();
+        for &(lo, hi) in ranges {
+            rs.push(lo, hi);
+        }
+        rs
+    }
+
+    /// Appends a range; no-op when empty.
+    pub fn push(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        assert!((self.len as usize) < MAX_RANGES, "too many frame pieces");
+        if self.len > 0 {
+            let prev = self.ranges[self.len as usize - 1];
+            assert!(prev.1 <= lo, "frame pieces must be ascending and disjoint");
+        }
+        self.ranges[self.len as usize] = (lo, hi);
+        self.len += 1;
+    }
+
+    /// The frame `[start, end)` minus the given holes (each optional, both
+    /// clipped to the frame). This is exactly the shape produced by frame
+    /// exclusion: EXCLUDE TIES yields two holes around the current row.
+    pub fn frame_minus_holes(
+        start: usize,
+        end: usize,
+        holes: &[(usize, usize)],
+    ) -> Self {
+        let mut rs = Self::empty();
+        let mut cursor = start;
+        let mut sorted: Vec<(usize, usize)> = holes
+            .iter()
+            .map(|&(a, b)| (a.max(start), b.min(end)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        sorted.sort_unstable();
+        for (a, b) in sorted {
+            if a > cursor {
+                rs.push(cursor, a);
+            }
+            cursor = cursor.max(b);
+        }
+        if cursor < end {
+            rs.push(cursor, end);
+        }
+        rs
+    }
+
+    /// Number of stored ranges.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no positions are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th range.
+    pub fn nth(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.len as usize);
+        self.ranges[i]
+    }
+
+    /// Iterates over the ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.ranges[..self.len as usize].iter().copied()
+    }
+
+    /// Total number of covered positions.
+    pub fn count(&self) -> usize {
+        self.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// True when `pos` is covered by any range.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.iter().any(|(a, b)| a <= pos && pos < b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_drops_empty() {
+        assert!(RangeSet::single(5, 5).is_empty());
+        assert_eq!(RangeSet::single(2, 6).count(), 4);
+    }
+
+    #[test]
+    fn frame_minus_no_holes() {
+        let rs = RangeSet::frame_minus_holes(3, 9, &[]);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(3, 9)]);
+    }
+
+    #[test]
+    fn frame_minus_middle_hole() {
+        // EXCLUDE CURRENT ROW at position 5 within [3, 9).
+        let rs = RangeSet::frame_minus_holes(3, 9, &[(5, 6)]);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(3, 5), (6, 9)]);
+    }
+
+    #[test]
+    fn frame_minus_two_holes_ties() {
+        // EXCLUDE TIES: peer group [4, 8), current row 6 → holes [4,6), [7,8).
+        let rs = RangeSet::frame_minus_holes(3, 9, &[(4, 6), (7, 8)]);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(3, 4), (6, 7), (8, 9)]);
+    }
+
+    #[test]
+    fn frame_minus_hole_at_edges() {
+        let rs = RangeSet::frame_minus_holes(3, 9, &[(0, 4), (8, 20)]);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(4, 8)]);
+        let rs = RangeSet::frame_minus_holes(3, 9, &[(0, 20)]);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn contains_and_count() {
+        let rs = RangeSet::from_ranges(&[(1, 3), (5, 6)]);
+        assert_eq!(rs.count(), 3);
+        assert!(rs.contains(1) && rs.contains(2) && rs.contains(5));
+        assert!(!rs.contains(0) && !rs.contains(3) && !rs.contains(4) && !rs.contains(6));
+        assert_eq!(rs.nth(1), (5, 6));
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_overlapping() {
+        RangeSet::from_ranges(&[(1, 5), (4, 8)]);
+    }
+
+    #[test]
+    fn holes_out_of_order_are_sorted() {
+        let rs = RangeSet::frame_minus_holes(0, 10, &[(7, 8), (2, 3)]);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(0, 2), (3, 7), (8, 10)]);
+    }
+
+    #[test]
+    fn overlapping_holes_merge() {
+        let rs = RangeSet::frame_minus_holes(0, 10, &[(2, 6), (4, 8)]);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(0, 2), (8, 10)]);
+    }
+}

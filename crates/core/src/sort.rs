@@ -1,0 +1,152 @@
+//! Parallel sorting substrate (§5.2, §5.3).
+//!
+//! The paper reuses the database's existing parallel sorter for the MST
+//! preprocessing steps: thread-local runs are sorted independently, then
+//! merged with a parallel multiway merge whose split points come from
+//! multisequence selection. This module provides exactly that pipeline for
+//! integer-keyed elements (every MST preprocessing sort is integer-keyed
+//! after hashing/encoding, §5.1/§6.7).
+
+use crate::index::TreeIndex;
+use crate::loser_tree::LoserTree;
+use crate::merge::{multisequence_split, Keyed};
+use rayon::prelude::*;
+
+/// Sorts `data` into contiguous runs (one per task) and returns the run
+/// boundaries (always starting with 0 and ending with `data.len()`).
+///
+/// This is the "sort thread-local" phase of Figure 14.
+pub fn sort_runs<I: TreeIndex, T: Keyed<I>>(data: &mut [T], num_runs: usize) -> Vec<usize> {
+    let n = data.len();
+    let num_runs = num_runs.max(1).min(n.max(1));
+    let chunk = n.div_ceil(num_runs);
+    let mut bounds = vec![0usize];
+    for start in (0..n).step_by(chunk.max(1)) {
+        bounds.push((start + chunk).min(n));
+    }
+    if n == 0 {
+        bounds.push(0);
+        bounds.dedup();
+    }
+    data.par_chunks_mut(chunk.max(1))
+        .for_each(|c| c.sort_unstable_by_key(|e| e.key()));
+    bounds.dedup();
+    bounds
+}
+
+/// Merges the sorted runs delimited by `bounds` into a fresh vector,
+/// splitting the merge across threads via multisequence selection.
+///
+/// This is the "merge sorted runs" phase of Figure 14.
+pub fn merge_runs<I: TreeIndex, T: Keyed<I>>(
+    data: &[T],
+    bounds: &[usize],
+    parallel: bool,
+) -> Vec<T> {
+    let n = data.len();
+    let runs: Vec<&[T]> = bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
+    if runs.len() <= 1 {
+        return data.to_vec();
+    }
+    let mut out = vec![T::default(); n];
+    let threads = rayon::current_num_threads();
+    if !parallel || threads <= 1 || n < 8192 {
+        let mut lt = LoserTree::new(runs, |a: &T, b: &T| a.key() < b.key());
+        for slot in out.iter_mut() {
+            *slot = lt.pop().expect("merge underflow").0;
+        }
+    } else {
+        let chunk = n.div_ceil(threads).max(1);
+        let ranks: Vec<usize> =
+            (0..threads).map(|t| (t * chunk).min(n)).chain(std::iter::once(n)).collect();
+        let splits: Vec<Vec<usize>> =
+            ranks.iter().map(|&r| multisequence_split(&runs, r)).collect();
+        let mut parts: Vec<&mut [T]> = Vec::new();
+        let mut rest = &mut out[..];
+        for w in ranks.windows(2) {
+            let (h, t) = rest.split_at_mut(w[1] - w[0]);
+            parts.push(h);
+            rest = t;
+        }
+        parts.into_par_iter().enumerate().for_each(|(i, part)| {
+            let sub: Vec<&[T]> = runs
+                .iter()
+                .enumerate()
+                .map(|(r, run)| &run[splits[i][r]..splits[i + 1][r]])
+                .collect();
+            let mut lt = LoserTree::new(sub, |a: &T, b: &T| a.key() < b.key());
+            for slot in part.iter_mut() {
+                *slot = lt.pop().expect("merge underflow").0;
+            }
+        });
+    }
+    out
+}
+
+/// End-to-end parallel merge sort: run formation + multiway merge.
+pub fn parallel_sort<I: TreeIndex, T: Keyed<I>>(mut data: Vec<T>, parallel: bool) -> Vec<T> {
+    let tasks = if parallel { rayon::current_num_threads().max(1) * 4 } else { 1 };
+    let bounds = sort_runs::<I, T>(&mut data, tasks);
+    if bounds.len() <= 2 {
+        return data;
+    }
+    merge_runs::<I, T>(&data, &bounds, parallel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn sort_runs_produces_sorted_chunks() {
+        let mut data: Vec<u64> = vec![9, 3, 7, 1, 8, 2, 6, 0, 5, 4];
+        let bounds = sort_runs::<u64, u64>(&mut data, 3);
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), 10);
+        for w in bounds.windows(2) {
+            assert!(data[w[0]..w[1]].windows(2).all(|p| p[0] <= p[1]));
+        }
+    }
+
+    #[test]
+    fn parallel_sort_matches_std_sort() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for &n in &[0usize, 1, 2, 100, 10_000, 50_000] {
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(parallel_sort::<u64, u64>(data.clone(), true), expect, "n={n}");
+            assert_eq!(parallel_sort::<u64, u64>(data, false), expect, "n={n} serial");
+        }
+    }
+
+    #[test]
+    fn sorts_keyed_pairs_by_key_only() {
+        let data: Vec<(u32, i64)> = vec![(3, 30), (1, 10), (2, 20), (1, 11)];
+        let sorted = parallel_sort::<u32, (u32, i64)>(data, false);
+        let keys: Vec<u32> = sorted.iter().map(|p| p.0).collect();
+        assert_eq!(keys, vec![1, 1, 2, 3]);
+        // Both payloads for key 1 survive.
+        let p1: Vec<i64> =
+            sorted.iter().filter(|p| p.0 == 1).map(|p| p.1).collect();
+        assert_eq!(p1.len(), 2);
+        assert!(p1.contains(&10) && p1.contains(&11));
+    }
+
+    #[test]
+    fn merge_runs_handles_single_run() {
+        let data = vec![1u64, 2, 3];
+        assert_eq!(merge_runs::<u64, u64>(&data, &[0, 3], false), data);
+    }
+
+    #[test]
+    fn merge_runs_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut data: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..5000)).collect();
+        let bounds = sort_runs::<u64, u64>(&mut data, 7);
+        let s = merge_runs::<u64, u64>(&data, &bounds, false);
+        let p = merge_runs::<u64, u64>(&data, &bounds, true);
+        assert_eq!(s, p);
+    }
+}

@@ -1,0 +1,106 @@
+//! Memory accounting for merge sort trees (§5.1, §6.6).
+
+use crate::index::TreeIndex;
+use crate::mst::MergeSortTree;
+
+/// Size report of a built merge sort tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MstStats {
+    /// Number of levels, including the base level.
+    pub height: usize,
+    /// Stored data elements across all levels.
+    pub elements: usize,
+    /// Stored cascading pointers across all levels.
+    pub pointers: usize,
+    /// Total bytes of data + pointers (excluding sample offset tables, which
+    /// are O(runs) and negligible).
+    pub bytes: usize,
+}
+
+/// The paper's closed-form element estimate (§5.1):
+/// `⌈log_f n⌉·n + (⌈log_f n⌉ − 1)·n·f/k`.
+///
+/// The first term counts data elements on the levels above the base, the
+/// second the sampled cascading pointers. (Our accounting additionally
+/// includes the base level itself, which the formula's first term already
+/// covers by counting `⌈log_f n⌉` copies.)
+pub fn paper_element_estimate(n: usize, fanout: usize, sampling: usize) -> usize {
+    if n <= 1 {
+        return n;
+    }
+    let mut height = 0usize;
+    let mut run = 1usize;
+    while run < n {
+        run = run.saturating_mul(fanout);
+        height += 1;
+    }
+    height * n + height.saturating_sub(1) * n * fanout / sampling
+}
+
+impl<I: TreeIndex> MergeSortTree<I> {
+    /// Measures the built tree.
+    pub fn stats(&self) -> MstStats {
+        let elements = self.stored_elements();
+        let pointers = self.stored_pointers();
+        MstStats {
+            height: self.height(),
+            elements,
+            pointers,
+            bytes: (elements + pointers) * std::mem::size_of::<I>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MstParams;
+
+    #[test]
+    fn stats_counts_match_levels() {
+        let vals: Vec<u32> = (0..1000).collect();
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(4, 8));
+        let s = tree.stats();
+        assert_eq!(s.height, tree.height());
+        assert_eq!(s.elements, tree.height() * 1000);
+        assert_eq!(s.bytes, (s.elements + s.pointers) * 4);
+    }
+
+    #[test]
+    fn estimate_tracks_actual_within_slack() {
+        for &(n, f, k) in &[(1000usize, 32usize, 32usize), (5000, 8, 4), (4096, 2, 1)] {
+            let vals: Vec<u32> = (0..n as u32).collect();
+            let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(f, k));
+            let actual = tree.stats();
+            let est = paper_element_estimate(n, f, k);
+            let total = actual.elements + actual.pointers;
+            // The closed form under-counts our implementation: it excludes
+            // the base level, assumes exactly one pointer level per data
+            // level minus one, and ignores the two sentinel sample slots per
+            // run. All three effects are bounded small factors, so the real
+            // footprint must stay within 3x of the estimate (and cannot drop
+            // below half of it).
+            assert!(total <= 3 * est, "total {total} > 3 * est {est}");
+            assert!(2 * total >= est, "total {total} < est {est} / 2");
+        }
+    }
+
+    #[test]
+    fn larger_fanout_means_fewer_elements() {
+        let vals: Vec<u32> = (0..100_000).collect();
+        let small_f = MergeSortTree::<u32>::build(&vals, MstParams::new(2, 32)).stats();
+        let big_f = MergeSortTree::<u32>::build(&vals, MstParams::new(32, 32)).stats();
+        assert!(big_f.elements < small_f.elements);
+        assert!(big_f.height < small_f.height);
+    }
+
+    #[test]
+    fn u64_trees_cost_double_bytes_per_slot() {
+        let v32: Vec<u32> = (0..5000).collect();
+        let v64: Vec<u64> = (0..5000).collect();
+        let t32 = MergeSortTree::<u32>::build(&v32, MstParams::default()).stats();
+        let t64 = MergeSortTree::<u64>::build(&v64, MstParams::default()).stats();
+        assert_eq!(t32.elements, t64.elements);
+        assert_eq!(t64.bytes, 2 * t32.bytes);
+    }
+}

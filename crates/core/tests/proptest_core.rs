@@ -1,0 +1,179 @@
+//! Property-based tests for the merge sort tree core.
+
+use holistic_core::aggregate::{DistinctAggregate, SumI64};
+use holistic_core::{
+    dense_codes, prev_idcs_by_key, AnnotatedMst, MergeSortTree, MstParams, RangeSet,
+};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = MstParams> {
+    (2usize..=33, 1usize..=33, any::<bool>()).prop_map(|(f, k, par)| {
+        let p = MstParams::new(f, k);
+        if par {
+            p
+        } else {
+            p.serial()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// count_below agrees with a linear scan for arbitrary inputs, ranges and
+    /// thresholds, across fanout/sampling parameters.
+    #[test]
+    fn count_below_matches_scan(
+        vals in prop::collection::vec(0u32..64, 0..200),
+        params in params_strategy(),
+        queries in prop::collection::vec((0usize..220, 0usize..220, 0u32..70), 1..20),
+    ) {
+        let tree = MergeSortTree::<u32>::build(&vals, params);
+        for (a, b, t) in queries {
+            let expect = if a < b.min(vals.len()) {
+                vals[a.min(vals.len())..b.min(vals.len())].iter().filter(|&&v| v < t).count()
+            } else { 0 };
+            let a_c = a.min(vals.len());
+            prop_assert_eq!(tree.count_below(a_c, b, t), expect);
+        }
+    }
+
+    /// select agrees with a position-order scan over qualifying elements.
+    #[test]
+    fn select_matches_scan(
+        vals in prop::collection::vec(0u32..64, 0..150),
+        params in params_strategy(),
+        queries in prop::collection::vec((0usize..70, 0usize..70, 0usize..160), 1..20),
+    ) {
+        let tree = MergeSortTree::<u32>::build(&vals, params);
+        for (lo, hi, j) in queries {
+            let expect = vals
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| (v as usize) >= lo && (v as usize) < hi)
+                .map(|(i, _)| i)
+                .nth(j);
+            prop_assert_eq!(tree.select_in_range(lo, hi, j), expect);
+        }
+    }
+
+    /// select over a holey range set agrees with a scan.
+    #[test]
+    fn select_multi_matches_scan(
+        vals in prop::collection::vec(0u32..40, 0..120),
+        params in params_strategy(),
+        r1 in (0usize..40, 0usize..40),
+        r2 in (0usize..40, 0usize..40),
+        j in 0usize..130,
+    ) {
+        let (a1, b1) = (r1.0.min(r1.1), r1.0.max(r1.1));
+        let (a2, b2) = (r2.0.min(r2.1), r2.0.max(r2.1));
+        // Make disjoint ascending pieces.
+        let (a2, b2) = (a2.max(b1), b2.max(b1));
+        let rs = RangeSet::from_ranges(&[(a1, b1), (a2, b2)]);
+        let tree = MergeSortTree::<u32>::build(&vals, params);
+        let expect = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| {
+                let v = v as usize;
+                (v >= a1 && v < b1) || (v >= a2 && v < b2)
+            })
+            .map(|(i, _)| i)
+            .nth(j);
+        prop_assert_eq!(tree.select(&rs, j), expect);
+    }
+
+    /// Distinct-count identity: count_below over shifted prevIdcs equals the
+    /// hash-set distinct count on every frame.
+    #[test]
+    fn distinct_count_identity(
+        keys in prop::collection::vec(-10i64..10, 0..150),
+        params in params_strategy(),
+        frames in prop::collection::vec((0usize..160, 0usize..160), 1..15),
+    ) {
+        let prev: Vec<u32> =
+            prev_idcs_by_key(&keys, false).iter().map(|&p| p as u32).collect();
+        let tree = MergeSortTree::<u32>::build(&prev, params);
+        for (a, b) in frames {
+            let a = a.min(keys.len());
+            let b = b.min(keys.len()).max(a);
+            let expect: std::collections::HashSet<_> = keys[a..b].iter().collect();
+            prop_assert_eq!(tree.count_below(a, b, a as u32 + 1), expect.len());
+        }
+    }
+
+    /// SUM(DISTINCT) via the annotated tree equals a scan with a seen-set.
+    #[test]
+    fn annotated_sum_distinct(
+        keys in prop::collection::vec(-8i64..8, 0..120),
+        params in params_strategy(),
+        frames in prop::collection::vec((0usize..130, 0usize..130), 1..10),
+    ) {
+        let prev: Vec<u32> =
+            prev_idcs_by_key(&keys, false).iter().map(|&p| p as u32).collect();
+        let tree = AnnotatedMst::<u32, SumI64>::build(&prev, &keys, params);
+        for (a, b) in frames {
+            let a = a.min(keys.len());
+            let b = b.min(keys.len()).max(a);
+            let mut seen = std::collections::HashSet::new();
+            let expect: i128 = keys[a..b]
+                .iter()
+                .filter(|v| seen.insert(**v))
+                .map(|&v| v as i128)
+                .sum();
+            let (s, _) = tree.aggregate_below(a, b, a as u32 + 1);
+            prop_assert_eq!(SumI64::finish(s), expect);
+        }
+    }
+
+    /// Every tree level is a sorted-runs permutation of the input.
+    #[test]
+    fn tree_structure_invariants(
+        vals in prop::collection::vec(0u32..1000, 0..300),
+        params in params_strategy(),
+    ) {
+        let tree = MergeSortTree::<u32>::build(&vals, params);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        // count_below over the full range with t = max+1 equals n.
+        let n = vals.len();
+        prop_assert_eq!(tree.count_below(0, n, 1000), n);
+        prop_assert_eq!(tree.count_below(0, n, 0), 0);
+        // Select of the j-th element over the full value domain walks
+        // positions in order.
+        for j in 0..n.min(5) {
+            prop_assert_eq!(tree.select_in_range(0, 1000, j), Some(j));
+        }
+        prop_assert_eq!(tree.stored_elements(), tree.height() * n);
+    }
+
+    /// dense_codes: rank identities hold against scans.
+    #[test]
+    fn dense_codes_rank_identity(
+        keys in prop::collection::vec(0i64..12, 1..120),
+        frames in prop::collection::vec((0usize..130, 0usize..130), 1..10),
+    ) {
+        let dc = dense_codes(&keys, false);
+        let codes: Vec<u32> = dc.code.iter().map(|&c| c as u32).collect();
+        let tree = MergeSortTree::<u32>::build(&codes, MstParams::default());
+        for (a, b) in frames {
+            let a = a.min(keys.len());
+            let b = b.min(keys.len()).max(a);
+            for i in a..b {
+                // RANK: 1 + number of frame rows strictly smaller.
+                let rank = tree.count_below(a, b, dc.group_min[i] as u32) + 1;
+                let expect = 1 + keys[a..b].iter().filter(|&&k| k < keys[i]).count();
+                prop_assert_eq!(rank, expect);
+                // ROW_NUMBER: 1 + rows (key, idx)-lexicographically smaller.
+                let rn = tree.count_below(a, b, dc.code[i] as u32) + 1;
+                let expect_rn = 1 + keys[a..b]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(jj, &k)| (k, jj + a) < (keys[i], i))
+                    .count();
+                prop_assert_eq!(rn, expect_rn);
+            }
+        }
+    }
+}

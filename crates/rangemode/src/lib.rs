@@ -1,0 +1,251 @@
+//! # holistic-rangemode — range mode queries for framed MODE aggregates
+//!
+//! The paper's merge sort tree covers every SQL window function except
+//! `DENSE_RANK` — and, outside the standard, the `MODE` aggregate that
+//! Wesley & Xu's incremental work also handles. Mode is *not* reducible to
+//! the tree's range counting (§3.1 points to dedicated structures [13, 25]);
+//! this crate implements the classic √-decomposition range mode index
+//! (Krizanc, Morin & Smid):
+//!
+//! * O(n) space for occurrence lists plus an O((n/s)²) block-span mode
+//!   table built in O(n²/s) by extending spans block by block,
+//! * queries touching at most 2s boundary elements plus one table lookup.
+//!
+//! With s = ⌈√n⌉ this gives O(n√n) preprocessing, O(√n log n) per query
+//! (see [`RangeModeIndex::query`] for the bound's derivation) — an
+//! index-based evaluator for framed MODE that, unlike the incremental
+//! algorithm, does not depend on frame overlap (non-monotonic frames cost
+//! the same) and probes read-only state (embarrassingly parallel).
+//!
+//! Values must be pre-compressed to dense ids `0..u`; ties report the
+//! *smallest* id, so callers that assign ids in value order get SQL-friendly
+//! deterministic ties.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// A static range mode index over dense value ids.
+pub struct RangeModeIndex {
+    values: Vec<u32>,
+    /// Occurrence positions per value id, ascending.
+    occ: Vec<Vec<u32>>,
+    /// Block size (√n).
+    s: usize,
+    /// `span_mode[bi * nb + bj]` = (mode id, count) of blocks `bi..=bj`
+    /// (whole blocks); entries with `bi > bj` are unused.
+    span_mode: Vec<(u32, u32)>,
+    nb: usize,
+}
+
+impl RangeModeIndex {
+    /// Builds the index. `u` is the number of distinct ids (all `values`
+    /// must be `< u`).
+    pub fn build(values: &[u32], u: usize) -> Self {
+        let n = values.len();
+        let s = (n as f64).sqrt().ceil() as usize;
+        let s = s.max(1);
+        let nb = n.div_ceil(s).max(1);
+
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); u];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!((v as usize) < u, "value id out of range");
+            occ[v as usize].push(i as u32);
+        }
+
+        // Block-span mode table: for each starting block extend rightwards,
+        // maintaining counts. O(nb · n) total.
+        let mut span_mode = vec![(0u32, 0u32); nb * nb];
+        if n > 0 {
+            let mut counts = vec![0u32; u];
+            for bi in 0..nb {
+                counts.iter_mut().for_each(|c| *c = 0);
+                let mut best_id = 0u32;
+                let mut best_cnt = 0u32;
+                for bj in bi..nb {
+                    let lo = bj * s;
+                    let hi = ((bj + 1) * s).min(n);
+                    for &v in &values[lo..hi] {
+                        let c = &mut counts[v as usize];
+                        *c += 1;
+                        if *c > best_cnt || (*c == best_cnt && v < best_id) {
+                            best_cnt = *c;
+                            best_id = v;
+                        }
+                    }
+                    span_mode[bi * nb + bj] = (best_id, best_cnt);
+                }
+            }
+        }
+
+        RangeModeIndex { values: values.to_vec(), occ, s, span_mode, nb }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Count of `v`'s occurrences within `[a, b)` (binary searches on the
+    /// occurrence list).
+    fn count_in(&self, v: u32, a: usize, b: usize) -> u32 {
+        let o = &self.occ[v as usize];
+        (o.partition_point(|&p| (p as usize) < b) - o.partition_point(|&p| (p as usize) < a))
+            as u32
+    }
+
+    /// The mode of `[a, b)` as `(value id, count)`; ties resolve to the
+    /// smallest id; `None` for empty ranges.
+    ///
+    /// Correctness follows Krizanc–Morin–Smid: the mode of a range is either
+    /// the mode of its interior block span or an element occurring in one of
+    /// the two partial boundary blocks. We recount the span-mode candidate
+    /// over the full range and probe every boundary element with two binary
+    /// searches on its occurrence list — O(√n log n) per query (the classic
+    /// O(√n) bound uses a frequency-extension trick; the log factor is
+    /// irrelevant next to the O(n√n) table build).
+    pub fn query(&self, a: usize, b: usize) -> Option<(u32, u32)> {
+        let n = self.values.len();
+        let b = b.min(n);
+        if a >= b {
+            return None;
+        }
+        let s = self.s;
+        let bi = a.div_ceil(s);
+        let bj = b / s; // exclusive block index
+        let (mut best_id, mut best_cnt) = (u32::MAX, 0u32);
+        if bi < bj {
+            let (span_id, _) = self.span_mode[bi * self.nb + (bj - 1)];
+            best_id = span_id;
+            best_cnt = self.count_in(span_id, a, b);
+        }
+        let prefix = (a, (bi * s).min(b));
+        let suffix = ((bj * s).max(a), b);
+        for &(lo, hi) in &[prefix, suffix] {
+            for i in lo..hi {
+                let v = self.values[i];
+                if v == best_id {
+                    continue;
+                }
+                let c = self.count_in(v, a, b);
+                if c > best_cnt || (c == best_cnt && v < best_id) {
+                    best_cnt = c;
+                    best_id = v;
+                }
+            }
+        }
+        if best_cnt == 0 {
+            None
+        } else {
+            Some((best_id, best_cnt))
+        }
+    }
+
+    /// The mode over a union of disjoint ascending ranges. Exact but
+    /// O(total range length) in the worst case — used for frames with
+    /// exclusion holes where the union mode is not decomposable; plain
+    /// frames should call [`Self::query`].
+    pub fn query_multi(&self, ranges: &[(usize, usize)]) -> Option<(u32, u32)> {
+        let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for &(a, b) in ranges {
+            for i in a..b.min(self.values.len()) {
+                *counts.entry(self.values[i]).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().max_by(|(v1, c1), (v2, c2)| c1.cmp(c2).then(v2.cmp(v1)))
+    }
+
+    /// Bytes used by the index (space accounting for EXPERIMENTS.md).
+    pub fn bytes(&self) -> usize {
+        self.values.len() * 4
+            + self.occ.iter().map(|o| o.len() * 4).sum::<usize>()
+            + self.span_mode.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute(values: &[u32], a: usize, b: usize) -> Option<(u32, u32)> {
+        let b = b.min(values.len());
+        if a >= b {
+            return None;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &v in &values[a..b] {
+            *counts.entry(v).or_insert(0u32) += 1;
+        }
+        counts.into_iter().max_by(|(v1, c1), (v2, c2)| c1.cmp(c2).then(v2.cmp(v1)))
+    }
+
+    #[test]
+    fn small_fixed_cases() {
+        let vals = vec![2u32, 1, 2, 0, 1, 2];
+        let idx = RangeModeIndex::build(&vals, 3);
+        assert_eq!(idx.query(0, 6), Some((2, 3)));
+        assert_eq!(idx.query(1, 5), Some((1, 2)));
+        assert_eq!(idx.query(3, 4), Some((0, 1)));
+        assert_eq!(idx.query(2, 2), None);
+        // Tie between 1 (positions 1,4) and 2 (2,5) in [1,6): both 2 → id 1.
+        assert_eq!(idx.query(1, 6), Some((1, 2)));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = RangeModeIndex::build(&[], 0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.query(0, 0), None);
+        let idx = RangeModeIndex::build(&[0], 1);
+        assert_eq!(idx.query(0, 1), Some((0, 1)));
+    }
+
+    #[test]
+    fn random_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..400);
+            let u = rng.gen_range(1..20usize);
+            let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..u as u32)).collect();
+            let idx = RangeModeIndex::build(&vals, u);
+            for _ in 0..200 {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(0..=n + 2);
+                assert_eq!(
+                    idx.query(a, b),
+                    brute(&vals, a, b),
+                    "n={n} u={u} a={a} b={b} vals={vals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_distributions() {
+        // One dominant value plus noise.
+        let mut rng = StdRng::seed_from_u64(32);
+        let n = 300;
+        let vals: Vec<u32> =
+            (0..n).map(|_| if rng.gen_bool(0.6) { 7 } else { rng.gen_range(0..20) }).collect();
+        let idx = RangeModeIndex::build(&vals, 20);
+        for a in (0..n).step_by(13) {
+            for b in (a..=n).step_by(17) {
+                assert_eq!(idx.query(a, b), brute(&vals, a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_multi_counts_unions() {
+        let vals = vec![0u32, 1, 1, 2, 0, 0];
+        let idx = RangeModeIndex::build(&vals, 3);
+        // [0,2) ∪ [4,6): values 0,1,0,0 → mode 0 × 3.
+        assert_eq!(idx.query_multi(&[(0, 2), (4, 6)]), Some((0, 3)));
+        assert_eq!(idx.query_multi(&[(2, 2)]), None);
+    }
+}

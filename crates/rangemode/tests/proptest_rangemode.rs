@@ -1,0 +1,81 @@
+//! Property-based tests for the range mode index.
+
+use holistic_rangemode::RangeModeIndex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn brute(values: &[u32], a: usize, b: usize) -> Option<(u32, u32)> {
+    let b = b.min(values.len());
+    if a >= b {
+        return None;
+    }
+    let mut counts = HashMap::new();
+    for &v in &values[a..b] {
+        *counts.entry(v).or_insert(0u32) += 1;
+    }
+    counts.into_iter().max_by(|(v1, c1), (v2, c2)| c1.cmp(c2).then(v2.cmp(v1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn query_matches_brute(
+        u in 1usize..25,
+        raw in prop::collection::vec(0u32..100, 0..300),
+        queries in prop::collection::vec((0usize..320, 0usize..320), 1..40),
+    ) {
+        let values: Vec<u32> = raw.iter().map(|&v| v % u as u32).collect();
+        let idx = RangeModeIndex::build(&values, u);
+        for (a, b) in queries {
+            prop_assert_eq!(idx.query(a, b), brute(&values, a, b), "a={} b={}", a, b);
+        }
+    }
+
+    #[test]
+    fn query_multi_matches_union_scan(
+        u in 1usize..10,
+        raw in prop::collection::vec(0u32..50, 1..150),
+        r1 in (0usize..150, 0usize..150),
+        r2 in (0usize..150, 0usize..150),
+    ) {
+        let values: Vec<u32> = raw.iter().map(|&v| v % u as u32).collect();
+        let n = values.len();
+        let (a1, b1) = (r1.0.min(n), r1.1.min(n).max(r1.0.min(n)));
+        let (a2, b2) = (r2.0.min(n).max(b1), r2.1.min(n).max(r2.0.min(n).max(b1)));
+        let idx = RangeModeIndex::build(&values, u);
+        // Brute over the union.
+        let mut counts = HashMap::new();
+        for &(a, b) in &[(a1, b1), (a2, b2)] {
+            for &v in &values[a..b] {
+                *counts.entry(v).or_insert(0u32) += 1;
+            }
+        }
+        let expect =
+            counts.into_iter().max_by(|(v1, c1), (v2, c2)| c1.cmp(c2).then(v2.cmp(v1)));
+        prop_assert_eq!(idx.query_multi(&[(a1, b1), (a2, b2)]), expect);
+    }
+
+    #[test]
+    fn mode_count_is_maximal(
+        raw in prop::collection::vec(0u32..6, 1..200),
+        a in 0usize..200,
+        b in 0usize..200,
+    ) {
+        let values = raw;
+        let n = values.len();
+        let (a, b) = (a.min(n), b.min(n).max(a.min(n)));
+        let idx = RangeModeIndex::build(&values, 6);
+        if let Some((v, c)) = idx.query(a, b) {
+            // The reported count is correct and no value beats it.
+            let actual = values[a..b].iter().filter(|&&x| x == v).count() as u32;
+            prop_assert_eq!(c, actual);
+            for probe in 0..6u32 {
+                let pc = values[a..b].iter().filter(|&&x| x == probe).count() as u32;
+                prop_assert!(pc < c || (pc == c && probe >= v));
+            }
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

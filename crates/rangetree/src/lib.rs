@@ -1,0 +1,196 @@
+//! # holistic-rangetree — multidimensional range counting for DENSE_RANK
+//!
+//! A framed `DENSE_RANK` counts the *distinct* ranking keys inside the window
+//! frame that compare smaller than the current row's key (§4.4). With the
+//! previous-occurrence preprocessing of §4.2 this becomes a 3-dimensional
+//! range counting query:
+//!
+//! > among positions `[a, b)`, count rows with `code < c` **and**
+//! > `prev_occurrence < frame start`,
+//!
+//! which a merge sort tree (2-d only) cannot answer. Following Bentley's
+//! range trees, [`RangeTree3`] layers a binary position tree whose runs are
+//! sorted by the second dimension, each annotated with an *inner merge sort
+//! tree* over the third dimension. A query decomposes the position range into
+//! O(log n) runs, binary-searches the second dimension in each, and lets the
+//! inner tree count the third — O((log n)²) per query and O(n (log n)²)
+//! space, exactly the bounds the paper quotes for framed DENSE_RANK.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use holistic_core::{MergeSortTree, MstParams};
+use rayon::prelude::*;
+
+/// A static 3-d range counting structure over implicit positions and two
+/// `u32` value dimensions (`x`, `y`).
+pub struct RangeTree3 {
+    /// Per level ℓ ≥ 0: runs of length 2^ℓ sorted by `x`, stored as the `x`
+    /// array plus an inner tree over the co-permuted `y` values.
+    levels: Vec<LevelRT>,
+    n: usize,
+}
+
+struct LevelRT {
+    xs: Vec<u32>,
+    ytree: MergeSortTree<u32>,
+}
+
+impl RangeTree3 {
+    /// Builds over parallel arrays `xs`/`ys` (row `i` has coordinates
+    /// `(i, xs[i], ys[i])`). O(n log n) build work per level, O(log n) levels.
+    pub fn build(xs: &[u32], ys: &[u32], parallel: bool) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len();
+        let params = if parallel { MstParams::default() } else { MstParams::default().serial() };
+        let mut pairs: Vec<(u32, u32)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        let mut levels = Vec::new();
+        let mut run = 1usize;
+        loop {
+            let level_ys: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let level_xs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            levels.push(LevelRT { xs: level_xs, ytree: MergeSortTree::build(&level_ys, params) });
+            if run >= n.max(1) {
+                break;
+            }
+            // Merge neighbouring runs pairwise by x (stable in position).
+            let next_run = run * 2;
+            let mut next = vec![(0u32, 0u32); n];
+            let src = &pairs;
+            let merge_one = |(start, out): (usize, &mut [(u32, u32)])| {
+                let mid = (start + run).min(n);
+                let end = (start + next_run).min(n);
+                let (a, b) = (&src[start..mid], &src[mid..end]);
+                let (mut i, mut j) = (0, 0);
+                for slot in out.iter_mut() {
+                    if j >= b.len() || (i < a.len() && a[i].0 <= b[j].0) {
+                        *slot = a[i];
+                        i += 1;
+                    } else {
+                        *slot = b[j];
+                        j += 1;
+                    }
+                }
+            };
+            if parallel && n >= 16384 {
+                next.par_chunks_mut(next_run)
+                    .enumerate()
+                    .for_each(|(r, out)| merge_one((r * next_run, out)));
+            } else {
+                for (r, out) in next.chunks_mut(next_run).enumerate() {
+                    merge_one((r * next_run, out));
+                }
+            }
+            pairs = next;
+            run = next_run;
+        }
+        RangeTree3 { levels, n }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Counts rows at positions `[a, b)` with `x < c` and `y < d`.
+    pub fn count(&self, a: usize, b: usize, c: u32, d: u32) -> usize {
+        let b = b.min(self.n);
+        if a >= b {
+            return 0;
+        }
+        let mut total = 0usize;
+        let mut pos = a;
+        while pos < b {
+            let mut lvl = 0usize;
+            while lvl + 1 < self.levels.len()
+                && pos.is_multiple_of(1 << (lvl + 1))
+                && pos + (1 << (lvl + 1)) <= b
+            {
+                lvl += 1;
+            }
+            let len = 1 << lvl;
+            let level = &self.levels[lvl];
+            // Second dimension: prefix of the run with x < c.
+            let p = level.xs[pos..pos + len].partition_point(|&x| x < c);
+            // Third dimension: inner tree over the same prefix.
+            total += level.ytree.count_below(pos, pos + p, d);
+            pos += len;
+        }
+        total
+    }
+
+    /// Approximate memory footprint in bytes (for the space-complexity
+    /// discussion in Table 1 / EXPERIMENTS.md).
+    pub fn bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.xs.len() * 4 + l.ytree.stats().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute(xs: &[u32], ys: &[u32], a: usize, b: usize, c: u32, d: u32) -> usize {
+        (a..b.min(xs.len())).filter(|&i| xs[i] < c && ys[i] < d).count()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = RangeTree3::build(&[], &[], false);
+        assert_eq!(t.count(0, 0, 5, 5), 0);
+        assert!(t.is_empty());
+        let t = RangeTree3::build(&[3], &[7], false);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count(0, 1, 4, 8), 1);
+        assert_eq!(t.count(0, 1, 3, 8), 0);
+        assert_eq!(t.count(0, 1, 4, 7), 0);
+    }
+
+    #[test]
+    fn random_counts_match_brute() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..15 {
+            let n: u32 = rng.gen_range(0..200);
+            let xs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let ys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let t = RangeTree3::build(&xs, &ys, false);
+            for _ in 0..60 {
+                let a = rng.gen_range(0..=n as usize);
+                let b = rng.gen_range(a..=n as usize);
+                let c = rng.gen_range(0..35);
+                let d = rng.gen_range(0..35);
+                assert_eq!(t.count(a, b, c, d), brute(&xs, &ys, a, b, c, d));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000u32;
+        let xs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+        let ys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+        let tp = RangeTree3::build(&xs, &ys, true);
+        let ts = RangeTree3::build(&xs, &ys, false);
+        for _ in 0..50 {
+            let a = rng.gen_range(0..n as usize);
+            let b = rng.gen_range(a..=n as usize);
+            let (c, d) = (rng.gen_range(0..110), rng.gen_range(0..110));
+            assert_eq!(tp.count(a, b, c, d), ts.count(a, b, c, d));
+        }
+    }
+
+    #[test]
+    fn bytes_reports_growth() {
+        let xs: Vec<u32> = (0..1024).collect();
+        let ys: Vec<u32> = (0..1024).rev().collect();
+        let t = RangeTree3::build(&xs, &ys, false);
+        assert!(t.bytes() > 1024 * 4 * 10, "O(n log^2 n) structure should dwarf input");
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the 3-d range counting tree.
+
+use holistic_rangetree::RangeTree3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counts_match_brute_force(
+        pairs in prop::collection::vec((0u32..40, 0u32..40), 0..200),
+        queries in prop::collection::vec(
+            (0usize..210, 0usize..210, 0u32..45, 0u32..45), 1..30),
+    ) {
+        let xs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let t = RangeTree3::build(&xs, &ys, false);
+        for (a, b, c, d) in queries {
+            let expect = (a..b.min(xs.len()).max(a.min(xs.len())))
+                .filter(|&i| i < xs.len() && xs[i] < c && ys[i] < d)
+                .count();
+            prop_assert_eq!(t.count(a.min(xs.len()), b, c, d), expect);
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds(
+        pairs in prop::collection::vec((0u32..10, 0u32..10), 1..100),
+    ) {
+        let xs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let n = xs.len();
+        let t = RangeTree3::build(&xs, &ys, false);
+        // Zero thresholds count nothing; max thresholds count everything.
+        prop_assert_eq!(t.count(0, n, 0, u32::MAX), 0);
+        prop_assert_eq!(t.count(0, n, u32::MAX, 0), 0);
+        prop_assert_eq!(t.count(0, n, u32::MAX, u32::MAX), n);
+        prop_assert_eq!(t.count(n, n, u32::MAX, u32::MAX), 0);
+    }
+
+    #[test]
+    fn dense_rank_identity(
+        keys in prop::collection::vec(0u32..8, 1..120),
+        frames in prop::collection::vec((0usize..130, 0usize..130), 1..12),
+    ) {
+        // DENSE_RANK = distinct smaller keys in frame + 1, via the
+        // prev-occurrence encoding (§4.4).
+        let prev: Vec<u32> = holistic_core::prev_idcs_by_key(&keys, false)
+            .iter()
+            .map(|&p| p as u32)
+            .collect();
+        let t = RangeTree3::build(&keys, &prev, false);
+        let n = keys.len();
+        for (a, b) in frames {
+            let (a, b) = (a.min(n), b.min(n).max(a.min(n)));
+            for i in a..b {
+                let got = t.count(a, b, keys[i], a as u32 + 1) + 1;
+                let distinct: std::collections::HashSet<u32> =
+                    keys[a..b].iter().copied().filter(|&k| k < keys[i]).collect();
+                prop_assert_eq!(got, distinct.len() + 1, "i={} a={} b={}", i, a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Aggregation monoids for segment trees.
+//!
+//! Segment trees require only an associative `combine` with an identity — in
+//! particular *no inverse*, which is why they handle non-monotonic frames
+//! where sliding-window algorithms degrade (§3.2 of the paper).
+
+/// An associative aggregate with identity.
+pub trait Monoid: Send + Sync + 'static {
+    /// Per-row input.
+    type Input: Copy + Send + Sync + 'static;
+    /// Aggregation state.
+    type State: Copy + Send + Sync + 'static;
+    /// The neutral element.
+    fn identity() -> Self::State;
+    /// Lifts an input row into a state.
+    fn lift(input: Self::Input) -> Self::State;
+    /// Associative combination.
+    fn combine(a: Self::State, b: Self::State) -> Self::State;
+}
+
+/// `SUM` over 64-bit integers (128-bit accumulator).
+pub struct SumMonoid;
+impl Monoid for SumMonoid {
+    type Input = i64;
+    type State = i128;
+    fn identity() -> i128 {
+        0
+    }
+    fn lift(v: i64) -> i128 {
+        v as i128
+    }
+    fn combine(a: i128, b: i128) -> i128 {
+        a + b
+    }
+}
+
+/// `SUM` over floats.
+pub struct SumF64Monoid;
+impl Monoid for SumF64Monoid {
+    type Input = f64;
+    type State = f64;
+    fn identity() -> f64 {
+        0.0
+    }
+    fn lift(v: f64) -> f64 {
+        v
+    }
+    fn combine(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// `COUNT` of non-null rows (the caller lifts null rows to 0).
+pub struct CountMonoid;
+impl Monoid for CountMonoid {
+    type Input = u64;
+    type State = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn lift(v: u64) -> u64 {
+        v
+    }
+    fn combine(a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+/// `MIN` over 64-bit integers.
+pub struct MinMonoid;
+impl Monoid for MinMonoid {
+    type Input = i64;
+    type State = i64;
+    fn identity() -> i64 {
+        i64::MAX
+    }
+    fn lift(v: i64) -> i64 {
+        v
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.min(b)
+    }
+}
+
+/// `MAX` over 64-bit integers.
+pub struct MaxMonoid;
+impl Monoid for MaxMonoid {
+    type Input = i64;
+    type State = i64;
+    fn identity() -> i64 {
+        i64::MIN
+    }
+    fn lift(v: i64) -> i64 {
+        v
+    }
+    fn combine(a: i64, b: i64) -> i64 {
+        a.max(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_neutral() {
+        assert_eq!(SumMonoid::combine(SumMonoid::identity(), 5), 5);
+        assert_eq!(MinMonoid::combine(MinMonoid::identity(), 5), 5);
+        assert_eq!(MaxMonoid::combine(MaxMonoid::identity(), -5), -5);
+        assert_eq!(CountMonoid::combine(CountMonoid::identity(), 3), 3);
+    }
+
+    #[test]
+    fn combine_is_associative_spot_check() {
+        for (a, b, c) in [(1i128, 2i128, 3i128), (-7, 0, 9)] {
+            assert_eq!(
+                SumMonoid::combine(SumMonoid::combine(a, b), c),
+                SumMonoid::combine(a, SumMonoid::combine(b, c))
+            );
+        }
+    }
+}

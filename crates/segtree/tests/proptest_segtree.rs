@@ -1,0 +1,82 @@
+//! Property-based tests for segment trees.
+
+use holistic_segtree::{
+    CountMonoid, MaxMonoid, MinMonoid, SegmentTree, SortedListSegTree, SumMonoid,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sum_matches_scan(
+        vals in prop::collection::vec(-1000i64..1000, 0..300),
+        queries in prop::collection::vec((0usize..320, 0usize..320), 1..25),
+    ) {
+        let st = SegmentTree::<SumMonoid>::build(&vals, false);
+        for (a, b) in queries {
+            let expect: i128 = vals
+                .get(a.min(vals.len())..b.min(vals.len()).max(a.min(vals.len())))
+                .unwrap_or(&[])
+                .iter()
+                .map(|&v| v as i128)
+                .sum();
+            prop_assert_eq!(st.query(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn min_max_count_match_scan(
+        vals in prop::collection::vec(-50i64..50, 1..200),
+        queries in prop::collection::vec((0usize..200, 0usize..200), 1..20),
+    ) {
+        let n = vals.len();
+        let mn = SegmentTree::<MinMonoid>::build(&vals, false);
+        let mx = SegmentTree::<MaxMonoid>::build(&vals, false);
+        let ones: Vec<u64> = vec![1; n];
+        let ct = SegmentTree::<CountMonoid>::build(&ones, false);
+        for (a, b) in queries {
+            let (a, b) = (a.min(n), b.min(n).max(a.min(n)));
+            if a < b {
+                prop_assert_eq!(mn.query(a, b), *vals[a..b].iter().min().unwrap());
+                prop_assert_eq!(mx.query(a, b), *vals[a..b].iter().max().unwrap());
+            } else {
+                prop_assert_eq!(mn.query(a, b), i64::MAX);
+            }
+            prop_assert_eq!(ct.query(a, b), (b - a) as u64);
+        }
+    }
+
+    #[test]
+    fn sorted_list_select_matches_sorted_window(
+        vals in prop::collection::vec(-100i64..100, 0..250),
+        queries in prop::collection::vec((0usize..260, 0usize..260, 0usize..260), 1..15),
+    ) {
+        let st = SortedListSegTree::build(&vals, false);
+        for (a, b, j) in queries {
+            let (a, b) = (a.min(vals.len()), b.min(vals.len()).max(a.min(vals.len())));
+            let mut w: Vec<i64> = vals[a..b].to_vec();
+            w.sort_unstable();
+            prop_assert_eq!(st.select(a, b, j), w.get(j).copied());
+            // count_below is consistent with select.
+            if let Some(v) = w.get(j) {
+                prop_assert!(st.count_below(a, b, *v) <= j);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_range_sum_is_additive(
+        vals in prop::collection::vec(-20i64..20, 1..150),
+        cuts in prop::collection::vec(0usize..150, 2..6),
+    ) {
+        let n = vals.len();
+        let st = SegmentTree::<SumMonoid>::build(&vals, false);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(n)).collect();
+        cuts.sort_unstable();
+        let ranges: Vec<(usize, usize)> =
+            cuts.windows(2).map(|w| (w[0], w[1])).collect();
+        let total: i128 = ranges.iter().map(|&(a, b)| st.query(a, b)).sum();
+        prop_assert_eq!(st.query_multi(ranges.iter().copied()), total);
+    }
+}

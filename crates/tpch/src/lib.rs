@@ -1,0 +1,23 @@
+//! # holistic-tpch — deterministic TPC-H-style workload generators
+//!
+//! The paper evaluates on the TPC-H `lineitem` table "because it resembles
+//! real-world data sets and is widely available" (§6.1). This crate stands in
+//! for dbgen: a seeded, deterministic generator producing the columns the
+//! benchmark queries touch, with matching types, value domains and
+//! duplication rates (dates spanning 1992–1998, ~200 000·SF part keys, cent
+//! prices derived from quantities). Absolute values differ from dbgen's, but
+//! every property the algorithms are sensitive to — cardinalities, duplicate
+//! frequencies, orderings — is preserved.
+//!
+//! Scenario tables for the paper's motivating examples (§1, §2.2, §2.4) are
+//! also provided: TPC-C results for the leaderboard query, stock limit orders
+//! for non-monotonic frames, and an orders stream for monthly-active users.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lineitem;
+pub mod scenarios;
+
+pub use lineitem::{lineitem, Lineitem, SF_ROWS};
+pub use scenarios::{orders_stream, stock_orders, tpcc_results};

@@ -1,0 +1,174 @@
+//! The `lineitem` generator.
+
+use holistic_window::value::ymd_to_days;
+use holistic_window::{Column, Table};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Rows per TPC-H scale factor (lineitem has ~6 M rows at SF 1).
+pub const SF_ROWS: usize = 6_000_000;
+
+/// Columnar lineitem data (the columns the paper's queries touch).
+///
+/// Dates are days since the epoch; prices are integer cents, matching the
+/// paper's observation (§5.1) that SQL decimals are fixed-width integers.
+pub struct Lineitem {
+    /// Order key, ascending with 1–7 lines per order.
+    pub orderkey: Vec<i64>,
+    /// Part key, uniform over ~200 000·SF values (the distinct-count column).
+    pub partkey: Vec<i64>,
+    /// Supplier key, uniform over ~10 000·SF values.
+    pub suppkey: Vec<i64>,
+    /// Quantity, uniform 1–50.
+    pub quantity: Vec<i64>,
+    /// Extended price in cents: quantity × part price (the median column).
+    pub extendedprice: Vec<i64>,
+    /// Discount in basis points, 0–1000.
+    pub discount: Vec<i64>,
+    /// Ship date: uniform over 1992-01-02 … 1998-10-31.
+    pub shipdate: Vec<i32>,
+    /// Commit date: ship date ± 45 days.
+    pub commitdate: Vec<i32>,
+    /// Receipt date: ship date + 1 … 30 days (the delivery-time column).
+    pub receiptdate: Vec<i32>,
+    /// Return flag: "R", "A" or "N".
+    pub returnflag: Vec<&'static str>,
+    /// Line status: "O" or "F".
+    pub linestatus: Vec<&'static str>,
+}
+
+impl Lineitem {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.shipdate.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.shipdate.is_empty()
+    }
+
+    /// Materializes as an engine [`Table`].
+    pub fn to_table(&self) -> Table {
+        Table::new(vec![
+            ("l_orderkey", Column::ints(self.orderkey.clone())),
+            ("l_partkey", Column::ints(self.partkey.clone())),
+            ("l_suppkey", Column::ints(self.suppkey.clone())),
+            ("l_quantity", Column::ints(self.quantity.clone())),
+            ("l_extendedprice", Column::ints(self.extendedprice.clone())),
+            ("l_discount", Column::ints(self.discount.clone())),
+            ("l_shipdate", Column::dates(self.shipdate.clone())),
+            ("l_commitdate", Column::dates(self.commitdate.clone())),
+            ("l_receiptdate", Column::dates(self.receiptdate.clone())),
+            ("l_returnflag", Column::strs(self.returnflag.clone())),
+            ("l_linestatus", Column::strs(self.linestatus.clone())),
+        ])
+        .expect("columns equally long")
+    }
+}
+
+/// Generates `n` lineitem rows deterministically from `seed`.
+///
+/// The part-key domain scales with `n` like dbgen's (200 000 parts per 6 M
+/// lines), keeping duplicate rates — which drive distinct-count behaviour —
+/// faithful at every sample size.
+pub fn lineitem(n: usize, seed: u64) -> Lineitem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let date_lo = ymd_to_days(1992, 1, 2);
+    let date_hi = ymd_to_days(1998, 10, 31);
+    let parts = ((n as f64 / SF_ROWS as f64) * 200_000.0).ceil().max(200.0) as i64;
+    let supps = ((n as f64 / SF_ROWS as f64) * 10_000.0).ceil().max(10.0) as i64;
+
+    let mut li = Lineitem {
+        orderkey: Vec::with_capacity(n),
+        partkey: Vec::with_capacity(n),
+        suppkey: Vec::with_capacity(n),
+        quantity: Vec::with_capacity(n),
+        extendedprice: Vec::with_capacity(n),
+        discount: Vec::with_capacity(n),
+        shipdate: Vec::with_capacity(n),
+        commitdate: Vec::with_capacity(n),
+        receiptdate: Vec::with_capacity(n),
+        returnflag: Vec::with_capacity(n),
+        linestatus: Vec::with_capacity(n),
+    };
+    let mut orderkey = 1i64;
+    let mut lines_left = 0u32;
+    for _ in 0..n {
+        if lines_left == 0 {
+            orderkey += rng.gen_range(1..=3);
+            lines_left = rng.gen_range(1..=7);
+        }
+        lines_left -= 1;
+        let partkey = rng.gen_range(1..=parts);
+        let quantity = rng.gen_range(1..=50i64);
+        // dbgen: retail price ≈ 90 000 + key-dependent spread, in cents.
+        let partprice = 90_000 + (partkey % 20_001) + 100 * (partkey % 1_000);
+        let shipdate = rng.gen_range(date_lo..=date_hi);
+        li.orderkey.push(orderkey);
+        li.partkey.push(partkey);
+        li.suppkey.push(rng.gen_range(1..=supps));
+        li.quantity.push(quantity);
+        li.extendedprice.push(quantity * partprice);
+        li.discount.push(rng.gen_range(0..=1000));
+        li.shipdate.push(shipdate);
+        li.commitdate.push(shipdate + rng.gen_range(-45..=45));
+        li.receiptdate.push(shipdate + rng.gen_range(1..=30));
+        li.returnflag.push(["R", "A", "N"][rng.gen_range(0..3)]);
+        li.linestatus.push(["O", "F"][rng.gen_range(0..2)]);
+    }
+    li
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = lineitem(1_000, 42);
+        let b = lineitem(1_000, 42);
+        assert_eq!(a.extendedprice, b.extendedprice);
+        assert_eq!(a.shipdate, b.shipdate);
+        let c = lineitem(1_000, 43);
+        assert_ne!(a.extendedprice, c.extendedprice);
+    }
+
+    #[test]
+    fn domains_are_sane() {
+        let li = lineitem(5_000, 1);
+        assert_eq!(li.len(), 5_000);
+        assert!(li.quantity.iter().all(|&q| (1..=50).contains(&q)));
+        assert!(li.receiptdate.iter().zip(&li.shipdate).all(|(&r, &s)| r > s && r <= s + 30));
+        assert!(li.extendedprice.iter().all(|&p| p > 0));
+        assert!(li.orderkey.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn partkey_duplication_scales() {
+        // Small samples must still have duplicate part keys (the distinct
+        // count workload relies on it).
+        let li = lineitem(2_000, 7);
+        let distinct: std::collections::HashSet<_> = li.partkey.iter().collect();
+        assert!(distinct.len() < li.len(), "part keys should repeat");
+        assert!(distinct.len() > li.len() / 100, "but not collapse");
+    }
+
+    #[test]
+    fn to_table_roundtrip() {
+        let li = lineitem(100, 3);
+        let t = li.to_table();
+        assert_eq!(t.num_rows(), 100);
+        assert_eq!(t.num_columns(), 11);
+        assert_eq!(
+            t.column("l_extendedprice").unwrap().get(0).as_i64().unwrap(),
+            li.extendedprice[0]
+        );
+    }
+
+    #[test]
+    fn empty_generation() {
+        let li = lineitem(0, 1);
+        assert!(li.is_empty());
+        assert_eq!(li.to_table().num_rows(), 0);
+    }
+}

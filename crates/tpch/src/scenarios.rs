@@ -1,0 +1,128 @@
+//! Scenario tables for the paper's motivating examples.
+
+use holistic_window::value::ymd_to_days;
+use holistic_window::{Column, Table};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The `tpcc_results` leaderboard of §2.4: database systems submitting TPC-C
+/// results over the years, with throughput trending upward so that ranks and
+/// leaders actually change over time.
+pub fn tpcc_results(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vendors = [
+        "HyperDB", "UmbraSys", "QuackDB", "ElephantSQL", "SnowOwl", "OrcaBase", "TinyTuple",
+        "MorselMachine",
+    ];
+    let mut dbsystem = Vec::with_capacity(n);
+    let mut tps = Vec::with_capacity(n);
+    let mut submission_date = Vec::with_capacity(n);
+    let start = ymd_to_days(2000, 1, 1);
+    let mut day = start;
+    for i in 0..n {
+        day += rng.gen_range(20..120);
+        let vendor = vendors[rng.gen_range(0..vendors.len())];
+        // Throughput grows ~20% per simulated year, with vendor noise.
+        let years = (day - start) as f64 / 365.0;
+        let base = 10_000.0 * 1.2f64.powf(years);
+        dbsystem.push(vendor);
+        tps.push((base * rng.gen_range(0.5..1.6)) as i64 + i as i64 % 7);
+        submission_date.push(day);
+    }
+    Table::new(vec![
+        ("dbsystem", Column::strs(dbsystem)),
+        ("tps", Column::ints(tps)),
+        ("submission_date", Column::dates(submission_date)),
+    ])
+    .expect("columns equally long")
+}
+
+/// The `stock_orders` table of §2.2: limit orders with per-order validity
+/// intervals (`good_for`), driving non-monotonic, per-row frame bounds.
+pub fn stock_orders(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut placement_time = Vec::with_capacity(n);
+    let mut price = Vec::with_capacity(n);
+    let mut good_for = Vec::with_capacity(n);
+    let mut t = 0i64;
+    let mut p = 10_000i64;
+    for _ in 0..n {
+        t += rng.gen_range(1..30);
+        // Random-walk price in cents.
+        p = (p + rng.gen_range(-150..=150)).max(100);
+        placement_time.push(t);
+        price.push(p);
+        good_for.push(rng.gen_range(10..600i64));
+    }
+    Table::new(vec![
+        ("placement_time", Column::ints(placement_time)),
+        ("price", Column::ints(price)),
+        ("good_for", Column::ints(good_for)),
+    ])
+    .expect("columns equally long")
+}
+
+/// An orders stream for §1's monthly-active-users query: `o_orderdate`
+/// ascending-ish and `o_custkey` with realistic repeat behaviour.
+pub fn orders_stream(n: usize, customers: i64, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut o_orderdate = Vec::with_capacity(n);
+    let mut o_custkey = Vec::with_capacity(n);
+    let mut day = ymd_to_days(1995, 1, 1);
+    // ~60 orders per day so a 30-day window sees a realistic share of the
+    // customer base.
+    for _ in 0..n {
+        if rng.gen_bool(1.0 / 60.0) {
+            day += 1;
+        }
+        o_orderdate.push(day);
+        o_custkey.push(rng.gen_range(1..=customers.max(1)));
+    }
+    Table::new(vec![
+        ("o_orderdate", Column::dates(o_orderdate)),
+        ("o_custkey", Column::ints(o_custkey)),
+    ])
+    .expect("columns equally long")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpcc_results_shape() {
+        let t = tpcc_results(50, 1);
+        assert_eq!(t.num_rows(), 50);
+        // Submission dates strictly increase (each gap >= 20 days).
+        let dates: Vec<i64> = (0..50)
+            .map(|i| t.column("submission_date").unwrap().get(i).as_i64().unwrap())
+            .collect();
+        assert!(dates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn stock_orders_positive_prices_and_windows() {
+        let t = stock_orders(100, 2);
+        for i in 0..100 {
+            assert!(t.column("price").unwrap().get(i).as_i64().unwrap() >= 100);
+            assert!(t.column("good_for").unwrap().get(i).as_i64().unwrap() >= 10);
+        }
+    }
+
+    #[test]
+    fn orders_stream_dates_nondecreasing() {
+        let t = orders_stream(200, 20, 3);
+        let dates: Vec<i64> = (0..200)
+            .map(|i| t.column("o_orderdate").unwrap().get(i).as_i64().unwrap())
+            .collect();
+        assert!(dates.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tpcc_results(30, 9);
+        let b = tpcc_results(30, 9);
+        for i in 0..30 {
+            assert_eq!(a.column("tps").unwrap().get(i), b.column("tps").unwrap().get(i));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type of the window engine.
+
+use std::fmt;
+
+/// Errors raised while planning or evaluating a window query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// An expression evaluated to an unexpected type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it got.
+        got: &'static str,
+        /// Where.
+        context: &'static str,
+    },
+    /// A frame bound expression produced an invalid offset (negative, NULL,
+    /// or non-numeric).
+    InvalidFrameBound(String),
+    /// A function was called with an invalid argument (e.g. percentile
+    /// fraction outside [0, 1], NTILE bucket count < 1).
+    InvalidArgument(String),
+    /// The requested feature combination is unsupported (e.g. RANGE frames
+    /// over multiple or non-numeric ORDER BY keys).
+    Unsupported(String),
+    /// Columns of a table have differing lengths.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Offending length.
+        got: usize,
+    },
+    /// Integer overflow in an aggregate result.
+    Overflow(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::TypeMismatch { expected, got, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, got {got}")
+            }
+            Error::InvalidFrameBound(m) => write!(f, "invalid frame bound: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "column length mismatch: expected {expected}, got {got}")
+            }
+            Error::Overflow(what) => write!(f, "integer overflow in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

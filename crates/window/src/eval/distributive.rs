@@ -1,0 +1,271 @@
+//! Framed distributive/algebraic aggregates (SUM, COUNT, AVG, MIN, MAX)
+//! without DISTINCT — the classic segment tree path of Leis et al. (§3.2).
+//!
+//! These are not this paper's contribution, but the engine needs them (a) for
+//! completeness, (b) because the paper's algorithms explicitly slot in next
+//! to them, and (c) as the distributive backbone the evaluation compares
+//! against. Non-monotonic frames are free: segment trees never rely on frame
+//! overlap.
+
+use super::Ctx;
+use crate::error::{Error, Result};
+use crate::spec::{FuncKind, FunctionCall};
+use crate::value::{DataType, Value};
+use holistic_segtree::{CountMonoid, MaxMonoid, MinMonoid, SegmentTree, SumF64Monoid, SumMonoid};
+use std::sync::Arc;
+
+/// Order-preserving i64 encoding of an f64 (total order, NaN greatest).
+pub(crate) fn f64_to_ordinal(x: f64) -> i64 {
+    let b = x.to_bits();
+    let u = if b & (1 << 63) != 0 { !b } else { b | (1 << 63) };
+    (u ^ (1 << 63)) as i64
+}
+
+/// Inverse of [`f64_to_ordinal`].
+pub(crate) fn ordinal_to_f64(i: i64) -> f64 {
+    let u = (i as u64) ^ (1 << 63);
+    let b = if u & (1 << 63) != 0 { u ^ (1 << 63) } else { !u };
+    f64::from_bits(b)
+}
+
+/// How MIN/MAX ordinals decode back into values.
+enum OrdinalDecode {
+    Int,
+    Date,
+    Float,
+    Bool,
+    Str(Vec<Arc<str>>),
+}
+
+/// Encodes comparable values as i64 ordinals for MIN/MAX segment trees.
+fn encode_ordinals(values: &[Value]) -> Result<(Vec<Option<i64>>, OrdinalDecode)> {
+    // Establish the column type from the first non-null value.
+    let first = values.iter().find(|v| !v.is_null());
+    let decode = match first {
+        None | Some(Value::Int(_)) => OrdinalDecode::Int,
+        Some(Value::Date(_)) => OrdinalDecode::Date,
+        Some(Value::Float(_)) => OrdinalDecode::Float,
+        Some(Value::Bool(_)) => OrdinalDecode::Bool,
+        Some(Value::Str(_)) => {
+            let mut uniq: Vec<Arc<str>> = values
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            OrdinalDecode::Str(uniq)
+        }
+        Some(Value::Null) => unreachable!(),
+    };
+    let mut ords = Vec::with_capacity(values.len());
+    for v in values {
+        let o = match (v, &decode) {
+            (Value::Null, _) => None,
+            (Value::Int(x), OrdinalDecode::Int) => Some(*x),
+            (Value::Int(x), OrdinalDecode::Float) => Some(f64_to_ordinal(*x as f64)),
+            (Value::Float(x), OrdinalDecode::Float) => Some(f64_to_ordinal(*x)),
+            (Value::Float(x), OrdinalDecode::Int) => Some(f64_to_ordinal(*x)), // promoted below
+            (Value::Date(x), OrdinalDecode::Date) => Some(*x as i64),
+            (Value::Bool(x), OrdinalDecode::Bool) => Some(*x as i64),
+            (Value::Str(s), OrdinalDecode::Str(uniq)) => {
+                Some(uniq.binary_search(s).expect("string interned") as i64)
+            }
+            (v, _) => {
+                return Err(Error::TypeMismatch {
+                    expected: "homogeneous comparable column",
+                    got: v.type_name(),
+                    context: "MIN/MAX",
+                })
+            }
+        };
+        ords.push(o);
+    }
+    // Mixed int/float columns: re-encode everything through the float path.
+    if matches!(decode, OrdinalDecode::Int)
+        && values.iter().any(|v| matches!(v, Value::Float(_)))
+    {
+        let ords = values
+            .iter()
+            .map(|v| v.as_f64().map(f64_to_ordinal))
+            .collect();
+        return Ok((ords, OrdinalDecode::Float));
+    }
+    Ok((ords, decode))
+}
+
+fn decode_ordinal(o: i64, d: &OrdinalDecode) -> Value {
+    match d {
+        OrdinalDecode::Int => Value::Int(o),
+        OrdinalDecode::Date => Value::Date(o as i32),
+        OrdinalDecode::Float => Value::Float(ordinal_to_f64(o)),
+        OrdinalDecode::Bool => Value::Bool(o != 0),
+        OrdinalDecode::Str(uniq) => Value::Str(uniq[o as usize].clone()),
+    }
+}
+
+/// Evaluates a non-DISTINCT framed aggregate.
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    let m = ctx.m();
+    let filter = ctx.filter_mask(call)?;
+
+    if call.kind == FuncKind::CountStar {
+        let counts: Vec<u64> = filter.iter().map(|&k| k as u64).collect();
+        let tree = SegmentTree::<CountMonoid>::build(&counts, ctx.parallel);
+        return ctx.probe(|i| {
+            Ok(Value::Int(tree.query_multi(ctx.frames.range_set(i).iter()) as i64))
+        });
+    }
+
+    let values = ctx.eval_positions(&call.args[0])?;
+    // "Participating" = passes FILTER and is non-NULL.
+    let keep: Vec<bool> =
+        (0..m).map(|i| filter[i] && !values[i].is_null()).collect();
+    let counts: Vec<u64> = keep.iter().map(|&k| k as u64).collect();
+    let count_tree = SegmentTree::<CountMonoid>::build(&counts, ctx.parallel);
+
+    match call.kind {
+        FuncKind::Count => ctx.probe(|i| {
+            Ok(Value::Int(count_tree.query_multi(ctx.frames.range_set(i).iter()) as i64))
+        }),
+        FuncKind::Sum | FuncKind::Avg => {
+            let avg = call.kind == FuncKind::Avg;
+            let is_float = values.iter().any(|v| matches!(v, Value::Float(_)));
+            let bad = values.iter().find(|v| {
+                !matches!(v, Value::Null | Value::Int(_) | Value::Float(_))
+            });
+            if let Some(v) = bad {
+                return Err(Error::TypeMismatch {
+                    expected: "numeric",
+                    got: v.type_name(),
+                    context: "SUM/AVG",
+                });
+            }
+            if is_float || avg {
+                let inputs: Vec<f64> = (0..m)
+                    .map(|i| if keep[i] { values[i].as_f64().unwrap_or(0.0) } else { 0.0 })
+                    .collect();
+                let tree = SegmentTree::<SumF64Monoid>::build(&inputs, ctx.parallel);
+                ctx.probe(|i| {
+                    let rs = ctx.frames.range_set(i);
+                    let cnt = count_tree.query_multi(rs.iter());
+                    if cnt == 0 {
+                        return Ok(Value::Null);
+                    }
+                    let s = tree.query_multi(rs.iter());
+                    Ok(Value::Float(if avg { s / cnt as f64 } else { s }))
+                })
+            } else {
+                let inputs: Vec<i64> = (0..m)
+                    .map(|i| if keep[i] { values[i].as_i64().unwrap_or(0) } else { 0 })
+                    .collect();
+                let tree = SegmentTree::<SumMonoid>::build(&inputs, ctx.parallel);
+                ctx.probe(|i| {
+                    let rs = ctx.frames.range_set(i);
+                    if count_tree.query_multi(rs.iter()) == 0 {
+                        return Ok(Value::Null);
+                    }
+                    let s = tree.query_multi(rs.iter());
+                    i64::try_from(s).map(Value::Int).map_err(|_| Error::Overflow("SUM"))
+                })
+            }
+        }
+        FuncKind::Min | FuncKind::Max => {
+            let is_min = call.kind == FuncKind::Min;
+            let (ords, decode) = encode_ordinals(&values)?;
+            if is_min {
+                let inputs: Vec<i64> = (0..m)
+                    .map(|i| if keep[i] { ords[i].unwrap_or(i64::MAX) } else { i64::MAX })
+                    .collect();
+                let tree = SegmentTree::<MinMonoid>::build(&inputs, ctx.parallel);
+                ctx.probe(|i| {
+                    let rs = ctx.frames.range_set(i);
+                    if count_tree.query_multi(rs.iter()) == 0 {
+                        return Ok(Value::Null);
+                    }
+                    Ok(decode_ordinal(tree.query_multi(rs.iter()), &decode))
+                })
+            } else {
+                let inputs: Vec<i64> = (0..m)
+                    .map(|i| if keep[i] { ords[i].unwrap_or(i64::MIN) } else { i64::MIN })
+                    .collect();
+                let tree = SegmentTree::<MaxMonoid>::build(&inputs, ctx.parallel);
+                ctx.probe(|i| {
+                    let rs = ctx.frames.range_set(i);
+                    if count_tree.query_multi(rs.iter()) == 0 {
+                        return Ok(Value::Null);
+                    }
+                    Ok(decode_ordinal(tree.query_multi(rs.iter()), &decode))
+                })
+            }
+        }
+        _ => unreachable!("dispatch guarantees aggregate kind"),
+    }
+}
+
+/// Exposed for tests: the expected output type of MIN/MAX given inputs.
+#[allow(dead_code)]
+pub(crate) fn minmax_probe_type(values: &[Value]) -> Result<DataType> {
+    let (_, d) = encode_ordinals(values)?;
+    Ok(match d {
+        OrdinalDecode::Int => DataType::Int,
+        OrdinalDecode::Date => DataType::Date,
+        OrdinalDecode::Float => DataType::Float,
+        OrdinalDecode::Bool => DataType::Bool,
+        OrdinalDecode::Str(_) => DataType::Str,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_ordinal_roundtrip_and_order() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1.5e300,
+            -1.0,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            f64::INFINITY,
+        ];
+        let ords: Vec<i64> = xs.iter().map(|&x| f64_to_ordinal(x)).collect();
+        for w in ords.windows(2) {
+            assert!(w[0] <= w[1], "ordinals must be monotone: {w:?}");
+        }
+        for &x in &xs {
+            let back = ordinal_to_f64(f64_to_ordinal(x));
+            assert!(back == x || (back == 0.0 && x == 0.0), "{x} -> {back}");
+        }
+        assert!(f64_to_ordinal(f64::NAN) > f64_to_ordinal(f64::INFINITY));
+    }
+
+    #[test]
+    fn encode_strings_densely() {
+        let vals = vec![Value::str("b"), Value::Null, Value::str("a"), Value::str("b")];
+        let (ords, d) = encode_ordinals(&vals).unwrap();
+        assert_eq!(ords, vec![Some(1), None, Some(0), Some(1)]);
+        assert_eq!(decode_ordinal(0, &d), Value::str("a"));
+        assert_eq!(decode_ordinal(1, &d), Value::str("b"));
+    }
+
+    #[test]
+    fn mixed_int_float_promotes() {
+        let vals = vec![Value::Int(2), Value::Float(1.5)];
+        let (ords, _) = encode_ordinals(&vals).unwrap();
+        assert!(ords[0] > ords[1]);
+        assert_eq!(minmax_probe_type(&vals).unwrap(), DataType::Float);
+    }
+
+    #[test]
+    fn incomparable_mix_errors() {
+        let vals = vec![Value::Int(2), Value::str("x")];
+        assert!(encode_ordinals(&vals).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! LEAD and LAG — classic partition-positional semantics and the paper's
+//! framed extension with an independent ORDER BY (§4.6).
+//!
+//! Framed evaluation composes the two tree queries of §4.4 and §4.5:
+//! (1) the row's ROW_NUMBER within the frame by the inner order (merge sort
+//! tree over unique codes), (2) offset adjustment, (3) selection of the row
+//! at the adjusted position (merge sort tree over the permutation array).
+//! Both trees come from the same preprocessing sort.
+
+use super::Ctx;
+use crate::error::{Error, Result};
+use crate::order::{dense_codes_for, KeyColumns};
+use crate::remap::Remap;
+use crate::spec::{FuncKind, FunctionCall};
+use crate::value::Value;
+use holistic_core::index::fits_u32;
+use holistic_core::{MergeSortTree, TreeIndex};
+
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    if call.inner_order.is_empty() {
+        evaluate_classic(ctx, call)
+    } else if fits_u32(ctx.m() + 1) {
+        evaluate_framed::<u32>(ctx, call)
+    } else {
+        evaluate_framed::<u64>(ctx, call)
+    }
+}
+
+/// The per-row signed offset (LEAD positive, LAG negative).
+fn offset_for(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    offset_expr: &Option<crate::expr::BoundExpr>,
+    i: usize,
+) -> Result<Option<i64>> {
+    let raw = match offset_expr {
+        None => 1,
+        Some(e) => match e.eval(ctx.table, ctx.rows[i])? {
+            Value::Int(x) => x,
+            Value::Null => return Ok(None),
+            v => {
+                return Err(Error::InvalidArgument(format!(
+                    "{}: offset must be an integer, got {v}",
+                    call.kind.name()
+                )))
+            }
+        },
+    };
+    Ok(Some(if call.kind == FuncKind::Lag { -raw } else { raw }))
+}
+
+/// Classic LEAD/LAG: positional within the partition, frame ignored — this is
+/// the SQL:2011 behaviour when no function-level ORDER BY is given.
+fn evaluate_classic(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    let m = ctx.m();
+    let values = ctx.eval_positions(&call.args[0])?;
+    let offset_expr =
+        call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
+    let default_expr =
+        call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;
+    // IGNORE NULLS: the n-th non-null value before/after the current row.
+    let non_null: Vec<usize> = if call.ignore_nulls {
+        (0..m).filter(|&i| !values[i].is_null()).collect()
+    } else {
+        Vec::new()
+    };
+    ctx.probe(|i| {
+        let default = || -> Result<Value> {
+            Ok(match &default_expr {
+                Some(d) => d.eval(ctx.table, ctx.rows[i])?,
+                None => Value::Null,
+            })
+        };
+        let Some(off) = offset_for(ctx, call, &offset_expr, i)? else {
+            return Ok(Value::Null);
+        };
+        if call.ignore_nulls && off != 0 {
+            // Position among non-null rows strictly after/before i.
+            let idx = non_null.partition_point(|&p| p <= i);
+            let target = if off > 0 {
+                idx.checked_add(off as usize - 1)
+            } else {
+                let before = non_null.partition_point(|&p| p < i);
+                before.checked_sub((-off) as usize)
+            };
+            return Ok(match target.and_then(|t| non_null.get(t)) {
+                Some(&p) => values[p].clone(),
+                None => default()?,
+            });
+        }
+        let target = i as i64 + off;
+        if target >= 0 && (target as usize) < m {
+            Ok(values[target as usize].clone())
+        } else {
+            default()
+        }
+    })
+}
+
+/// Framed LEAD/LAG with an independent ORDER BY (§4.6).
+fn evaluate_framed<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    let m = ctx.m();
+    let values = ctx.eval_positions(&call.args[0])?;
+    let filter = ctx.filter_mask(call)?;
+    let keep: Vec<bool> = (0..m)
+        .map(|i| filter[i] && (!call.ignore_nulls || !values[i].is_null()))
+        .collect();
+    let remap = Remap::new(&keep);
+    let kept_rows: Vec<usize> =
+        (0..remap.kept_len()).map(|k| ctx.rows[remap.to_position(k)]).collect();
+    let kept_out: Vec<Value> =
+        (0..remap.kept_len()).map(|k| values[remap.to_position(k)].clone()).collect();
+
+    let keys = KeyColumns::evaluate(ctx.table, &call.inner_order)?;
+    let dc = dense_codes_for(&keys, &kept_rows, ctx.parallel);
+    let codes: Vec<I> = dc.code.iter().map(|&c| I::from_usize(c)).collect();
+    let code_tree = MergeSortTree::<I>::build(&codes, ctx.params);
+    let perm_i: Vec<I> = dc.perm.iter().map(|&p| I::from_usize(p)).collect();
+    let select_tree = MergeSortTree::<I>::build(&perm_i, ctx.params);
+
+    let offset_expr = call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
+    let default_expr = call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;
+
+    ctx.probe(|i| {
+        let default = || -> Result<Value> {
+            Ok(match &default_expr {
+                Some(d) => d.eval(ctx.table, ctx.rows[i])?,
+                None => Value::Null,
+            })
+        };
+        let Some(off) = offset_for(ctx, call, &offset_expr, i)? else {
+            return Ok(Value::Null);
+        };
+        let pieces = remap.range_set(&ctx.frames.range_set(i));
+        let s = pieces.count();
+        // Step 1: own row number within the frame by the inner order. For
+        // rows not in the tree (filtered/ignored) rank virtually against the
+        // kept rows, matching the rank-family convention.
+        let rn0 = if remap.is_kept(i) {
+            let k = remap.kept_index(i);
+            code_tree.count_below_multi(&pieces, I::from_usize(dc.code[k]))
+        } else {
+            // Rows absent from the tree rank virtually: key-smaller kept rows
+            // plus equal-key kept rows at earlier positions (the positional
+            // tie-break of unique codes).
+            let row = ctx.rows[i];
+            let search = |upper: bool| {
+                let mut lo = 0;
+                let mut hi = dc.perm.len();
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let o = keys.cmp_rows(kept_rows[dc.perm[mid]], row);
+                    let go_right =
+                        o == std::cmp::Ordering::Less || (upper && o == std::cmp::Ordering::Equal);
+                    if go_right {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            };
+            let (gmin, gend) = (search(false), search(true));
+            let smaller = code_tree.count_below_multi(&pieces, I::from_usize(gmin));
+            let ki = remap.range(0, i).1;
+            let mut earlier = holistic_core::RangeSet::empty();
+            for (a, b) in pieces.iter() {
+                let b2 = b.min(ki);
+                if a < b2 {
+                    earlier.push(a, b2);
+                }
+            }
+            let eq_before = code_tree.count_below_multi(&earlier, I::from_usize(gend))
+                - code_tree.count_below_multi(&earlier, I::from_usize(gmin));
+            smaller + eq_before
+        };
+        // Steps 2+3: adjust and select.
+        let target = rn0 as i64 + off;
+        if target < 0 || target as usize >= s {
+            return default();
+        }
+        let rank = select_tree.select(&pieces, target as usize).expect("target < s");
+        Ok(kept_out[dc.perm[rank]].clone())
+    })
+}

@@ -1,0 +1,118 @@
+//! Window function evaluation over one sorted partition.
+//!
+//! Every family follows the paper's two-phase pattern: build a read-only
+//! index (merge sort tree / segment tree / range tree) once per partition,
+//! then probe it once per row — embarrassingly parallel (§4.1).
+
+pub(crate) mod distinct;
+pub(crate) mod distributive;
+pub(crate) mod leadlag;
+pub(crate) mod mode;
+pub(crate) mod rank;
+pub(crate) mod select_based;
+
+use crate::error::{Error, Result};
+use crate::frame::ResolvedFrames;
+use crate::order::KeyColumns;
+use crate::spec::{FuncKind, FunctionCall};
+use crate::table::Table;
+use crate::value::Value;
+use holistic_core::MstParams;
+
+/// Evaluation context of one sorted partition.
+pub(crate) struct Ctx<'a> {
+    /// The full table.
+    pub table: &'a Table,
+    /// Partition positions → table rows, in window order.
+    pub rows: &'a [usize],
+    /// Resolved frames (per position).
+    pub frames: &'a ResolvedFrames,
+    /// The window ORDER BY keys (rank fallback criterion).
+    pub window_keys: &'a KeyColumns,
+    /// Parallel probing allowed.
+    pub parallel: bool,
+    /// Merge sort tree parameters.
+    pub params: MstParams,
+}
+
+impl<'a> Ctx<'a> {
+    /// Partition size.
+    pub fn m(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Evaluates an expression for every position (in window order).
+    pub fn eval_positions(&self, expr: &crate::expr::Expr) -> Result<Vec<Value>> {
+        let bound = expr.bind(self.table)?;
+        self.rows.iter().map(|&r| bound.eval(self.table, r)).collect()
+    }
+
+    /// The FILTER mask per position (`true` = row participates).
+    pub fn filter_mask(&self, call: &FunctionCall) -> Result<Vec<bool>> {
+        match &call.filter {
+            None => Ok(vec![true; self.m()]),
+            Some(pred) => {
+                let bound = pred.bind(self.table)?;
+                self.rows
+                    .iter()
+                    .map(|&r| Ok(bound.eval(self.table, r)?.is_truthy()))
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs `f` for every position, in parallel when allowed.
+    pub fn probe<F>(&self, f: F) -> Result<Vec<Value>>
+    where
+        F: Fn(usize) -> Result<Value> + Send + Sync,
+    {
+        use rayon::prelude::*;
+        if self.parallel && self.m() >= 2048 {
+            (0..self.m()).into_par_iter().map(f).collect()
+        } else {
+            (0..self.m()).map(f).collect()
+        }
+    }
+}
+
+/// Dispatches a call to its family evaluator. Returns per-position values.
+pub(crate) fn evaluate_call(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    call.validate()?;
+    use FuncKind::*;
+    match call.kind {
+        CountStar | Count | Sum | Avg | Min | Max => {
+            if call.distinct {
+                distinct::evaluate(ctx, call)
+            } else {
+                distributive::evaluate(ctx, call)
+            }
+        }
+        RowNumber | Rank | PercentRank | CumeDist | Ntile => rank::evaluate(ctx, call),
+        DenseRank => rank::evaluate_dense_rank(ctx, call),
+        PercentileDisc | PercentileCont | Median | FirstValue | LastValue | NthValue => {
+            select_based::evaluate(ctx, call)
+        }
+        Lead | Lag => leadlag::evaluate(ctx, call),
+        Mode => mode::evaluate(ctx, call),
+    }
+}
+
+/// Evaluates a constant expression (row-independent arguments like the
+/// percentile fraction).
+pub(crate) fn eval_const(ctx: &Ctx<'_>, expr: &crate::expr::Expr) -> Result<Value> {
+    let bound = expr.bind(ctx.table)?;
+    // Use row 0 if any; constant expressions don't read columns.
+    bound.eval(ctx.table, ctx.rows.first().copied().unwrap_or(0))
+}
+
+/// Extracts a fraction in [0, 1] for percentile calls.
+pub(crate) fn fraction_arg(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<f64> {
+    let v = eval_const(ctx, &call.args[0])?;
+    match v.as_f64() {
+        Some(f) if (0.0..=1.0).contains(&f) => Ok(f),
+        _ => Err(Error::InvalidArgument(format!(
+            "{}: fraction must be in [0, 1], got {v}",
+            call.kind.name()
+        ))),
+    }
+}

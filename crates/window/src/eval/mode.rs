@@ -1,0 +1,57 @@
+//! Framed MODE via the √-decomposition range mode index — an extension
+//! beyond the paper (§3.1 notes mode needs dedicated structures [13, 25]).
+//!
+//! Pipeline mirrors the other holistic families: FILTER/NULL rows are never
+//! inserted and frame bounds are remapped; values are compressed to dense
+//! ids *in value order*, so the index's smallest-id tie-break implements
+//! "smallest value among the most frequent" deterministically. Plain frames
+//! probe in O(√n log n); frames with exclusion holes fall back to exact
+//! union counting (mode does not decompose over unions).
+
+use super::Ctx;
+use crate::remap::Remap;
+use crate::spec::FunctionCall;
+use crate::value::Value;
+use crate::error::Result;
+use holistic_rangemode::RangeModeIndex;
+
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    let m = ctx.m();
+    let values = ctx.eval_positions(&call.args[0])?;
+    let filter = ctx.filter_mask(call)?;
+    let keep: Vec<bool> = (0..m).map(|i| filter[i] && !values[i].is_null()).collect();
+    let remap = Remap::new(&keep);
+
+    // Dense ids in value order (ids ascend with sql_cmp).
+    let kept_values: Vec<&Value> =
+        (0..remap.kept_len()).map(|k| &values[remap.to_position(k)]).collect();
+    let mut sorted: Vec<&Value> = kept_values.clone();
+    sorted.sort_by(|a, b| a.sql_cmp(b));
+    sorted.dedup_by(|a, b| a.sql_eq(b));
+    let decode: Vec<Value> = sorted.iter().map(|v| (*v).clone()).collect();
+    let ids: Vec<u32> = kept_values
+        .iter()
+        .map(|v| {
+            decode
+                .binary_search_by(|probe| probe.sql_cmp(v))
+                .expect("value interned") as u32
+        })
+        .collect();
+    let index = RangeModeIndex::build(&ids, decode.len());
+
+    ctx.probe(|i| {
+        let answer = if ctx.frames.has_exclusion() {
+            let pieces = remap.range_set(&ctx.frames.range_set(i));
+            let ranges: Vec<(usize, usize)> = pieces.iter().collect();
+            index.query_multi(&ranges)
+        } else {
+            let (a, b) = ctx.frames.bounds[i];
+            let (ka, kb) = remap.range(a, b);
+            index.query(ka, kb)
+        };
+        Ok(match answer {
+            Some((id, _count)) => decode[id as usize].clone(),
+            None => Value::Null,
+        })
+    })
+}

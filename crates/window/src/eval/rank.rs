@@ -1,0 +1,317 @@
+//! Framed rank functions via merge sort trees (§4.4) and DENSE_RANK via a
+//! range tree.
+//!
+//! One dense-code preprocessing pass (Figure 8) plus one merge sort tree over
+//! the unique codes answers the whole family:
+//!
+//! * `RANK       = count_below(frame, group_min) + 1`
+//! * `ROW_NUMBER = count_below(frame, code) + 1`
+//! * `CUME_DIST  = count_below(frame, group_end) / frame_size`
+//! * `PERCENT_RANK`, `NTILE` — arithmetic on the above.
+//!
+//! `DENSE_RANK` needs the number of *distinct* smaller keys, a 3-d range
+//! count (§4.4), answered by the range tree with the previous-occurrence
+//! trick applied to tie-group ids.
+
+use super::Ctx;
+use crate::error::{Error, Result};
+use crate::order::{dense_codes_for, KeyColumns};
+use crate::remap::Remap;
+use crate::spec::{FuncKind, FunctionCall};
+use crate::value::Value;
+use holistic_core::codes::DenseCodes;
+use holistic_core::index::fits_u32;
+use holistic_core::{MergeSortTree, RangeSet, TreeIndex};
+use rustc_hash::FxHashSet;
+
+/// Shared preprocessing for the rank family.
+struct RankPrep<'a> {
+    keys: &'a KeyColumns,
+    remap: Remap,
+    /// kept positions → table rows.
+    kept_rows: Vec<usize>,
+    dc: DenseCodes,
+}
+
+fn prepare<'a>(
+    ctx: &Ctx<'a>,
+    call: &FunctionCall,
+    keys_owned: &'a mut Option<KeyColumns>,
+) -> Result<RankPrep<'a>> {
+    let keys: &'a KeyColumns = if call.inner_order.is_empty() {
+        ctx.window_keys
+    } else {
+        *keys_owned = Some(KeyColumns::evaluate(ctx.table, &call.inner_order)?);
+        keys_owned.as_ref().unwrap()
+    };
+    let filter = ctx.filter_mask(call)?;
+    let remap = Remap::new(&filter);
+    let kept_rows: Vec<usize> =
+        (0..remap.kept_len()).map(|k| ctx.rows[remap.to_position(k)]).collect();
+    let dc = dense_codes_for(keys, &kept_rows, ctx.parallel);
+    Ok(RankPrep { keys, remap, kept_rows, dc })
+}
+
+impl RankPrep<'_> {
+    /// `(group_min, group_end, unique_code_or_none)` of the current row in
+    /// *kept sorted-code* space. Rows dropped by FILTER still rank against
+    /// the kept rows; their virtual code bounds come from binary search.
+    fn code_bounds(&self, ctx: &Ctx<'_>, i: usize) -> (usize, usize, Option<usize>) {
+        if self.remap.is_kept(i) {
+            let k = self.remap.kept_index(i);
+            (self.dc.group_min[k], self.dc.group_end[k], Some(self.dc.code[k]))
+        } else {
+            let row = ctx.rows[i];
+            let perm = &self.dc.perm;
+            let below = |x: usize| {
+                self.keys.cmp_rows(self.kept_rows[perm[x]], row) == std::cmp::Ordering::Less
+            };
+            let mut lo = 0;
+            let mut hi = perm.len();
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if below(mid) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let gmin = lo;
+            let mut hi2 = perm.len();
+            let mut lo2 = gmin;
+            while lo2 < hi2 {
+                let mid = lo2 + (hi2 - lo2) / 2;
+                if self.keys.rows_equal(self.kept_rows[perm[mid]], row) {
+                    lo2 = mid + 1;
+                } else {
+                    hi2 = mid;
+                }
+            }
+            (gmin, lo2, None)
+        }
+    }
+
+    /// Frame pieces remapped to kept space.
+    fn kept_pieces(&self, ctx: &Ctx<'_>, i: usize) -> RangeSet {
+        self.remap.range_set(&ctx.frames.range_set(i))
+    }
+}
+
+/// RANK / ROW_NUMBER / PERCENT_RANK / CUME_DIST / NTILE.
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    if fits_u32(ctx.m() + 1) {
+        evaluate_impl::<u32>(ctx, call)
+    } else {
+        evaluate_impl::<u64>(ctx, call)
+    }
+}
+
+fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    let mut keys_owned = None;
+    let prep = prepare(ctx, call, &mut keys_owned)?;
+    let codes: Vec<I> = prep.dc.code.iter().map(|&c| I::from_usize(c)).collect();
+    let tree = MergeSortTree::<I>::build(&codes, ctx.params);
+
+    // ROW_NUMBER of row i within its frame (1-based); also used by NTILE.
+    let row_number = |i: usize, pieces: &RangeSet| -> usize {
+        let (gmin, _gend, ucode) = prep.code_bounds(ctx, i);
+        match ucode {
+            Some(c) => tree.count_below_multi(pieces, I::from_usize(c)) + 1,
+            None => {
+                // Dropped rows: key-smaller rows plus equal-key rows that
+                // precede the current row positionally.
+                let smaller = tree.count_below_multi(pieces, I::from_usize(gmin));
+                let ki = self_kept_prefix(&prep, i);
+                let mut earlier = RangeSet::empty();
+                for (a, b) in pieces.iter() {
+                    let b2 = b.min(ki);
+                    if a < b2 {
+                        earlier.push(a, b2);
+                    }
+                }
+                let eq_before = tree.count_below_multi(&earlier, I::from_usize(prep.code_bounds(ctx, i).1))
+                    - tree.count_below_multi(&earlier, I::from_usize(gmin));
+                smaller + eq_before + 1
+            }
+        }
+    };
+
+    match call.kind {
+        FuncKind::RowNumber => ctx.probe(|i| {
+            let pieces = prep.kept_pieces(ctx, i);
+            Ok(Value::Int(row_number(i, &pieces) as i64))
+        }),
+        FuncKind::Rank => ctx.probe(|i| {
+            let pieces = prep.kept_pieces(ctx, i);
+            let (gmin, _, _) = prep.code_bounds(ctx, i);
+            Ok(Value::Int(
+                (tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1) as i64,
+            ))
+        }),
+        FuncKind::PercentRank => ctx.probe(|i| {
+            let pieces = prep.kept_pieces(ctx, i);
+            let size = pieces.count();
+            if size == 0 {
+                return Ok(Value::Null);
+            }
+            let (gmin, _, _) = prep.code_bounds(ctx, i);
+            let rank = tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1;
+            Ok(Value::Float(if size <= 1 {
+                0.0
+            } else {
+                (rank - 1) as f64 / (size - 1) as f64
+            }))
+        }),
+        FuncKind::CumeDist => ctx.probe(|i| {
+            let pieces = prep.kept_pieces(ctx, i);
+            let size = pieces.count();
+            if size == 0 {
+                return Ok(Value::Null);
+            }
+            let (_, gend, _) = prep.code_bounds(ctx, i);
+            let le = tree.count_below_multi(&pieces, I::from_usize(gend));
+            Ok(Value::Float(le as f64 / size as f64))
+        }),
+        FuncKind::Ntile => {
+            let buckets_expr = call.args[0].bind(ctx.table)?;
+            ctx.probe(|i| {
+                let b = match buckets_expr.eval(ctx.table, ctx.rows[i])? {
+                    Value::Int(x) if x >= 1 => x as usize,
+                    Value::Null => return Ok(Value::Null),
+                    v => {
+                        return Err(Error::InvalidArgument(format!(
+                            "ntile: bucket count must be a positive integer, got {v}"
+                        )))
+                    }
+                };
+                let pieces = prep.kept_pieces(ctx, i);
+                let size = pieces.count();
+                if size == 0 {
+                    return Ok(Value::Null);
+                }
+                let rn = row_number(i, &pieces);
+                Ok(Value::Int(ntile_of(rn, size, b) as i64))
+            })
+        }
+        _ => unreachable!("rank dispatch"),
+    }
+}
+
+/// Number of kept positions strictly before partition position `i`.
+fn self_kept_prefix(prep: &RankPrep<'_>, i: usize) -> usize {
+    prep.remap.range(0, i).1
+}
+
+/// SQL NTILE: `size` rows into `b` buckets; the first `size % b` buckets get
+/// one extra row. `rn` is 1-based; the result is 1-based. `rn` may exceed
+/// `size` when the current row lies outside its own frame (the paper's framed
+/// extension allows that); the formula extrapolates consistently.
+pub(crate) fn ntile_of(rn: usize, size: usize, b: usize) -> usize {
+    debug_assert!(rn >= 1 && b >= 1);
+    let q = size / b;
+    let r = size % b;
+    if q == 0 {
+        // More buckets than rows: row k goes to bucket k.
+        return rn;
+    }
+    let big = q + 1;
+    if rn <= r * big {
+        (rn - 1) / big + 1
+    } else {
+        r + (rn - 1 - r * big) / q + 1
+    }
+}
+
+/// Framed DENSE_RANK via the 3-d range tree (§4.4).
+pub(crate) fn evaluate_dense_rank(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    if !fits_u32(ctx.m() + 1) {
+        return Err(Error::Unsupported(
+            "DENSE_RANK partitions beyond u32 positions".into(),
+        ));
+    }
+    let mut keys_owned = None;
+    let prep = prepare(ctx, call, &mut keys_owned)?;
+    let gids: Vec<u32> = prep.dc.group_id.iter().map(|&g| g as u32).collect();
+    // Previous occurrence of the same tie group among kept rows.
+    let prev: Vec<u32> = holistic_core::prev_idcs_by_key(&gids, ctx.parallel)
+        .iter()
+        .map(|&p| p as u32)
+        .collect();
+    let rt = holistic_rangetree::RangeTree3::build(&gids, &prev, ctx.parallel);
+
+    // Occurrence lists per group for exclusion correction.
+    let mut occurrences: Vec<Vec<usize>> = Vec::new();
+    if ctx.frames.has_exclusion() {
+        occurrences = vec![Vec::new(); prep.dc.num_groups];
+        for (k, &g) in prep.dc.group_id.iter().enumerate() {
+            occurrences[g].push(k);
+        }
+    }
+
+    ctx.probe(|i| {
+        let (a, b) = ctx.frames.bounds[i];
+        let (ka, kb) = prep.remap.range(a, b);
+        // Number of tie groups with keys smaller than the current row's key:
+        // the group id right below the row's group_min boundary.
+        let (gmin, _, _) = prep.code_bounds(ctx, i);
+        let gcount = if gmin == 0 {
+            0
+        } else {
+            prep.dc.group_id[prep.dc.perm[gmin - 1]] + 1
+        };
+        let base = rt.count(ka, kb, gcount as u32, ka as u32 + 1);
+        if !ctx.frames.has_exclusion() {
+            return Ok(Value::Int((base + 1) as i64));
+        }
+        // Correct for smaller-key groups whose only frame occurrences sit in
+        // the exclusion hole.
+        let pieces = prep.remap.range_set(&ctx.frames.range_set(i));
+        let holes: Vec<(usize, usize)> = ctx
+            .frames
+            .holes(i)
+            .into_iter()
+            .map(|(h1, h2)| (h1.max(a).min(b), h2.max(a).min(b)))
+            .map(|(h1, h2)| prep.remap.range(h1, h2.max(h1)))
+            .filter(|&(h1, h2)| h1 < h2)
+            .collect();
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        let mut correction = 0usize;
+        for &(h1, h2) in &holes {
+            for p in h1..h2 {
+                let g = prep.dc.group_id[p];
+                if g >= gcount || !seen.insert(g) {
+                    continue;
+                }
+                let occ = &occurrences[g];
+                let in_pieces = pieces.iter().any(|(lo, hi)| {
+                    let idx = occ.partition_point(|&q| q < lo);
+                    idx < occ.len() && occ[idx] < hi
+                });
+                if !in_pieces {
+                    correction += 1;
+                }
+            }
+        }
+        Ok(Value::Int((base - correction + 1) as i64))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntile_distribution() {
+        // 10 rows, 3 buckets → sizes 4, 3, 3.
+        let tiles: Vec<usize> = (1..=10).map(|rn| ntile_of(rn, 10, 3)).collect();
+        assert_eq!(tiles, vec![1, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        // More buckets than rows.
+        let tiles: Vec<usize> = (1..=3).map(|rn| ntile_of(rn, 3, 5)).collect();
+        assert_eq!(tiles, vec![1, 2, 3]);
+        // Exact division.
+        let tiles: Vec<usize> = (1..=6).map(|rn| ntile_of(rn, 6, 3)).collect();
+        assert_eq!(tiles, vec![1, 1, 2, 2, 3, 3]);
+        // One bucket.
+        assert!((1..=4).all(|rn| ntile_of(rn, 4, 1) == 1));
+    }
+}

@@ -1,0 +1,165 @@
+//! Framed percentiles and value functions via permutation-array selection
+//! (§4.5).
+//!
+//! One sort by the function-level ORDER BY produces the permutation array;
+//! the merge sort tree built over it finds "the j-th index pointing into the
+//! frame" in O(log n). Value functions without an inner ORDER BY select by
+//! frame position (classic SQL semantics) — the identity permutation.
+//!
+//! NULL handling follows the paper: percentiles always skip NULL keys; value
+//! functions skip NULL arguments only under IGNORE NULLS. Skipped rows are
+//! never inserted into the tree; frame bounds are remapped (§4.5's index
+//! remapping).
+
+use super::{fraction_arg, Ctx};
+use crate::error::{Error, Result};
+use crate::order::{dense_codes_for, KeyColumns};
+use crate::remap::Remap;
+use crate::spec::{FuncKind, FunctionCall};
+use crate::value::Value;
+use holistic_core::index::fits_u32;
+use holistic_core::{MergeSortTree, RangeSet, TreeIndex};
+
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    if fits_u32(ctx.m() + 1) {
+        evaluate_impl::<u32>(ctx, call)
+    } else {
+        evaluate_impl::<u64>(ctx, call)
+    }
+}
+
+fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+    let m = ctx.m();
+    let is_percentile = matches!(
+        call.kind,
+        FuncKind::PercentileDisc | FuncKind::PercentileCont | FuncKind::Median
+    );
+    let filter = ctx.filter_mask(call)?;
+
+    // The selected-row output: percentile result is the ORDER BY key itself,
+    // value functions evaluate their first argument.
+    let out_values: Vec<Value> = if is_percentile {
+        ctx.eval_positions(&call.inner_order[0].expr)?
+    } else {
+        ctx.eval_positions(&call.args[0])?
+    };
+
+    // Keep mask: FILTER ∧ (percentile: non-null key | IGNORE NULLS: non-null arg).
+    let keep: Vec<bool> = (0..m)
+        .map(|i| {
+            // Percentiles always skip NULL keys; value functions only
+            // under IGNORE NULLS.
+            filter[i] && ((!is_percentile && !call.ignore_nulls) || !out_values[i].is_null())
+        })
+        .collect();
+    let remap = Remap::new(&keep);
+    let kept_rows: Vec<usize> =
+        (0..remap.kept_len()).map(|k| ctx.rows[remap.to_position(k)]).collect();
+    // Output value per kept position.
+    let kept_out: Vec<Value> =
+        (0..remap.kept_len()).map(|k| out_values[remap.to_position(k)].clone()).collect();
+
+    // Permutation by the inner order (identity = frame position order).
+    let perm: Vec<usize> = if call.inner_order.is_empty() {
+        (0..remap.kept_len()).collect()
+    } else {
+        let keys = KeyColumns::evaluate(ctx.table, &call.inner_order)?;
+        dense_codes_for(&keys, &kept_rows, ctx.parallel).perm
+    };
+    let perm_i: Vec<I> = perm.iter().map(|&p| I::from_usize(p)).collect();
+    let tree = MergeSortTree::<I>::build(&perm_i, ctx.params);
+
+    // Selects the j-th (0-based) frame row by inner order; returns its kept
+    // position.
+    let select = |pieces: &RangeSet, j: usize| -> Option<usize> {
+        tree.select(pieces, j).map(|rank| perm[rank])
+    };
+
+    match call.kind {
+        FuncKind::PercentileDisc | FuncKind::Median => {
+            let p = if call.kind == FuncKind::Median { 0.5 } else { fraction_arg(ctx, call)? };
+            ctx.probe(|i| {
+                let pieces = remap.range_set(&ctx.frames.range_set(i));
+                let s = pieces.count();
+                if s == 0 {
+                    return Ok(Value::Null);
+                }
+                // PERCENTILE_DISC: first value with cume_dist >= p.
+                let j = ((p * s as f64).ceil() as usize).clamp(1, s);
+                let kp = select(&pieces, j - 1).expect("j <= s");
+                Ok(kept_out[kp].clone())
+            })
+        }
+        FuncKind::PercentileCont => {
+            let p = fraction_arg(ctx, call)?;
+            // CONT interpolates: the key must be numeric throughout, even
+            // when a particular rank lands exactly on one element.
+            if let Some(v) = kept_out.iter().find(|v| v.as_f64().is_none()) {
+                return Err(Error::TypeMismatch {
+                    expected: "numeric",
+                    got: v.type_name(),
+                    context: "percentile_cont",
+                });
+            }
+            ctx.probe(|i| {
+                let pieces = remap.range_set(&ctx.frames.range_set(i));
+                let s = pieces.count();
+                if s == 0 {
+                    return Ok(Value::Null);
+                }
+                let rn = p * (s - 1) as f64;
+                let lo = rn.floor() as usize;
+                let hi = rn.ceil() as usize;
+                let vlo = &kept_out[select(&pieces, lo).expect("lo < s")];
+                if lo == hi {
+                    return Ok(vlo.clone());
+                }
+                let vhi = &kept_out[select(&pieces, hi).expect("hi < s")];
+                let (Some(x), Some(y)) = (vlo.as_f64(), vhi.as_f64()) else {
+                    return Err(Error::TypeMismatch {
+                        expected: "numeric",
+                        got: vlo.type_name(),
+                        context: "percentile_cont",
+                    });
+                };
+                Ok(Value::Float(x + (y - x) * (rn - lo as f64)))
+            })
+        }
+        FuncKind::FirstValue => ctx.probe(|i| {
+            let pieces = remap.range_set(&ctx.frames.range_set(i));
+            Ok(match select(&pieces, 0) {
+                Some(kp) => kept_out[kp].clone(),
+                None => Value::Null,
+            })
+        }),
+        FuncKind::LastValue => ctx.probe(|i| {
+            let pieces = remap.range_set(&ctx.frames.range_set(i));
+            let s = pieces.count();
+            Ok(if s == 0 {
+                Value::Null
+            } else {
+                kept_out[select(&pieces, s - 1).expect("s-1 < s")].clone()
+            })
+        }),
+        FuncKind::NthValue => {
+            let n_expr = call.args[1].bind(ctx.table)?;
+            ctx.probe(|i| {
+                let n = match n_expr.eval(ctx.table, ctx.rows[i])? {
+                    Value::Int(x) if x >= 1 => x as usize,
+                    Value::Null => return Ok(Value::Null),
+                    v => {
+                        return Err(Error::InvalidArgument(format!(
+                            "nth_value: n must be a positive integer, got {v}"
+                        )))
+                    }
+                };
+                let pieces = remap.range_set(&ctx.frames.range_set(i));
+                Ok(match select(&pieces, n - 1) {
+                    Some(kp) => kept_out[kp].clone(),
+                    None => Value::Null,
+                })
+            })
+        }
+        _ => unreachable!("selection dispatch"),
+    }
+}

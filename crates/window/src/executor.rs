@@ -1,0 +1,258 @@
+//! The window operator: partitioning, sorting, frame resolution and function
+//! dispatch.
+//!
+//! Mirrors the paper's execution pipeline (Figure 14): hash partitioning,
+//! per-partition ORDER BY sort, then per-call preprocessing + tree build +
+//! embarrassingly parallel probe phase. Partitions run in parallel; inside a
+//! partition, build and probe phases parallelize as described in §5.2.
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::eval::{evaluate_call, Ctx};
+use crate::frame::resolve_frames;
+use crate::order::{sort_permutation, KeyColumns};
+use crate::partition::partition_rows;
+use crate::spec::{FunctionCall, WindowSpec};
+use crate::table::Table;
+use crate::value::Value;
+use holistic_core::MstParams;
+use rayon::prelude::*;
+
+/// Execution tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Use rayon for partitioning, sorting, tree builds and probes.
+    pub parallel: bool,
+    /// Merge sort tree parameters (§5.1; default f = k = 32).
+    pub params: MstParams,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallel: true, params: MstParams::default() }
+    }
+}
+
+impl ExecOptions {
+    /// Fully serial execution (used by benchmarks isolating algorithms).
+    pub fn serial() -> Self {
+        ExecOptions { parallel: false, params: MstParams::default().serial() }
+    }
+}
+
+/// A window query: one OVER clause, many function calls.
+#[derive(Debug, Clone)]
+pub struct WindowQuery {
+    /// The shared OVER clause.
+    pub spec: WindowSpec,
+    /// The function calls to evaluate against it.
+    pub calls: Vec<FunctionCall>,
+}
+
+impl WindowQuery {
+    /// Starts a query over the given OVER clause.
+    pub fn over(spec: WindowSpec) -> Self {
+        WindowQuery { spec, calls: Vec::new() }
+    }
+
+    /// Adds a function call.
+    pub fn call(mut self, call: FunctionCall) -> Self {
+        self.calls.push(call);
+        self
+    }
+
+    /// Executes with default options; returns one output column per call, in
+    /// the *original row order* of the input table.
+    pub fn execute(&self, table: &Table) -> Result<Table> {
+        self.execute_with(table, ExecOptions::default())
+    }
+
+    /// Executes with explicit options.
+    pub fn execute_with(&self, table: &Table, opts: ExecOptions) -> Result<Table> {
+        let n = table.num_rows();
+        for call in &self.calls {
+            call.validate()?;
+        }
+        let partitions = partition_rows(table, &self.spec.partition_by)?;
+        let window_keys = KeyColumns::evaluate(table, &self.spec.order_by)?;
+
+        // Parallelize across partitions when there are many, inside a
+        // partition when there are few (§5.2's task model collapses to this
+        // two-level scheme here).
+        let threads = rayon::current_num_threads();
+        let across = opts.parallel && partitions.len() >= 2 * threads;
+        let within = opts.parallel && !across;
+
+        let process = |rows_unsorted: &Vec<usize>| -> Result<Vec<(Vec<usize>, Vec<Value>)>> {
+            let mut rows = rows_unsorted.clone();
+            sort_permutation(&window_keys, &mut rows, within);
+            let frames = resolve_frames(table, &rows, &window_keys, &self.spec.frame)?;
+            let ctx = Ctx {
+                table,
+                rows: &rows,
+                frames: &frames,
+                window_keys: &window_keys,
+                parallel: within,
+                params: if within { opts.params } else { opts.params.serial() },
+            };
+            self.calls
+                .iter()
+                .map(|call| Ok((rows.clone(), evaluate_call(&ctx, call)?)))
+                .collect()
+        };
+
+        let per_partition: Vec<Vec<(Vec<usize>, Vec<Value>)>> = if across {
+            partitions.par_iter().map(process).collect::<Result<Vec<_>>>()?
+        } else {
+            partitions.iter().map(process).collect::<Result<Vec<_>>>()?
+        };
+
+        // Scatter back to original row order.
+        let mut out = Table::empty();
+        for (ci, call) in self.calls.iter().enumerate() {
+            let mut values = vec![Value::Null; n];
+            for part in &per_partition {
+                let (rows, vals) = &part[ci];
+                for (pos, &row) in rows.iter().enumerate() {
+                    values[row] = vals[pos].clone();
+                }
+            }
+            out.add_column(call.output_name.clone(), Column::from_values(&values)?)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::frame::{FrameBound, FrameSpec};
+    use crate::order::SortKey;
+    use crate::spec::{FunctionCall, WindowSpec};
+
+    fn ints(vals: Vec<i64>) -> Table {
+        Table::new(vec![("x", Column::ints(vals))]).unwrap()
+    }
+
+    #[test]
+    fn running_sum_over_rows_frame() {
+        let t = ints(vec![3, 1, 2]);
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::sum(col("x")).named("s"));
+        let out = q.execute(&t).unwrap();
+        // Original row order: x=3 → 6, x=1 → 1, x=2 → 3.
+        assert_eq!(
+            out.column("s").unwrap().to_values(),
+            vec![Value::Int(6), Value::Int(1), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn moving_median_small() {
+        let t = ints(vec![5, 1, 4, 2, 3]);
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(
+                    FrameBound::Preceding(lit(1i64)),
+                    FrameBound::Following(lit(1i64)),
+                )),
+        )
+        .call(FunctionCall::median(col("x")).named("med"));
+        let out = q.execute(&t).unwrap();
+        // Sorted: 1 2 3 4 5; medians of windows: [1,2]→2? PERCENTILE_DISC(0.5)
+        // of 2 elements is the 1st (ceil(0.5*2)=1) → 1; of 3 elements → 2nd.
+        // Window per row (sorted): [1,2]→1, [1,2,3]→2, [2,3,4]→3, [3,4,5]→4, [4,5]→4.
+        let by_x: Vec<(i64, i64)> = (0..5)
+            .map(|r| {
+                let x = t.column("x").unwrap().get(r).as_i64().unwrap();
+                let m = out.column("med").unwrap().get(r).as_i64().unwrap();
+                (x, m)
+            })
+            .collect();
+        let mut by_x = by_x;
+        by_x.sort_unstable();
+        assert_eq!(by_x, vec![(1, 1), (2, 2), (3, 3), (4, 4), (5, 4)]);
+    }
+
+    #[test]
+    fn partitions_do_not_interact() {
+        let t = Table::new(vec![
+            ("g", Column::strs(vec!["a", "b", "a", "b"])),
+            ("x", Column::ints(vec![1, 10, 2, 20])),
+        ])
+        .unwrap();
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .partition_by(vec![col("g")])
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::sum(col("x")).named("s"));
+        let out = q.execute(&t).unwrap();
+        assert_eq!(
+            out.column("s").unwrap().to_values(),
+            vec![Value::Int(1), Value::Int(10), Value::Int(3), Value::Int(30)]
+        );
+    }
+
+    #[test]
+    fn count_distinct_over_running_frame() {
+        let t = ints(vec![7, 7, 8, 7, 9]);
+        // Order by position: use a row-number column.
+        let t2 = Table::new(vec![
+            ("x", Column::ints(vec![7, 7, 8, 7, 9])),
+            ("pos", Column::ints(vec![0, 1, 2, 3, 4])),
+        ])
+        .unwrap();
+        let _ = t;
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("pos"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::count_distinct(col("x")).named("cd"));
+        let out = q.execute(&t2).unwrap();
+        assert_eq!(
+            out.column("cd").unwrap().to_values(),
+            vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn empty_table_executes() {
+        let t = ints(vec![]);
+        let q = WindowQuery::over(WindowSpec::new())
+            .call(FunctionCall::count_star().named("c"));
+        let out = q.execute(&t).unwrap();
+        assert_eq!(out.column("c").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rank_with_two_orderings() {
+        // The paper's §2.4 pattern: frame by date, rank by value.
+        let t = Table::new(vec![
+            ("date", Column::ints(vec![1, 2, 3, 4])),
+            ("tps", Column::ints(vec![10, 30, 20, 40])),
+        ])
+        .unwrap();
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("date"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::rank(vec![SortKey::desc(col("tps"))]).named("r"));
+        let out = q.execute(&t).unwrap();
+        // date 1: rank of 10 among {10} = 1; date 2: 30 among {10,30} = 1;
+        // date 3: 20 among {10,30,20} = 2; date 4: 40 among all = 1.
+        assert_eq!(
+            out.column("r").unwrap().to_values(),
+            vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(1)]
+        );
+    }
+}

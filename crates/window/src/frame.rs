@@ -1,0 +1,656 @@
+//! Window frame specification and resolution (§2.2, §4.7).
+//!
+//! Frames support all of SQL:2011 plus the paper's requirements:
+//!
+//! * ROWS / RANGE / GROUPS modes (GROUPS is a SQL:2011 feature the paper does
+//!   not discuss; it falls out of the peer-group machinery for free),
+//! * UNBOUNDED / offset / CURRENT ROW bounds where offsets are arbitrary
+//!   per-row *expressions* — the stock-order example of §2.2 and the
+//!   non-monotonic frames of §6.5 need this,
+//! * frame exclusion (EXCLUDE NO OTHERS / CURRENT ROW / GROUP / TIES), which
+//!   turns a frame into at most three contiguous pieces (§4.7).
+//!
+//! Resolution happens once per window, yielding per-row `[start, end)` bounds
+//! in *partition position* space plus exclusion holes.
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::order::{peer_bounds, KeyColumns};
+use crate::table::Table;
+use crate::value::Value;
+use holistic_core::RangeSet;
+
+/// How frame offsets are interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameMode {
+    /// Physical row offsets.
+    Rows,
+    /// Logical value offsets over a single numeric ORDER BY key.
+    Range,
+    /// Peer-group offsets.
+    Groups,
+}
+
+/// One frame boundary.
+#[derive(Debug, Clone)]
+pub enum FrameBound {
+    /// From the partition start.
+    UnboundedPreceding,
+    /// `expr PRECEDING` (per-row evaluated, must be non-negative).
+    Preceding(Expr),
+    /// The current row (peer group in RANGE/GROUPS modes).
+    CurrentRow,
+    /// `expr FOLLOWING`.
+    Following(Expr),
+    /// To the partition end.
+    UnboundedFollowing,
+}
+
+/// Frame exclusion clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameExclusion {
+    /// Keep everything (default).
+    #[default]
+    NoOthers,
+    /// Drop the current row.
+    CurrentRow,
+    /// Drop the current row and its peers.
+    Group,
+    /// Drop the peers but keep the current row.
+    Ties,
+}
+
+/// A complete frame clause.
+#[derive(Debug, Clone)]
+pub struct FrameSpec {
+    /// Offset interpretation.
+    pub mode: FrameMode,
+    /// Lower bound.
+    pub start: FrameBound,
+    /// Upper bound.
+    pub end: FrameBound,
+    /// Exclusion clause.
+    pub exclusion: FrameExclusion,
+}
+
+impl FrameSpec {
+    /// `ROWS BETWEEN start AND end`.
+    pub fn rows(start: FrameBound, end: FrameBound) -> Self {
+        FrameSpec { mode: FrameMode::Rows, start, end, exclusion: FrameExclusion::NoOthers }
+    }
+
+    /// `RANGE BETWEEN start AND end`.
+    pub fn range(start: FrameBound, end: FrameBound) -> Self {
+        FrameSpec { mode: FrameMode::Range, start, end, exclusion: FrameExclusion::NoOthers }
+    }
+
+    /// `GROUPS BETWEEN start AND end`.
+    pub fn groups(start: FrameBound, end: FrameBound) -> Self {
+        FrameSpec { mode: FrameMode::Groups, start, end, exclusion: FrameExclusion::NoOthers }
+    }
+
+    /// SQL's default frame: `RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT
+    /// ROW` (the running frame of §6.4's closing discussion).
+    pub fn default_frame() -> Self {
+        FrameSpec::range(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)
+    }
+
+    /// The whole partition.
+    pub fn whole_partition() -> Self {
+        FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing)
+    }
+
+    /// Attaches an exclusion clause.
+    pub fn exclude(mut self, e: FrameExclusion) -> Self {
+        self.exclusion = e;
+        self
+    }
+}
+
+/// Per-row resolved frames of one sorted partition.
+pub struct ResolvedFrames {
+    /// `[start, end)` in partition positions, `start <= end`.
+    pub bounds: Vec<(usize, usize)>,
+    /// Exclusion clause in force.
+    pub exclusion: FrameExclusion,
+    /// Peer group start per position (under the window ORDER BY).
+    pub peer_start: Vec<usize>,
+    /// Peer group end (exclusive) per position.
+    pub peer_end: Vec<usize>,
+}
+
+impl ResolvedFrames {
+    /// The exclusion holes of row `i` (positions to drop from its frame).
+    pub fn holes(&self, i: usize) -> Vec<(usize, usize)> {
+        match self.exclusion {
+            FrameExclusion::NoOthers => Vec::new(),
+            FrameExclusion::CurrentRow => vec![(i, i + 1)],
+            FrameExclusion::Group => vec![(self.peer_start[i], self.peer_end[i])],
+            FrameExclusion::Ties => {
+                vec![(self.peer_start[i], i), (i + 1, self.peer_end[i])]
+            }
+        }
+    }
+
+    /// The frame of row `i` as up to three disjoint ranges.
+    pub fn range_set(&self, i: usize) -> RangeSet {
+        let (a, b) = self.bounds[i];
+        RangeSet::frame_minus_holes(a, b, &self.holes(i))
+    }
+
+    /// True when no row's frame has exclusion holes.
+    pub fn has_exclusion(&self) -> bool {
+        self.exclusion != FrameExclusion::NoOthers
+    }
+}
+
+/// A frame bound with its offset expression pre-bound to the table.
+enum PreBound {
+    UnboundedPreceding,
+    Preceding(crate::expr::BoundExpr),
+    CurrentRow,
+    Following(crate::expr::BoundExpr),
+    UnboundedFollowing,
+}
+
+fn pre_bind(b: &FrameBound, table: &Table) -> Result<PreBound> {
+    Ok(match b {
+        FrameBound::UnboundedPreceding => PreBound::UnboundedPreceding,
+        FrameBound::Preceding(e) => PreBound::Preceding(e.bind(table)?),
+        FrameBound::CurrentRow => PreBound::CurrentRow,
+        FrameBound::Following(e) => PreBound::Following(e.bind(table)?),
+        FrameBound::UnboundedFollowing => PreBound::UnboundedFollowing,
+    })
+}
+
+/// Evaluates a pre-bound offset expression for a table row.
+fn eval_offset(expr: &crate::expr::BoundExpr, table: &Table, row: usize) -> Result<f64> {
+    let v = expr.eval(table, row)?;
+    match v {
+        Value::Int(x) if x >= 0 => Ok(x as f64),
+        Value::Float(x) if x >= 0.0 && x.is_finite() => Ok(x),
+        Value::Int(_) | Value::Float(_) => {
+            Err(Error::InvalidFrameBound("offset must be non-negative".into()))
+        }
+        Value::Null => Err(Error::InvalidFrameBound("offset must not be NULL".into())),
+        other => Err(Error::InvalidFrameBound(format!(
+            "offset must be numeric, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Resolves all frames of a sorted partition.
+///
+/// `rows` maps partition positions to table rows *in window order*; `keys`
+/// are the window ORDER BY keys (used for peers and RANGE arithmetic).
+pub fn resolve_frames(
+    table: &Table,
+    rows: &[usize],
+    keys: &KeyColumns,
+    spec: &FrameSpec,
+) -> Result<ResolvedFrames> {
+    let m = rows.len();
+    let (peer_start, peer_end) = peer_bounds(keys, rows);
+    let mut bounds = Vec::with_capacity(m);
+
+    let pstart = pre_bind(&spec.start, table)?;
+    let pend = pre_bind(&spec.end, table)?;
+
+    match spec.mode {
+        FrameMode::Rows => {
+            #[allow(clippy::needless_range_loop)] // i is simultaneously position and index
+            for i in 0..m {
+                let start = match &pstart {
+                    PreBound::UnboundedPreceding => 0,
+                    PreBound::Preceding(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        i.saturating_sub(off)
+                    }
+                    PreBound::CurrentRow => i,
+                    PreBound::Following(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        (i + off).min(m)
+                    }
+                    PreBound::UnboundedFollowing => {
+                        return Err(Error::InvalidFrameBound(
+                            "UNBOUNDED FOLLOWING cannot start a frame".into(),
+                        ))
+                    }
+                };
+                let end = match &pend {
+                    PreBound::UnboundedFollowing => m,
+                    PreBound::Following(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        (i + off + 1).min(m)
+                    }
+                    PreBound::CurrentRow => i + 1,
+                    PreBound::Preceding(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        (i + 1).saturating_sub(off)
+                    }
+                    PreBound::UnboundedPreceding => {
+                        return Err(Error::InvalidFrameBound(
+                            "UNBOUNDED PRECEDING cannot end a frame".into(),
+                        ))
+                    }
+                };
+                bounds.push((start, end.max(start).min(m)));
+            }
+        }
+        FrameMode::Range => {
+            resolve_range_frames(
+                table, rows, keys, &pstart, &pend, &peer_start, &peer_end, &mut bounds,
+            )?;
+        }
+        FrameMode::Groups => {
+            // Group index per position + group start/end tables.
+            let mut group_of = vec![0usize; m];
+            let mut starts = Vec::new();
+            let mut ends = Vec::new();
+            let mut g = 0usize;
+            let mut p = 0usize;
+            while p < m {
+                let e = peer_end[p];
+                starts.push(p);
+                ends.push(e);
+                group_of[p..e].fill(g);
+                g += 1;
+                p = e;
+            }
+            let num_groups = starts.len();
+            for i in 0..m {
+                let gi = group_of[i];
+                let start = match &pstart {
+                    PreBound::UnboundedPreceding => 0,
+                    PreBound::Preceding(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        starts[gi.saturating_sub(off)]
+                    }
+                    PreBound::CurrentRow => peer_start[i],
+                    PreBound::Following(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        if gi + off < num_groups {
+                            starts[gi + off]
+                        } else {
+                            m
+                        }
+                    }
+                    PreBound::UnboundedFollowing => {
+                        return Err(Error::InvalidFrameBound(
+                            "UNBOUNDED FOLLOWING cannot start a frame".into(),
+                        ))
+                    }
+                };
+                let end = match &pend {
+                    PreBound::UnboundedFollowing => m,
+                    PreBound::Following(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        if gi + off < num_groups {
+                            ends[gi + off]
+                        } else {
+                            m
+                        }
+                    }
+                    PreBound::CurrentRow => peer_end[i],
+                    PreBound::Preceding(e) => {
+                        let off = eval_offset(e, table, rows[i])? as usize;
+                        if off > gi {
+                            0
+                        } else {
+                            ends[gi - off]
+                        }
+                    }
+                    PreBound::UnboundedPreceding => {
+                        return Err(Error::InvalidFrameBound(
+                            "UNBOUNDED PRECEDING cannot end a frame".into(),
+                        ))
+                    }
+                };
+                bounds.push((start, end.max(start)));
+            }
+        }
+    }
+
+    Ok(ResolvedFrames { bounds, exclusion: spec.exclusion, peer_start, peer_end })
+}
+
+/// RANGE mode: logical offsets over the single numeric ORDER BY key.
+#[allow(clippy::too_many_arguments)]
+fn resolve_range_frames(
+    table: &Table,
+    rows: &[usize],
+    keys: &KeyColumns,
+    pstart: &PreBound,
+    pend: &PreBound,
+    peer_start: &[usize],
+    peer_end: &[usize],
+    bounds: &mut Vec<(usize, usize)>,
+) -> Result<()> {
+    let m = rows.len();
+    let needs_key = |b: &PreBound| matches!(b, PreBound::Preceding(_) | PreBound::Following(_));
+    let offsets_used = needs_key(pstart) || needs_key(pend);
+
+    // Without offset bounds, RANGE only needs peers — any ORDER BY is fine.
+    if !offsets_used {
+        for i in 0..m {
+            let start = match pstart {
+                PreBound::UnboundedPreceding => 0,
+                PreBound::CurrentRow => peer_start[i],
+                _ => unreachable!(),
+            };
+            let end = match pend {
+                PreBound::UnboundedFollowing => m,
+                PreBound::CurrentRow => peer_end[i],
+                PreBound::UnboundedPreceding => {
+                    return Err(Error::InvalidFrameBound(
+                        "UNBOUNDED PRECEDING cannot end a frame".into(),
+                    ))
+                }
+                _ => unreachable!(),
+            };
+            bounds.push((start, end.max(start)));
+        }
+        return Ok(());
+    }
+
+    // Offset bounds: single numeric key required (the SQL restriction).
+    let mut key_vals = Vec::with_capacity(m);
+    let mut desc = false;
+    for (i, &row) in rows.iter().enumerate() {
+        let Some((v, d)) = ({
+            let _ = i;
+            keys.single_key(row)
+        }) else {
+            return Err(Error::Unsupported(
+                "RANGE frames with offsets require exactly one ORDER BY key".into(),
+            ));
+        };
+        desc = d;
+        match v {
+            Value::Null => key_vals.push(None),
+            other => match other.as_f64() {
+                Some(x) => key_vals.push(Some(x)),
+                None => {
+                    return Err(Error::Unsupported(
+                        "RANGE frames with offsets require a numeric ORDER BY key".into(),
+                    ))
+                }
+            },
+        }
+    }
+    // NULL rows are contiguous at one end; compute the non-null span.
+    let nn_lo = key_vals.iter().take_while(|v| v.is_none()).count();
+    let nn_hi = m - key_vals.iter().rev().take_while(|v| v.is_none()).count();
+    let keyf = |p: usize| key_vals[p].expect("non-null span");
+
+    // First position in [nn_lo, nn_hi) whose key is "at or past" v coming
+    // from the frame start direction.
+    let search_start = |v: f64| -> usize {
+        // ASC: first key >= v. DESC: first key <= v.
+        let mut lo = nn_lo;
+        let mut hi = nn_hi;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let past = if desc { keyf(mid) <= v } else { keyf(mid) >= v };
+            if past {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    };
+    // One past the last position whose key is "at or before" v.
+    let search_end = |v: f64| -> usize {
+        // ASC: positions with key <= v. DESC: key >= v.
+        let mut lo = nn_lo;
+        let mut hi = nn_hi;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let within = if desc { keyf(mid) >= v } else { keyf(mid) <= v };
+            if within {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+
+    for i in 0..m {
+        // SQL: a NULL key row's offset frame is its peer group of NULLs.
+        let is_null = key_vals[i].is_none();
+        let start = match pstart {
+            PreBound::UnboundedPreceding => 0,
+            PreBound::CurrentRow => peer_start[i],
+            PreBound::Preceding(e) => {
+                let off = eval_offset(e, table, rows[i])?;
+                if is_null {
+                    peer_start[i]
+                } else {
+                    let v = if desc { keyf(i) + off } else { keyf(i) - off };
+                    search_start(v)
+                }
+            }
+            PreBound::Following(e) => {
+                let off = eval_offset(e, table, rows[i])?;
+                if is_null {
+                    peer_start[i]
+                } else {
+                    let v = if desc { keyf(i) - off } else { keyf(i) + off };
+                    search_start(v)
+                }
+            }
+            PreBound::UnboundedFollowing => {
+                return Err(Error::InvalidFrameBound(
+                    "UNBOUNDED FOLLOWING cannot start a frame".into(),
+                ))
+            }
+        };
+        let end = match pend {
+            PreBound::UnboundedFollowing => m,
+            PreBound::CurrentRow => peer_end[i],
+            PreBound::Following(e) => {
+                let off = eval_offset(e, table, rows[i])?;
+                if is_null {
+                    peer_end[i]
+                } else {
+                    let v = if desc { keyf(i) - off } else { keyf(i) + off };
+                    search_end(v)
+                }
+            }
+            PreBound::Preceding(e) => {
+                let off = eval_offset(e, table, rows[i])?;
+                if is_null {
+                    peer_end[i]
+                } else {
+                    let v = if desc { keyf(i) + off } else { keyf(i) - off };
+                    search_end(v)
+                }
+            }
+            PreBound::UnboundedPreceding => {
+                return Err(Error::InvalidFrameBound(
+                    "UNBOUNDED PRECEDING cannot end a frame".into(),
+                ))
+            }
+        };
+        bounds.push((start, end.max(start)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::expr::{col, lit};
+    use crate::order::SortKey;
+
+    fn setup(keys_vals: Vec<i64>) -> (Table, Vec<usize>, KeyColumns) {
+        let n = keys_vals.len();
+        let t = Table::new(vec![("k", Column::ints(keys_vals))]).unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..n).collect();
+        crate::order::sort_permutation(&keys, &mut rows, false);
+        (t, rows, keys)
+    }
+
+    #[test]
+    fn rows_frame_basic() {
+        let (t, rows, keys) = setup(vec![1, 2, 3, 4, 5]);
+        let spec =
+            FrameSpec::rows(FrameBound::Preceding(lit(1i64)), FrameBound::Following(lit(1i64)));
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds, vec![(0, 2), (0, 3), (1, 4), (2, 5), (3, 5)]);
+    }
+
+    #[test]
+    fn rows_unbounded_running() {
+        let (t, rows, keys) = setup(vec![3, 1, 2]);
+        let spec = FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow);
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds, vec![(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn rows_degenerate_empty_frame() {
+        let (t, rows, keys) = setup(vec![1, 2, 3]);
+        // BETWEEN 2 FOLLOWING AND 1 FOLLOWING → always empty.
+        let spec =
+            FrameSpec::rows(FrameBound::Following(lit(2i64)), FrameBound::Following(lit(1i64)));
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        for (a, b) in rf.bounds {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rows_preceding_end_bound() {
+        let (t, rows, keys) = setup(vec![1, 2, 3, 4]);
+        // BETWEEN UNBOUNDED PRECEDING AND 1 PRECEDING.
+        let spec =
+            FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::Preceding(lit(1i64)));
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn range_frame_value_offsets() {
+        let (t, rows, keys) = setup(vec![10, 11, 15, 20, 21]);
+        // RANGE BETWEEN 1 PRECEDING AND 1 FOLLOWING.
+        let spec = FrameSpec::range(
+            FrameBound::Preceding(lit(1i64)),
+            FrameBound::Following(lit(1i64)),
+        );
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds, vec![(0, 2), (0, 2), (2, 3), (3, 5), (3, 5)]);
+    }
+
+    #[test]
+    fn range_current_row_is_peer_group() {
+        let (t, rows, keys) = setup(vec![5, 5, 7, 7, 9]);
+        let spec = FrameSpec::default_frame(); // unbounded preceding .. current row
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        // Peers extend the frame end to the whole tie group.
+        assert_eq!(rf.bounds, vec![(0, 2), (0, 2), (0, 4), (0, 4), (0, 5)]);
+    }
+
+    #[test]
+    fn range_desc_order() {
+        let t = Table::new(vec![("k", Column::ints(vec![10, 11, 15, 20, 21]))]).unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::desc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..5).collect();
+        crate::order::sort_permutation(&keys, &mut rows, false);
+        // Sorted: 21, 20, 15, 11, 10.
+        let spec = FrameSpec::range(
+            FrameBound::Preceding(lit(1i64)),
+            FrameBound::Following(lit(1i64)),
+        );
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds, vec![(0, 2), (0, 2), (2, 3), (3, 5), (3, 5)]);
+    }
+
+    #[test]
+    fn range_null_rows_frame_is_their_peer_group() {
+        let t = Table::new(vec![(
+            "k",
+            Column::ints_opt(vec![Some(1), None, Some(2), None]),
+        )])
+        .unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..4).collect();
+        crate::order::sort_permutation(&keys, &mut rows, false);
+        // Sorted: 1, 2, NULL, NULL.
+        let spec = FrameSpec::range(
+            FrameBound::Preceding(lit(10i64)),
+            FrameBound::Following(lit(0i64)),
+        );
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds[2], (2, 4));
+        assert_eq!(rf.bounds[3], (2, 4));
+        assert_eq!(rf.bounds[0], (0, 1));
+    }
+
+    #[test]
+    fn groups_frame() {
+        let (t, rows, keys) = setup(vec![5, 5, 7, 7, 7, 9]);
+        let spec = FrameSpec::groups(
+            FrameBound::Preceding(lit(1i64)),
+            FrameBound::CurrentRow,
+        );
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(
+            rf.bounds,
+            vec![(0, 2), (0, 2), (0, 5), (0, 5), (0, 5), (2, 6)]
+        );
+    }
+
+    #[test]
+    fn exclusion_range_sets() {
+        let (t, rows, keys) = setup(vec![5, 5, 5, 7]);
+        let spec = FrameSpec::whole_partition().exclude(FrameExclusion::Ties);
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        // Row 1 (a 5): frame [0,4) minus peers {0,2} keeping itself.
+        let rs = rf.range_set(1);
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![(1, 2), (3, 4)]);
+        let spec = FrameSpec::whole_partition().exclude(FrameExclusion::Group);
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.range_set(1).iter().collect::<Vec<_>>(), vec![(3, 4)]);
+        let spec = FrameSpec::whole_partition().exclude(FrameExclusion::CurrentRow);
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.range_set(0).iter().collect::<Vec<_>>(), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn per_row_expression_bounds() {
+        // Frame size depends on the row's own value: k PRECEDING.
+        let (t, rows, keys) = setup(vec![0, 1, 2, 3]);
+        let spec = FrameSpec::rows(FrameBound::Preceding(col("k")), FrameBound::CurrentRow);
+        let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
+        assert_eq!(rf.bounds, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn negative_offset_is_rejected() {
+        let (t, rows, keys) = setup(vec![1, 2]);
+        let spec = FrameSpec::rows(FrameBound::Preceding(lit(-1i64)), FrameBound::CurrentRow);
+        assert!(resolve_frames(&t, &rows, &keys, &spec).is_err());
+    }
+
+    #[test]
+    fn range_offsets_need_single_numeric_key() {
+        let t = Table::new(vec![
+            ("a", Column::ints(vec![1, 2])),
+            ("s", Column::strs(vec!["x", "y"])),
+        ])
+        .unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("s"))]).unwrap();
+        let rows = vec![0usize, 1];
+        let spec = FrameSpec::range(FrameBound::Preceding(lit(1i64)), FrameBound::CurrentRow);
+        assert!(resolve_frames(&t, &rows, &keys, &spec).is_err());
+        let keys2 =
+            KeyColumns::evaluate(&t, &[SortKey::asc(col("a")), SortKey::asc(col("s"))]).unwrap();
+        assert!(resolve_frames(&t, &rows, &keys2, &spec).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! ORDER BY machinery: sort keys, comparators, permutations, peer groups and
+//! dense code preprocessing over arbitrary SQL values.
+//!
+//! The merge sort tree only stores integers; this module is the boundary
+//! where SQL ordering intricacies (multiple criteria, DESC, NULLS FIRST/LAST)
+//! are folded into integer codes, exactly as §5.1 prescribes.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::value::Value;
+use holistic_core::codes::DenseCodes;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// One ORDER BY criterion.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// The key expression.
+    pub expr: Expr,
+    /// Descending order.
+    pub desc: bool,
+    /// NULL placement (SQL default: last for ASC, first for DESC).
+    pub nulls_first: bool,
+}
+
+impl SortKey {
+    /// Ascending, NULLS LAST.
+    pub fn asc(expr: Expr) -> Self {
+        SortKey { expr, desc: false, nulls_first: false }
+    }
+
+    /// Descending, NULLS FIRST.
+    pub fn desc(expr: Expr) -> Self {
+        SortKey { expr, desc: true, nulls_first: true }
+    }
+
+    /// Overrides NULL placement.
+    pub fn nulls_first(mut self, yes: bool) -> Self {
+        self.nulls_first = yes;
+        self
+    }
+}
+
+/// Materialized sort key values for a set of rows, with comparison flags.
+pub struct KeyColumns {
+    keys: Vec<(Vec<Value>, bool, bool)>, // (values per row, desc, nulls_first)
+}
+
+impl KeyColumns {
+    /// Evaluates `sort_keys` for every row of `table`.
+    pub fn evaluate(table: &Table, sort_keys: &[SortKey]) -> Result<Self> {
+        let mut keys = Vec::with_capacity(sort_keys.len());
+        for sk in sort_keys {
+            let bound = sk.expr.bind(table)?;
+            keys.push((bound.eval_all(table)?, sk.desc, sk.nulls_first));
+        }
+        Ok(KeyColumns { keys })
+    }
+
+    /// Number of criteria.
+    pub fn is_trivial(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Compares two rows under the full criteria list.
+    pub fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        for (vals, desc, nulls_first) in &self.keys {
+            let (va, vb) = (&vals[a], &vals[b]);
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => {
+                    if *nulls_first {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    }
+                }
+                (false, true) => {
+                    if *nulls_first {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Less
+                    }
+                }
+                (false, false) => {
+                    let o = va.sql_cmp(vb);
+                    if *desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// True when two rows are peers (equal under every criterion).
+    pub fn rows_equal(&self, a: usize, b: usize) -> bool {
+        self.cmp_rows(a, b) == Ordering::Equal
+    }
+
+    /// The key value of the single criterion for row `i` (used by RANGE
+    /// frames, which SQL restricts to exactly one numeric key).
+    pub fn single_key(&self, i: usize) -> Option<(&Value, bool)> {
+        if self.keys.len() == 1 {
+            Some((&self.keys[0].0[i], self.keys[0].1))
+        } else {
+            None
+        }
+    }
+}
+
+/// Sorts `rows` (indices into the table) stably by `keys`, ties broken by the
+/// original index for determinism. This is the window operator's ORDER BY
+/// phase; it reuses the platform sorter as the paper reuses Hyper's (§5.3).
+pub fn sort_permutation(keys: &KeyColumns, rows: &mut [usize], parallel: bool) {
+    let cmp =
+        |&a: &usize, &b: &usize| keys.cmp_rows(a, b).then_with(|| a.cmp(&b));
+    if parallel && rows.len() >= 4096 {
+        rows.par_sort_unstable_by(cmp);
+    } else {
+        rows.sort_unstable_by(cmp);
+    }
+}
+
+/// Dense code preprocessing (Figure 8) over arbitrary comparators.
+///
+/// `rows[pos]` maps partition positions to table rows; the returned codes are
+/// in *position* space (0-based positions within the sorted partition), ready
+/// to feed into a merge sort tree.
+pub fn dense_codes_for(keys: &KeyColumns, rows: &[usize], parallel: bool) -> DenseCodes {
+    let n = rows.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let cmp = |&a: &usize, &b: &usize| {
+        keys.cmp_rows(rows[a], rows[b]).then_with(|| a.cmp(&b))
+    };
+    if parallel && n >= 4096 {
+        perm.par_sort_unstable_by(cmp);
+    } else {
+        perm.sort_unstable_by(cmp);
+    }
+    let mut code = vec![0usize; n];
+    let mut group_min = vec![0usize; n];
+    let mut group_end = vec![0usize; n];
+    let mut group_id = vec![0usize; n];
+    let mut num_groups = 0usize;
+    let mut r = 0;
+    while r < n {
+        let mut e = r + 1;
+        while e < n && keys.rows_equal(rows[perm[e]], rows[perm[r]]) {
+            e += 1;
+        }
+        for (off, &pos) in perm[r..e].iter().enumerate() {
+            code[pos] = r + off;
+            group_min[pos] = r;
+            group_end[pos] = e;
+            group_id[pos] = num_groups;
+        }
+        num_groups += 1;
+        r = e;
+    }
+    DenseCodes { code, group_min, group_end, group_id, perm, num_groups }
+}
+
+/// Peer group boundaries of an already-sorted position range: for each
+/// position, the `[start, end)` of its group of equals under `keys`.
+pub fn peer_bounds(keys: &KeyColumns, rows: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n = rows.len();
+    let mut start = vec![0usize; n];
+    let mut end = vec![0usize; n];
+    let mut g = 0;
+    while g < n {
+        let mut e = g + 1;
+        while e < n && keys.rows_equal(rows[e], rows[g]) {
+            e += 1;
+        }
+        for s in g..e {
+            start[s] = g;
+            end[s] = e;
+        }
+        g = e;
+    }
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::expr::col;
+
+    fn table() -> Table {
+        Table::new(vec![
+            ("k", Column::ints_opt(vec![Some(3), Some(1), None, Some(3), Some(2)])),
+            ("t", Column::ints(vec![0, 1, 2, 3, 4])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn asc_sorts_nulls_last() {
+        let t = table();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..5).collect();
+        sort_permutation(&keys, &mut rows, false);
+        assert_eq!(rows, vec![1, 4, 0, 3, 2]);
+    }
+
+    #[test]
+    fn desc_sorts_nulls_first() {
+        let t = table();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::desc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..5).collect();
+        sort_permutation(&keys, &mut rows, false);
+        assert_eq!(rows, vec![2, 0, 3, 4, 1]);
+    }
+
+    #[test]
+    fn nulls_first_override() {
+        let t = table();
+        let keys =
+            KeyColumns::evaluate(&t, &[SortKey::asc(col("k")).nulls_first(true)]).unwrap();
+        let mut rows: Vec<usize> = (0..5).collect();
+        sort_permutation(&keys, &mut rows, false);
+        assert_eq!(rows, vec![2, 1, 4, 0, 3]);
+    }
+
+    #[test]
+    fn multi_key_comparison() {
+        let t = Table::new(vec![
+            ("a", Column::ints(vec![1, 1, 2])),
+            ("b", Column::ints(vec![9, 3, 0])),
+        ])
+        .unwrap();
+        let keys = KeyColumns::evaluate(
+            &t,
+            &[SortKey::asc(col("a")), SortKey::desc(col("b"))],
+        )
+        .unwrap();
+        let mut rows: Vec<usize> = (0..3).collect();
+        sort_permutation(&keys, &mut rows, false);
+        assert_eq!(rows, vec![0, 1, 2]); // (1,9) < (1,3) under b DESC, then (2,0)
+    }
+
+    #[test]
+    fn dense_codes_over_rows() {
+        let t = table();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        // Partition = rows [0, 1, 3, 4] in this order (values 3, 1, 3, 2).
+        let rows = vec![0usize, 1, 3, 4];
+        let dc = dense_codes_for(&keys, &rows, false);
+        assert_eq!(dc.perm, vec![1, 3, 0, 2]); // positions sorted: 1 (v1), 3 (v2), 0, 2 (v3, v3)
+        assert_eq!(dc.code, vec![2, 0, 3, 1]);
+        assert_eq!(dc.group_min, vec![2, 0, 2, 1]);
+        assert_eq!(dc.group_end, vec![4, 1, 4, 2]);
+        assert_eq!(dc.num_groups, 3);
+    }
+
+    #[test]
+    fn peer_bounds_group_equal_keys() {
+        let t = Table::new(vec![("k", Column::ints(vec![5, 5, 7, 7, 7, 9]))]).unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let rows: Vec<usize> = (0..6).collect();
+        let (start, end) = peer_bounds(&keys, &rows);
+        assert_eq!(start, vec![0, 0, 2, 2, 2, 5]);
+        assert_eq!(end, vec![2, 2, 5, 5, 5, 6]);
+    }
+
+    #[test]
+    fn empty_order_by_makes_everything_peers() {
+        let t = table();
+        let keys = KeyColumns::evaluate(&t, &[]).unwrap();
+        assert!(keys.is_trivial());
+        let rows: Vec<usize> = (0..5).collect();
+        let (start, end) = peer_bounds(&keys, &rows);
+        assert!(start.iter().all(|&s| s == 0));
+        assert!(end.iter().all(|&e| e == 5));
+    }
+}

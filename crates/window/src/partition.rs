@@ -1,0 +1,109 @@
+//! PARTITION BY: hash-based partitioning of row indices.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::hash::hash_values;
+use crate::table::Table;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+
+/// Splits the table's rows into partitions by the PARTITION BY expressions.
+///
+/// Rows whose keys are `sql_eq`-equal land in the same partition (NULL groups
+/// with NULL, as in SQL). Partitions come out in first-appearance order so
+/// results are deterministic. An empty key list yields one partition.
+pub fn partition_rows(table: &Table, partition_by: &[Expr]) -> Result<Vec<Vec<usize>>> {
+    let n = table.num_rows();
+    if partition_by.is_empty() {
+        return Ok(vec![(0..n).collect()]);
+    }
+    let bound: Vec<_> =
+        partition_by.iter().map(|e| e.bind(table)).collect::<Result<Vec<_>>>()?;
+    let keys: Vec<Vec<Value>> = bound
+        .iter()
+        .map(|b| b.eval_all(table))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Hash → candidate partition ids (collision chains compare full keys).
+    let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    let mut reps: Vec<usize> = Vec::new(); // representative row per partition
+    let row_key = |row: usize| -> Vec<Value> { keys.iter().map(|k| k[row].clone()).collect() };
+    for row in 0..n {
+        let rk = row_key(row);
+        let h = hash_values(&rk);
+        let candidates = map.entry(h).or_default();
+        let mut found = None;
+        for &pid in candidates.iter() {
+            let rep = reps[pid];
+            if keys.iter().all(|k| k[rep].sql_eq(&k[row])) {
+                found = Some(pid);
+                break;
+            }
+        }
+        match found {
+            Some(pid) => partitions[pid].push(row),
+            None => {
+                let pid = partitions.len();
+                candidates.push(pid);
+                partitions.push(vec![row]);
+                reps.push(row);
+            }
+        }
+    }
+    Ok(partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::expr::col;
+
+    #[test]
+    fn no_keys_single_partition() {
+        let t = Table::new(vec![("a", Column::ints(vec![1, 2, 3]))]).unwrap();
+        let p = partition_rows(&t, &[]).unwrap();
+        assert_eq!(p, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn partitions_by_value_first_appearance_order() {
+        let t = Table::new(vec![(
+            "g",
+            Column::strs(vec!["b", "a", "b", "c", "a"]),
+        )])
+        .unwrap();
+        let p = partition_rows(&t, &[col("g")]).unwrap();
+        assert_eq!(p, vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn nulls_group_together() {
+        let t = Table::new(vec![(
+            "g",
+            Column::ints_opt(vec![None, Some(1), None, Some(1)]),
+        )])
+        .unwrap();
+        let p = partition_rows(&t, &[col("g")]).unwrap();
+        assert_eq!(p, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn multi_key_partitioning() {
+        let t = Table::new(vec![
+            ("a", Column::ints(vec![1, 1, 2, 1])),
+            ("b", Column::ints(vec![1, 2, 1, 1])),
+        ])
+        .unwrap();
+        let p = partition_rows(&t, &[col("a"), col("b")]).unwrap();
+        assert_eq!(p, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec![("a", Column::ints(vec![]))]).unwrap();
+        let p = partition_rows(&t, &[col("a")]).unwrap();
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Named column collections.
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+
+/// A table: equally long named columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<(String, Column)>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn empty() -> Self {
+        Table::default()
+    }
+
+    /// Builds from `(name, column)` pairs; all columns must have equal length.
+    pub fn new(columns: Vec<(impl Into<String>, Column)>) -> Result<Self> {
+        let mut t = Table::default();
+        for (name, col) in columns {
+            t.add_column(name, col)?;
+        }
+        Ok(t)
+    }
+
+    /// Adds a column.
+    pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
+        if self.columns.is_empty() {
+            self.rows = col.len();
+        } else if col.len() != self.rows {
+            return Err(Error::LengthMismatch { expected: self.rows, got: col.len() });
+        }
+        self.columns.push((name.into(), col));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks a column up by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx].1
+    }
+
+    /// Iterates `(name, column)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Column)> {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn build_and_lookup() {
+        let t = Table::new(vec![
+            ("a", Column::ints(vec![1, 2, 3])),
+            ("b", Column::strs(vec!["x", "y", "z"])),
+        ])
+        .unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column("b").unwrap().get(1), Value::str("y"));
+        assert_eq!(t.column_index("a").unwrap(), 0);
+        assert!(t.column("c").is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let r = Table::new(vec![
+            ("a", Column::ints(vec![1, 2, 3])),
+            ("b", Column::ints(vec![1])),
+        ]);
+        assert!(matches!(r, Err(Error::LengthMismatch { expected: 3, got: 1 })));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::empty();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Scalar values and their SQL comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed scalar.
+///
+/// Dates are days since 1970-01-01 (a distinct type so that RANGE frames can
+/// do day arithmetic); strings are reference counted so rows copy cheaply.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+    /// Days since the epoch.
+    Date(i32),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// The type of a [`Value`] / column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Days since the epoch.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True when NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The type name, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Date(_) => "date",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Numeric view (ints, floats and dates), used by RANGE frame arithmetic.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (for FILTER predicates; NULL is falsy, per SQL).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// SQL comparison: NULLs compare equal to each other and *greater* than
+    /// every non-null (the engine's canonical NULLS LAST order; sort keys can
+    /// flip it). Cross-type numeric comparisons (int/float) are supported;
+    /// other type mixes order by type name to stay total.
+    pub fn sql_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => a.type_name().cmp(b.type_name()),
+        }
+    }
+
+    /// SQL equality for grouping and DISTINCT: NULL is equal to NULL (as in
+    /// `GROUP BY` / `IS NOT DISTINCT FROM`).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => {
+                let (y, m, day) = crate::value::days_to_ymd(*d);
+                write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.sql_eq(other)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian.
+pub fn days_to_ymd(days: i32) -> (i32, u32, u32) {
+    // Howard Hinnant's civil_from_days.
+    let z = i64::from(days) + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+/// (year, month, day) → days since epoch, proleptic Gregorian.
+pub fn ymd_to_days(y: i32, m: u32, d: u32) -> i32 {
+    // Howard Hinnant's days_from_civil.
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ordering_is_last() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(5)), Ordering::Greater);
+        assert_eq!(Value::Int(5).sql_cmp(&Value::Null), Ordering::Less);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_is_ordered_totally() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.sql_cmp(&nan), Ordering::Equal);
+        assert_eq!(Value::Float(1.0).sql_cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn string_and_bool_compare() {
+        assert_eq!(Value::str("abc").sql_cmp(&Value::str("abd")), Ordering::Less);
+        assert_eq!(Value::Bool(false).sql_cmp(&Value::Bool(true)), Ordering::Less);
+    }
+
+    #[test]
+    fn sql_eq_treats_nulls_equal() {
+        assert!(Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in
+            &[(1970, 1, 1), (1992, 1, 2), (1998, 12, 31), (2000, 2, 29), (1900, 3, 1)]
+        {
+            let days = ymd_to_days(y, m, d);
+            assert_eq!(days_to_ymd(days), (y, m, d), "{y}-{m}-{d}");
+        }
+        assert_eq!(ymd_to_days(1970, 1, 1), 0);
+        assert_eq!(ymd_to_days(1970, 1, 2), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Date(0).to_string(), "1970-01-01");
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests of the window substrate: frame resolution
+//! invariants, remapping, ordering and partitioning.
+
+use holistic_window::frame::{resolve_frames, FrameBound, FrameExclusion, FrameSpec};
+use holistic_window::order::{sort_permutation, KeyColumns, SortKey};
+use holistic_window::partition::partition_rows;
+use holistic_window::remap::Remap;
+use holistic_window::{col, lit, Column, Table};
+use proptest::prelude::*;
+
+fn table_from(keys: Vec<Option<i64>>) -> Table {
+    Table::new(vec![("k", Column::ints_opt(keys))]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ROWS frames with constant offsets: bounds are clamped, ordered, and
+    /// monotone in the row position.
+    #[test]
+    fn rows_frames_are_sane(
+        keys in prop::collection::vec(prop::option::of(-20i64..20), 0..80),
+        pre in 0i64..40,
+        fol in 0i64..40,
+    ) {
+        let n = keys.len();
+        let t = table_from(keys);
+        let kc = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..n).collect();
+        sort_permutation(&kc, &mut rows, false);
+        let spec = FrameSpec::rows(FrameBound::Preceding(lit(pre)), FrameBound::Following(lit(fol)));
+        let rf = resolve_frames(&t, &rows, &kc, &spec).unwrap();
+        for i in 0..n {
+            let (a, b) = rf.bounds[i];
+            prop_assert!(a <= b && b <= n);
+            prop_assert_eq!(a, i.saturating_sub(pre as usize));
+            prop_assert_eq!(b, (i + fol as usize + 1).min(n));
+            if i > 0 {
+                prop_assert!(rf.bounds[i - 1].0 <= a && rf.bounds[i - 1].1 <= b);
+            }
+        }
+    }
+
+    /// RANGE frames: every key inside the frame lies within [k_i - pre,
+    /// k_i + fol]; every non-null key outside does not.
+    #[test]
+    fn range_frames_cover_exactly_the_value_window(
+        keys in prop::collection::vec(prop::option::of(-30i64..30), 1..80),
+        pre in 0i64..20,
+        fol in 0i64..20,
+    ) {
+        let n = keys.len();
+        let t = table_from(keys.clone());
+        let kc = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..n).collect();
+        sort_permutation(&kc, &mut rows, false);
+        let spec = FrameSpec::range(FrameBound::Preceding(lit(pre)), FrameBound::Following(lit(fol)));
+        let rf = resolve_frames(&t, &rows, &kc, &spec).unwrap();
+        for i in 0..n {
+            let ki = keys[rows[i]];
+            let (a, b) = rf.bounds[i];
+            prop_assert!(a <= b && b <= n);
+            if let Some(ki) = ki {
+                for (j, &row) in rows.iter().enumerate() {
+                    if let Some(kj) = keys[row] {
+                        let inside = kj >= ki - pre && kj <= ki + fol;
+                        prop_assert_eq!(
+                            a <= j && j < b,
+                            inside,
+                            "i={} j={} ki={} kj={} frame=({},{})", i, j, ki, kj, a, b
+                        );
+                    } else {
+                        prop_assert!(!(a <= j && j < b), "null keys outside numeric frames");
+                    }
+                }
+            } else {
+                // NULL rows: frame = their peer group of NULLs.
+                prop_assert_eq!((a, b), (rf.peer_start[i], rf.peer_end[i]));
+            }
+        }
+    }
+
+    /// Exclusion: the produced range set equals the frame minus the holes,
+    /// never contains excluded positions, and splits into at most 3 pieces.
+    #[test]
+    fn exclusion_pieces_are_exact(
+        keys in prop::collection::vec(0i64..6, 1..60),
+        which in 0usize..4,
+    ) {
+        let n = keys.len();
+        let t = table_from(keys.into_iter().map(Some).collect());
+        let kc = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
+        let mut rows: Vec<usize> = (0..n).collect();
+        sort_permutation(&kc, &mut rows, false);
+        let excl = [
+            FrameExclusion::NoOthers,
+            FrameExclusion::CurrentRow,
+            FrameExclusion::Group,
+            FrameExclusion::Ties,
+        ][which];
+        let spec = FrameSpec::whole_partition().exclude(excl);
+        let rf = resolve_frames(&t, &rows, &kc, &spec).unwrap();
+        for i in 0..n {
+            let rs = rf.range_set(i);
+            prop_assert!(rs.len() <= 3);
+            // Expected membership per position.
+            for p in 0..n {
+                let peers = rf.peer_start[i] <= p && p < rf.peer_end[i];
+                let expected = match excl {
+                    FrameExclusion::NoOthers => true,
+                    FrameExclusion::CurrentRow => p != i,
+                    FrameExclusion::Group => !peers,
+                    FrameExclusion::Ties => p == i || !peers,
+                };
+                prop_assert_eq!(rs.contains(p), expected, "i={} p={} excl={:?}", i, p, excl);
+            }
+        }
+    }
+
+    /// Remap: ranges translate consistently with membership.
+    #[test]
+    fn remap_is_consistent(
+        keep in prop::collection::vec(any::<bool>(), 0..100),
+        spans in prop::collection::vec((0usize..110, 0usize..110), 1..20),
+    ) {
+        let r = Remap::new(&keep);
+        prop_assert_eq!(r.kept_len(), keep.iter().filter(|&&k| k).count());
+        for (a, b) in spans {
+            let (ka, kb) = r.range(a, b.max(a));
+            prop_assert!(ka <= kb);
+            let expected = keep[a.min(keep.len())..b.max(a).min(keep.len())]
+                .iter()
+                .filter(|&&k| k)
+                .count();
+            prop_assert_eq!(kb - ka, expected);
+        }
+        // Kept index roundtrips.
+        for k in 0..r.kept_len() {
+            let pos = r.to_position(k);
+            prop_assert!(r.is_kept(pos));
+            prop_assert_eq!(r.kept_index(pos), k);
+        }
+    }
+
+    /// Partitioning: every row lands in exactly one partition; partition
+    /// members share sql-equal keys.
+    #[test]
+    fn partitions_are_exact(keys in prop::collection::vec(prop::option::of(0i64..5), 0..80)) {
+        let n = keys.len();
+        let t = table_from(keys.clone());
+        let parts = partition_rows(&t, &[col("k")]).unwrap();
+        let mut seen = vec![false; n];
+        for part in &parts {
+            prop_assert!(!part.is_empty());
+            for &row in part {
+                prop_assert!(!seen[row]);
+                seen[row] = true;
+                prop_assert_eq!(keys[row], keys[part[0]]);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Sorting is a permutation, ordered, and deterministic wrt. ties.
+    #[test]
+    fn sort_permutation_invariants(
+        keys in prop::collection::vec(prop::option::of(0i64..8), 0..120),
+        desc in any::<bool>(),
+    ) {
+        let n = keys.len();
+        let t = table_from(keys.clone());
+        let sk = if desc { SortKey::desc(col("k")) } else { SortKey::asc(col("k")) };
+        let kc = KeyColumns::evaluate(&t, &[sk]).unwrap();
+        let mut rows: Vec<usize> = (0..n).collect();
+        sort_permutation(&kc, &mut rows, false);
+        let mut sorted_rows = rows.clone();
+        sorted_rows.sort_unstable();
+        prop_assert_eq!(sorted_rows, (0..n).collect::<Vec<_>>());
+        for w in rows.windows(2) {
+            let ord = kc.cmp_rows(w[0], w[1]);
+            prop_assert!(ord != std::cmp::Ordering::Greater);
+            if ord == std::cmp::Ordering::Equal {
+                prop_assert!(w[0] < w[1], "ties break by row index");
+            }
+        }
+    }
+}

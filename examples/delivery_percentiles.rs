@@ -1,0 +1,56 @@
+//! §1's second motivating query: the moving 99th percentile of delivery
+//! times.
+//!
+//! ```sql
+//! select l_shipdate,
+//!   percentile_disc(0.99, order by l_receiptdate - l_shipdate) over w
+//! from lineitem
+//! window w as (order by l_shipdate
+//!              range between '1 week' preceding and current row)
+//! ```
+//!
+//! ```bash
+//! cargo run --release --example delivery_percentiles
+//! ```
+
+use holistic_windows::prelude::*;
+use holistic_windows::tpch::lineitem;
+
+fn main() -> holistic_windows::window::Result<()> {
+    let n = 50_000;
+    let table = lineitem(n, 1).to_table();
+
+    let delivery_days = col("l_receiptdate").sub(col("l_shipdate"));
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("l_shipdate"))])
+            .frame(FrameSpec::range(FrameBound::Preceding(lit(7i64)), FrameBound::CurrentRow)),
+    )
+    .call(
+        FunctionCall::percentile_disc(0.99, SortKey::asc(delivery_days.clone()))
+            .named("p99_delivery_days"),
+    )
+    .call(FunctionCall::percentile_disc(0.5, SortKey::asc(delivery_days)).named("median_delivery"))
+    .call(FunctionCall::count_star().named("orders_in_week"))
+    .execute(&table)?;
+
+    // Print a weekly sample of the series, in ship-date order.
+    let mut rows: Vec<usize> = (0..table.num_rows()).collect();
+    let ship = table.column("l_shipdate")?;
+    rows.sort_by_key(|&i| ship.get(i).as_i64());
+    println!("{:<12} {:>15} {:>16} {:>15}", "shipdate", "orders_in_week", "p99_delivery_days", "median");
+    for &i in rows.iter().step_by(n / 20) {
+        println!(
+            "{:<12} {:>15} {:>16} {:>15}",
+            ship.get(i),
+            out.column("orders_in_week")?.get(i),
+            out.column("p99_delivery_days")?.get(i),
+            out.column("median_delivery")?.get(i),
+        );
+    }
+    println!(
+        "\nThe p99 stays near the 30-day generator cap while the median sits\n\
+         around 15 days — the tail query SQL:2011 cannot express over a frame."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: framed holistic aggregates in a few lines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use holistic_windows::prelude::*;
+
+fn main() -> holistic_windows::window::Result<()> {
+    // Daily sales of two stores.
+    let table = Table::new(vec![
+        ("store", Column::strs(vec!["A", "A", "A", "A", "B", "B", "B", "B"])),
+        ("day", Column::ints(vec![1, 2, 3, 4, 1, 2, 3, 4])),
+        ("sales", Column::ints(vec![120, 80, 80, 200, 50, 75, 75, 60])),
+        ("clerk", Column::ints(vec![7, 8, 7, 9, 1, 1, 2, 1])),
+    ])?;
+
+    // One OVER clause, many functions — including the paper's extensions:
+    // framed COUNT(DISTINCT), a framed median, and a framed rank with its
+    // own ORDER BY.
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("store")])
+            .order_by(vec![SortKey::asc(col("day"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(2i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::sum(col("sales")).named("moving_sum"))
+    .call(FunctionCall::median(col("sales")).named("moving_median"))
+    .call(FunctionCall::count_distinct(col("clerk")).named("active_clerks"))
+    .call(FunctionCall::rank(vec![SortKey::desc(col("sales"))]).named("sales_rank_in_window"))
+    .execute(&table)?;
+
+    println!("store day sales | moving_sum moving_median active_clerks rank");
+    for i in 0..table.num_rows() {
+        println!(
+            "{:>5} {:>3} {:>5} | {:>10} {:>13} {:>13} {:>4}",
+            table.column("store")?.get(i),
+            table.column("day")?.get(i),
+            table.column("sales")?.get(i),
+            out.column("moving_sum")?.get(i),
+            out.column("moving_median")?.get(i),
+            out.column("active_clerks")?.get(i),
+            out.column("sales_rank_in_window")?.get(i),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # holistic-windows
+//!
+//! A Rust reproduction of Vogelsgesang, Neumann, Leis & Kemper, *"Efficient
+//! Evaluation of Arbitrarily-Framed Holistic SQL Aggregates and Window
+//! Functions"* (SIGMOD 2022): merge sort trees with sampled fractional
+//! cascading, embedded in a complete window-operator engine, together with
+//! every baseline the paper evaluates against and a benchmark harness that
+//! regenerates every table and figure.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — merge sort trees, annotated trees, preprocessing (the paper's
+//!   contribution, §4–§5),
+//! * [`window`] — the window operator substrate and all framed SQL functions,
+//! * [`segtree`] — segment trees (Leis et al.) for distributive aggregates,
+//! * [`rangetree`] — 3-d range counting for framed DENSE_RANK,
+//! * [`baselines`] — naive / incremental (Wesley & Xu) / order-statistic-tree
+//!   competitors, task-parallel wrappers and SQL-plan simulators,
+//! * [`tpch`] — deterministic TPC-H-style workload generators.
+//!
+//! ```
+//! use holistic_windows::prelude::*;
+//!
+//! // §1's motivating query: monthly-active users as a framed distinct count.
+//! let orders = Table::new(vec![
+//!     ("o_orderdate", Column::dates(vec![0, 10, 20, 40, 45])),
+//!     ("o_custkey", Column::ints(vec![1, 2, 1, 2, 2])),
+//! ]).unwrap();
+//!
+//! let out = WindowQuery::over(
+//!     WindowSpec::new()
+//!         .order_by(vec![SortKey::asc(col("o_orderdate"))])
+//!         .frame(FrameSpec::range(FrameBound::Preceding(lit(30i64)), FrameBound::CurrentRow)),
+//! )
+//! .call(FunctionCall::count_distinct(col("o_custkey")).named("mau"))
+//! .execute(&orders)
+//! .unwrap();
+//!
+//! let mau: Vec<_> = out.column("mau").unwrap().to_values();
+//! // Day 45's month covers days 15–45: customers {1, 2} are active.
+//! assert_eq!(mau, vec![Value::Int(1), Value::Int(2), Value::Int(2), Value::Int(2), Value::Int(2)]);
+//! ```
+
+pub use holistic_baselines as baselines;
+pub use holistic_core as core;
+pub use holistic_rangetree as rangetree;
+pub use holistic_segtree as segtree;
+pub use holistic_tpch as tpch;
+pub use holistic_window as window;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use holistic_core::{MergeSortTree, MstParams, RangeSet};
+    pub use holistic_window::prelude::*;
+}

@@ -1,0 +1,161 @@
+//! Tests of the repository's extensions beyond the paper: framed MODE,
+//! GROUPS frames, and CSV ingestion feeding the engine.
+
+use holistic_windows::prelude::*;
+use holistic_windows::window::csv::{table_from_csv, table_to_csv};
+use holistic_windows::window::frame::FrameSpec as FS;
+
+#[test]
+fn framed_mode_basics() {
+    let t = Table::new(vec![
+        ("pos", Column::ints(vec![0, 1, 2, 3, 4, 5])),
+        ("v", Column::ints_opt(vec![Some(3), Some(1), Some(3), None, Some(1), Some(1)])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("pos"))])
+            .frame(FS::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::mode(col("v")).named("m"))
+    .execute(&t)
+    .unwrap();
+    // Prefixes: {3}, {3,1}→tie→1, {3,1,3}→3, {3,1,3,Ø}→3, {..1}→tie→1, {..1,1}→1.
+    let m: Vec<Value> = out.column("m").unwrap().to_values();
+    assert_eq!(
+        m,
+        vec![
+            Value::Int(3),
+            Value::Int(1),
+            Value::Int(3),
+            Value::Int(3),
+            Value::Int(1),
+            Value::Int(1)
+        ]
+    );
+}
+
+#[test]
+fn framed_mode_with_exclusion_and_strings() {
+    let t = Table::new(vec![
+        ("pos", Column::ints(vec![0, 1, 2, 3])),
+        ("v", Column::strs(vec!["b", "a", "b", "a"])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]).frame(
+            FS::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing)
+                .exclude(FrameExclusion::CurrentRow),
+        ),
+    )
+    .call(FunctionCall::mode(col("v")).named("m"))
+    .execute(&t)
+    .unwrap();
+    // Without row 0: {a,b,a} → a. Without row 1: {b,b,a} → b. etc.
+    let m: Vec<Value> = out.column("m").unwrap().to_values();
+    assert_eq!(m, vec![Value::str("a"), Value::str("b"), Value::str("a"), Value::str("b")]);
+}
+
+#[test]
+fn mode_rejects_distinct() {
+    assert!(FunctionCall::mode(col("v")).distinct().validate().is_err());
+}
+
+#[test]
+fn groups_frames_with_holistic_functions() {
+    // GROUPS 1 PRECEDING..CURRENT ROW over tied order keys.
+    let t = Table::new(vec![
+        ("k", Column::ints(vec![1, 1, 2, 3, 3])),
+        ("v", Column::ints(vec![10, 20, 30, 40, 50])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("k"))])
+            .frame(FS::groups(FrameBound::Preceding(lit(1i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("v")).named("med"))
+    .call(FunctionCall::count_distinct(col("k")).named("cd"))
+    .execute(&t)
+    .unwrap();
+    // Frames: k=1 rows → groups {1}: values 10,20 → median disc = 10; cd = 1.
+    // k=2 → groups {1,2}: 10,20,30 → 20; cd = 2.
+    // k=3 rows → groups {2,3}: 30,40,50 → 40; cd = 2.
+    let med: Vec<Value> = out.column("med").unwrap().to_values();
+    assert_eq!(
+        med,
+        vec![Value::Int(10), Value::Int(10), Value::Int(20), Value::Int(40), Value::Int(40)]
+    );
+    let cd: Vec<Value> = out.column("cd").unwrap().to_values();
+    assert_eq!(
+        cd,
+        vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(2), Value::Int(2)]
+    );
+}
+
+#[test]
+fn csv_to_engine_roundtrip() {
+    let csv = "\
+day,region,sales
+2024-01-01,west,100
+2024-01-02,west,300
+2024-01-03,west,
+2024-01-01,east,50
+2024-01-02,east,70
+";
+    let t = table_from_csv(csv).unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("region")])
+            .order_by(vec![SortKey::asc(col("day"))])
+            .frame(FS::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::sum(col("sales")).named("running"))
+    .call(FunctionCall::count(col("sales")).named("non_null"))
+    .execute(&t)
+    .unwrap();
+    assert_eq!(
+        out.column("running").unwrap().to_values(),
+        vec![
+            Value::Int(100),
+            Value::Int(400),
+            Value::Int(400), // NULL row adds nothing
+            Value::Int(50),
+            Value::Int(120)
+        ]
+    );
+    assert_eq!(out.column("non_null").unwrap().get(2), Value::Int(2));
+    // And back out to CSV.
+    let text = table_to_csv(&out);
+    assert!(text.starts_with("running,non_null\n"));
+    assert!(text.contains("400,2"));
+}
+
+#[test]
+fn mode_matches_incremental_baseline_on_slides() {
+    use holistic_windows::baselines::incremental;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 300;
+    let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0..7)).collect();
+    let t = Table::new(vec![
+        ("pos", Column::ints((0..n as i64).collect())),
+        ("v", Column::ints(vals.clone())),
+    ])
+    .unwrap();
+    let w = 25usize;
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("pos"))])
+            .frame(FS::rows(FrameBound::Preceding(lit(w as i64 - 1)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::mode(col("v")).named("m"))
+    .execute(&t)
+    .unwrap();
+    let frames: Vec<(usize, usize)> =
+        (0..n).map(|i: usize| (i.saturating_sub(w - 1), i + 1)).collect();
+    let expect = incremental::mode(&vals, &frames);
+    for (i, e) in expect.iter().enumerate() {
+        assert_eq!(out.column("m").unwrap().get(i).as_i64(), *e, "row {i}");
+    }
+}

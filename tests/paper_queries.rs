@@ -1,0 +1,242 @@
+//! End-to-end tests of the exact queries the paper uses to motivate its
+//! extensions (§1, §2.2, §2.4), with hand-checked expectations.
+
+use holistic_windows::prelude::*;
+
+/// §1: `count(distinct o_custkey) over (order by o_orderdate range between
+/// '1 month' preceding and current row)`.
+#[test]
+fn monthly_active_users() {
+    let orders = Table::new(vec![
+        // days:       0   5  10  31  32  70
+        ("o_orderdate", Column::dates(vec![0, 5, 10, 31, 32, 70])),
+        ("o_custkey", Column::ints(vec![1, 2, 1, 3, 2, 1])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("o_orderdate"))])
+            .frame(FrameSpec::range(FrameBound::Preceding(lit(30i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::count_distinct(col("o_custkey")).named("mau"))
+    .execute(&orders)
+    .unwrap();
+    // day 0: {1}; day 5: {1,2}; day 10: {1,2}; day 31: days 1..=31 → {2,1,3};
+    // day 32: days 2..=32 → {2,1,3}... day 5,10,31,32 → {2,1,3,2} = 3;
+    // day 70: only itself → {1}.
+    let mau: Vec<i64> =
+        out.column("mau").unwrap().to_values().iter().map(|v| v.as_i64().unwrap()).collect();
+    assert_eq!(mau, vec![1, 2, 2, 3, 3, 1]);
+}
+
+/// §1: `percentile_disc(0.99, order by l_receiptdate - l_shipdate) over
+/// (order by l_shipdate range between '1 week' preceding and current row)`.
+#[test]
+fn delivery_time_percentile() {
+    let lineitem = Table::new(vec![
+        ("l_shipdate", Column::dates(vec![0, 2, 4, 6, 20])),
+        ("l_receiptdate", Column::dates(vec![10, 3, 9, 30, 21])),
+    ])
+    .unwrap();
+    let delivery = col("l_receiptdate").sub(col("l_shipdate")); // 10, 1, 5, 24, 1
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("l_shipdate"))])
+            .frame(FrameSpec::range(FrameBound::Preceding(lit(7i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::percentile_disc(0.99, SortKey::asc(delivery)).named("p99"))
+    .execute(&lineitem)
+    .unwrap();
+    let p99: Vec<i64> =
+        out.column("p99").unwrap().to_values().iter().map(|v| v.as_i64().unwrap()).collect();
+    // Frames (by shipdate, 7 days back): [0], [0,2], [0,2,4], [0,2,4,6], [20].
+    // Delivery sets: {10}, {10,1}, {10,1,5}, {10,1,5,24}, {1}.
+    // p99 = max for these sizes (ceil(.99*s) = s).
+    assert_eq!(p99, vec![10, 10, 10, 24, 1]);
+}
+
+/// §2.4: the full TPC-C leaderboard query — six window functions over one
+/// running frame, each with its own ordering.
+#[test]
+fn tpcc_leaderboard_semantics() {
+    let t = Table::new(vec![
+        ("dbsystem", Column::strs(vec!["A", "B", "A", "C"])),
+        ("tps", Column::ints(vec![100, 300, 200, 250])),
+        ("submission_date", Column::dates(vec![1, 2, 3, 4])),
+    ])
+    .unwrap();
+    let w = WindowSpec::new()
+        .order_by(vec![SortKey::asc(col("submission_date"))])
+        .frame(FrameSpec::range(FrameBound::UnboundedPreceding, FrameBound::CurrentRow));
+    let by_tps = || vec![SortKey::desc(col("tps"))];
+    let out = WindowQuery::over(w)
+        .call(FunctionCall::count_distinct(col("dbsystem")).named("competitors"))
+        .call(FunctionCall::rank(by_tps()).named("rank"))
+        .call(FunctionCall::first_value(col("tps")).order_by(by_tps()).named("best_tps"))
+        .call(FunctionCall::first_value(col("dbsystem")).order_by(by_tps()).named("best_sys"))
+        .call(FunctionCall::lead(col("tps"), 1, lit(Value::Null)).order_by(by_tps()).named("next_tps"))
+        .execute(&t)
+        .unwrap();
+
+    let get = |name: &str, i: usize| out.column(name).unwrap().get(i);
+    // Row 0 (A, 100): alone. 1 competitor, rank 1, best = itself, no next.
+    assert_eq!(get("competitors", 0), Value::Int(1));
+    assert_eq!(get("rank", 0), Value::Int(1));
+    assert_eq!(get("best_sys", 0), Value::str("A"));
+    assert_eq!(get("next_tps", 0), Value::Null);
+    // Row 1 (B, 300): {A:100, B:300}. 2 systems, B leads, next after B is A.
+    assert_eq!(get("competitors", 1), Value::Int(2));
+    assert_eq!(get("rank", 1), Value::Int(1));
+    assert_eq!(get("best_tps", 1), Value::Int(300));
+    assert_eq!(get("next_tps", 1), Value::Int(100));
+    // Row 2 (A again, 200): {100, 300, 200} → 2 distinct systems, rank 2.
+    assert_eq!(get("competitors", 2), Value::Int(2));
+    assert_eq!(get("rank", 2), Value::Int(2));
+    assert_eq!(get("best_sys", 2), Value::str("B"));
+    // Next best after 200 (descending order) is 100.
+    assert_eq!(get("next_tps", 2), Value::Int(100));
+    // Row 3 (C, 250): {100, 300, 200, 250} → 3 systems, rank 2 (only 300 bigger),
+    // next after 250 is 200.
+    assert_eq!(get("competitors", 3), Value::Int(3));
+    assert_eq!(get("rank", 3), Value::Int(2));
+    assert_eq!(get("next_tps", 3), Value::Int(200));
+}
+
+/// §2.2: stock limit orders — per-row, non-monotonic frame bounds.
+#[test]
+fn stock_orders_median_over_validity() {
+    let t = Table::new(vec![
+        ("placement_time", Column::ints(vec![0, 10, 20, 30, 40])),
+        ("price", Column::ints(vec![100, 300, 200, 500, 50])),
+        ("good_for", Column::ints(vec![25, 5, 25, 15, 100])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("placement_time"))])
+            .frame(FrameSpec::range(FrameBound::CurrentRow, FrameBound::Following(col("good_for")))),
+    )
+    .call(FunctionCall::median(col("price")).named("med"))
+    .execute(&t)
+    .unwrap();
+    let med: Vec<i64> =
+        out.column("med").unwrap().to_values().iter().map(|v| v.as_i64().unwrap()).collect();
+    // Frames by time: row0 [0,25] → times 0,10,20 → prices {100,300,200} → 200.
+    // row1 [10,15] → {300} → 300. row2 [20,45] → {200,500,50} → 200.
+    // row3 [30,45] → {500,50} → disc(0.5) of 2 = 1st smallest = 50.
+    // row4 [40,140] → {50} → 50.
+    assert_eq!(med, vec![200, 300, 200, 50, 50]);
+}
+
+/// §2's running aggregate and sliding aggregate idioms plus EXCLUDE CURRENT
+/// ROW comparison against the local maximum.
+#[test]
+fn frame_idioms() {
+    let t = Table::new(vec![("x", Column::ints(vec![5, 3, 9, 1]))]).unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("x"))])
+            .frame(
+                FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing)
+                    .exclude(FrameExclusion::CurrentRow),
+            ),
+    )
+    .call(FunctionCall::max(col("x")).named("max_of_others"))
+    .execute(&t)
+    .unwrap();
+    // Sorted: 1, 3, 5, 9. Max of the others: 9, 9, 9, 5 — in input order
+    // (5, 3, 9, 1) → 9, 9, 5, 9.
+    let m: Vec<i64> = out
+        .column("max_of_others")
+        .unwrap()
+        .to_values()
+        .iter()
+        .map(|v| v.as_i64().unwrap())
+        .collect();
+    assert_eq!(m, vec![9, 9, 5, 9]);
+}
+
+/// The paper's FILTER extension (§4.7): `RANK(ORDER BY a) FILTER (is_active)
+/// OVER (...)`.
+#[test]
+fn filtered_rank() {
+    let t = Table::new(vec![
+        ("a", Column::ints(vec![10, 20, 30, 40])),
+        ("is_active", Column::bools(vec![true, false, true, true])),
+        ("pos", Column::ints(vec![0, 1, 2, 3])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]).frame(
+            FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
+        ),
+    )
+    .call(
+        FunctionCall::rank(vec![SortKey::asc(col("a"))])
+            .filter(col("is_active"))
+            .named("r"),
+    )
+    .execute(&t)
+    .unwrap();
+    // Active rows: 10, 30, 40. Ranks against those: 10→1, 20→2 (one active
+    // smaller), 30→2, 40→3.
+    let r: Vec<i64> =
+        out.column("r").unwrap().to_values().iter().map(|v| v.as_i64().unwrap()).collect();
+    assert_eq!(r, vec![1, 2, 2, 3]);
+}
+
+/// IGNORE NULLS value functions (§4.5's NULL handling).
+#[test]
+fn ignore_nulls_first_value() {
+    let t = Table::new(vec![
+        ("pos", Column::ints(vec![0, 1, 2])),
+        ("v", Column::ints_opt(vec![None, Some(7), Some(8)])),
+    ])
+    .unwrap();
+    let q = |ignore: bool| {
+        let mut call = FunctionCall::first_value(col("v")).named("fv");
+        if ignore {
+            call = call.ignore_nulls();
+        }
+        WindowQuery::over(
+            WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]).frame(
+                FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow),
+            ),
+        )
+        .call(call)
+        .execute(&t)
+        .unwrap()
+    };
+    assert_eq!(
+        q(false).column("fv").unwrap().to_values(),
+        vec![Value::Null, Value::Null, Value::Null]
+    );
+    assert_eq!(
+        q(true).column("fv").unwrap().to_values(),
+        vec![Value::Null, Value::Int(7), Value::Int(7)]
+    );
+}
+
+/// DENSE_RANK against the frame (§4.4, range tree backed).
+#[test]
+fn framed_dense_rank() {
+    let t = Table::new(vec![
+        ("pos", Column::ints(vec![0, 1, 2, 3, 4])),
+        ("k", Column::ints(vec![10, 10, 20, 30, 20])),
+    ])
+    .unwrap();
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("pos"))])
+            .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::dense_rank(vec![SortKey::asc(col("k"))]).named("dr"))
+    .execute(&t)
+    .unwrap();
+    // Prefix frames; distinct smaller keys + 1:
+    // row0 {10}: 1; row1 {10,10}: 1; row2 {..20}: 2; row3 {..30}: 3;
+    // row4 {10,10,20,30,20} for k=20 → distinct smaller {10} → 2.
+    let dr: Vec<i64> =
+        out.column("dr").unwrap().to_values().iter().map(|v| v.as_i64().unwrap()).collect();
+    assert_eq!(dr, vec![1, 1, 2, 3, 2]);
+}

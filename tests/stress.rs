@@ -1,0 +1,148 @@
+//! Scale spot-checks: run the engine on 200 000-row workloads (multi-level
+//! trees, parallel build paths, sampled cascading in anger) and verify a
+//! random sample of output rows against direct per-row computation.
+
+use holistic_windows::prelude::*;
+use holistic_windows::window::frame::resolve_frames;
+use holistic_windows::window::order::{sort_permutation, KeyColumns};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const N: usize = 200_000;
+const SPOT: usize = 40;
+
+struct Prepared {
+    table: Table,
+    /// Partition positions → table rows, window order.
+    rows: Vec<usize>,
+    /// Per position [start, end).
+    bounds: Vec<(usize, usize)>,
+}
+
+fn prepare(seed: u64, w: i64) -> Prepared {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key: Vec<i64> = (0..N).map(|_| rng.gen_range(0..1_000_000)).collect();
+    let val: Vec<i64> = (0..N).map(|_| rng.gen_range(0..5_000)).collect();
+    let table = Table::new(vec![
+        ("k", Column::ints(key)),
+        ("v", Column::ints(val)),
+    ])
+    .unwrap();
+    let kc = KeyColumns::evaluate(&table, &[SortKey::asc(col("k"))]).unwrap();
+    let mut rows: Vec<usize> = (0..N).collect();
+    sort_permutation(&kc, &mut rows, true);
+    let spec = FrameSpec::rows(FrameBound::Preceding(lit(w)), FrameBound::CurrentRow);
+    let rf = resolve_frames(&table, &rows, &kc, &spec).unwrap();
+    Prepared { table, rows, bounds: rf.bounds }
+}
+
+fn frame_values(p: &Prepared, pos: usize) -> Vec<i64> {
+    let (a, b) = p.bounds[pos];
+    (a..b)
+        .map(|q| p.table.column("v").unwrap().get(p.rows[q]).as_i64().unwrap())
+        .collect()
+}
+
+#[test]
+fn large_median_spot_check() {
+    let w = 9_999i64;
+    let p = prepare(1, w);
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("k"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(w)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("v")).named("med"))
+    .execute(&p.table)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..SPOT {
+        let pos = rng.gen_range(0..N);
+        let row = p.rows[pos];
+        let mut fv = frame_values(&p, pos);
+        fv.sort_unstable();
+        let j = ((0.5 * fv.len() as f64).ceil() as usize).clamp(1, fv.len());
+        assert_eq!(
+            out.column("med").unwrap().get(row).as_i64().unwrap(),
+            fv[j - 1],
+            "pos {pos}"
+        );
+    }
+}
+
+#[test]
+fn large_distinct_count_spot_check() {
+    let w = 20_000i64;
+    let p = prepare(3, w);
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("k"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(w)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::count_distinct(col("v")).named("cd"))
+    .execute(&p.table)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..SPOT {
+        let pos = rng.gen_range(0..N);
+        let row = p.rows[pos];
+        let fv = frame_values(&p, pos);
+        let distinct: std::collections::HashSet<i64> = fv.into_iter().collect();
+        assert_eq!(
+            out.column("cd").unwrap().get(row).as_i64().unwrap() as usize,
+            distinct.len(),
+            "pos {pos}"
+        );
+    }
+}
+
+#[test]
+fn large_rank_spot_check() {
+    let w = 50_000i64;
+    let p = prepare(5, w);
+    let out = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("k"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(w)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::rank(vec![SortKey::desc(col("v"))]).named("r"))
+    .execute(&p.table)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..SPOT {
+        let pos = rng.gen_range(0..N);
+        let row = p.rows[pos];
+        let mine = p.table.column("v").unwrap().get(row).as_i64().unwrap();
+        // DESC ranking: count frame values strictly greater.
+        let bigger = frame_values(&p, pos).into_iter().filter(|&x| x > mine).count();
+        assert_eq!(
+            out.column("r").unwrap().get(row).as_i64().unwrap() as usize,
+            bigger + 1,
+            "pos {pos}"
+        );
+    }
+}
+
+#[test]
+fn serial_equals_parallel_at_scale() {
+    let p = prepare(7, 5_000);
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("k"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(5_000i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("v")).named("med"))
+    .call(FunctionCall::count_distinct(col("v")).named("cd"));
+    let a = q.execute_with(&p.table, ExecOptions::default()).unwrap();
+    let b = q.execute_with(&p.table, ExecOptions::serial()).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..SPOT * 10 {
+        let row = rng.gen_range(0..N);
+        for name in ["med", "cd"] {
+            assert!(a
+                .column(name)
+                .unwrap()
+                .get(row)
+                .sql_eq(&b.column(name).unwrap().get(row)));
+        }
+    }
+}
