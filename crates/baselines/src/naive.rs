@@ -104,14 +104,11 @@ fn eval_call(
         None => vec![true; m],
         Some(f) => {
             let b = f.bind(table)?;
-            rows.iter()
-                .map(|&r| Ok(b.eval(table, r)?.is_truthy()))
-                .collect::<Result<Vec<_>>>()?
+            rows.iter().map(|&r| Ok(b.eval(table, r)?.is_truthy())).collect::<Result<Vec<_>>>()?
         }
     };
-    let eval_all = |e: &BoundExpr| -> Result<Vec<Value>> {
-        rows.iter().map(|&r| e.eval(table, r)).collect()
-    };
+    let eval_all =
+        |e: &BoundExpr| -> Result<Vec<Value>> { rows.iter().map(|&r| e.eval(table, r)).collect() };
     let arg0: Vec<Value> = match call.args.first() {
         Some(e) => eval_all(&e.bind(table)?)?,
         None => Vec::new(),
@@ -276,11 +273,7 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
                 .filter(|&&p| ctx.key_cmp(p, i) == Ordering::Less)
                 .count()
                 + 1;
-            Ok(Value::Float(if size <= 1 {
-                0.0
-            } else {
-                (rank - 1) as f64 / (size - 1) as f64
-            }))
+            Ok(Value::Float(if size <= 1 { 0.0 } else { (rank - 1) as f64 / (size - 1) as f64 }))
         }
         CumeDist => {
             let size = fp.iter().filter(|&&p| ctx.filter[p]).count();
@@ -339,11 +332,8 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
                     }
                 }
             };
-            let mut kept: Vec<usize> = fp
-                .iter()
-                .copied()
-                .filter(|&q| ctx.filter[q] && !ctx.key0[q].is_null())
-                .collect();
+            let mut kept: Vec<usize> =
+                fp.iter().copied().filter(|&q| ctx.filter[q] && !ctx.key0[q].is_null()).collect();
             kept.sort_by(|&a, &b| ctx.cmp_inner(a, b));
             let s = kept.len();
             if s == 0 {
@@ -383,17 +373,15 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
             let j = match call.kind {
                 FirstValue => 1,
                 LastValue => s,
-                NthValue => {
-                    match call.args[1].bind(ctx.table)?.eval(ctx.table, ctx.rows[i])? {
-                        Value::Int(x) if x >= 1 => x as usize,
-                        Value::Null => return Ok(Value::Null),
-                        v => {
-                            return Err(Error::InvalidArgument(format!(
-                                "nth_value: n must be a positive integer, got {v}"
-                            )))
-                        }
+                NthValue => match call.args[1].bind(ctx.table)?.eval(ctx.table, ctx.rows[i])? {
+                    Value::Int(x) if x >= 1 => x as usize,
+                    Value::Null => return Ok(Value::Null),
+                    v => {
+                        return Err(Error::InvalidArgument(format!(
+                            "nth_value: n must be a positive integer, got {v}"
+                        )))
                     }
-                }
+                },
                 _ => unreachable!(),
             };
             Ok(if j >= 1 && j <= s { ctx.arg0[kept[j - 1]].clone() } else { Value::Null })
@@ -443,8 +431,7 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
             if !ctx.has_inner_order {
                 // Classic positional semantics (frame ignored).
                 if call.ignore_nulls && off != 0 {
-                    let nn: Vec<usize> =
-                        (0..ctx.m()).filter(|&p| !ctx.arg0[p].is_null()).collect();
+                    let nn: Vec<usize> = (0..ctx.m()).filter(|&p| !ctx.arg0[p].is_null()).collect();
                     let target = if off > 0 {
                         let idx = nn.partition_point(|&p| p <= i);
                         idx.checked_add(off as usize - 1)
@@ -471,10 +458,7 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
                 .filter(|&q| ctx.filter[q] && (!call.ignore_nulls || !ctx.arg0[q].is_null()))
                 .collect();
             kept.sort_by(|&a, &b| ctx.cmp_inner(a, b));
-            let rn0 = kept
-                .iter()
-                .filter(|&&p| ctx.cmp_inner(p, i) == Ordering::Less)
-                .count();
+            let rn0 = kept.iter().filter(|&&p| ctx.cmp_inner(p, i) == Ordering::Less).count();
             let target = rn0 as i64 + off;
             Ok(if target >= 0 && (target as usize) < kept.len() {
                 ctx.arg0[kept[target as usize]].clone()

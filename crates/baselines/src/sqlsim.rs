@@ -113,8 +113,7 @@ pub fn client_tool_median(values: &[i64], w: usize) -> Vec<i64> {
         let lo = (i + 1).saturating_sub(w);
         // Re-gather the window's cells for this row (the table calc is
         // re-evaluated per mark).
-        let mut window: Vec<Cell> =
-            rows[lo..=i].iter().map(|r| r[field].clone()).collect();
+        let mut window: Vec<Cell> = rows[lo..=i].iter().map(|r| r[field].clone()).collect();
         window.sort_by(|a, b| cmp(a, b));
         let j = ((0.5 * window.len() as f64).ceil() as usize).clamp(1, window.len());
         out.push(match &window[j - 1] {

@@ -46,11 +46,8 @@ where
         );
         outs
     };
-    let tasks: Vec<(usize, &[(usize, usize)])> = frames
-        .chunks(task_size)
-        .enumerate()
-        .map(|(t, c)| (t * task_size, c))
-        .collect();
+    let tasks: Vec<(usize, &[(usize, usize)])> =
+        frames.chunks(task_size).enumerate().map(|(t, c)| (t * task_size, c)).collect();
     let per_task: Vec<Vec<Out>> = if parallel {
         tasks.into_par_iter().map(run_task).collect()
     } else {
@@ -216,8 +213,7 @@ pub fn naive_lead(keys: &[i64], frames: &[(usize, usize)]) -> Vec<Option<i64>> {
             if a >= b {
                 return None;
             }
-            let mut w: Vec<(i64, usize)> =
-                (a..b).map(|p| (keys[p], p)).collect();
+            let mut w: Vec<(i64, usize)> = (a..b).map(|p| (keys[p], p)).collect();
             w.sort_unstable();
             let rn0 = w.partition_point(|&(k, p)| (k, p) < (keys[i], i));
             w.get(rn0 + 1).map(|&(k, _)| k)

@@ -38,10 +38,14 @@ fn bench(c: &mut Criterion) {
             })
         });
         g.bench_function(BenchmarkId::new("rank_mst", n), |b| {
-            b.iter(|| black_box(algos::mst_rank(&data.extendedprice, &frames, MstParams::default())))
+            b.iter(|| {
+                black_box(algos::mst_rank(&data.extendedprice, &frames, MstParams::default()))
+            })
         });
         g.bench_function(BenchmarkId::new("lead_mst", n), |b| {
-            b.iter(|| black_box(algos::mst_lead(&data.extendedprice, &frames, MstParams::default())))
+            b.iter(|| {
+                black_box(algos::mst_lead(&data.extendedprice, &frames, MstParams::default()))
+            })
         });
         g.bench_function(BenchmarkId::new("distinct_mst", n), |b| {
             b.iter(|| {

@@ -5,9 +5,7 @@
 //! sort tree paths mirror `holistic-window`'s evaluators without the engine's
 //! dynamic-value overhead, so algorithm comparisons measure the algorithms.
 
-use holistic_core::{
-    dense_codes, prev_idcs_by_key, MergeSortTree, MstParams, RangeSet,
-};
+use holistic_core::{dense_codes, prev_idcs_by_key, MergeSortTree, MstParams, RangeSet};
 
 /// Framed PERCENTILE_DISC via permutation array + merge sort tree (§4.5).
 pub fn mst_percentile(
@@ -37,14 +35,10 @@ pub fn mst_distinct_count(
     frames: &[(usize, usize)],
     params: MstParams,
 ) -> Vec<usize> {
-    let prev: Vec<u32> = prev_idcs_by_key(hashes, params.parallel)
-        .iter()
-        .map(|&x| x as u32)
-        .collect();
+    let prev: Vec<u32> =
+        prev_idcs_by_key(hashes, params.parallel).iter().map(|&x| x as u32).collect();
     let tree = MergeSortTree::<u32>::build(&prev, params);
-    maybe_par_map(frames, params.parallel, |&(a, b)| {
-        tree.count_below(a, b.max(a), a as u32 + 1)
-    })
+    maybe_par_map(frames, params.parallel, |&(a, b)| tree.count_below(a, b.max(a), a as u32 + 1))
 }
 
 /// Framed RANK via dense codes + merge sort tree (§4.4).
@@ -210,10 +204,7 @@ mod tests {
             .collect();
         let expect = taskpar::naive_percentile(&vals, &frames, 0.5);
         assert_eq!(mst_percentile(&vals, &frames, 0.5, MstParams::default()), expect);
-        assert_eq!(
-            holistic_baselines::incremental::percentile(&vals, &frames, 0.5),
-            expect
-        );
+        assert_eq!(holistic_baselines::incremental::percentile(&vals, &frames, 0.5), expect);
         assert_eq!(segtree_percentile(&vals, &frames, 0.5, false), expect);
     }
 }

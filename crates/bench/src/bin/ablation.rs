@@ -43,7 +43,11 @@ fn main() {
             }
             acc
         });
-        println!("{label:<32} probe: {:>8.1} ms ({:.3} Mprobe/s)", d.as_secs_f64() * 1e3, mtps(n, d));
+        println!(
+            "{label:<32} probe: {:>8.1} ms ({:.3} Mprobe/s)",
+            d.as_secs_f64() * 1e3,
+            mtps(n, d)
+        );
     }
 
     // --- integer width ---
@@ -85,8 +89,7 @@ fn main() {
         // Useful sliding work: every row enters and leaves once.
         let useful: usize = 2 * n;
         // Warm-up: each task re-adds its first frame.
-        let warmup: usize =
-            frames.iter().step_by(task).map(|&(a, b)| b - a).sum();
+        let warmup: usize = frames.iter().step_by(task).map(|&(a, b)| b - a).sum();
         println!(
             "frame {w:>7}: warm-up/useful = {:>6.2}x  ({} tasks x avg first-frame {})",
             warmup as f64 / useful as f64,

@@ -17,8 +17,7 @@ use holistic_rangetree::RangeTree3;
 fn rangetree_dense_rank(keys: &[i64], frames: &[(usize, usize)], parallel: bool) -> Vec<usize> {
     let dc = dense_codes(keys, parallel);
     let gids: Vec<u32> = dc.group_id.iter().map(|&g| g as u32).collect();
-    let prev: Vec<u32> =
-        prev_idcs_by_key(&gids, parallel).iter().map(|&p| p as u32).collect();
+    let prev: Vec<u32> = prev_idcs_by_key(&gids, parallel).iter().map(|&p| p as u32).collect();
     let rt = RangeTree3::build(&gids, &prev, parallel);
     frames
         .iter()
@@ -67,8 +66,7 @@ fn main() {
         // Space: range tree vs a plain MST on the same data.
         let dc = dense_codes(keys, true);
         let gids: Vec<u32> = dc.group_id.iter().map(|&g| g as u32).collect();
-        let prev: Vec<u32> =
-            prev_idcs_by_key(&gids, true).iter().map(|&p| p as u32).collect();
+        let prev: Vec<u32> = prev_idcs_by_key(&gids, true).iter().map(|&p| p as u32).collect();
         let rt = RangeTree3::build(&gids, &prev, true);
         let mst = MergeSortTree::<u32>::build(&gids, MstParams::default());
         println!(
@@ -81,10 +79,7 @@ fn main() {
             mst.stats().bytes as f64 / n as f64,
         );
         if let Some(p) = prev_time {
-            println!(
-                "#   growth for doubled n: {:.2}x (theory n log^2 n: ~2.3-2.5x)",
-                rt_ms / p
-            );
+            println!("#   growth for doubled n: {:.2}x (theory n log^2 n: ~2.3-2.5x)", rt_ms / p);
         }
         prev_time = Some(rt_ms);
     }

@@ -25,7 +25,10 @@ fn main() {
     let values = &data.extendedprice;
     let frames = sliding_frames(n, w);
 
-    println!("# Figure 9: framed median, n={n}, frame=ROWS {w_1} PRECEDING..CURRENT ROW", w_1 = w - 1);
+    println!(
+        "# Figure 9: framed median, n={n}, frame=ROWS {w_1} PRECEDING..CURRENT ROW",
+        w_1 = w - 1
+    );
     println!("{:<28} {:>12} {:>14} {:>10}", "approach", "time_ms", "Mtuples/s", "vs_best_sql");
 
     let mut rows: Vec<(&str, f64)> = Vec::new();
@@ -41,9 +44,8 @@ fn main() {
     let (r, d) = time_best(reps, || taskpar::naive_percentile(values, &frames, 0.5));
     assert!(r.iter().map(|o| o.unwrap()).eq(base.iter().copied()));
     rows.push(("native: naive", d.as_secs_f64()));
-    let (r, d) = time_best(reps, || {
-        holistic_baselines::incremental::percentile(values, &frames, 0.5)
-    });
+    let (r, d) =
+        time_best(reps, || holistic_baselines::incremental::percentile(values, &frames, 0.5));
     assert!(r.iter().map(|o| o.unwrap()).eq(base.iter().copied()));
     rows.push(("native: incremental", d.as_secs_f64()));
     let (r, d) =

@@ -61,7 +61,13 @@ fn main() {
         });
         println!(
             "{:<10} {:>9} | {:>10} {:>10} {:>12} {:>12} {:>10}",
-            "median", n, fmt(mst), fmt(ost), fmt(inc), fmt(inc_serial), fmt(naive)
+            "median",
+            n,
+            fmt(mst),
+            fmt(ost),
+            fmt(inc),
+            fmt(inc_serial),
+            fmt(naive)
         );
 
         // ---- rank ----
@@ -77,7 +83,13 @@ fn main() {
         });
         println!(
             "{:<10} {:>9} | {:>10} {:>10} {:>12} {:>12} {:>10}",
-            "rank", n, fmt(mst), fmt(ost), "n/a", "n/a", fmt(naive)
+            "rank",
+            n,
+            fmt(mst),
+            fmt(ost),
+            "n/a",
+            "n/a",
+            fmt(naive)
         );
 
         // ---- lead ----
@@ -89,7 +101,13 @@ fn main() {
         });
         println!(
             "{:<10} {:>9} | {:>10} {:>10} {:>12} {:>12} {:>10}",
-            "lead", n, fmt(mst), "n/a", "n/a", "n/a", fmt(naive)
+            "lead",
+            n,
+            fmt(mst),
+            "n/a",
+            "n/a",
+            "n/a",
+            fmt(naive)
         );
 
         // ---- distinct count ----
@@ -109,7 +127,13 @@ fn main() {
         });
         println!(
             "{:<10} {:>9} | {:>10} {:>10} {:>12} {:>12} {:>10}",
-            "distinct", n, fmt(mst), "n/a", fmt(inc), fmt(inc_serial), fmt(naive)
+            "distinct",
+            n,
+            fmt(mst),
+            "n/a",
+            fmt(inc),
+            fmt(inc_serial),
+            fmt(naive)
         );
     }
 }

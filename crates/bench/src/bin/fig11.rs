@@ -22,8 +22,7 @@ fn main() {
     let data = sorted_lineitem(n, 42);
     let vals = &data.extendedprice;
 
-    let mut frame_sizes =
-        vec![1usize, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, n];
+    let mut frame_sizes = vec![1usize, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, n];
     frame_sizes.retain(|&w| w <= n);
     frame_sizes.dedup();
 

@@ -55,7 +55,5 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "# paper: f=16,k=4 fastest but 12.4 GB at 100M elements; f=k=32 chosen (4.4 GB)"
-    );
+    println!("# paper: f=16,k=4 fastest but 12.4 GB at 100M elements; f=k=32 chosen (4.4 GB)");
 }

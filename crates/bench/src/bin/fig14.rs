@@ -25,9 +25,14 @@ fn main() {
     let table = lineitem(n, 42).to_table();
     let frame = FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow);
 
-    let (phases, counts) =
-        profile_distinct_count(&table, SortKey::asc(col("l_shipdate")), &col("l_partkey"), &frame, tasks)
-            .expect("profiling run");
+    let (phases, counts) = profile_distinct_count(
+        &table,
+        SortKey::asc(col("l_shipdate")),
+        &col("l_partkey"),
+        &frame,
+        tasks,
+    )
+    .expect("profiling run");
 
     let total: f64 = phases.iter().map(|(_, d)| d.as_secs_f64()).sum();
     println!("# Figure 14: phase breakdown of a running COUNT(DISTINCT l_partkey), n={n}");

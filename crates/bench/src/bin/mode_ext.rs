@@ -70,11 +70,7 @@ fn main() {
         // implementations share the smallest-value tie-break, so compare
         // directly).
         for i in 0..n {
-            assert_eq!(
-                idx_out[i].map(|v| v as i64),
-                inc_out[i],
-                "rangemode vs incremental at {i}"
-            );
+            assert_eq!(idx_out[i].map(|v| v as i64), inc_out[i], "rangemode vs incremental at {i}");
             assert_eq!(idx_out[i], naive_out[i], "rangemode vs naive at {i}");
         }
         println!("{:<22} | {:>12.3} {:>12.3} {:>10.3}", label, rm, inc, nv);

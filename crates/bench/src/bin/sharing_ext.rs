@@ -1,0 +1,86 @@
+//! Supplementary experiment: cross-call preprocessing-artifact sharing.
+//!
+//! The paper evaluates each window function in isolation; real queries
+//! routinely compute several holistic functions over one OVER clause. The
+//! plan → build → probe executor builds every preprocessing product (inner
+//! sort, merge sort trees, distinct prep) once per partition and shares it
+//! across calls. This binary quantifies that: a 4-holistic-call query —
+//! median, rank, framed LEAD and COUNT(DISTINCT), with rank and LEAD over
+//! one shared inner ORDER BY — timed with the shared cache on and off,
+//! asserting identical results. Output is one JSON object per line.
+
+use holistic_bench::{env_usize, time_best};
+use holistic_tpch::lineitem;
+use holistic_window::frame::{FrameBound, FrameSpec};
+use holistic_window::{
+    col, lit, CacheStats, Column, ExecOptions, FunctionCall, SortKey, Table, WindowQuery,
+    WindowSpec,
+};
+
+fn query(window: i64) -> WindowQuery {
+    let inner = || vec![SortKey::asc(col("price"))];
+    WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("date")), SortKey::asc(col("pos"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(window - 1)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("price")).named("med"))
+    .call(FunctionCall::rank(inner()).named("rnk"))
+    .call(FunctionCall::lead(col("price"), 1, lit(-1i64)).order_by(inner()).named("ld"))
+    .call(FunctionCall::count_distinct(col("part")).named("cd"))
+}
+
+fn counters_json(c: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"inner_sorts\":{},\"mst_builds\":{},\"segtree_builds\":{}}}",
+        c.hits, c.misses, c.inner_sorts, c.mst_builds, c.segtree_builds
+    )
+}
+
+fn main() {
+    let n = env_usize("N", 50_000);
+    let window = env_usize("W", n / 20) as i64;
+    let reps = env_usize("REPS", 3);
+
+    let li = lineitem(n, 42);
+    let table = Table::new(vec![
+        ("date", Column::ints(li.shipdate.iter().map(|&d| d as i64).collect())),
+        ("pos", Column::ints((0..n as i64).collect())),
+        ("price", Column::ints(li.extendedprice.clone())),
+        ("part", Column::ints(li.partkey.clone())),
+    ])
+    .unwrap();
+    let q = query(window.max(1));
+
+    let shared_opts = ExecOptions::default();
+    let private_opts = ExecOptions::default().no_sharing();
+
+    // Warm-up + correctness: both modes must produce identical tables.
+    let (shared_out, shared_profile) = q.execute_profiled(&table, shared_opts).unwrap();
+    let (private_out, private_profile) = q.execute_profiled(&table, private_opts).unwrap();
+    for name in ["med", "rnk", "ld", "cd"] {
+        assert_eq!(
+            shared_out.column(name).unwrap().to_values(),
+            private_out.column(name).unwrap().to_values(),
+            "column {name} differs between shared and private caches"
+        );
+    }
+
+    let (_, shared_d) = time_best(reps, || q.execute_with(&table, shared_opts).unwrap());
+    let (_, private_d) = time_best(reps, || q.execute_with(&table, private_opts).unwrap());
+    let shared_ms = shared_d.as_secs_f64() * 1e3;
+    let private_ms = private_d.as_secs_f64() * 1e3;
+
+    println!(
+        "{{\"experiment\":\"sharing_ext\",\"n\":{},\"window\":{},\"calls\":4,\
+         \"shared_ms\":{:.3},\"private_ms\":{:.3},\"speedup\":{:.3},\
+         \"shared_counters\":{},\"private_counters\":{},\"identical\":true}}",
+        n,
+        window,
+        shared_ms,
+        private_ms,
+        private_ms / shared_ms,
+        counters_json(&shared_profile.cache),
+        counters_json(&private_profile.cache),
+    );
+}

@@ -79,19 +79,14 @@ fn main() {
         // Quadratic algorithms get a smaller n so the run stays bounded.
         let nn = if theory == "O(n^2)" { n.min(20_000) } else { n };
         let (t1, t2, r) = growth(|x| run(x, key), nn);
-        println!(
-            "{:<14} {:<22} {:>9.1} {:>9.1} {:>6.2}x {:>11}",
-            agg, alg, t1, t2, r, theory
-        );
+        println!("{:<14} {:<22} {:>9.1} {:>9.1} {:>6.2}x {:>11}", agg, alg, t1, t2, r, theory);
     }
 
     println!("\n# space: merge sort tree elements vs the paper's n log n estimate (f = k = 32)");
     println!("{:<10} {:>14} {:>14} {:>9}", "n", "measured", "estimate", "bytes/elt");
     for nn in [100_000usize, 400_000, 1_600_000] {
-        let vals: Vec<u32> = holistic_bench::workloads::random_ints(nn, 3)
-            .iter()
-            .map(|&v| v as u32)
-            .collect();
+        let vals: Vec<u32> =
+            holistic_bench::workloads::random_ints(nn, 3).iter().map(|&v| v as u32).collect();
         let t = MergeSortTree::<u32>::build(&vals, MstParams::default());
         let s = t.stats();
         println!(

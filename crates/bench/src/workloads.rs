@@ -25,10 +25,7 @@ pub fn sorted_lineitem(n: usize, seed: u64) -> SortedLineitem {
     order.sort_unstable_by_key(|&i| (li.shipdate[i], i));
     SortedLineitem {
         extendedprice: order.iter().map(|&i| li.extendedprice[i]).collect(),
-        partkey_hash: order
-            .iter()
-            .map(|&i| hash_value(&Value::Int(li.partkey[i])))
-            .collect(),
+        partkey_hash: order.iter().map(|&i| hash_value(&Value::Int(li.partkey[i]))).collect(),
         shipdate: order.iter().map(|&i| li.shipdate[i]).collect(),
     }
 }

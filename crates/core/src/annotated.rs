@@ -42,16 +42,15 @@ impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
             // parallel via chunked iteration.
             if params.parallel && n >= 4096 {
                 states.resize(n, A::identity());
-                states
-                    .par_chunks_mut(run_len)
-                    .zip(lvl.data.par_chunks(run_len))
-                    .for_each(|(out, data)| {
+                states.par_chunks_mut(run_len).zip(lvl.data.par_chunks(run_len)).for_each(
+                    |(out, data)| {
                         let mut acc = A::identity();
                         for (o, &(_, p)) in out.iter_mut().zip(data.iter()) {
                             acc = A::combine(acc, A::lift(p));
                             *o = acc;
                         }
-                    });
+                    },
+                );
             } else {
                 for chunk in lvl.data.chunks(run_len.max(1)) {
                     let mut acc = A::identity();
@@ -163,8 +162,7 @@ mod tests {
                 let n = rng.gen_range(0..300);
                 let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..20)).collect();
                 let prev = shifted_prev(&values);
-                let tree =
-                    AnnotatedMst::<u32, SumI64>::build(&prev, &values, MstParams::new(f, k));
+                let tree = AnnotatedMst::<u32, SumI64>::build(&prev, &values, MstParams::new(f, k));
                 for _ in 0..30 {
                     let a = rng.gen_range(0..=n);
                     let b = rng.gen_range(a..=n);

@@ -16,9 +16,7 @@ use std::hash::Hash;
 /// before tree construction. Implementations exist for `u32` and `u64`; the
 /// caller picks the narrowest type that fits the partition size (see
 /// [`fits_u32`]).
-pub trait TreeIndex:
-    Copy + Ord + Eq + Hash + Debug + Send + Sync + Default + 'static
-{
+pub trait TreeIndex: Copy + Ord + Eq + Hash + Debug + Send + Sync + Default + 'static {
     /// Largest representable value (used as +∞ sentinel in searches).
     const MAX: Self;
     /// Zero.

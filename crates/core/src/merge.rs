@@ -45,10 +45,7 @@ impl<I: TreeIndex, P: Copy + Default + Send + Sync> Keyed<I> for (I, P) {
 /// Runs a binary search over the integer key domain — possible because merge
 /// sort tree elements are always integers (§5.1) — followed by greedy tie
 /// assignment. O(|domain bits| · f · log run_len).
-pub fn multisequence_split<I: TreeIndex, T: Keyed<I>>(
-    inputs: &[&[T]],
-    rank: usize,
-) -> Vec<usize> {
+pub fn multisequence_split<I: TreeIndex, T: Keyed<I>>(inputs: &[&[T]], rank: usize) -> Vec<usize> {
     let total: usize = inputs.iter().map(|r| r.len()).sum();
     assert!(rank <= total, "split rank {rank} out of bounds (total {total})");
     if rank == 0 {
@@ -58,9 +55,8 @@ pub fn multisequence_split<I: TreeIndex, T: Keyed<I>>(
         return inputs.iter().map(|r| r.len()).collect();
     }
     // Smallest key v with count_le(v) >= rank.
-    let count_le = |v: I| -> usize {
-        inputs.iter().map(|run| run.partition_point(|e| e.key() <= v)).sum()
-    };
+    let count_le =
+        |v: I| -> usize { inputs.iter().map(|run| run.partition_point(|e| e.key() <= v)).sum() };
     let (mut lo, mut hi) = (I::ZERO, I::MAX);
     while lo < hi {
         let mid = I::midpoint(lo, hi);
@@ -185,26 +181,21 @@ pub(crate) fn merge_run<I: TreeIndex, T: Keyed<I>>(
             }
             debug_assert!(out_rest.is_empty() && snap_rest.is_empty());
         }
-        out_parts
-            .into_par_iter()
-            .zip(snap_parts)
-            .enumerate()
-            .for_each(|(i, (out_c, snap_c))| {
-                let parts: Vec<(&[T], usize)> = rc
-                    .children
-                    .iter()
-                    .enumerate()
-                    .map(|(c, child)| (&child[splits[i][c]..splits[i + 1][c]], splits[i][c]))
-                    .collect();
-                merge_chunk(&parts, fanout, k, bounds[i], out_c, snap_c);
-            });
+        out_parts.into_par_iter().zip(snap_parts).enumerate().for_each(|(i, (out_c, snap_c))| {
+            let parts: Vec<(&[T], usize)> = rc
+                .children
+                .iter()
+                .enumerate()
+                .map(|(c, child)| (&child[splits[i][c]..splits[i + 1][c]], splits[i][c]))
+                .collect();
+            merge_chunk(&parts, fanout, k, bounds[i], out_c, snap_c);
+        });
     }
     // Trailing sentinel slots: final consumed positions = child lengths.
     for s in merge_slots..samples {
         let base = s * fanout;
         for c in 0..fanout {
-            snaps[base + c] =
-                I::from_usize(rc.children.get(c).map(|ch| ch.len()).unwrap_or(0));
+            snaps[base + c] = I::from_usize(rc.children.get(c).map(|ch| ch.len()).unwrap_or(0));
         }
     }
 }
@@ -283,16 +274,10 @@ mod tests {
                 let splits = multisequence_split(&slices, rank);
                 assert_eq!(splits.iter().sum::<usize>(), rank);
                 // Max of prefixes <= min of suffixes.
-                let prefix_max = runs
-                    .iter()
-                    .zip(&splits)
-                    .filter_map(|(r, &s)| r[..s].last().copied())
-                    .max();
-                let suffix_min = runs
-                    .iter()
-                    .zip(&splits)
-                    .filter_map(|(r, &s)| r[s..].first().copied())
-                    .min();
+                let prefix_max =
+                    runs.iter().zip(&splits).filter_map(|(r, &s)| r[..s].last().copied()).max();
+                let suffix_min =
+                    runs.iter().zip(&splits).filter_map(|(r, &s)| r[s..].first().copied()).min();
                 if let (Some(pm), Some(sm)) = (prefix_max, suffix_min) {
                     assert!(pm <= sm, "rank {rank}: {pm} > {sm}");
                 }

@@ -39,7 +39,8 @@ pub(crate) fn build_levels<I: TreeIndex, T: Keyed<I>>(
 ) -> Vec<Level<T, I>> {
     params.validate();
     let n = base.len();
-    let mut levels = vec![Level { data: base, run_len: 1, ptrs: Vec::new(), sample_offsets: Vec::new() }];
+    let mut levels =
+        vec![Level { data: base, run_len: 1, ptrs: Vec::new(), sample_offsets: Vec::new() }];
     while levels.last().unwrap().run_len < n {
         let next = build_next_level(levels.last().unwrap(), n, params);
         levels.push(next);
@@ -107,13 +108,9 @@ pub(crate) fn build_next_level<I: TreeIndex, T: Keyed<I>>(
 
         if params.parallel && num_runs > 1 {
             // Lower levels: one merge task per run (§5.2).
-            out_parts
-                .into_par_iter()
-                .zip(ptr_parts)
-                .enumerate()
-                .for_each(|(r, (out, snaps))| {
-                    merge_run(&make_children(r), f, k, out, snaps, false);
-                });
+            out_parts.into_par_iter().zip(ptr_parts).enumerate().for_each(|(r, (out, snaps))| {
+                merge_run(&make_children(r), f, k, out, snaps, false);
+            });
         } else {
             // Upper levels (single run): parallelize inside the merge.
             for (r, (out, snaps)) in out_parts.into_iter().zip(ptr_parts).enumerate() {
@@ -148,10 +145,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
     /// Like [`Self::build`], but also reports the wall time spent merging
     /// each level — the "build tree layer" phases of the paper's cost
     /// breakdown (Figure 14).
-    pub fn build_profiled(
-        values: &[I],
-        params: MstParams,
-    ) -> (Self, Vec<std::time::Duration>) {
+    pub fn build_profiled(values: &[I], params: MstParams) -> (Self, Vec<std::time::Duration>) {
         params.validate();
         let n = values.len();
         let mut levels = vec![Level {
@@ -195,14 +189,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
     /// `t` within run `r` of `level`, returns the lower-bound position of `t`
     /// within child run `c`.
     #[inline]
-    pub(crate) fn cascade(
-        &self,
-        level: usize,
-        run: usize,
-        pos: usize,
-        c: usize,
-        t: I,
-    ) -> usize {
+    pub(crate) fn cascade(&self, level: usize, run: usize, pos: usize, c: usize, t: I) -> usize {
         let lvl = &self.levels[level];
         let child = &self.levels[level - 1];
         let child_run = run * (lvl.run_len / child.run_len) + c;
@@ -519,10 +506,7 @@ mod tests {
         // at positions 8, 9, 15, 16, 17 (value v sits at position 19 - v).
         let rs = RangeSet::from_ranges(&[(2, 5), (10, 12)]);
         let positions: Vec<Option<usize>> = (0..6).map(|j| tree.select(&rs, j)).collect();
-        assert_eq!(
-            positions,
-            vec![Some(8), Some(9), Some(15), Some(16), Some(17), None]
-        );
+        assert_eq!(positions, vec![Some(8), Some(9), Some(15), Some(16), Some(17), None]);
     }
 
     #[test]
@@ -606,10 +590,7 @@ mod tests {
             assert_eq!(with.count_below(a, b, t), without.count_below(a, b, t));
             let (lo, hi) = (rng.gen_range(0..60), rng.gen_range(60..130));
             let j = rng.gen_range(0..n as usize);
-            assert_eq!(
-                with.select_in_range(lo, hi, j),
-                without.select_in_range(lo, hi, j)
-            );
+            assert_eq!(with.select_in_range(lo, hi, j), without.select_in_range(lo, hi, j));
         }
     }
 

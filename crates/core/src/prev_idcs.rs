@@ -136,8 +136,7 @@ mod tests {
         let prev = prev_idcs_by_key(&keys, false);
         for a in (0..keys.len()).step_by(13) {
             for b in (a..=keys.len()).step_by(17) {
-                let counted =
-                    prev[a..b].iter().filter(|&&p| p < a + 1).count();
+                let counted = prev[a..b].iter().filter(|&&p| p < a + 1).count();
                 let distinct: std::collections::HashSet<_> = keys[a..b].iter().collect();
                 assert_eq!(counted, distinct.len());
             }

@@ -57,11 +57,7 @@ impl RangeSet {
     /// The frame `[start, end)` minus the given holes (each optional, both
     /// clipped to the frame). This is exactly the shape produced by frame
     /// exclusion: EXCLUDE TIES yields two holes around the current row.
-    pub fn frame_minus_holes(
-        start: usize,
-        end: usize,
-        holes: &[(usize, usize)],
-    ) -> Self {
+    pub fn frame_minus_holes(start: usize, end: usize, holes: &[(usize, usize)]) -> Self {
         let mut rs = Self::empty();
         let mut cursor = start;
         let mut sorted: Vec<(usize, usize)> = holes

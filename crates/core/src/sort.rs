@@ -28,8 +28,7 @@ pub fn sort_runs<I: TreeIndex, T: Keyed<I>>(data: &mut [T], num_runs: usize) -> 
         bounds.push(0);
         bounds.dedup();
     }
-    data.par_chunks_mut(chunk.max(1))
-        .for_each(|c| c.sort_unstable_by_key(|e| e.key()));
+    data.par_chunks_mut(chunk.max(1)).for_each(|c| c.sort_unstable_by_key(|e| e.key()));
     bounds.dedup();
     bounds
 }
@@ -128,8 +127,7 @@ mod tests {
         let keys: Vec<u32> = sorted.iter().map(|p| p.0).collect();
         assert_eq!(keys, vec![1, 1, 2, 3]);
         // Both payloads for key 1 survive.
-        let p1: Vec<i64> =
-            sorted.iter().filter(|p| p.0 == 1).map(|p| p.1).collect();
+        let p1: Vec<i64> = sorted.iter().filter(|p| p.0 == 1).map(|p| p.1).collect();
         assert_eq!(p1.len(), 2);
         assert!(p1.contains(&10) && p1.contains(&11));
     }

@@ -94,8 +94,7 @@ impl RangeModeIndex {
     /// occurrence list).
     fn count_in(&self, v: u32, a: usize, b: usize) -> u32 {
         let o = &self.occ[v as usize];
-        (o.partition_point(|&p| (p as usize) < b) - o.partition_point(|&p| (p as usize) < a))
-            as u32
+        (o.partition_point(|&p| (p as usize) < b) - o.partition_point(|&p| (p as usize) < a)) as u32
     }
 
     /// The mode of `[a, b)` as `(value id, count)`; ties resolve to the

@@ -140,7 +140,11 @@ mod tests {
                 let mut window: Vec<i64> = vals[a..b].to_vec();
                 window.sort_unstable();
                 for j in [0usize, window.len() / 2, window.len().saturating_sub(1), window.len()] {
-                    assert_eq!(st.select(a, b, j), window.get(j).copied(), "n={n} a={a} b={b} j={j}");
+                    assert_eq!(
+                        st.select(a, b, j),
+                        window.get(j).copied(),
+                        "n={n} a={a} b={b} j={j}"
+                    );
                 }
             }
         }
@@ -155,10 +159,7 @@ mod tests {
             let a = rng.gen_range(0..=vals.len());
             let b = rng.gen_range(a..=vals.len());
             let t = rng.gen_range(-1..45);
-            assert_eq!(
-                st.count_below(a, b, t),
-                vals[a..b].iter().filter(|&&v| v < t).count()
-            );
+            assert_eq!(st.count_below(a, b, t), vals[a..b].iter().filter(|&&v| v < t).count());
         }
     }
 

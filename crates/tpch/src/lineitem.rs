@@ -95,7 +95,7 @@ pub fn lineitem(n: usize, seed: u64) -> Lineitem {
     let mut lines_left = 0u32;
     for _ in 0..n {
         if lines_left == 0 {
-            orderkey += rng.gen_range(1..=3);
+            orderkey += rng.gen_range(1i64..=3);
             lines_left = rng.gen_range(1..=7);
         }
         lines_left -= 1;
@@ -113,8 +113,8 @@ pub fn lineitem(n: usize, seed: u64) -> Lineitem {
         li.shipdate.push(shipdate);
         li.commitdate.push(shipdate + rng.gen_range(-45..=45));
         li.receiptdate.push(shipdate + rng.gen_range(1..=30));
-        li.returnflag.push(["R", "A", "N"][rng.gen_range(0..3)]);
-        li.linestatus.push(["O", "F"][rng.gen_range(0..2)]);
+        li.returnflag.push(["R", "A", "N"][rng.gen_range(0usize..3)]);
+        li.linestatus.push(["O", "F"][rng.gen_range(0usize..2)]);
     }
     li
 }

@@ -10,7 +10,13 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 pub fn tpcc_results(n: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let vendors = [
-        "HyperDB", "UmbraSys", "QuackDB", "ElephantSQL", "SnowOwl", "OrcaBase", "TinyTuple",
+        "HyperDB",
+        "UmbraSys",
+        "QuackDB",
+        "ElephantSQL",
+        "SnowOwl",
+        "OrcaBase",
+        "TinyTuple",
         "MorselMachine",
     ];
     let mut dbsystem = Vec::with_capacity(n);
@@ -46,9 +52,9 @@ pub fn stock_orders(n: usize, seed: u64) -> Table {
     let mut t = 0i64;
     let mut p = 10_000i64;
     for _ in 0..n {
-        t += rng.gen_range(1..30);
+        t += rng.gen_range(1i64..30);
         // Random-walk price in cents.
-        p = (p + rng.gen_range(-150..=150)).max(100);
+        p = (p + rng.gen_range(-150i64..=150)).max(100);
         placement_time.push(t);
         price.push(p);
         good_for.push(rng.gen_range(10..600i64));
@@ -111,9 +117,8 @@ mod tests {
     #[test]
     fn orders_stream_dates_nondecreasing() {
         let t = orders_stream(200, 20, 3);
-        let dates: Vec<i64> = (0..200)
-            .map(|i| t.column("o_orderdate").unwrap().get(i).as_i64().unwrap())
-            .collect();
+        let dates: Vec<i64> =
+            (0..200).map(|i| t.column("o_orderdate").unwrap().get(i).as_i64().unwrap()).collect();
         assert!(dates.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -1,0 +1,256 @@
+//! A self-contained stand-in for the `criterion` API subset this workspace's
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `measurement_time`, `throughput`, `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, run the closure in
+//! batches until the measurement budget is spent, report the median batch
+//! time — which is plenty for the relative comparisons these benches make.
+//! No statistics engine, plotting, or baseline storage.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter (typically the input size).
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        let mut label = name.into();
+        let _ = write!(label, "/{param}");
+        BenchmarkId { label }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+/// Anything convertible into a benchmark id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for rate reporting.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.label();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        // Warm-up: one sample, also calibrates the per-iteration cost.
+        f(&mut b);
+        let warm_per_iter =
+            if b.iters > 0 { b.elapsed.as_secs_f64() / b.iters as f64 } else { 0.0 };
+        let budget = self.measurement_time.as_secs_f64();
+        let samples = self.sample_size;
+        // Aim the whole sample loop at the measurement budget.
+        let target_per_sample = budget / samples as f64;
+        let iters_per_sample = if warm_per_iter > 0.0 {
+            ((target_per_sample / warm_per_iter).round() as u64).clamp(1, 1_000_000)
+        } else {
+            1
+        };
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        let started = Instant::now();
+        for _ in 0..samples {
+            let mut s = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            for _ in 0..iters_per_sample {
+                f(&mut s);
+            }
+            if s.iters > 0 {
+                times.push(s.elapsed.as_secs_f64() / s.iters as f64);
+            }
+            if started.elapsed().as_secs_f64() > budget * 2.0 {
+                break; // keep slow benches from overshooting wildly
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times.get(times.len() / 2).copied().unwrap_or(0.0);
+        let mut line = format!("{}/{label}: {}", self.name, fmt_time(median));
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if median > 0.0 {
+                let _ = write!(line, "  ({:.3} Melem/s)", n as f64 / median / 1e6);
+            }
+        }
+        eprintln!("{line}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Opaque value barrier, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(30));
+        g.throughput(Throughput::Elements(10));
+        g.bench_function(BenchmarkId::new("sum", 10), |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,807 @@
+//! A self-contained, dependency-free stand-in for the `rayon` data-parallel
+//! API subset this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the exact parallel-iterator surface it needs: `par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, `into_par_iter` (ranges and vectors),
+//! `map`/`filter_map`/`enumerate`/`zip`/`for_each`/`collect`, and the
+//! unstable parallel sorts. Execution is genuinely parallel via
+//! [`std::thread::scope`]: an operation splits its index space into one
+//! contiguous part per available thread and joins the scoped workers.
+//!
+//! Semantics match rayon where it matters for this codebase: item order is
+//! preserved by `collect`, splits are deterministic, and all closures must be
+//! `Send + Sync`. The scheduling is simpler (static partitioning, no work
+//! stealing, no global pool), which is fine for the coarse-grained operations
+//! the engine guards behind size thresholds.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// Number of worker threads parallel operations fan out to.
+///
+/// Honours `RAYON_NUM_THREADS` when set (like rayon's global pool), falling
+/// back to [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// The parallel-iterator trait: a splittable, exact-ish-length producer.
+///
+/// `len_hint` is exact for every producer except [`FilterMap`], where it is
+/// an upper bound (order-preserving concatenation keeps `collect` correct).
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a part degrades to.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Upper bound on the number of items (exact for indexed producers).
+    fn len_hint(&self) -> usize;
+    /// Splits the underlying index space at `index` (`0 <= index <= len`).
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Degrades to sequential iteration.
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Maps each item through `f`.
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    /// Maps and filters in one pass.
+    fn filter_map<R: Send, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { base: self, f: Arc::new(f) }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Zips with another indexed parallel iterator.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip { a: self, b: other.into_par_iter() }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_parts(self, &|it: Self::SeqIter| {
+            for x in it {
+                f(x);
+            }
+        });
+    }
+
+    /// Collects into `C`, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let parts = run_parts(self, &|it: Self::SeqIter| it.collect::<Vec<_>>());
+        C::from_par_parts(parts)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Performs the conversion.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Collection from ordered per-thread parts (mirrors rayon's
+/// `FromParallelIterator`).
+pub trait FromParallelIterator<T>: Sized {
+    /// Assembles the final collection from in-order parts.
+    fn from_par_parts(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_parts(parts: Vec<Vec<T>>) -> Self {
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_parts(parts: Vec<Vec<Result<T, E>>>) -> Self {
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            for r in p {
+                out.push(r?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<(), E>
+where
+    T: Send,
+{
+    fn from_par_parts(parts: Vec<Vec<Result<T, E>>>) -> Self {
+        for p in parts {
+            for r in p {
+                r?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits `p` into up to `current_num_threads()` parts and runs `f` over each
+/// part's sequential iterator on a scoped thread, returning per-part results
+/// in order.
+fn run_parts<P, R, F>(p: P, f: &F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::SeqIter) -> R + Sync,
+{
+    let n = p.len_hint();
+    let k = current_num_threads().min(n.max(1));
+    if k <= 1 {
+        return vec![f(p.into_seq())];
+    }
+    // Carve `p` into k contiguous parts of near-equal index width.
+    let mut parts = Vec::with_capacity(k);
+    let mut rest = p;
+    let mut start = 0usize;
+    for i in 1..k {
+        let cut = i * n / k;
+        let (head, tail) = rest.split_at(cut - start);
+        parts.push(head);
+        rest = tail;
+        start = cut;
+    }
+    parts.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            parts.into_iter().map(|part| s.spawn(move || f(part.into_seq()))).collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+// ---------------------------------------------------------------- producers
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(index);
+        (SliceParIter(a), SliceParIter(b))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceParIterMut<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(index);
+        (SliceParIterMut(a), SliceParIterMut(b))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0.iter_mut()
+    }
+}
+
+/// Parallel chunks of `&[T]`.
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size.max(1))
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let cut = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(cut);
+        (ChunksPar { slice: a, size: self.size }, ChunksPar { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size.max(1))
+    }
+}
+
+/// Parallel chunks of `&mut [T]`.
+pub struct ChunksMutPar<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size.max(1))
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let cut = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(cut);
+        (ChunksMutPar { slice: a, size: self.size }, ChunksMutPar { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size.max(1))
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangePar(Range<usize>);
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    type SeqIter = Range<usize>;
+    fn len_hint(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (self.0.start + index).min(self.0.end);
+        (RangePar(self.0.start..mid), RangePar(mid..self.0.end))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0
+    }
+}
+
+/// Parallel iterator consuming a `Vec<T>`.
+pub struct VecPar<T>(Vec<T>);
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+    fn len_hint(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.0.split_off(index.min(self.0.len()));
+        (self, VecPar(tail))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0.into_iter()
+    }
+}
+
+// -------------------------------------------------------------- combinators
+
+/// Mapping combinator.
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeq<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for MapSeq<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    type SeqIter = MapSeq<P::SeqIter, F>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (Map { base: a, f: self.f.clone() }, Map { base: b, f: self.f })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeq { inner: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Filter-mapping combinator (length hint becomes an upper bound).
+pub struct FilterMap<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`FilterMap`].
+pub struct FilterMapSeq<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for FilterMapSeq<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> Option<R>,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        for x in self.inner.by_ref() {
+            if let Some(r) = (self.f)(x) {
+                return Some(r);
+            }
+        }
+        None
+    }
+}
+
+impl<P, F, R> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+    type SeqIter = FilterMapSeq<P::SeqIter, F>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (FilterMap { base: a, f: self.f.clone() }, FilterMap { base: b, f: self.f })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        FilterMapSeq { inner: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Enumerating combinator.
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateSeq<P::SeqIter>;
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + index },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq { inner: self.base.into_seq(), next: self.offset }
+    }
+}
+
+/// Zipping combinator over two indexed producers.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+    fn len_hint(&self) -> usize {
+        self.a.len_hint().min(self.b.len_hint())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// -------------------------------------------- IntoParallelIterator wiring
+
+macro_rules! impl_into_par_identity {
+    ($($ty:ident < $($gen:ident),* >),* $(,)?) => {$(
+        impl<$($gen),*> IntoParallelIterator for $ty<$($gen),*>
+        where
+            $ty<$($gen),*>: ParallelIterator,
+        {
+            type Item = <$ty<$($gen),*> as ParallelIterator>::Item;
+            type Iter = $ty<$($gen),*>;
+            fn into_par_iter(self) -> Self::Iter {
+                self
+            }
+        }
+    )*};
+}
+
+impl_into_par_identity!(
+    Map<P, F>,
+    FilterMap<P, F>,
+    Enumerate<P>,
+    Zip<A, B>,
+    VecPar<T>,
+);
+
+impl<'a, T: Sync> IntoParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar(self)
+    }
+}
+
+impl IntoParallelIterator for RangePar {
+    type Item = usize;
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter(self)
+    }
+}
+
+// ------------------------------------------------------------ slice methods
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    /// Parallel iterator over chunks of `size`.
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter(self)
+    }
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T> {
+        ChunksPar { slice: self, size }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / parallel sorts on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+    /// Parallel iterator over mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T>;
+    /// Parallel unstable sort by `Ord`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy + Sync,
+    {
+        self.par_sort_unstable_by(|a, b| a.cmp(b));
+    }
+    /// Parallel unstable sort by comparator.
+    ///
+    /// Unlike rayon, the vendored merge needs `T: Copy + Sync` (all call
+    /// sites sort plain index/key tuples).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Sync,
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut(self)
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T> {
+        ChunksMutPar { slice: self, size }
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Sync,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self, &cmp);
+    }
+}
+
+/// Chunked parallel merge sort: sort `threads` runs concurrently, then merge
+/// adjacent runs pairwise (each round's merges run in parallel).
+fn par_merge_sort<T, F>(data: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    let threads = current_num_threads();
+    if threads <= 1 || n < 4096 {
+        data.sort_unstable_by(cmp);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut bounds: Vec<usize> = (0..n).step_by(chunk).collect();
+    bounds.push(n);
+    std::thread::scope(|s| {
+        let mut rest = &mut *data;
+        let mut handles = Vec::new();
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            handles.push(s.spawn(move || head.sort_unstable_by(cmp)));
+            rest = tail;
+        }
+        for h in handles {
+            h.join().expect("sort worker panicked");
+        }
+    });
+    // Pairwise merge rounds through a scratch buffer.
+    let mut scratch: Vec<T> = data.to_vec();
+    let mut src_is_data = true;
+    while bounds.len() > 2 {
+        let mut next_bounds = Vec::with_capacity(bounds.len() / 2 + 1);
+        next_bounds.push(0);
+        {
+            let (src, dst): (&[T], &mut [T]) =
+                if src_is_data { (&*data, &mut scratch[..]) } else { (&scratch[..], &mut *data) };
+            std::thread::scope(|s| {
+                let mut rest = dst;
+                let mut offset = 0usize;
+                let mut i = 0;
+                while i + 1 < bounds.len() {
+                    let lo = bounds[i];
+                    let mid = bounds[i + 1];
+                    let hi = if i + 2 < bounds.len() { bounds[i + 2] } else { mid };
+                    let width = hi - lo;
+                    let (out, tail) = rest.split_at_mut(width);
+                    debug_assert_eq!(offset, lo);
+                    let a = &src[lo..mid];
+                    let b = &src[mid..hi];
+                    s.spawn(move || merge_into(a, b, out, cmp));
+                    rest = tail;
+                    offset += width;
+                    next_bounds.push(hi);
+                    i += 2;
+                }
+            });
+        }
+        src_is_data = !src_is_data;
+        bounds = next_bounds;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+fn merge_into<T: Copy, F: Fn(&T, &T) -> Ordering>(a: &[T], b: &[T], out: &mut [T], cmp: &F) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || cmp(&a[i], &b[j]) != Ordering::Greater) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+/// The glob-import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_result_short_circuits() {
+        let ok: Result<Vec<usize>, String> =
+            (0..100).into_par_iter().map(Ok::<usize, String>).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = (0..100)
+            .into_par_iter()
+            .map(|i| if i == 57 { Err("boom".to_string()) } else { Ok(i) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<usize> =
+            (0..1000).into_par_iter().filter_map(|i| (i % 3 == 0).then_some(i)).collect();
+        assert_eq!(v, (0..1000).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(100).enumerate().for_each(|(r, c)| {
+            for x in c.iter_mut() {
+                *x = r;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[999], 9);
+        assert_eq!(data[500], 5);
+    }
+
+    #[test]
+    fn zip_mut_with_shared() {
+        let mut out = vec![0i64; 5000];
+        let input: Vec<i64> = (0..5000).collect();
+        out.par_iter_mut().zip(input.par_iter()).for_each(|(o, &v)| *o = v * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as i64 * 3));
+    }
+
+    #[test]
+    fn par_sort_matches_std() {
+        let mut a: Vec<usize> = (0..50_000).map(|i| (i * 2654435761) % 100_000).collect();
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        let mut c: Vec<usize> = (0..10_000).map(|i| (i * 48271) % 7919).collect();
+        let mut d = c.clone();
+        c.par_sort_unstable_by(|x, y| y.cmp(x));
+        d.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let tasks: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = tasks.into_par_iter().map(|t| t + 1).collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[256], 257);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

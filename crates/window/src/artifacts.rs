@@ -1,0 +1,459 @@
+//! The per-partition preprocessing-artifact cache — the *build* phase of the
+//! plan → build → probe pipeline.
+//!
+//! Every preprocessing product an evaluator consumes (inner-sort dense
+//! codes, merge sort trees, segment trees, the range tree, the mode index,
+//! kept-row masks, materialized expression values) is addressed by a
+//! canonical [`ArtifactKey`] and built **exactly once per partition**, no
+//! matter how many calls request it. Calls whose plan keys coincide — e.g.
+//! `RANK`, `ROW_NUMBER` and a framed `LEAD` over the same inner ORDER BY —
+//! share the sort and the trees instead of redoing them per call.
+//!
+//! Artifacts are stored type-erased (`Arc<dyn Any>`) behind a `OnceLock` per
+//! key: the slot map's lock is held only to fetch the slot, the build runs
+//! outside it, and nested requests (an artifact forcing its ingredients)
+//! recurse safely because dependencies form a DAG of distinct keys. Build
+//! errors are cached too ([`Error`] is `Clone`), so a failing recipe fails
+//! identically for every requester.
+//!
+//! Index width (u32/u64) is intentionally not part of the key: it is a pure
+//! function of the partition size ([`fits_u32`]), so all requests against
+//! one cache agree on the width and the `downcast` below cannot fail.
+
+use crate::error::{Error, Result};
+use crate::eval::Ctx;
+use crate::executor::CacheStats;
+use crate::hash::hash_value;
+use crate::order::{dense_codes_for, KeyColumns};
+use crate::plan::{
+    sort_keys_of, ArtifactKey, CanonicalExpr, CanonicalSortKey, MaskKey, OrderKey, SegFlavor,
+};
+use crate::remap::Remap;
+use crate::value::Value;
+use holistic_core::codes::DenseCodes;
+use holistic_core::index::fits_u32;
+use holistic_core::{MergeSortTree, TreeIndex};
+use holistic_rangemode::RangeModeIndex;
+use holistic_rangetree::RangeTree3;
+use holistic_segtree::{CountMonoid, SegmentTree};
+use rustc_hash::FxHashMap;
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Payload = Arc<dyn Any + Send + Sync>;
+type Slot = Arc<OnceLock<std::result::Result<Payload, Error>>>;
+
+/// Internal atomic counters; snapshotted into the public [`CacheStats`].
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub inner_sorts: AtomicU64,
+    pub mst_builds: AtomicU64,
+    pub segtree_builds: AtomicU64,
+    pub rangetree_builds: AtomicU64,
+    pub modeindex_builds: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Accumulates this cache's counters into a query-level total.
+    pub fn merge_into(&self, dst: &AtomicStats) {
+        dst.hits.fetch_add(self.hits.load(Relaxed), Relaxed);
+        dst.misses.fetch_add(self.misses.load(Relaxed), Relaxed);
+        dst.inner_sorts.fetch_add(self.inner_sorts.load(Relaxed), Relaxed);
+        dst.mst_builds.fetch_add(self.mst_builds.load(Relaxed), Relaxed);
+        dst.segtree_builds.fetch_add(self.segtree_builds.load(Relaxed), Relaxed);
+        dst.rangetree_builds.fetch_add(self.rangetree_builds.load(Relaxed), Relaxed);
+        dst.modeindex_builds.fetch_add(self.modeindex_builds.load(Relaxed), Relaxed);
+    }
+
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            inner_sorts: self.inner_sorts.load(Relaxed),
+            mst_builds: self.mst_builds.load(Relaxed),
+            segtree_builds: self.segtree_builds.load(Relaxed),
+            rangetree_builds: self.rangetree_builds.load(Relaxed),
+            modeindex_builds: self.modeindex_builds.load(Relaxed),
+        }
+    }
+}
+
+/// The per-partition artifact cache.
+pub(crate) struct ArtifactCache {
+    slots: Mutex<FxHashMap<ArtifactKey, Slot>>,
+    stats: AtomicStats,
+}
+
+impl ArtifactCache {
+    pub fn new() -> Self {
+        ArtifactCache { slots: Mutex::new(FxHashMap::default()), stats: AtomicStats::default() }
+    }
+
+    pub fn stats(&self) -> &AtomicStats {
+        &self.stats
+    }
+
+    /// Pre-populates a slot with an already-built artifact (the executor
+    /// seeds the window ORDER BY key columns this way). Counts as neither a
+    /// hit nor a miss; later requests count as hits.
+    pub fn seed<T: Any + Send + Sync>(&self, key: ArtifactKey, value: Arc<T>) {
+        let slot: Slot = Arc::new(OnceLock::new());
+        let _ = slot.set(Ok(value as Payload));
+        self.slots.lock().expect("artifact cache poisoned").insert(key, slot);
+    }
+
+    /// Returns the artifact for `key`, building it with `build` on first
+    /// request. Concurrent requesters block on the same slot; the build runs
+    /// outside the map lock, so builds of *different* keys — including a
+    /// build requesting its own ingredients — never contend.
+    pub fn get_or_build<T, F>(&self, key: ArtifactKey, build: F) -> Result<Arc<T>>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Result<T>,
+    {
+        let slot = {
+            let mut slots = self.slots.lock().expect("artifact cache poisoned");
+            slots.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        };
+        let mut fresh = false;
+        let res = slot.get_or_init(|| {
+            fresh = true;
+            build().map(|v| Arc::new(v) as Payload)
+        });
+        if fresh {
+            self.stats.misses.fetch_add(1, Relaxed);
+        } else {
+            self.stats.hits.fetch_add(1, Relaxed);
+        }
+        match res {
+            Ok(p) => Ok(Arc::clone(p)
+                .downcast::<T>()
+                .expect("artifact payload type is fixed by its key")),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+/// Kept-row mask artifact: which positions participate, plus the remapping
+/// machinery every kept-row structure shares (§4.7's index remapping).
+pub(crate) struct MaskArtifact {
+    /// Per partition position: passes FILTER ∧ the family's NULL screen.
+    pub keep: Vec<bool>,
+    /// Position ↔ kept-index remapping.
+    pub remap: Remap,
+    /// Kept index → table row.
+    pub kept_rows: Vec<usize>,
+}
+
+impl MaskArtifact {
+    pub fn kept_len(&self) -> usize {
+        self.kept_rows.len()
+    }
+}
+
+/// Distinct-aggregate preprocessing (§4.2): value hashes and shifted
+/// previous-occurrence indices per kept position, in `usize` (widened to the
+/// partition's tree index on demand).
+pub(crate) struct DistinctPrepArt {
+    /// Value hash per kept position.
+    pub hashes: Vec<u64>,
+    /// Shifted previous-occurrence index per kept position (Algorithm 1).
+    pub prev: Vec<usize>,
+    /// Kept values (payloads / exclusion corrections).
+    pub values: Arc<Vec<Value>>,
+    /// hash → ascending kept positions; built only under frame exclusion.
+    pub occurrences: FxHashMap<u64, Vec<usize>>,
+}
+
+/// DENSE_RANK range-tree artifact (§4.4).
+pub(crate) struct RangeTreeArt {
+    pub rt: RangeTree3,
+    /// Tie group → ascending kept positions; built only under exclusion.
+    pub occurrences: Vec<Vec<usize>>,
+}
+
+/// MODE artifact: dense value ids (in value order) plus the √-decomposition
+/// index over them.
+pub(crate) struct ModeArt {
+    /// id → value (ascending by `sql_cmp`).
+    pub decode: Vec<Value>,
+    pub index: RangeModeIndex,
+}
+
+impl Ctx<'_> {
+    /// True when this partition's trees index with u32 (uniform per
+    /// partition, hence absent from artifact keys).
+    pub(crate) fn u32_trees(&self) -> bool {
+        fits_u32(self.m() + 1)
+    }
+
+    /// Expression values per partition position.
+    pub(crate) fn values_art(&self, e: &CanonicalExpr) -> Result<Arc<Vec<Value>>> {
+        self.cache
+            .get_or_build(ArtifactKey::Values(e.clone()), || self.eval_positions(&e.to_expr()))
+    }
+
+    /// The kept-row mask artifact.
+    pub(crate) fn mask_art(&self, mk: &MaskKey) -> Result<Arc<MaskArtifact>> {
+        self.cache.get_or_build(ArtifactKey::Mask(mk.clone()), || {
+            let m = self.m();
+            let mut keep = match &mk.filter {
+                None => vec![true; m],
+                Some(f) => {
+                    let bound = f.to_expr().bind(self.table)?;
+                    self.rows
+                        .iter()
+                        .map(|&r| Ok(bound.eval(self.table, r)?.is_truthy()))
+                        .collect::<Result<Vec<bool>>>()?
+                }
+            };
+            if let Some(screen) = &mk.screen {
+                let vals = self.values_art(screen)?;
+                for (i, k) in keep.iter_mut().enumerate() {
+                    *k = *k && !vals[i].is_null();
+                }
+            }
+            let remap = Remap::new(&keep);
+            let kept_rows: Vec<usize> =
+                (0..remap.kept_len()).map(|k| self.rows[remap.to_position(k)]).collect();
+            Ok(MaskArtifact { keep, remap, kept_rows })
+        })
+    }
+
+    /// Expression values per *kept* position.
+    pub(crate) fn kept_values_art(
+        &self,
+        e: &CanonicalExpr,
+        mk: &MaskKey,
+    ) -> Result<Arc<Vec<Value>>> {
+        let values = self.values_art(e)?;
+        let mask = self.mask_art(mk)?;
+        self.cache.get_or_build(ArtifactKey::KeptValues(e.clone(), mk.clone()), || {
+            Ok((0..mask.kept_len())
+                .map(|k| values[mask.remap.to_position(k)].clone())
+                .collect::<Vec<Value>>())
+        })
+    }
+
+    /// Materialized inner ORDER BY key columns (full table; independent of
+    /// any mask, so structurally equal criteria share one evaluation).
+    pub(crate) fn inner_keys_art(&self, ks: &[CanonicalSortKey]) -> Result<Arc<KeyColumns>> {
+        self.cache.get_or_build(ArtifactKey::InnerKeys(ks.to_vec()), || {
+            KeyColumns::evaluate(self.table, &sort_keys_of(ks))
+        })
+    }
+
+    /// The inner sort: dense codes over the kept rows (Figure 8). Every
+    /// cache miss here is one actual sort — the profile's `inner_sorts`.
+    pub(crate) fn dense_codes_art(
+        &self,
+        order: &OrderKey,
+        mk: &MaskKey,
+    ) -> Result<Arc<DenseCodes>> {
+        let OrderKey::Keys(ks) = order else {
+            unreachable!("dense codes require an explicit criterion")
+        };
+        let keys = self.inner_keys_art(ks)?;
+        let mask = self.mask_art(mk)?;
+        let stats = self.cache.stats();
+        self.cache.get_or_build(ArtifactKey::DenseCodes(order.clone(), mk.clone()), || {
+            stats.inner_sorts.fetch_add(1, Relaxed);
+            Ok(dense_codes_for(&keys, &mask.kept_rows, self.parallel))
+        })
+    }
+
+    /// Merge sort tree over the unique codes (rank family / framed LEAD).
+    pub(crate) fn code_mst<I: TreeIndex>(
+        &self,
+        order: &OrderKey,
+        mk: &MaskKey,
+    ) -> Result<Arc<MergeSortTree<I>>> {
+        let dc = self.dense_codes_art(order, mk)?;
+        let stats = self.cache.stats();
+        self.cache.get_or_build(ArtifactKey::CodeMst(order.clone(), mk.clone()), || {
+            stats.mst_builds.fetch_add(1, Relaxed);
+            let codes: Vec<I> = dc.code.iter().map(|&c| I::from_usize(c)).collect();
+            Ok(MergeSortTree::<I>::build(&codes, self.params))
+        })
+    }
+
+    /// Merge sort tree over the permutation array (selection family). The
+    /// `Identity` order is the identity permutation over the kept rows.
+    pub(crate) fn perm_mst<I: TreeIndex>(
+        &self,
+        order: &OrderKey,
+        mk: &MaskKey,
+    ) -> Result<Arc<MergeSortTree<I>>> {
+        let key = ArtifactKey::PermMst(order.clone(), mk.clone());
+        let stats = self.cache.stats();
+        match order {
+            OrderKey::Identity => {
+                let mask = self.mask_art(mk)?;
+                self.cache.get_or_build(key, || {
+                    stats.mst_builds.fetch_add(1, Relaxed);
+                    let perm_i: Vec<I> = (0..mask.kept_len()).map(I::from_usize).collect();
+                    Ok(MergeSortTree::<I>::build(&perm_i, self.params))
+                })
+            }
+            OrderKey::Keys(_) => {
+                let dc = self.dense_codes_art(order, mk)?;
+                self.cache.get_or_build(key, || {
+                    stats.mst_builds.fetch_add(1, Relaxed);
+                    let perm_i: Vec<I> = dc.perm.iter().map(|&p| I::from_usize(p)).collect();
+                    Ok(MergeSortTree::<I>::build(&perm_i, self.params))
+                })
+            }
+        }
+    }
+
+    /// Distinct preprocessing: hashes, previous-occurrence indices and (under
+    /// exclusion) per-value occurrence lists.
+    pub(crate) fn distinct_prep_art(
+        &self,
+        e: &CanonicalExpr,
+        mk: &MaskKey,
+    ) -> Result<Arc<DistinctPrepArt>> {
+        let values = self.kept_values_art(e, mk)?;
+        self.cache.get_or_build(ArtifactKey::DistinctPrep(e.clone(), mk.clone()), || {
+            let hashes: Vec<u64> = values.iter().map(hash_value).collect();
+            let prev = holistic_core::prev_idcs_u64(&hashes, self.parallel);
+            let mut occurrences: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            if self.frames.has_exclusion() {
+                for (k, &h) in hashes.iter().enumerate() {
+                    occurrences.entry(h).or_default().push(k);
+                }
+            }
+            Ok(DistinctPrepArt { hashes, prev, values: Arc::clone(&values), occurrences })
+        })
+    }
+
+    /// Merge sort tree over the previous-occurrence indices (COUNT DISTINCT).
+    pub(crate) fn distinct_count_mst<I: TreeIndex>(
+        &self,
+        e: &CanonicalExpr,
+        mk: &MaskKey,
+    ) -> Result<Arc<MergeSortTree<I>>> {
+        let prep = self.distinct_prep_art(e, mk)?;
+        let stats = self.cache.stats();
+        self.cache.get_or_build(ArtifactKey::DistinctCountMst(e.clone(), mk.clone()), || {
+            stats.mst_builds.fetch_add(1, Relaxed);
+            let prev: Vec<I> = prep.prev.iter().map(|&p| I::from_usize(p)).collect();
+            Ok(MergeSortTree::<I>::build(&prev, self.params))
+        })
+    }
+
+    /// The kept-row count segment tree shared by a mask's aggregates.
+    pub(crate) fn count_segtree(&self, mk: &MaskKey) -> Result<Arc<SegmentTree<CountMonoid>>> {
+        let mask = self.mask_art(mk)?;
+        let stats = self.cache.stats();
+        self.cache.get_or_build(ArtifactKey::SegTree(None, mk.clone(), SegFlavor::Count), || {
+            stats.segtree_builds.fetch_add(1, Relaxed);
+            let counts: Vec<u64> = mask.keep.iter().map(|&k| k as u64).collect();
+            Ok(SegmentTree::<CountMonoid>::build(&counts, self.parallel))
+        })
+    }
+
+    /// DENSE_RANK's 3-d range tree over tie-group ids (u32 partitions only).
+    pub(crate) fn range_tree_art(
+        &self,
+        order: &OrderKey,
+        mk: &MaskKey,
+    ) -> Result<Arc<RangeTreeArt>> {
+        let dc = self.dense_codes_art(order, mk)?;
+        let stats = self.cache.stats();
+        self.cache.get_or_build(ArtifactKey::RangeTree(order.clone(), mk.clone()), || {
+            stats.rangetree_builds.fetch_add(1, Relaxed);
+            let gids: Vec<u32> = dc.group_id.iter().map(|&g| g as u32).collect();
+            let prev: Vec<u32> = holistic_core::prev_idcs_by_key(&gids, self.parallel)
+                .iter()
+                .map(|&p| p as u32)
+                .collect();
+            let rt = RangeTree3::build(&gids, &prev, self.parallel);
+            let mut occurrences: Vec<Vec<usize>> = Vec::new();
+            if self.frames.has_exclusion() {
+                occurrences = vec![Vec::new(); dc.num_groups];
+                for (k, &g) in dc.group_id.iter().enumerate() {
+                    occurrences[g].push(k);
+                }
+            }
+            Ok(RangeTreeArt { rt, occurrences })
+        })
+    }
+
+    /// The MODE decode table and √-decomposition index.
+    pub(crate) fn mode_art(&self, e: &CanonicalExpr, mk: &MaskKey) -> Result<Arc<ModeArt>> {
+        let values = self.kept_values_art(e, mk)?;
+        let stats = self.cache.stats();
+        self.cache.get_or_build(ArtifactKey::ModeIndex(e.clone(), mk.clone()), || {
+            stats.modeindex_builds.fetch_add(1, Relaxed);
+            // Dense ids in value order (ids ascend with sql_cmp) so the
+            // index's smallest-id tie-break picks the smallest value.
+            let mut sorted: Vec<&Value> = values.iter().collect();
+            sorted.sort_by(|a, b| a.sql_cmp(b));
+            sorted.dedup_by(|a, b| a.sql_eq(b));
+            let decode: Vec<Value> = sorted.iter().map(|v| (*v).clone()).collect();
+            let ids: Vec<u32> = values
+                .iter()
+                .map(|v| {
+                    decode.binary_search_by(|probe| probe.sql_cmp(v)).expect("value interned")
+                        as u32
+                })
+                .collect();
+            let index = RangeModeIndex::build(&ids, decode.len());
+            Ok(ModeArt { decode, index })
+        })
+    }
+}
+
+/// Forces one planned artifact into the cache (the build phase's worklist
+/// driver). Dependencies resolve recursively through the getters; the
+/// partition's index width is chosen here for width-generic artifacts.
+pub(crate) fn force(ctx: &Ctx<'_>, key: &ArtifactKey) -> Result<()> {
+    use ArtifactKey as K;
+    match key {
+        K::Values(e) => drop(ctx.values_art(e)?),
+        K::Mask(mk) => drop(ctx.mask_art(mk)?),
+        K::KeptValues(e, mk) => drop(ctx.kept_values_art(e, mk)?),
+        K::InnerKeys(ks) => drop(ctx.inner_keys_art(ks)?),
+        K::DenseCodes(o, mk) => drop(ctx.dense_codes_art(o, mk)?),
+        K::CodeMst(o, mk) => {
+            if ctx.u32_trees() {
+                drop(ctx.code_mst::<u32>(o, mk)?);
+            } else {
+                drop(ctx.code_mst::<u64>(o, mk)?);
+            }
+        }
+        K::PermMst(o, mk) => {
+            if ctx.u32_trees() {
+                drop(ctx.perm_mst::<u32>(o, mk)?);
+            } else {
+                drop(ctx.perm_mst::<u64>(o, mk)?);
+            }
+        }
+        K::DistinctPrep(e, mk) => drop(ctx.distinct_prep_art(e, mk)?),
+        K::DistinctCountMst(e, mk) => {
+            if ctx.u32_trees() {
+                drop(ctx.distinct_count_mst::<u32>(e, mk)?);
+            } else {
+                drop(ctx.distinct_count_mst::<u64>(e, mk)?);
+            }
+        }
+        K::SegTree(None, mk, SegFlavor::Count) => drop(ctx.count_segtree(mk)?),
+        K::RangeTree(o, mk) => {
+            // Wide partitions error at probe time (DENSE_RANK is u32-only);
+            // skipping here keeps the error message on the evaluator's path.
+            if ctx.u32_trees() {
+                drop(ctx.range_tree_art(o, mk)?);
+            }
+        }
+        K::ModeIndex(e, mk) => drop(ctx.mode_art(e, mk)?),
+        // Data-dependent artifacts (SUM flavor, MIN/MAX ordinal trees,
+        // annotated distinct trees) are never planned eagerly; they build
+        // lazily through the same cache during the probe phase.
+        K::DistinctAggMst(..) | K::OrdinalEnc(..) | K::SegTree(..) => {}
+    }
+    Ok(())
+}

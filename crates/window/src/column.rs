@@ -170,8 +170,7 @@ impl Column {
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
         let v = match self {
-            Column::Int(_, v)
-            | Column::Date(_, v) => v,
+            Column::Int(_, v) | Column::Date(_, v) => v,
             Column::Float(_, v) => v,
             Column::Str(_, v) => v,
             Column::Bool(_, v) => v,

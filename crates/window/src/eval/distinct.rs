@@ -2,11 +2,13 @@
 //!
 //! Pipeline per partition:
 //!
-//! 1. evaluate the argument and FILTER; drop NULLs and filtered rows from the
-//!    tree entirely, remapping frame bounds (§4.7);
+//! 1. the kept-row mask (FILTER ∧ non-NULL argument) and kept values come
+//!    from the artifact cache, remapping frame bounds (§4.7);
 //! 2. hash the kept values (§6.7 — type-independent preprocessing) and
-//!    compute shifted previous-occurrence indices (Algorithm 1);
-//! 3. build the (annotated) merge sort tree;
+//!    compute shifted previous-occurrence indices (Algorithm 1) — the cached
+//!    `DistinctPrep` artifact;
+//! 3. build the (annotated) merge sort tree — cached per (argument, mask)
+//!    and, for SUM/AVG, per aggregate flavor;
 //! 4. per row: `count_below(frame, frame_start + 1)` — or the annotated
 //!    prefix-aggregate query for SUM/AVG DISTINCT.
 //!
@@ -23,81 +25,44 @@
 //! group, so this is the peer-group-size-bounded part of the query).
 
 use super::{distributive, Ctx};
+use crate::artifacts::{DistinctPrepArt, MaskArtifact};
 use crate::error::{Error, Result};
-use crate::hash::hash_value;
-use crate::remap::Remap;
+use crate::plan::{AggFlavor, ArtifactKey, CallPlan};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::aggregate::{AvgF64, SumF64, SumI64};
 use holistic_core::index::fits_u32;
-use holistic_core::{AnnotatedMst, DistinctAggregate, MergeSortTree, TreeIndex};
-use rustc_hash::FxHashMap;
+use holistic_core::{AnnotatedMst, DistinctAggregate, TreeIndex};
 use rustc_hash::FxHashSet;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 
 /// Entry point for DISTINCT aggregates.
-pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     match call.kind {
-        FuncKind::Min | FuncKind::Max => distributive::evaluate(ctx, call),
-        FuncKind::CountStar => Err(Error::InvalidArgument(
-            "COUNT(DISTINCT *) is not valid SQL".into(),
-        )),
+        FuncKind::Min | FuncKind::Max => distributive::evaluate(ctx, call, cp),
+        FuncKind::CountStar => {
+            Err(Error::InvalidArgument("COUNT(DISTINCT *) is not valid SQL".into()))
+        }
         _ => {
             if fits_u32(ctx.m() + 1) {
-                evaluate_impl::<u32>(ctx, call)
+                evaluate_impl::<u32>(ctx, call, cp)
             } else {
-                evaluate_impl::<u64>(ctx, call)
+                evaluate_impl::<u64>(ctx, call, cp)
             }
         }
     }
 }
 
-/// Kept-row preprocessing shared by all distinct aggregates.
-struct Prep<I> {
-    remap: Remap,
-    /// Value hash per kept position.
-    hashes: Vec<u64>,
-    /// Shifted previous-occurrence indices per kept position.
-    prev: Vec<I>,
-    /// Kept value (for payloads / corrections) per kept position.
-    values: Vec<Value>,
-    /// hash → ascending kept positions (for exclusion corrections).
-    occurrences: FxHashMap<u64, Vec<usize>>,
-}
-
-fn prepare<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Prep<I>> {
-    let m = ctx.m();
-    let all_values = ctx.eval_positions(&call.args[0])?;
-    let filter = ctx.filter_mask(call)?;
-    let keep: Vec<bool> =
-        (0..m).map(|i| filter[i] && !all_values[i].is_null()).collect();
-    let remap = Remap::new(&keep);
-    let mut hashes = Vec::with_capacity(remap.kept_len());
-    let mut values = Vec::with_capacity(remap.kept_len());
-    for k in 0..remap.kept_len() {
-        let pos = remap.to_position(k);
-        hashes.push(hash_value(&all_values[pos]));
-        values.push(all_values[pos].clone());
-    }
-    let prev_usize = holistic_core::prev_idcs_u64(&hashes, ctx.parallel);
-    let prev: Vec<I> = prev_usize.iter().map(|&p| I::from_usize(p)).collect();
-    let mut occurrences: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
-    if ctx.frames.has_exclusion() {
-        for (k, &h) in hashes.iter().enumerate() {
-            occurrences.entry(h).or_default().push(k);
-        }
-    }
-    Ok(Prep { remap, hashes, prev, values, occurrences })
-}
-
 /// The exclusion hole(s) of row `i`, remapped to kept space and clipped to
 /// the frame hull.
-fn kept_holes(ctx: &Ctx<'_>, prep: &Prep<impl TreeIndex>, i: usize) -> Vec<(usize, usize)> {
+fn kept_holes(ctx: &Ctx<'_>, mask: &MaskArtifact, i: usize) -> Vec<(usize, usize)> {
     let (a, b) = ctx.frames.bounds[i];
     ctx.frames
         .holes(i)
         .into_iter()
         .map(|(h1, h2)| (h1.max(a).min(b), h2.max(a).min(b)))
-        .map(|(h1, h2)| prep.remap.range(h1, h2.max(h1)))
+        .map(|(h1, h2)| mask.remap.range(h1, h2.max(h1)))
         .filter(|&(h1, h2)| h1 < h2)
         .collect()
 }
@@ -105,7 +70,7 @@ fn kept_holes(ctx: &Ctx<'_>, prep: &Prep<impl TreeIndex>, i: usize) -> Vec<(usiz
 /// Values that occur inside the row's holes but nowhere else in its frame.
 /// `visit` receives one kept position per such value.
 fn hole_only_values(
-    prep: &Prep<impl TreeIndex>,
+    prep: &DistinctPrepArt,
     pieces: &holistic_core::RangeSet,
     holes: &[(usize, usize)],
     mut visit: impl FnMut(usize),
@@ -129,20 +94,25 @@ fn hole_only_values(
     }
 }
 
-fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
-    let prep = prepare::<I>(ctx, call)?;
+fn evaluate_impl<I: TreeIndex>(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+) -> Result<Vec<Value>> {
+    let mask = ctx.mask_art(&cp.mask)?;
+    let prep = ctx.distinct_prep_art(&cp.args[0], &cp.mask)?;
     match call.kind {
         FuncKind::Count => {
-            let tree = MergeSortTree::<I>::build(&prep.prev, ctx.params);
-            ctx.probe(|i| {
+            let tree = ctx.distinct_count_mst::<I>(&cp.args[0], &cp.mask)?;
+            ctx.probe(move |i| {
                 let (a, b) = ctx.frames.bounds[i];
-                let (ka, kb) = prep.remap.range(a, b);
+                let (ka, kb) = mask.remap.range(a, b);
                 let base = tree.count_below(ka, kb, I::from_usize(ka + 1));
                 if !ctx.frames.has_exclusion() {
                     return Ok(Value::Int(base as i64));
                 }
-                let pieces = prep.remap.range_set(&ctx.frames.range_set(i));
-                let holes = kept_holes(ctx, &prep, i);
+                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+                let holes = kept_holes(ctx, &mask, i);
                 let mut correction = 0usize;
                 hole_only_values(&prep, &pieces, &holes, |_| correction += 1);
                 Ok(Value::Int((base - correction) as i64))
@@ -151,10 +121,8 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
         FuncKind::Sum | FuncKind::Avg => {
             let avg = call.kind == FuncKind::Avg;
             let is_float = prep.values.iter().any(|v| matches!(v, Value::Float(_)));
-            if let Some(v) = prep
-                .values
-                .iter()
-                .find(|v| !matches!(v, Value::Int(_) | Value::Float(_)))
+            if let Some(v) =
+                prep.values.iter().find(|v| !matches!(v, Value::Int(_) | Value::Float(_)))
             {
                 return Err(Error::TypeMismatch {
                     expected: "numeric",
@@ -165,7 +133,10 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
             if avg {
                 distinct_aggregate::<I, AvgF64>(
                     ctx,
+                    cp,
+                    &mask,
                     &prep,
+                    AggFlavor::Avg,
                     |v| v.as_f64().unwrap_or(0.0),
                     |state, (corr, _)| {
                         let (s, c) = (state.0 - corr.0, state.1 - corr.1);
@@ -179,7 +150,10 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
             } else if is_float {
                 distinct_aggregate::<I, SumF64>(
                     ctx,
+                    cp,
+                    &mask,
                     &prep,
+                    AggFlavor::SumF64,
                     |v| v.as_f64().unwrap_or(0.0),
                     |s, c| {
                         // `c` carries (correction, counted) packed below.
@@ -194,7 +168,10 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
             } else {
                 distinct_aggregate::<I, SumI64>(
                     ctx,
+                    cp,
+                    &mask,
                     &prep,
+                    AggFlavor::SumI64,
                     |v| v.as_i64().unwrap_or(0),
                     |s, c| {
                         let (corr, cnt) = c;
@@ -216,34 +193,44 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
     }
 }
 
-/// Generic distinct-aggregate evaluation: build the annotated tree, probe the
-/// hull, correct for hole-only values.
+/// Generic distinct-aggregate evaluation: fetch (or build) the annotated
+/// tree, probe the hull, correct for hole-only values.
 ///
 /// `finish` receives the hull state and `(correction_state, corrected_count)`
 /// and produces the output value — the correction state has the same type as
 /// the aggregation state for SUM-like monoids and is a parallel (sum, count)
 /// pair for AVG.
+#[allow(clippy::too_many_arguments)]
 fn distinct_aggregate<I, A>(
     ctx: &Ctx<'_>,
-    prep: &Prep<I>,
+    cp: &CallPlan,
+    mask: &Arc<MaskArtifact>,
+    prep: &Arc<DistinctPrepArt>,
+    flavor: AggFlavor,
     payload_of: impl Fn(&Value) -> A::Payload + Sync,
     finish: impl Fn(A::State, (A::State, usize)) -> Value + Sync,
 ) -> Result<Vec<Value>>
 where
     I: TreeIndex,
-    A: DistinctAggregate,
+    A: DistinctAggregate + 'static,
 {
-    let payloads: Vec<A::Payload> = prep.values.iter().map(&payload_of).collect();
-    let tree = AnnotatedMst::<I, A>::build(&prep.prev, &payloads, ctx.params);
+    let key = ArtifactKey::DistinctAggMst(cp.args[0].clone(), cp.mask.clone(), flavor);
+    let stats = ctx.cache.stats();
+    let tree: Arc<AnnotatedMst<I, A>> = ctx.cache.get_or_build(key, || {
+        stats.mst_builds.fetch_add(1, Relaxed);
+        let prev: Vec<I> = prep.prev.iter().map(|&p| I::from_usize(p)).collect();
+        let payloads: Vec<A::Payload> = prep.values.iter().map(&payload_of).collect();
+        Ok(AnnotatedMst::<I, A>::build(&prev, &payloads, ctx.params))
+    })?;
     ctx.probe(|i| {
         let (a, b) = ctx.frames.bounds[i];
-        let (ka, kb) = prep.remap.range(a, b);
+        let (ka, kb) = mask.remap.range(a, b);
         let (state, counted) = tree.aggregate_below(ka, kb, I::from_usize(ka + 1));
         if !ctx.frames.has_exclusion() {
             return Ok(finish(state, (A::identity(), counted)));
         }
-        let pieces = prep.remap.range_set(&ctx.frames.range_set(i));
-        let holes = kept_holes(ctx, prep, i);
+        let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+        let holes = kept_holes(ctx, mask, i);
         let mut corr = A::identity();
         let mut removed = 0usize;
         hole_only_values(prep, &pieces, &holes, |p| {
@@ -256,7 +243,7 @@ where
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::remap::Remap;
 
     #[test]
     fn ordinal_helpers_are_reexported_elsewhere() {

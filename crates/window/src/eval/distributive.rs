@@ -6,12 +6,19 @@
 //! to them, and (c) as the distributive backbone the evaluation compares
 //! against. Non-monotonic frames are free: segment trees never rely on frame
 //! overlap.
+//!
+//! All trees come from the artifact cache: the kept-row count tree is shared
+//! by every aggregate over the same mask, and the data trees (whose monoid
+//! depends on the observed value types) build lazily under data-dependent
+//! keys during the probe phase.
 
 use super::Ctx;
 use crate::error::{Error, Result};
+use crate::plan::{ArtifactKey, CallPlan, SegFlavor};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::{DataType, Value};
-use holistic_segtree::{CountMonoid, MaxMonoid, MinMonoid, SegmentTree, SumF64Monoid, SumMonoid};
+use holistic_segtree::{MaxMonoid, MinMonoid, SegmentTree, SumF64Monoid, SumMonoid};
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 /// Order-preserving i64 encoding of an f64 (total order, NaN greatest).
@@ -35,6 +42,13 @@ enum OrdinalDecode {
     Float,
     Bool,
     Str(Vec<Arc<str>>),
+}
+
+/// The cached MIN/MAX ordinal encoding (keyed by expression only — the
+/// encoding covers all positions, mask-independent).
+struct OrdEnc {
+    ords: Vec<Option<i64>>,
+    decode: OrdinalDecode,
 }
 
 /// Encodes comparable values as i64 ordinals for MIN/MAX segment trees.
@@ -84,13 +98,8 @@ fn encode_ordinals(values: &[Value]) -> Result<(Vec<Option<i64>>, OrdinalDecode)
         ords.push(o);
     }
     // Mixed int/float columns: re-encode everything through the float path.
-    if matches!(decode, OrdinalDecode::Int)
-        && values.iter().any(|v| matches!(v, Value::Float(_)))
-    {
-        let ords = values
-            .iter()
-            .map(|v| v.as_f64().map(f64_to_ordinal))
-            .collect();
+    if matches!(decode, OrdinalDecode::Int) && values.iter().any(|v| matches!(v, Value::Float(_))) {
+        let ords = values.iter().map(|v| v.as_f64().map(f64_to_ordinal)).collect();
         return Ok((ords, OrdinalDecode::Float));
     }
     Ok((ords, decode))
@@ -107,35 +116,33 @@ fn decode_ordinal(o: i64, d: &OrdinalDecode) -> Value {
 }
 
 /// Evaluates a non-DISTINCT framed aggregate.
-pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     let m = ctx.m();
-    let filter = ctx.filter_mask(call)?;
 
     if call.kind == FuncKind::CountStar {
-        let counts: Vec<u64> = filter.iter().map(|&k| k as u64).collect();
-        let tree = SegmentTree::<CountMonoid>::build(&counts, ctx.parallel);
-        return ctx.probe(|i| {
+        let tree = ctx.count_segtree(&cp.mask)?;
+        return ctx.probe(move |i| {
             Ok(Value::Int(tree.query_multi(ctx.frames.range_set(i).iter()) as i64))
         });
     }
 
-    let values = ctx.eval_positions(&call.args[0])?;
-    // "Participating" = passes FILTER and is non-NULL.
-    let keep: Vec<bool> =
-        (0..m).map(|i| filter[i] && !values[i].is_null()).collect();
-    let counts: Vec<u64> = keep.iter().map(|&k| k as u64).collect();
-    let count_tree = SegmentTree::<CountMonoid>::build(&counts, ctx.parallel);
+    let arg = &cp.args[0];
+    let values = ctx.values_art(arg)?;
+    // "Participating" = passes FILTER and is non-NULL — exactly the mask the
+    // plan derived (screen = the argument).
+    let mask = ctx.mask_art(&cp.mask)?;
+    let count_tree = ctx.count_segtree(&cp.mask)?;
+    let stats = ctx.cache.stats();
 
     match call.kind {
-        FuncKind::Count => ctx.probe(|i| {
+        FuncKind::Count => ctx.probe(move |i| {
             Ok(Value::Int(count_tree.query_multi(ctx.frames.range_set(i).iter()) as i64))
         }),
         FuncKind::Sum | FuncKind::Avg => {
             let avg = call.kind == FuncKind::Avg;
             let is_float = values.iter().any(|v| matches!(v, Value::Float(_)));
-            let bad = values.iter().find(|v| {
-                !matches!(v, Value::Null | Value::Int(_) | Value::Float(_))
-            });
+            let bad =
+                values.iter().find(|v| !matches!(v, Value::Null | Value::Int(_) | Value::Float(_)));
             if let Some(v) = bad {
                 return Err(Error::TypeMismatch {
                     expected: "numeric",
@@ -144,11 +151,16 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>>
                 });
             }
             if is_float || avg {
-                let inputs: Vec<f64> = (0..m)
-                    .map(|i| if keep[i] { values[i].as_f64().unwrap_or(0.0) } else { 0.0 })
-                    .collect();
-                let tree = SegmentTree::<SumF64Monoid>::build(&inputs, ctx.parallel);
-                ctx.probe(|i| {
+                let key =
+                    ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::SumF64);
+                let tree: Arc<SegmentTree<SumF64Monoid>> = ctx.cache.get_or_build(key, || {
+                    stats.segtree_builds.fetch_add(1, Relaxed);
+                    let inputs: Vec<f64> = (0..m)
+                        .map(|i| if mask.keep[i] { values[i].as_f64().unwrap_or(0.0) } else { 0.0 })
+                        .collect();
+                    Ok(SegmentTree::<SumF64Monoid>::build(&inputs, ctx.parallel))
+                })?;
+                ctx.probe(move |i| {
                     let rs = ctx.frames.range_set(i);
                     let cnt = count_tree.query_multi(rs.iter());
                     if cnt == 0 {
@@ -158,11 +170,16 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>>
                     Ok(Value::Float(if avg { s / cnt as f64 } else { s }))
                 })
             } else {
-                let inputs: Vec<i64> = (0..m)
-                    .map(|i| if keep[i] { values[i].as_i64().unwrap_or(0) } else { 0 })
-                    .collect();
-                let tree = SegmentTree::<SumMonoid>::build(&inputs, ctx.parallel);
-                ctx.probe(|i| {
+                let key =
+                    ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::SumI64);
+                let tree: Arc<SegmentTree<SumMonoid>> = ctx.cache.get_or_build(key, || {
+                    stats.segtree_builds.fetch_add(1, Relaxed);
+                    let inputs: Vec<i64> = (0..m)
+                        .map(|i| if mask.keep[i] { values[i].as_i64().unwrap_or(0) } else { 0 })
+                        .collect();
+                    Ok(SegmentTree::<SumMonoid>::build(&inputs, ctx.parallel))
+                })?;
+                ctx.probe(move |i| {
                     let rs = ctx.frames.range_set(i);
                     if count_tree.query_multi(rs.iter()) == 0 {
                         return Ok(Value::Null);
@@ -174,30 +191,57 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>>
         }
         FuncKind::Min | FuncKind::Max => {
             let is_min = call.kind == FuncKind::Min;
-            let (ords, decode) = encode_ordinals(&values)?;
+            let enc: Arc<OrdEnc> =
+                ctx.cache.get_or_build(ArtifactKey::OrdinalEnc(arg.clone()), || {
+                    encode_ordinals(&values).map(|(ords, decode)| OrdEnc { ords, decode })
+                })?;
             if is_min {
-                let inputs: Vec<i64> = (0..m)
-                    .map(|i| if keep[i] { ords[i].unwrap_or(i64::MAX) } else { i64::MAX })
-                    .collect();
-                let tree = SegmentTree::<MinMonoid>::build(&inputs, ctx.parallel);
-                ctx.probe(|i| {
+                let key = ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::Min);
+                let enc2 = Arc::clone(&enc);
+                let tree: Arc<SegmentTree<MinMonoid>> = ctx.cache.get_or_build(key, || {
+                    stats.segtree_builds.fetch_add(1, Relaxed);
+                    let inputs: Vec<i64> =
+                        (0..m)
+                            .map(|i| {
+                                if mask.keep[i] {
+                                    enc2.ords[i].unwrap_or(i64::MAX)
+                                } else {
+                                    i64::MAX
+                                }
+                            })
+                            .collect();
+                    Ok(SegmentTree::<MinMonoid>::build(&inputs, ctx.parallel))
+                })?;
+                ctx.probe(move |i| {
                     let rs = ctx.frames.range_set(i);
                     if count_tree.query_multi(rs.iter()) == 0 {
                         return Ok(Value::Null);
                     }
-                    Ok(decode_ordinal(tree.query_multi(rs.iter()), &decode))
+                    Ok(decode_ordinal(tree.query_multi(rs.iter()), &enc.decode))
                 })
             } else {
-                let inputs: Vec<i64> = (0..m)
-                    .map(|i| if keep[i] { ords[i].unwrap_or(i64::MIN) } else { i64::MIN })
-                    .collect();
-                let tree = SegmentTree::<MaxMonoid>::build(&inputs, ctx.parallel);
-                ctx.probe(|i| {
+                let key = ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::Max);
+                let enc2 = Arc::clone(&enc);
+                let tree: Arc<SegmentTree<MaxMonoid>> = ctx.cache.get_or_build(key, || {
+                    stats.segtree_builds.fetch_add(1, Relaxed);
+                    let inputs: Vec<i64> =
+                        (0..m)
+                            .map(|i| {
+                                if mask.keep[i] {
+                                    enc2.ords[i].unwrap_or(i64::MIN)
+                                } else {
+                                    i64::MIN
+                                }
+                            })
+                            .collect();
+                    Ok(SegmentTree::<MaxMonoid>::build(&inputs, ctx.parallel))
+                })?;
+                ctx.probe(move |i| {
                     let rs = ctx.frames.range_set(i);
                     if count_tree.query_multi(rs.iter()) == 0 {
                         return Ok(Value::Null);
                     }
-                    Ok(decode_ordinal(tree.query_multi(rs.iter()), &decode))
+                    Ok(decode_ordinal(tree.query_multi(rs.iter()), &enc.decode))
                 })
             }
         }
@@ -224,17 +268,7 @@ mod tests {
 
     #[test]
     fn f64_ordinal_roundtrip_and_order() {
-        let xs = [
-            f64::NEG_INFINITY,
-            -1.5e300,
-            -1.0,
-            -0.0,
-            0.0,
-            1e-300,
-            1.0,
-            2.5,
-            f64::INFINITY,
-        ];
+        let xs = [f64::NEG_INFINITY, -1.5e300, -1.0, -0.0, 0.0, 1e-300, 1.0, 2.5, f64::INFINITY];
         let ords: Vec<i64> = xs.iter().map(|&x| f64_to_ordinal(x)).collect();
         for w in ords.windows(2) {
             assert!(w[0] <= w[1], "ordinals must be monotone: {w:?}");

@@ -5,24 +5,25 @@
 //! (1) the row's ROW_NUMBER within the frame by the inner order (merge sort
 //! tree over unique codes), (2) offset adjustment, (3) selection of the row
 //! at the adjusted position (merge sort tree over the permutation array).
-//! Both trees come from the same preprocessing sort.
+//! Both trees come from the same preprocessing sort — and, through the
+//! artifact cache, that sort and both trees are shared with any rank or
+//! selection call over the same (criterion, mask) pair.
 
 use super::Ctx;
 use crate::error::{Error, Result};
-use crate::order::{dense_codes_for, KeyColumns};
-use crate::remap::Remap;
+use crate::plan::{CallPlan, OrderKey};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::index::fits_u32;
-use holistic_core::{MergeSortTree, TreeIndex};
+use holistic_core::TreeIndex;
 
-pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     if call.inner_order.is_empty() {
-        evaluate_classic(ctx, call)
+        evaluate_classic(ctx, call, cp)
     } else if fits_u32(ctx.m() + 1) {
-        evaluate_framed::<u32>(ctx, call)
+        evaluate_framed::<u32>(ctx, call, cp)
     } else {
-        evaluate_framed::<u64>(ctx, call)
+        evaluate_framed::<u64>(ctx, call, cp)
     }
 }
 
@@ -51,13 +52,11 @@ fn offset_for(
 
 /// Classic LEAD/LAG: positional within the partition, frame ignored — this is
 /// the SQL:2011 behaviour when no function-level ORDER BY is given.
-fn evaluate_classic(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+fn evaluate_classic(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     let m = ctx.m();
-    let values = ctx.eval_positions(&call.args[0])?;
-    let offset_expr =
-        call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
-    let default_expr =
-        call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;
+    let values = ctx.values_art(&cp.args[0])?;
+    let offset_expr = call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
+    let default_expr = call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;
     // IGNORE NULLS: the n-th non-null value before/after the current row.
     let non_null: Vec<usize> = if call.ignore_nulls {
         (0..m).filter(|&i| !values[i].is_null()).collect()
@@ -98,25 +97,21 @@ fn evaluate_classic(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
 }
 
 /// Framed LEAD/LAG with an independent ORDER BY (§4.6).
-fn evaluate_framed<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
-    let m = ctx.m();
-    let values = ctx.eval_positions(&call.args[0])?;
-    let filter = ctx.filter_mask(call)?;
-    let keep: Vec<bool> = (0..m)
-        .map(|i| filter[i] && (!call.ignore_nulls || !values[i].is_null()))
-        .collect();
-    let remap = Remap::new(&keep);
-    let kept_rows: Vec<usize> =
-        (0..remap.kept_len()).map(|k| ctx.rows[remap.to_position(k)]).collect();
-    let kept_out: Vec<Value> =
-        (0..remap.kept_len()).map(|k| values[remap.to_position(k)].clone()).collect();
-
-    let keys = KeyColumns::evaluate(ctx.table, &call.inner_order)?;
-    let dc = dense_codes_for(&keys, &kept_rows, ctx.parallel);
-    let codes: Vec<I> = dc.code.iter().map(|&c| I::from_usize(c)).collect();
-    let code_tree = MergeSortTree::<I>::build(&codes, ctx.params);
-    let perm_i: Vec<I> = dc.perm.iter().map(|&p| I::from_usize(p)).collect();
-    let select_tree = MergeSortTree::<I>::build(&perm_i, ctx.params);
+fn evaluate_framed<I: TreeIndex>(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+) -> Result<Vec<Value>> {
+    let order = cp.order.as_ref().expect("framed lead/lag plans an order");
+    let OrderKey::Keys(ks) = order else {
+        unreachable!("framed lead/lag requires an inner ORDER BY")
+    };
+    let mask = ctx.mask_art(&cp.mask)?;
+    let kept_out = ctx.kept_values_art(&cp.args[0], &cp.mask)?;
+    let keys = ctx.inner_keys_art(ks)?;
+    let dc = ctx.dense_codes_art(order, &cp.mask)?;
+    let code_tree = ctx.code_mst::<I>(order, &cp.mask)?;
+    let select_tree = ctx.perm_mst::<I>(order, &cp.mask)?;
 
     let offset_expr = call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
     let default_expr = call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;
@@ -131,13 +126,13 @@ fn evaluate_framed<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<V
         let Some(off) = offset_for(ctx, call, &offset_expr, i)? else {
             return Ok(Value::Null);
         };
-        let pieces = remap.range_set(&ctx.frames.range_set(i));
+        let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
         let s = pieces.count();
         // Step 1: own row number within the frame by the inner order. For
         // rows not in the tree (filtered/ignored) rank virtually against the
         // kept rows, matching the rank-family convention.
-        let rn0 = if remap.is_kept(i) {
-            let k = remap.kept_index(i);
+        let rn0 = if mask.remap.is_kept(i) {
+            let k = mask.remap.kept_index(i);
             code_tree.count_below_multi(&pieces, I::from_usize(dc.code[k]))
         } else {
             // Rows absent from the tree rank virtually: key-smaller kept rows
@@ -149,7 +144,7 @@ fn evaluate_framed<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<V
                 let mut hi = dc.perm.len();
                 while lo < hi {
                     let mid = lo + (hi - lo) / 2;
-                    let o = keys.cmp_rows(kept_rows[dc.perm[mid]], row);
+                    let o = keys.cmp_rows(mask.kept_rows[dc.perm[mid]], row);
                     let go_right =
                         o == std::cmp::Ordering::Less || (upper && o == std::cmp::Ordering::Equal);
                     if go_right {
@@ -162,7 +157,7 @@ fn evaluate_framed<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<V
             };
             let (gmin, gend) = (search(false), search(true));
             let smaller = code_tree.count_below_multi(&pieces, I::from_usize(gmin));
-            let ki = remap.range(0, i).1;
+            let ki = mask.remap.range(0, i).1;
             let mut earlier = holistic_core::RangeSet::empty();
             for (a, b) in pieces.iter() {
                 let b2 = b.min(ki);

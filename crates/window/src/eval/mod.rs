@@ -1,8 +1,13 @@
-//! Window function evaluation over one sorted partition.
+//! Window function evaluation over one sorted partition — the *probe* phase
+//! of the plan → build → probe pipeline.
 //!
-//! Every family follows the paper's two-phase pattern: build a read-only
-//! index (merge sort tree / segment tree / range tree) once per partition,
-//! then probe it once per row — embarrassingly parallel (§4.1).
+//! Every family follows the paper's two-phase pattern: preprocessing
+//! products (merge sort trees / segment trees / range trees) are built once
+//! per partition — requested through the shared
+//! [`crate::artifacts::ArtifactCache`] so structurally equal requests from
+//! different calls coincide — then probed once per row, embarrassingly
+//! parallel (§4.1). Evaluators receive their call's [`CallPlan`] carrying
+//! the canonical artifact keys the plan phase derived.
 
 pub(crate) mod distinct;
 pub(crate) mod distributive;
@@ -11,9 +16,10 @@ pub(crate) mod mode;
 pub(crate) mod rank;
 pub(crate) mod select_based;
 
+use crate::artifacts::ArtifactCache;
 use crate::error::{Error, Result};
 use crate::frame::ResolvedFrames;
-use crate::order::KeyColumns;
+use crate::plan::CallPlan;
 use crate::spec::{FuncKind, FunctionCall};
 use crate::table::Table;
 use crate::value::Value;
@@ -27,12 +33,12 @@ pub(crate) struct Ctx<'a> {
     pub rows: &'a [usize],
     /// Resolved frames (per position).
     pub frames: &'a ResolvedFrames,
-    /// The window ORDER BY keys (rank fallback criterion).
-    pub window_keys: &'a KeyColumns,
     /// Parallel probing allowed.
     pub parallel: bool,
     /// Merge sort tree parameters.
     pub params: MstParams,
+    /// The partition's preprocessing-artifact cache.
+    pub cache: &'a ArtifactCache,
 }
 
 impl<'a> Ctx<'a> {
@@ -45,20 +51,6 @@ impl<'a> Ctx<'a> {
     pub fn eval_positions(&self, expr: &crate::expr::Expr) -> Result<Vec<Value>> {
         let bound = expr.bind(self.table)?;
         self.rows.iter().map(|&r| bound.eval(self.table, r)).collect()
-    }
-
-    /// The FILTER mask per position (`true` = row participates).
-    pub fn filter_mask(&self, call: &FunctionCall) -> Result<Vec<bool>> {
-        match &call.filter {
-            None => Ok(vec![true; self.m()]),
-            Some(pred) => {
-                let bound = pred.bind(self.table)?;
-                self.rows
-                    .iter()
-                    .map(|&r| Ok(bound.eval(self.table, r)?.is_truthy()))
-                    .collect()
-            }
-        }
     }
 
     /// Runs `f` for every position, in parallel when allowed.
@@ -76,24 +68,27 @@ impl<'a> Ctx<'a> {
 }
 
 /// Dispatches a call to its family evaluator. Returns per-position values.
-pub(crate) fn evaluate_call(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
-    call.validate()?;
+pub(crate) fn evaluate_call(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+) -> Result<Vec<Value>> {
     use FuncKind::*;
     match call.kind {
         CountStar | Count | Sum | Avg | Min | Max => {
             if call.distinct {
-                distinct::evaluate(ctx, call)
+                distinct::evaluate(ctx, call, cp)
             } else {
-                distributive::evaluate(ctx, call)
+                distributive::evaluate(ctx, call, cp)
             }
         }
-        RowNumber | Rank | PercentRank | CumeDist | Ntile => rank::evaluate(ctx, call),
-        DenseRank => rank::evaluate_dense_rank(ctx, call),
+        RowNumber | Rank | PercentRank | CumeDist | Ntile => rank::evaluate(ctx, call, cp),
+        DenseRank => rank::evaluate_dense_rank(ctx, call, cp),
         PercentileDisc | PercentileCont | Median | FirstValue | LastValue | NthValue => {
-            select_based::evaluate(ctx, call)
+            select_based::evaluate(ctx, call, cp)
         }
-        Lead | Lag => leadlag::evaluate(ctx, call),
-        Mode => mode::evaluate(ctx, call),
+        Lead | Lag => leadlag::evaluate(ctx, call, cp),
+        Mode => mode::evaluate(ctx, call, cp),
     }
 }
 

@@ -6,51 +6,31 @@
 //! ids *in value order*, so the index's smallest-id tie-break implements
 //! "smallest value among the most frequent" deterministically. Plain frames
 //! probe in O(√n log n); frames with exclusion holes fall back to exact
-//! union counting (mode does not decompose over unions).
+//! union counting (mode does not decompose over unions). The decode table
+//! and index come from the artifact cache, keyed on (argument, mask).
 
 use super::Ctx;
-use crate::remap::Remap;
+use crate::error::Result;
+use crate::plan::CallPlan;
 use crate::spec::FunctionCall;
 use crate::value::Value;
-use crate::error::Result;
-use holistic_rangemode::RangeModeIndex;
 
-pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
-    let m = ctx.m();
-    let values = ctx.eval_positions(&call.args[0])?;
-    let filter = ctx.filter_mask(call)?;
-    let keep: Vec<bool> = (0..m).map(|i| filter[i] && !values[i].is_null()).collect();
-    let remap = Remap::new(&keep);
-
-    // Dense ids in value order (ids ascend with sql_cmp).
-    let kept_values: Vec<&Value> =
-        (0..remap.kept_len()).map(|k| &values[remap.to_position(k)]).collect();
-    let mut sorted: Vec<&Value> = kept_values.clone();
-    sorted.sort_by(|a, b| a.sql_cmp(b));
-    sorted.dedup_by(|a, b| a.sql_eq(b));
-    let decode: Vec<Value> = sorted.iter().map(|v| (*v).clone()).collect();
-    let ids: Vec<u32> = kept_values
-        .iter()
-        .map(|v| {
-            decode
-                .binary_search_by(|probe| probe.sql_cmp(v))
-                .expect("value interned") as u32
-        })
-        .collect();
-    let index = RangeModeIndex::build(&ids, decode.len());
+pub(crate) fn evaluate(ctx: &Ctx<'_>, _call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
+    let mask = ctx.mask_art(&cp.mask)?;
+    let art = ctx.mode_art(&cp.args[0], &cp.mask)?;
 
     ctx.probe(|i| {
         let answer = if ctx.frames.has_exclusion() {
-            let pieces = remap.range_set(&ctx.frames.range_set(i));
+            let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
             let ranges: Vec<(usize, usize)> = pieces.iter().collect();
-            index.query_multi(&ranges)
+            art.index.query_multi(&ranges)
         } else {
             let (a, b) = ctx.frames.bounds[i];
-            let (ka, kb) = remap.range(a, b);
-            index.query(ka, kb)
+            let (ka, kb) = mask.remap.range(a, b);
+            art.index.query(ka, kb)
         };
         Ok(match answer {
-            Some((id, _count)) => decode[id as usize].clone(),
+            Some((id, _count)) => art.decode[id as usize].clone(),
             None => Value::Null,
         })
     })

@@ -12,59 +12,61 @@
 //! `DENSE_RANK` needs the number of *distinct* smaller keys, a 3-d range
 //! count (§4.4), answered by the range tree with the previous-occurrence
 //! trick applied to tie-group ids.
+//!
+//! All preprocessing products come from the partition's artifact cache; the
+//! whole family over one (criterion, mask) pair shares a single sort and a
+//! single code tree.
 
 use super::Ctx;
+use crate::artifacts::MaskArtifact;
 use crate::error::{Error, Result};
-use crate::order::{dense_codes_for, KeyColumns};
-use crate::remap::Remap;
+use crate::order::KeyColumns;
+use crate::plan::{CallPlan, OrderKey};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::codes::DenseCodes;
 use holistic_core::index::fits_u32;
-use holistic_core::{MergeSortTree, RangeSet, TreeIndex};
+use holistic_core::{RangeSet, TreeIndex};
 use rustc_hash::FxHashSet;
+use std::sync::Arc;
 
-/// Shared preprocessing for the rank family.
-struct RankPrep<'a> {
-    keys: &'a KeyColumns,
-    remap: Remap,
-    /// kept positions → table rows.
-    kept_rows: Vec<usize>,
-    dc: DenseCodes,
+/// Shared preprocessing for the rank family (all cache-resident).
+struct RankPrep {
+    keys: Arc<KeyColumns>,
+    mask: Arc<MaskArtifact>,
+    dc: Arc<DenseCodes>,
 }
 
-fn prepare<'a>(
-    ctx: &Ctx<'a>,
-    call: &FunctionCall,
-    keys_owned: &'a mut Option<KeyColumns>,
-) -> Result<RankPrep<'a>> {
-    let keys: &'a KeyColumns = if call.inner_order.is_empty() {
-        ctx.window_keys
-    } else {
-        *keys_owned = Some(KeyColumns::evaluate(ctx.table, &call.inner_order)?);
-        keys_owned.as_ref().unwrap()
+fn prepare(ctx: &Ctx<'_>, cp: &CallPlan) -> Result<RankPrep> {
+    let order = rank_order_key(cp);
+    let OrderKey::Keys(ks) = order else {
+        unreachable!("rank plans always carry an explicit criterion")
     };
-    let filter = ctx.filter_mask(call)?;
-    let remap = Remap::new(&filter);
-    let kept_rows: Vec<usize> =
-        (0..remap.kept_len()).map(|k| ctx.rows[remap.to_position(k)]).collect();
-    let dc = dense_codes_for(keys, &kept_rows, ctx.parallel);
-    Ok(RankPrep { keys, remap, kept_rows, dc })
+    let keys = ctx.inner_keys_art(ks)?;
+    let mask = ctx.mask_art(&cp.mask)?;
+    let dc = ctx.dense_codes_art(order, &cp.mask)?;
+    Ok(RankPrep { keys, mask, dc })
 }
 
-impl RankPrep<'_> {
+/// The planned ordering criterion (inner ORDER BY, or the window ORDER BY
+/// fallback the planner substituted).
+fn rank_order_key(cp: &CallPlan) -> &OrderKey {
+    cp.order.as_ref().expect("rank plans always carry an order")
+}
+
+impl RankPrep {
     /// `(group_min, group_end, unique_code_or_none)` of the current row in
     /// *kept sorted-code* space. Rows dropped by FILTER still rank against
     /// the kept rows; their virtual code bounds come from binary search.
     fn code_bounds(&self, ctx: &Ctx<'_>, i: usize) -> (usize, usize, Option<usize>) {
-        if self.remap.is_kept(i) {
-            let k = self.remap.kept_index(i);
+        if self.mask.remap.is_kept(i) {
+            let k = self.mask.remap.kept_index(i);
             (self.dc.group_min[k], self.dc.group_end[k], Some(self.dc.code[k]))
         } else {
             let row = ctx.rows[i];
             let perm = &self.dc.perm;
             let below = |x: usize| {
-                self.keys.cmp_rows(self.kept_rows[perm[x]], row) == std::cmp::Ordering::Less
+                self.keys.cmp_rows(self.mask.kept_rows[perm[x]], row) == std::cmp::Ordering::Less
             };
             let mut lo = 0;
             let mut hi = perm.len();
@@ -81,7 +83,7 @@ impl RankPrep<'_> {
             let mut lo2 = gmin;
             while lo2 < hi2 {
                 let mid = lo2 + (hi2 - lo2) / 2;
-                if self.keys.rows_equal(self.kept_rows[perm[mid]], row) {
+                if self.keys.rows_equal(self.mask.kept_rows[perm[mid]], row) {
                     lo2 = mid + 1;
                 } else {
                     hi2 = mid;
@@ -93,24 +95,26 @@ impl RankPrep<'_> {
 
     /// Frame pieces remapped to kept space.
     fn kept_pieces(&self, ctx: &Ctx<'_>, i: usize) -> RangeSet {
-        self.remap.range_set(&ctx.frames.range_set(i))
+        self.mask.remap.range_set(&ctx.frames.range_set(i))
     }
 }
 
 /// RANK / ROW_NUMBER / PERCENT_RANK / CUME_DIST / NTILE.
-pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     if fits_u32(ctx.m() + 1) {
-        evaluate_impl::<u32>(ctx, call)
+        evaluate_impl::<u32>(ctx, call, cp)
     } else {
-        evaluate_impl::<u64>(ctx, call)
+        evaluate_impl::<u64>(ctx, call, cp)
     }
 }
 
-fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
-    let mut keys_owned = None;
-    let prep = prepare(ctx, call, &mut keys_owned)?;
-    let codes: Vec<I> = prep.dc.code.iter().map(|&c| I::from_usize(c)).collect();
-    let tree = MergeSortTree::<I>::build(&codes, ctx.params);
+fn evaluate_impl<I: TreeIndex>(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+) -> Result<Vec<Value>> {
+    let prep = prepare(ctx, cp)?;
+    let tree = ctx.code_mst::<I>(rank_order_key(cp), &cp.mask)?;
 
     // ROW_NUMBER of row i within its frame (1-based); also used by NTILE.
     let row_number = |i: usize, pieces: &RangeSet| -> usize {
@@ -129,7 +133,8 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
                         earlier.push(a, b2);
                     }
                 }
-                let eq_before = tree.count_below_multi(&earlier, I::from_usize(prep.code_bounds(ctx, i).1))
+                let eq_before = tree
+                    .count_below_multi(&earlier, I::from_usize(prep.code_bounds(ctx, i).1))
                     - tree.count_below_multi(&earlier, I::from_usize(gmin));
                 smaller + eq_before + 1
             }
@@ -144,9 +149,7 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
         FuncKind::Rank => ctx.probe(|i| {
             let pieces = prep.kept_pieces(ctx, i);
             let (gmin, _, _) = prep.code_bounds(ctx, i);
-            Ok(Value::Int(
-                (tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1) as i64,
-            ))
+            Ok(Value::Int((tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1) as i64))
         }),
         FuncKind::PercentRank => ctx.probe(|i| {
             let pieces = prep.kept_pieces(ctx, i);
@@ -156,11 +159,7 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
             }
             let (gmin, _, _) = prep.code_bounds(ctx, i);
             let rank = tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1;
-            Ok(Value::Float(if size <= 1 {
-                0.0
-            } else {
-                (rank - 1) as f64 / (size - 1) as f64
-            }))
+            Ok(Value::Float(if size <= 1 { 0.0 } else { (rank - 1) as f64 / (size - 1) as f64 }))
         }),
         FuncKind::CumeDist => ctx.probe(|i| {
             let pieces = prep.kept_pieces(ctx, i);
@@ -198,8 +197,8 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
 }
 
 /// Number of kept positions strictly before partition position `i`.
-fn self_kept_prefix(prep: &RankPrep<'_>, i: usize) -> usize {
-    prep.remap.range(0, i).1
+fn self_kept_prefix(prep: &RankPrep, i: usize) -> usize {
+    prep.mask.remap.range(0, i).1
 }
 
 /// SQL NTILE: `size` rows into `b` buckets; the first `size % b` buckets get
@@ -223,55 +222,37 @@ pub(crate) fn ntile_of(rn: usize, size: usize, b: usize) -> usize {
 }
 
 /// Framed DENSE_RANK via the 3-d range tree (§4.4).
-pub(crate) fn evaluate_dense_rank(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+pub(crate) fn evaluate_dense_rank(
+    ctx: &Ctx<'_>,
+    _call: &FunctionCall,
+    cp: &CallPlan,
+) -> Result<Vec<Value>> {
     if !fits_u32(ctx.m() + 1) {
-        return Err(Error::Unsupported(
-            "DENSE_RANK partitions beyond u32 positions".into(),
-        ));
+        return Err(Error::Unsupported("DENSE_RANK partitions beyond u32 positions".into()));
     }
-    let mut keys_owned = None;
-    let prep = prepare(ctx, call, &mut keys_owned)?;
-    let gids: Vec<u32> = prep.dc.group_id.iter().map(|&g| g as u32).collect();
-    // Previous occurrence of the same tie group among kept rows.
-    let prev: Vec<u32> = holistic_core::prev_idcs_by_key(&gids, ctx.parallel)
-        .iter()
-        .map(|&p| p as u32)
-        .collect();
-    let rt = holistic_rangetree::RangeTree3::build(&gids, &prev, ctx.parallel);
-
-    // Occurrence lists per group for exclusion correction.
-    let mut occurrences: Vec<Vec<usize>> = Vec::new();
-    if ctx.frames.has_exclusion() {
-        occurrences = vec![Vec::new(); prep.dc.num_groups];
-        for (k, &g) in prep.dc.group_id.iter().enumerate() {
-            occurrences[g].push(k);
-        }
-    }
+    let prep = prepare(ctx, cp)?;
+    let rt_art = ctx.range_tree_art(rank_order_key(cp), &cp.mask)?;
 
     ctx.probe(|i| {
         let (a, b) = ctx.frames.bounds[i];
-        let (ka, kb) = prep.remap.range(a, b);
+        let (ka, kb) = prep.mask.remap.range(a, b);
         // Number of tie groups with keys smaller than the current row's key:
         // the group id right below the row's group_min boundary.
         let (gmin, _, _) = prep.code_bounds(ctx, i);
-        let gcount = if gmin == 0 {
-            0
-        } else {
-            prep.dc.group_id[prep.dc.perm[gmin - 1]] + 1
-        };
-        let base = rt.count(ka, kb, gcount as u32, ka as u32 + 1);
+        let gcount = if gmin == 0 { 0 } else { prep.dc.group_id[prep.dc.perm[gmin - 1]] + 1 };
+        let base = rt_art.rt.count(ka, kb, gcount as u32, ka as u32 + 1);
         if !ctx.frames.has_exclusion() {
             return Ok(Value::Int((base + 1) as i64));
         }
         // Correct for smaller-key groups whose only frame occurrences sit in
         // the exclusion hole.
-        let pieces = prep.remap.range_set(&ctx.frames.range_set(i));
+        let pieces = prep.mask.remap.range_set(&ctx.frames.range_set(i));
         let holes: Vec<(usize, usize)> = ctx
             .frames
             .holes(i)
             .into_iter()
             .map(|(h1, h2)| (h1.max(a).min(b), h2.max(a).min(b)))
-            .map(|(h1, h2)| prep.remap.range(h1, h2.max(h1)))
+            .map(|(h1, h2)| prep.mask.remap.range(h1, h2.max(h1)))
             .filter(|&(h1, h2)| h1 < h2)
             .collect();
         let mut seen: FxHashSet<usize> = FxHashSet::default();
@@ -282,7 +263,7 @@ pub(crate) fn evaluate_dense_rank(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<
                 if g >= gcount || !seen.insert(g) {
                     continue;
                 }
-                let occ = &occurrences[g];
+                let occ = &rt_art.occurrences[g];
                 let in_pieces = pieces.iter().any(|(lo, hi)| {
                     let idx = occ.partition_point(|&q| q < lo);
                     idx < occ.len() && occ[idx] < hi

@@ -9,77 +9,70 @@
 //! NULL handling follows the paper: percentiles always skip NULL keys; value
 //! functions skip NULL arguments only under IGNORE NULLS. Skipped rows are
 //! never inserted into the tree; frame bounds are remapped (§4.5's index
-//! remapping).
+//! remapping). The planner encodes exactly this rule in the call's mask key,
+//! so the sort and both trees come from the shared artifact cache.
 
 use super::{fraction_arg, Ctx};
 use crate::error::{Error, Result};
-use crate::order::{dense_codes_for, KeyColumns};
-use crate::remap::Remap;
+use crate::plan::{CallPlan, CanonicalExpr, OrderKey};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::index::fits_u32;
-use holistic_core::{MergeSortTree, RangeSet, TreeIndex};
+use holistic_core::{RangeSet, TreeIndex};
 
-pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
+pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     if fits_u32(ctx.m() + 1) {
-        evaluate_impl::<u32>(ctx, call)
+        evaluate_impl::<u32>(ctx, call, cp)
     } else {
-        evaluate_impl::<u64>(ctx, call)
+        evaluate_impl::<u64>(ctx, call, cp)
     }
 }
 
-fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec<Value>> {
-    let m = ctx.m();
-    let is_percentile = matches!(
-        call.kind,
-        FuncKind::PercentileDisc | FuncKind::PercentileCont | FuncKind::Median
-    );
-    let filter = ctx.filter_mask(call)?;
+fn evaluate_impl<I: TreeIndex>(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+) -> Result<Vec<Value>> {
+    let is_percentile =
+        matches!(call.kind, FuncKind::PercentileDisc | FuncKind::PercentileCont | FuncKind::Median);
+    let order = cp.order.as_ref().expect("selection plans always carry an order");
 
     // The selected-row output: percentile result is the ORDER BY key itself,
     // value functions evaluate their first argument.
-    let out_values: Vec<Value> = if is_percentile {
-        ctx.eval_positions(&call.inner_order[0].expr)?
+    let out_expr: &CanonicalExpr = if is_percentile {
+        let OrderKey::Keys(ks) = order else {
+            unreachable!("percentiles require an inner ORDER BY")
+        };
+        &ks[0].expr
     } else {
-        ctx.eval_positions(&call.args[0])?
+        &cp.args[0]
     };
 
-    // Keep mask: FILTER ∧ (percentile: non-null key | IGNORE NULLS: non-null arg).
-    let keep: Vec<bool> = (0..m)
-        .map(|i| {
-            // Percentiles always skip NULL keys; value functions only
-            // under IGNORE NULLS.
-            filter[i] && ((!is_percentile && !call.ignore_nulls) || !out_values[i].is_null())
-        })
-        .collect();
-    let remap = Remap::new(&keep);
-    let kept_rows: Vec<usize> =
-        (0..remap.kept_len()).map(|k| ctx.rows[remap.to_position(k)]).collect();
+    let mask = ctx.mask_art(&cp.mask)?;
     // Output value per kept position.
-    let kept_out: Vec<Value> =
-        (0..remap.kept_len()).map(|k| out_values[remap.to_position(k)].clone()).collect();
+    let kept_out = ctx.kept_values_art(out_expr, &cp.mask)?;
 
     // Permutation by the inner order (identity = frame position order).
-    let perm: Vec<usize> = if call.inner_order.is_empty() {
-        (0..remap.kept_len()).collect()
-    } else {
-        let keys = KeyColumns::evaluate(ctx.table, &call.inner_order)?;
-        dense_codes_for(&keys, &kept_rows, ctx.parallel).perm
+    let dc = match order {
+        OrderKey::Identity => None,
+        OrderKey::Keys(_) => Some(ctx.dense_codes_art(order, &cp.mask)?),
     };
-    let perm_i: Vec<I> = perm.iter().map(|&p| I::from_usize(p)).collect();
-    let tree = MergeSortTree::<I>::build(&perm_i, ctx.params);
+    let tree = ctx.perm_mst::<I>(order, &cp.mask)?;
 
     // Selects the j-th (0-based) frame row by inner order; returns its kept
     // position.
     let select = |pieces: &RangeSet, j: usize| -> Option<usize> {
-        tree.select(pieces, j).map(|rank| perm[rank])
+        tree.select(pieces, j).map(|rank| match &dc {
+            Some(dc) => dc.perm[rank],
+            None => rank,
+        })
     };
 
     match call.kind {
         FuncKind::PercentileDisc | FuncKind::Median => {
             let p = if call.kind == FuncKind::Median { 0.5 } else { fraction_arg(ctx, call)? };
             ctx.probe(|i| {
-                let pieces = remap.range_set(&ctx.frames.range_set(i));
+                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                 let s = pieces.count();
                 if s == 0 {
                     return Ok(Value::Null);
@@ -102,7 +95,7 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
                 });
             }
             ctx.probe(|i| {
-                let pieces = remap.range_set(&ctx.frames.range_set(i));
+                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                 let s = pieces.count();
                 if s == 0 {
                     return Ok(Value::Null);
@@ -126,14 +119,14 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
             })
         }
         FuncKind::FirstValue => ctx.probe(|i| {
-            let pieces = remap.range_set(&ctx.frames.range_set(i));
+            let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
             Ok(match select(&pieces, 0) {
                 Some(kp) => kept_out[kp].clone(),
                 None => Value::Null,
             })
         }),
         FuncKind::LastValue => ctx.probe(|i| {
-            let pieces = remap.range_set(&ctx.frames.range_set(i));
+            let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
             let s = pieces.count();
             Ok(if s == 0 {
                 Value::Null
@@ -153,7 +146,7 @@ fn evaluate_impl<I: TreeIndex>(ctx: &Ctx<'_>, call: &FunctionCall) -> Result<Vec
                         )))
                     }
                 };
-                let pieces = remap.range_set(&ctx.frames.range_set(i));
+                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                 Ok(match select(&pieces, n - 1) {
                     Some(kp) => kept_out[kp].clone(),
                     None => Value::Null,

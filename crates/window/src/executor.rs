@@ -1,22 +1,31 @@
-//! The window operator: partitioning, sorting, frame resolution and function
-//! dispatch.
+//! The window operator: the plan → build → probe pipeline.
 //!
-//! Mirrors the paper's execution pipeline (Figure 14): hash partitioning,
-//! per-partition ORDER BY sort, then per-call preprocessing + tree build +
-//! embarrassingly parallel probe phase. Partitions run in parallel; inside a
-//! partition, build and probe phases parallelize as described in §5.2.
+//! Mirrors the paper's execution pipeline (Figure 14) with an explicit
+//! planning phase in front: hash partitioning, per-partition ORDER BY sort,
+//! then per-partition preprocessing-artifact build + embarrassingly parallel
+//! probe. The [plan phase](crate::plan) runs once per query and derives a
+//! canonical key for every preprocessing product; per partition, a shared
+//! [artifact cache](crate::artifacts) builds each distinct product exactly
+//! once no matter how many calls consume it. Partitions run in parallel;
+//! inside a partition, build and probe phases parallelize as described in
+//! §5.2.
 
+use crate::artifacts::{self, ArtifactCache, AtomicStats};
 use crate::column::Column;
 use crate::error::Result;
 use crate::eval::{evaluate_call, Ctx};
 use crate::frame::resolve_frames;
 use crate::order::{sort_permutation, KeyColumns};
 use crate::partition::partition_rows;
+use crate::plan::{canonical_order, plan_query, ArtifactKey, QueryPlan};
 use crate::spec::{FunctionCall, WindowSpec};
 use crate::table::Table;
 use crate::value::Value;
 use holistic_core::MstParams;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Execution tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -25,19 +34,77 @@ pub struct ExecOptions {
     pub parallel: bool,
     /// Merge sort tree parameters (§5.1; default f = k = 32).
     pub params: MstParams,
+    /// Share preprocessing artifacts across the query's calls (default).
+    /// When off, every call gets a private cache — each call still reuses
+    /// its *own* artifacts (e.g. framed LEAD builds one sort for its two
+    /// trees) but nothing is shared between calls. Results are identical;
+    /// only the work differs. Used by benchmarks quantifying sharing.
+    pub share_artifacts: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel: true, params: MstParams::default() }
+        ExecOptions { parallel: true, params: MstParams::default(), share_artifacts: true }
     }
 }
 
 impl ExecOptions {
     /// Fully serial execution (used by benchmarks isolating algorithms).
     pub fn serial() -> Self {
-        ExecOptions { parallel: false, params: MstParams::default().serial() }
+        ExecOptions {
+            parallel: false,
+            params: MstParams::default().serial(),
+            share_artifacts: true,
+        }
     }
+
+    /// Disables cross-call artifact sharing.
+    pub fn no_sharing(mut self) -> Self {
+        self.share_artifacts = false;
+        self
+    }
+}
+
+/// Artifact-cache counters, accumulated over all per-partition caches of one
+/// execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifact requests answered from the cache.
+    pub hits: u64,
+    /// Artifact requests that triggered a build.
+    pub misses: u64,
+    /// Inner-sort (dense code) computations actually performed.
+    pub inner_sorts: u64,
+    /// Merge sort tree builds (code, permutation and distinct trees).
+    pub mst_builds: u64,
+    /// Segment tree builds (distributive aggregates).
+    pub segtree_builds: u64,
+    /// Range tree builds (DENSE_RANK).
+    pub rangetree_builds: u64,
+    /// Range-mode index builds (MODE).
+    pub modeindex_builds: u64,
+}
+
+/// Phase timings and cache counters of one execution.
+///
+/// `build` covers the partition sort, frame resolution and the eager
+/// prebuild of statically-planned artifacts; data-dependent artifacts (e.g.
+/// the SUM segment tree, whose element type depends on the data) are built
+/// lazily through the same cache and attributed to `probe`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecProfile {
+    /// Call validation + query planning (once per query).
+    pub plan: Duration,
+    /// Partition sorting, frame resolution and eager artifact builds,
+    /// summed over partitions.
+    pub build: Duration,
+    /// Call evaluation (probing, plus lazy artifact builds), summed over
+    /// partitions.
+    pub probe: Duration,
+    /// Number of partitions processed.
+    pub partitions: usize,
+    /// Accumulated artifact-cache counters.
+    pub cache: CacheStats,
 }
 
 /// A window query: one OVER clause, many function calls.
@@ -69,12 +136,33 @@ impl WindowQuery {
 
     /// Executes with explicit options.
     pub fn execute_with(&self, table: &Table, opts: ExecOptions) -> Result<Table> {
+        self.execute_profiled(table, opts).map(|(out, _)| out)
+    }
+
+    /// Executes with explicit options, returning phase timings and artifact
+    /// cache counters alongside the output.
+    pub fn execute_profiled(
+        &self,
+        table: &Table,
+        opts: ExecOptions,
+    ) -> Result<(Table, ExecProfile)> {
         let n = table.num_rows();
+
+        // Plan phase: validate every call, then derive canonical artifact
+        // keys and the per-partition prebuild worklist.
+        let plan_start = Instant::now();
         for call in &self.calls {
             call.validate()?;
         }
+        let plan: QueryPlan = plan_query(&self.spec, &self.calls);
+        let plan_time = plan_start.elapsed();
+
         let partitions = partition_rows(table, &self.spec.partition_by)?;
-        let window_keys = KeyColumns::evaluate(table, &self.spec.order_by)?;
+        let window_keys = Arc::new(KeyColumns::evaluate(table, &self.spec.order_by)?);
+        // The window ORDER BY key columns are query-level; each partition
+        // cache is seeded with them so calls falling back to the window
+        // order never re-evaluate the key expressions.
+        let window_order = canonical_order(&self.spec.order_by);
 
         // Parallelize across partitions when there are many, inside a
         // partition when there are few (§5.2's task model collapses to this
@@ -83,43 +171,96 @@ impl WindowQuery {
         let across = opts.parallel && partitions.len() >= 2 * threads;
         let within = opts.parallel && !across;
 
-        let process = |rows_unsorted: &Vec<usize>| -> Result<Vec<(Vec<usize>, Vec<Value>)>> {
+        let build_nanos = AtomicU64::new(0);
+        let probe_nanos = AtomicU64::new(0);
+        let totals = AtomicStats::default();
+
+        let seeded_cache = || {
+            let cache = ArtifactCache::new();
+            if !window_order.is_empty() {
+                cache.seed(ArtifactKey::InnerKeys(window_order.clone()), Arc::clone(&window_keys));
+            }
+            cache
+        };
+
+        // Build + probe one partition; returns its sorted rows and one
+        // output vector per call (scattered back to table order below).
+        let process = |rows_unsorted: &Vec<usize>| -> Result<(Vec<usize>, Vec<Vec<Value>>)> {
+            let build_start = Instant::now();
             let mut rows = rows_unsorted.clone();
             sort_permutation(&window_keys, &mut rows, within);
             let frames = resolve_frames(table, &rows, &window_keys, &self.spec.frame)?;
-            let ctx = Ctx {
-                table,
-                rows: &rows,
-                frames: &frames,
-                window_keys: &window_keys,
-                parallel: within,
-                params: if within { opts.params } else { opts.params.serial() },
-            };
-            self.calls
-                .iter()
-                .map(|call| Ok((rows.clone(), evaluate_call(&ctx, call)?)))
-                .collect()
+            let params = if within { opts.params } else { opts.params.serial() };
+            let mut outs: Vec<Vec<Value>> = Vec::with_capacity(self.calls.len());
+            if opts.share_artifacts {
+                let cache = seeded_cache();
+                let ctx = Ctx {
+                    table,
+                    rows: &rows,
+                    frames: &frames,
+                    parallel: within,
+                    params,
+                    cache: &cache,
+                };
+                for key in &plan.prebuild {
+                    artifacts::force(&ctx, key)?;
+                }
+                build_nanos.fetch_add(build_start.elapsed().as_nanos() as u64, Relaxed);
+                let probe_start = Instant::now();
+                for (call, cp) in self.calls.iter().zip(&plan.calls) {
+                    outs.push(evaluate_call(&ctx, call, cp)?);
+                }
+                probe_nanos.fetch_add(probe_start.elapsed().as_nanos() as u64, Relaxed);
+                cache.stats().merge_into(&totals);
+            } else {
+                build_nanos.fetch_add(build_start.elapsed().as_nanos() as u64, Relaxed);
+                let probe_start = Instant::now();
+                for (call, cp) in self.calls.iter().zip(&plan.calls) {
+                    // A fresh cache per call: artifacts are still shared
+                    // *within* the call, never across calls.
+                    let cache = seeded_cache();
+                    let ctx = Ctx {
+                        table,
+                        rows: &rows,
+                        frames: &frames,
+                        parallel: within,
+                        params,
+                        cache: &cache,
+                    };
+                    outs.push(evaluate_call(&ctx, call, cp)?);
+                    cache.stats().merge_into(&totals);
+                }
+                probe_nanos.fetch_add(probe_start.elapsed().as_nanos() as u64, Relaxed);
+            }
+            Ok((rows, outs))
         };
 
-        let per_partition: Vec<Vec<(Vec<usize>, Vec<Value>)>> = if across {
+        let per_partition: Vec<(Vec<usize>, Vec<Vec<Value>>)> = if across {
             partitions.par_iter().map(process).collect::<Result<Vec<_>>>()?
         } else {
             partitions.iter().map(process).collect::<Result<Vec<_>>>()?
         };
 
-        // Scatter back to original row order.
+        // Scatter back to original row order — one shared row map per
+        // partition, one output vector per call.
         let mut out = Table::empty();
         for (ci, call) in self.calls.iter().enumerate() {
             let mut values = vec![Value::Null; n];
-            for part in &per_partition {
-                let (rows, vals) = &part[ci];
+            for (rows, outs) in &per_partition {
                 for (pos, &row) in rows.iter().enumerate() {
-                    values[row] = vals[pos].clone();
+                    values[row] = outs[ci][pos].clone();
                 }
             }
             out.add_column(call.output_name.clone(), Column::from_values(&values)?)?;
         }
-        Ok(out)
+        let profile = ExecProfile {
+            plan: plan_time,
+            build: Duration::from_nanos(build_nanos.load(Relaxed)),
+            probe: Duration::from_nanos(probe_nanos.load(Relaxed)),
+            partitions: partitions.len(),
+            cache: totals.snapshot(),
+        };
+        Ok((out, profile))
     }
 }
 
@@ -155,14 +296,9 @@ mod tests {
     #[test]
     fn moving_median_small() {
         let t = ints(vec![5, 1, 4, 2, 3]);
-        let q = WindowQuery::over(
-            WindowSpec::new()
-                .order_by(vec![SortKey::asc(col("x"))])
-                .frame(FrameSpec::rows(
-                    FrameBound::Preceding(lit(1i64)),
-                    FrameBound::Following(lit(1i64)),
-                )),
-        )
+        let q = WindowQuery::over(WindowSpec::new().order_by(vec![SortKey::asc(col("x"))]).frame(
+            FrameSpec::rows(FrameBound::Preceding(lit(1i64)), FrameBound::Following(lit(1i64))),
+        ))
         .call(FunctionCall::median(col("x")).named("med"));
         let out = q.execute(&t).unwrap();
         // Sorted: 1 2 3 4 5; medians of windows: [1,2]→2? PERCENTILE_DISC(0.5)
@@ -227,8 +363,7 @@ mod tests {
     #[test]
     fn empty_table_executes() {
         let t = ints(vec![]);
-        let q = WindowQuery::over(WindowSpec::new())
-            .call(FunctionCall::count_star().named("c"));
+        let q = WindowQuery::over(WindowSpec::new()).call(FunctionCall::count_star().named("c"));
         let out = q.execute(&t).unwrap();
         assert_eq!(out.column("c").unwrap().len(), 0);
     }
@@ -254,5 +389,51 @@ mod tests {
             out.column("r").unwrap().to_values(),
             vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(1)]
         );
+    }
+
+    #[test]
+    fn profile_reports_phases_and_counters() {
+        let t = ints(vec![5, 1, 4, 2, 3]);
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(FrameBound::Preceding(lit(2i64)), FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::median(col("x")).named("med"))
+        .call(FunctionCall::sum(col("x")).named("s"));
+        let (out, profile) = q.execute_profiled(&t, ExecOptions::serial()).unwrap();
+        assert_eq!(out.column("med").unwrap().len(), 5);
+        assert_eq!(profile.partitions, 1);
+        assert!(profile.cache.misses > 0);
+        // The median needs exactly one inner sort; the sum needs none.
+        assert_eq!(profile.cache.inner_sorts, 1);
+        assert_eq!(profile.cache.segtree_builds, 2); // count + sum trees
+    }
+
+    #[test]
+    fn sharing_toggle_preserves_results() {
+        let t = Table::new(vec![
+            ("g", Column::ints(vec![0, 1, 0, 1, 0, 1, 0, 1])),
+            ("x", Column::ints(vec![5, 3, 8, 1, 9, 2, 7, 4])),
+        ])
+        .unwrap();
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .partition_by(vec![col("g")])
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::rank(vec![SortKey::desc(col("x"))]).named("r"))
+        .call(FunctionCall::row_number(vec![SortKey::desc(col("x"))]).named("rn"))
+        .call(FunctionCall::median(col("x")).named("med"));
+        let shared = q.execute_with(&t, ExecOptions::serial()).unwrap();
+        let private = q.execute_with(&t, ExecOptions::serial().no_sharing()).unwrap();
+        for name in ["r", "rn", "med"] {
+            assert_eq!(
+                shared.column(name).unwrap().to_values(),
+                private.column(name).unwrap().to_values(),
+                "column {name} differs between shared and private caches"
+            );
+        }
     }
 }

@@ -27,7 +27,7 @@ pub enum Expr {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition (Date + Int adds days).
     Add,
@@ -213,11 +213,8 @@ fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value> {
         }));
     }
     // Arithmetic.
-    let type_err = |got: &'static str| Error::TypeMismatch {
-        expected: "numeric",
-        got,
-        context: "arithmetic",
-    };
+    let type_err =
+        |got: &'static str| Error::TypeMismatch { expected: "numeric", got, context: "arithmetic" };
     match (&a, &b) {
         (Value::Int(x), Value::Int(y)) => Ok(match op {
             Add => Value::Int(x.wrapping_add(*y)),

@@ -240,7 +240,14 @@ pub fn resolve_frames(
         }
         FrameMode::Range => {
             resolve_range_frames(
-                table, rows, keys, &pstart, &pend, &peer_start, &peer_end, &mut bounds,
+                table,
+                rows,
+                keys,
+                &pstart,
+                &pend,
+                &peer_start,
+                &peer_end,
+                &mut bounds,
             )?;
         }
         FrameMode::Groups => {
@@ -539,10 +546,8 @@ mod tests {
     fn range_frame_value_offsets() {
         let (t, rows, keys) = setup(vec![10, 11, 15, 20, 21]);
         // RANGE BETWEEN 1 PRECEDING AND 1 FOLLOWING.
-        let spec = FrameSpec::range(
-            FrameBound::Preceding(lit(1i64)),
-            FrameBound::Following(lit(1i64)),
-        );
+        let spec =
+            FrameSpec::range(FrameBound::Preceding(lit(1i64)), FrameBound::Following(lit(1i64)));
         let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
         assert_eq!(rf.bounds, vec![(0, 2), (0, 2), (2, 3), (3, 5), (3, 5)]);
     }
@@ -563,29 +568,22 @@ mod tests {
         let mut rows: Vec<usize> = (0..5).collect();
         crate::order::sort_permutation(&keys, &mut rows, false);
         // Sorted: 21, 20, 15, 11, 10.
-        let spec = FrameSpec::range(
-            FrameBound::Preceding(lit(1i64)),
-            FrameBound::Following(lit(1i64)),
-        );
+        let spec =
+            FrameSpec::range(FrameBound::Preceding(lit(1i64)), FrameBound::Following(lit(1i64)));
         let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
         assert_eq!(rf.bounds, vec![(0, 2), (0, 2), (2, 3), (3, 5), (3, 5)]);
     }
 
     #[test]
     fn range_null_rows_frame_is_their_peer_group() {
-        let t = Table::new(vec![(
-            "k",
-            Column::ints_opt(vec![Some(1), None, Some(2), None]),
-        )])
-        .unwrap();
+        let t =
+            Table::new(vec![("k", Column::ints_opt(vec![Some(1), None, Some(2), None]))]).unwrap();
         let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k"))]).unwrap();
         let mut rows: Vec<usize> = (0..4).collect();
         crate::order::sort_permutation(&keys, &mut rows, false);
         // Sorted: 1, 2, NULL, NULL.
-        let spec = FrameSpec::range(
-            FrameBound::Preceding(lit(10i64)),
-            FrameBound::Following(lit(0i64)),
-        );
+        let spec =
+            FrameSpec::range(FrameBound::Preceding(lit(10i64)), FrameBound::Following(lit(0i64)));
         let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
         assert_eq!(rf.bounds[2], (2, 4));
         assert_eq!(rf.bounds[3], (2, 4));
@@ -595,15 +593,9 @@ mod tests {
     #[test]
     fn groups_frame() {
         let (t, rows, keys) = setup(vec![5, 5, 7, 7, 7, 9]);
-        let spec = FrameSpec::groups(
-            FrameBound::Preceding(lit(1i64)),
-            FrameBound::CurrentRow,
-        );
+        let spec = FrameSpec::groups(FrameBound::Preceding(lit(1i64)), FrameBound::CurrentRow);
         let rf = resolve_frames(&t, &rows, &keys, &spec).unwrap();
-        assert_eq!(
-            rf.bounds,
-            vec![(0, 2), (0, 2), (0, 5), (0, 5), (0, 5), (2, 6)]
-        );
+        assert_eq!(rf.bounds, vec![(0, 2), (0, 2), (0, 5), (0, 5), (0, 5), (2, 6)]);
     }
 
     #[test]
@@ -640,11 +632,9 @@ mod tests {
 
     #[test]
     fn range_offsets_need_single_numeric_key() {
-        let t = Table::new(vec![
-            ("a", Column::ints(vec![1, 2])),
-            ("s", Column::strs(vec!["x", "y"])),
-        ])
-        .unwrap();
+        let t =
+            Table::new(vec![("a", Column::ints(vec![1, 2])), ("s", Column::strs(vec!["x", "y"]))])
+                .unwrap();
         let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("s"))]).unwrap();
         let rows = vec![0usize, 1];
         let spec = FrameSpec::range(FrameBound::Preceding(lit(1i64)), FrameBound::CurrentRow);

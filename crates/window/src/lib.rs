@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod artifacts;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod frame;
 pub mod hash;
 pub mod order;
 pub mod partition;
+mod plan;
 pub mod profile;
 pub mod remap;
 pub mod spec;
@@ -56,7 +58,7 @@ pub mod value;
 
 pub use column::Column;
 pub use error::{Error, Result};
-pub use executor::{ExecOptions, WindowQuery};
+pub use executor::{CacheStats, ExecOptions, ExecProfile, WindowQuery};
 pub use expr::{col, lit, BinOp, Expr};
 pub use frame::{FrameBound, FrameExclusion, FrameMode, FrameSpec};
 pub use order::SortKey;
@@ -67,7 +69,7 @@ pub use value::{DataType, Value};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::column::Column;
-    pub use crate::executor::{ExecOptions, WindowQuery};
+    pub use crate::executor::{CacheStats, ExecOptions, ExecProfile, WindowQuery};
     pub use crate::expr::{col, lit, Expr};
     pub use crate::frame::{FrameBound, FrameExclusion, FrameSpec};
     pub use crate::order::SortKey;

@@ -119,8 +119,7 @@ impl KeyColumns {
 /// original index for determinism. This is the window operator's ORDER BY
 /// phase; it reuses the platform sorter as the paper reuses Hyper's (§5.3).
 pub fn sort_permutation(keys: &KeyColumns, rows: &mut [usize], parallel: bool) {
-    let cmp =
-        |&a: &usize, &b: &usize| keys.cmp_rows(a, b).then_with(|| a.cmp(&b));
+    let cmp = |&a: &usize, &b: &usize| keys.cmp_rows(a, b).then_with(|| a.cmp(&b));
     if parallel && rows.len() >= 4096 {
         rows.par_sort_unstable_by(cmp);
     } else {
@@ -136,9 +135,7 @@ pub fn sort_permutation(keys: &KeyColumns, rows: &mut [usize], parallel: bool) {
 pub fn dense_codes_for(keys: &KeyColumns, rows: &[usize], parallel: bool) -> DenseCodes {
     let n = rows.len();
     let mut perm: Vec<usize> = (0..n).collect();
-    let cmp = |&a: &usize, &b: &usize| {
-        keys.cmp_rows(rows[a], rows[b]).then_with(|| a.cmp(&b))
-    };
+    let cmp = |&a: &usize, &b: &usize| keys.cmp_rows(rows[a], rows[b]).then_with(|| a.cmp(&b));
     if parallel && n >= 4096 {
         perm.par_sort_unstable_by(cmp);
     } else {
@@ -223,8 +220,7 @@ mod tests {
     #[test]
     fn nulls_first_override() {
         let t = table();
-        let keys =
-            KeyColumns::evaluate(&t, &[SortKey::asc(col("k")).nulls_first(true)]).unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("k")).nulls_first(true)]).unwrap();
         let mut rows: Vec<usize> = (0..5).collect();
         sort_permutation(&keys, &mut rows, false);
         assert_eq!(rows, vec![2, 1, 4, 0, 3]);
@@ -237,11 +233,8 @@ mod tests {
             ("b", Column::ints(vec![9, 3, 0])),
         ])
         .unwrap();
-        let keys = KeyColumns::evaluate(
-            &t,
-            &[SortKey::asc(col("a")), SortKey::desc(col("b"))],
-        )
-        .unwrap();
+        let keys =
+            KeyColumns::evaluate(&t, &[SortKey::asc(col("a")), SortKey::desc(col("b"))]).unwrap();
         let mut rows: Vec<usize> = (0..3).collect();
         sort_permutation(&keys, &mut rows, false);
         assert_eq!(rows, vec![0, 1, 2]); // (1,9) < (1,3) under b DESC, then (2,0)

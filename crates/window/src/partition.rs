@@ -17,12 +17,9 @@ pub fn partition_rows(table: &Table, partition_by: &[Expr]) -> Result<Vec<Vec<us
     if partition_by.is_empty() {
         return Ok(vec![(0..n).collect()]);
     }
-    let bound: Vec<_> =
-        partition_by.iter().map(|e| e.bind(table)).collect::<Result<Vec<_>>>()?;
-    let keys: Vec<Vec<Value>> = bound
-        .iter()
-        .map(|b| b.eval_all(table))
-        .collect::<Result<Vec<_>>>()?;
+    let bound: Vec<_> = partition_by.iter().map(|e| e.bind(table)).collect::<Result<Vec<_>>>()?;
+    let keys: Vec<Vec<Value>> =
+        bound.iter().map(|b| b.eval_all(table)).collect::<Result<Vec<_>>>()?;
 
     // Hash → candidate partition ids (collision chains compare full keys).
     let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
@@ -69,22 +66,15 @@ mod tests {
 
     #[test]
     fn partitions_by_value_first_appearance_order() {
-        let t = Table::new(vec![(
-            "g",
-            Column::strs(vec!["b", "a", "b", "c", "a"]),
-        )])
-        .unwrap();
+        let t = Table::new(vec![("g", Column::strs(vec!["b", "a", "b", "c", "a"]))]).unwrap();
         let p = partition_rows(&t, &[col("g")]).unwrap();
         assert_eq!(p, vec![vec![0, 2], vec![1, 4], vec![3]]);
     }
 
     #[test]
     fn nulls_group_together() {
-        let t = Table::new(vec![(
-            "g",
-            Column::ints_opt(vec![None, Some(1), None, Some(1)]),
-        )])
-        .unwrap();
+        let t =
+            Table::new(vec![("g", Column::ints_opt(vec![None, Some(1), None, Some(1)]))]).unwrap();
         let p = partition_rows(&t, &[col("g")]).unwrap();
         assert_eq!(p, vec![vec![0, 2], vec![1, 3]]);
     }

@@ -1,0 +1,450 @@
+//! Query planning — the *plan* phase of the plan → build → probe pipeline.
+//!
+//! Before any partition is touched, [`plan_query`] analyses every call of a
+//! `WindowQuery` and derives, per call, (a) the *canonical ordering
+//! criterion* its preprocessing sorts by and (b) the *kept-row mask*
+//! (FILTER ∧ family-specific NULL screen) its trees are built over. Two
+//! calls whose criteria and masks are structurally equal share every
+//! preprocessing product — the inner sort, the dense codes, the merge sort
+//! trees — through the per-partition [`crate::artifacts::ArtifactCache`].
+//!
+//! Keys are *self-describing recipes*: a [`CanonicalExpr`] is a lossless,
+//! hashable mirror of [`Expr`], so the build phase reconstructs the exact
+//! expression to evaluate from the key alone (`to_expr`). Floats are keyed
+//! by bit pattern, which makes `Eq`/`Hash` total without changing equality
+//! for any literal the engine can hold.
+//!
+//! Tree index width (u32 vs u64) is deliberately absent from the keys: the
+//! width is chosen per partition from the partition size alone, so within
+//! one cache every build of a given key picks the same width.
+
+use crate::expr::{BinOp, Expr};
+use crate::order::SortKey;
+use crate::spec::{FuncKind, FunctionCall, WindowSpec};
+use crate::value::Value;
+use rustc_hash::FxHashSet;
+use std::sync::Arc;
+
+/// A hashable literal: floats keyed by bit pattern, everything else as-is.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum CanonicalValue {
+    /// SQL NULL.
+    Null,
+    /// Integer literal.
+    Int(i64),
+    /// Float literal, by IEEE-754 bit pattern (lossless round-trip).
+    FloatBits(u64),
+    /// String literal.
+    Str(Arc<str>),
+    /// Date literal.
+    Date(i32),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl CanonicalValue {
+    fn from_value(v: &Value) -> Self {
+        match v {
+            Value::Null => CanonicalValue::Null,
+            Value::Int(x) => CanonicalValue::Int(*x),
+            Value::Float(x) => CanonicalValue::FloatBits(x.to_bits()),
+            Value::Str(s) => CanonicalValue::Str(s.clone()),
+            Value::Date(d) => CanonicalValue::Date(*d),
+            Value::Bool(b) => CanonicalValue::Bool(*b),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            CanonicalValue::Null => Value::Null,
+            CanonicalValue::Int(x) => Value::Int(*x),
+            CanonicalValue::FloatBits(b) => Value::Float(f64::from_bits(*b)),
+            CanonicalValue::Str(s) => Value::Str(s.clone()),
+            CanonicalValue::Date(d) => Value::Date(*d),
+            CanonicalValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+/// A lossless, hashable mirror of [`Expr`] establishing *structural*
+/// equality: two expressions are the same artifact ingredient iff their
+/// canonical forms are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum CanonicalExpr {
+    /// Column reference.
+    Col(String),
+    /// Literal.
+    Lit(CanonicalValue),
+    /// Binary operation.
+    Bin(BinOp, Box<CanonicalExpr>, Box<CanonicalExpr>),
+    /// Logical negation.
+    Not(Box<CanonicalExpr>),
+    /// Arithmetic negation.
+    Neg(Box<CanonicalExpr>),
+}
+
+impl CanonicalExpr {
+    pub(crate) fn from_expr(e: &Expr) -> Self {
+        match e {
+            Expr::Col(name) => CanonicalExpr::Col(name.clone()),
+            Expr::Lit(v) => CanonicalExpr::Lit(CanonicalValue::from_value(v)),
+            Expr::Bin(op, a, b) => {
+                CanonicalExpr::Bin(*op, Box::new(Self::from_expr(a)), Box::new(Self::from_expr(b)))
+            }
+            Expr::Not(a) => CanonicalExpr::Not(Box::new(Self::from_expr(a))),
+            Expr::Neg(a) => CanonicalExpr::Neg(Box::new(Self::from_expr(a))),
+        }
+    }
+
+    /// Reconstructs the expression the key describes (build-phase recipe).
+    pub(crate) fn to_expr(&self) -> Expr {
+        match self {
+            CanonicalExpr::Col(name) => Expr::Col(name.clone()),
+            CanonicalExpr::Lit(v) => Expr::Lit(v.to_value()),
+            CanonicalExpr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(a.to_expr()), Box::new(b.to_expr()))
+            }
+            CanonicalExpr::Not(a) => Expr::Not(Box::new(a.to_expr())),
+            CanonicalExpr::Neg(a) => Expr::Neg(Box::new(a.to_expr())),
+        }
+    }
+}
+
+/// One canonical ORDER BY criterion.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CanonicalSortKey {
+    pub expr: CanonicalExpr,
+    pub desc: bool,
+    pub nulls_first: bool,
+}
+
+impl CanonicalSortKey {
+    fn from_sort_key(sk: &SortKey) -> Self {
+        CanonicalSortKey {
+            expr: CanonicalExpr::from_expr(&sk.expr),
+            desc: sk.desc,
+            nulls_first: sk.nulls_first,
+        }
+    }
+
+    fn to_sort_key(&self) -> SortKey {
+        SortKey { expr: self.expr.to_expr(), desc: self.desc, nulls_first: self.nulls_first }
+    }
+}
+
+/// Canonicalizes an ORDER BY criteria list.
+pub(crate) fn canonical_order(keys: &[SortKey]) -> Vec<CanonicalSortKey> {
+    keys.iter().map(CanonicalSortKey::from_sort_key).collect()
+}
+
+/// Reconstructs the criteria list a canonical order describes.
+pub(crate) fn sort_keys_of(keys: &[CanonicalSortKey]) -> Vec<SortKey> {
+    keys.iter().map(CanonicalSortKey::to_sort_key).collect()
+}
+
+/// The ordering criterion a call's selection/ranking structures sort by.
+///
+/// `Identity` is frame-position order (value functions without an inner
+/// ORDER BY); `Keys` is an explicit criteria list. Rank-family calls with an
+/// empty inner ORDER BY canonicalize to the *window* ORDER BY here, so they
+/// share artifacts with calls that spell the same criterion out explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum OrderKey {
+    Identity,
+    Keys(Vec<CanonicalSortKey>),
+}
+
+/// The kept-row mask: which partition rows enter the preprocessing at all.
+///
+/// `filter` is the call's FILTER predicate; `screen` is the expression whose
+/// NULL rows the family drops (aggregate argument, percentile key, IGNORE
+/// NULLS argument — see [`FunctionCall::null_screen`]). Two calls share
+/// sorted structures only when *both* components match: a percentile and a
+/// rank call over the same criterion still differ (the percentile screens
+/// NULL keys, the rank call keeps them), so their kept-row sets diverge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct MaskKey {
+    pub filter: Option<CanonicalExpr>,
+    pub screen: Option<CanonicalExpr>,
+}
+
+/// Which annotated-tree aggregate a distinct SUM/AVG needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum AggFlavor {
+    SumI64,
+    SumF64,
+    Avg,
+}
+
+/// Which segment-tree monoid a distributive aggregate needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SegFlavor {
+    Count,
+    SumI64,
+    SumF64,
+    Min,
+    Max,
+}
+
+/// Canonical identity of one preprocessing product within a partition.
+///
+/// Every artifact the evaluators consume is addressed by one of these keys;
+/// the per-partition cache builds each distinct key exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ArtifactKey {
+    /// Expression values per partition position (window order).
+    Values(CanonicalExpr),
+    /// Kept-row mask, remap and kept→table row map.
+    Mask(MaskKey),
+    /// Expression values per *kept* position.
+    KeptValues(CanonicalExpr, MaskKey),
+    /// Materialized inner ORDER BY key columns (full table).
+    InnerKeys(Vec<CanonicalSortKey>),
+    /// The inner sort: dense codes + permutation over kept rows (Figure 8).
+    DenseCodes(OrderKey, MaskKey),
+    /// Merge sort tree over the unique codes (rank family, §4.4).
+    CodeMst(OrderKey, MaskKey),
+    /// Merge sort tree over the permutation array (selection, §4.5).
+    PermMst(OrderKey, MaskKey),
+    /// Distinct preprocessing: hashes + previous-occurrence indices (Alg. 1).
+    DistinctPrep(CanonicalExpr, MaskKey),
+    /// Merge sort tree over the previous-occurrence indices (§4.2).
+    DistinctCountMst(CanonicalExpr, MaskKey),
+    /// Annotated merge sort tree for SUM/AVG DISTINCT (§4.3).
+    DistinctAggMst(CanonicalExpr, MaskKey, AggFlavor),
+    /// MIN/MAX ordinal encoding of the values (all positions).
+    OrdinalEnc(CanonicalExpr),
+    /// Segment tree (distributive aggregates). The expression is `None` for
+    /// the kept-row count tree shared by the whole mask.
+    SegTree(Option<CanonicalExpr>, MaskKey, SegFlavor),
+    /// 3-d range tree over tie-group ids (DENSE_RANK, §4.4).
+    RangeTree(OrderKey, MaskKey),
+    /// √-decomposition range mode index.
+    ModeIndex(CanonicalExpr, MaskKey),
+}
+
+/// The per-call slice of a [`QueryPlan`].
+#[derive(Debug, Clone)]
+pub(crate) struct CallPlan {
+    /// Canonical ordering criterion (None: the call never sorts).
+    pub order: Option<OrderKey>,
+    /// Canonical kept-row mask.
+    pub mask: MaskKey,
+    /// Canonical forms of the call's positional arguments.
+    pub args: Vec<CanonicalExpr>,
+}
+
+/// The whole-query plan: per-call keys plus the deduplicated, statically
+/// known artifact worklist the build phase forces up front.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryPlan {
+    pub calls: Vec<CallPlan>,
+    /// Distinct artifacts to build eagerly, in dependency-compatible order.
+    /// Data-dependent artifacts (SUM's integer-vs-float segment tree, MIN/MAX
+    /// ordinal trees) are resolved lazily through the same cache instead.
+    pub prebuild: Vec<ArtifactKey>,
+}
+
+/// Plans all calls of one query against a shared OVER clause.
+pub(crate) fn plan_query(spec: &WindowSpec, calls: &[FunctionCall]) -> QueryPlan {
+    let mut call_plans = Vec::with_capacity(calls.len());
+    let mut prebuild = Vec::new();
+    let mut seen: FxHashSet<ArtifactKey> = FxHashSet::default();
+    for call in calls {
+        let cp = plan_call(spec, call);
+        collect_prebuild(call, &cp, &mut |key: ArtifactKey| {
+            if seen.insert(key.clone()) {
+                prebuild.push(key);
+            }
+        });
+        call_plans.push(cp);
+    }
+    QueryPlan { calls: call_plans, prebuild }
+}
+
+fn plan_call(spec: &WindowSpec, call: &FunctionCall) -> CallPlan {
+    use FuncKind::*;
+    let order = match call.kind {
+        RowNumber | Rank | DenseRank | PercentRank | CumeDist | Ntile => {
+            Some(OrderKey::Keys(canonical_order(call.rank_order(spec))))
+        }
+        PercentileDisc | PercentileCont | Median => {
+            Some(OrderKey::Keys(canonical_order(&call.inner_order)))
+        }
+        FirstValue | LastValue | NthValue => Some(if call.inner_order.is_empty() {
+            OrderKey::Identity
+        } else {
+            OrderKey::Keys(canonical_order(&call.inner_order))
+        }),
+        Lead | Lag => {
+            // Empty inner order = classic positional semantics; no sort.
+            if call.inner_order.is_empty() {
+                None
+            } else {
+                Some(OrderKey::Keys(canonical_order(&call.inner_order)))
+            }
+        }
+        CountStar | Count | Sum | Avg | Min | Max | Mode => None,
+    };
+    let mask = MaskKey {
+        filter: call.filter.as_ref().map(CanonicalExpr::from_expr),
+        screen: call.null_screen().map(CanonicalExpr::from_expr),
+    };
+    CallPlan { order, mask, args: call.args.iter().map(CanonicalExpr::from_expr).collect() }
+}
+
+/// Emits the statically known artifact keys one call needs.
+fn collect_prebuild(call: &FunctionCall, cp: &CallPlan, push: &mut dyn FnMut(ArtifactKey)) {
+    use ArtifactKey as K;
+    use FuncKind::*;
+    let mask = cp.mask.clone();
+    match call.kind {
+        CountStar => {
+            push(K::Mask(mask.clone()));
+            push(K::SegTree(None, mask, SegFlavor::Count));
+        }
+        Count | Sum | Avg | Min | Max => {
+            let arg = cp.args[0].clone();
+            push(K::Values(arg.clone()));
+            push(K::Mask(mask.clone()));
+            if call.distinct && !matches!(call.kind, Min | Max) {
+                // MIN/MAX DISTINCT ≡ plain MIN/MAX → segment tree path below.
+                push(K::KeptValues(arg.clone(), mask.clone()));
+                push(K::DistinctPrep(arg.clone(), mask.clone()));
+                if call.kind == Count {
+                    push(K::DistinctCountMst(arg, mask));
+                }
+            } else {
+                push(K::SegTree(None, mask, SegFlavor::Count));
+            }
+        }
+        RowNumber | Rank | DenseRank | PercentRank | CumeDist | Ntile => {
+            let order = cp.order.clone().expect("rank family always orders");
+            let OrderKey::Keys(ks) = &order else { unreachable!("rank order is explicit") };
+            push(K::Mask(mask.clone()));
+            push(K::InnerKeys(ks.clone()));
+            push(K::DenseCodes(order.clone(), mask.clone()));
+            if call.kind == DenseRank {
+                push(K::RangeTree(order, mask));
+            } else {
+                push(K::CodeMst(order, mask));
+            }
+        }
+        PercentileDisc | PercentileCont | Median => {
+            let order = cp.order.clone().expect("percentiles always order");
+            let OrderKey::Keys(ks) = &order else { unreachable!("percentile order is explicit") };
+            let key_expr = ks[0].expr.clone();
+            push(K::Values(key_expr.clone()));
+            push(K::Mask(mask.clone()));
+            push(K::KeptValues(key_expr, mask.clone()));
+            push(K::InnerKeys(ks.clone()));
+            push(K::DenseCodes(order.clone(), mask.clone()));
+            push(K::PermMst(order, mask));
+        }
+        FirstValue | LastValue | NthValue => {
+            let arg = cp.args[0].clone();
+            let order = cp.order.clone().expect("value functions always have an order key");
+            push(K::Values(arg.clone()));
+            push(K::Mask(mask.clone()));
+            push(K::KeptValues(arg, mask.clone()));
+            if let OrderKey::Keys(ks) = &order {
+                push(K::InnerKeys(ks.clone()));
+                push(K::DenseCodes(order.clone(), mask.clone()));
+            }
+            push(K::PermMst(order, mask));
+        }
+        Lead | Lag => {
+            let arg = cp.args[0].clone();
+            push(K::Values(arg.clone()));
+            if let Some(order @ OrderKey::Keys(ks)) = &cp.order {
+                push(K::Mask(mask.clone()));
+                push(K::KeptValues(arg, mask.clone()));
+                push(K::InnerKeys(ks.clone()));
+                push(K::DenseCodes(order.clone(), mask.clone()));
+                push(K::CodeMst(order.clone(), mask.clone()));
+                push(K::PermMst(order.clone(), mask));
+            }
+        }
+        Mode => {
+            let arg = cp.args[0].clone();
+            push(K::Values(arg.clone()));
+            push(K::Mask(mask.clone()));
+            push(K::ModeIndex(arg, mask));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn canonical_expr_roundtrip_is_lossless() {
+        let e = col("a").add(lit(1i64)).mul(col("b").sub(lit(2.5))).lt(lit(10i64)).not();
+        let c = CanonicalExpr::from_expr(&e);
+        let back = CanonicalExpr::from_expr(&c.to_expr());
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn structurally_equal_exprs_share_keys() {
+        let a = CanonicalExpr::from_expr(&col("x").add(lit(1i64)));
+        let b = CanonicalExpr::from_expr(&col("x").add(lit(1i64)));
+        assert_eq!(a, b);
+        let c = CanonicalExpr::from_expr(&col("x").add(lit(2i64)));
+        assert_ne!(a, c);
+        // Floats key by bits: 0.0 and -0.0 are distinct recipes.
+        let z = CanonicalExpr::from_expr(&lit(0.0));
+        let nz = CanonicalExpr::from_expr(&lit(-0.0));
+        assert_ne!(z, nz);
+    }
+
+    #[test]
+    fn rank_family_falls_back_to_window_order() {
+        let spec = WindowSpec::new().order_by(vec![SortKey::asc(col("v"))]);
+        let implicit = FunctionCall::rank(vec![]);
+        let explicit = FunctionCall::row_number(vec![SortKey::asc(col("v"))]);
+        let plan = plan_query(&spec, &[implicit, explicit]);
+        assert_eq!(plan.calls[0].order, plan.calls[1].order);
+        // One shared dense-code sort, one shared code tree.
+        let sorts =
+            plan.prebuild.iter().filter(|k| matches!(k, ArtifactKey::DenseCodes(..))).count();
+        let msts = plan.prebuild.iter().filter(|k| matches!(k, ArtifactKey::CodeMst(..))).count();
+        assert_eq!((sorts, msts), (1, 1));
+    }
+
+    #[test]
+    fn percentile_mask_differs_from_rank_mask() {
+        // Same criterion, but the percentile screens NULL keys — the kept-row
+        // sets can diverge, so the sorted structures must not be shared.
+        let spec = WindowSpec::new();
+        let med = FunctionCall::median(col("v"));
+        let rnk = FunctionCall::rank(vec![SortKey::asc(col("v"))]);
+        let plan = plan_query(&spec, &[med, rnk]);
+        assert_eq!(plan.calls[0].order, plan.calls[1].order);
+        assert_ne!(plan.calls[0].mask, plan.calls[1].mask);
+        let sorts =
+            plan.prebuild.iter().filter(|k| matches!(k, ArtifactKey::DenseCodes(..))).count();
+        assert_eq!(sorts, 2);
+    }
+
+    #[test]
+    fn prebuild_deduplicates_across_families() {
+        let spec = WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]);
+        let calls = vec![
+            FunctionCall::rank(vec![SortKey::asc(col("v"))]),
+            FunctionCall::row_number(vec![SortKey::asc(col("v"))]),
+            FunctionCall::lead(col("x"), 1, lit(0i64)).order_by(vec![SortKey::asc(col("v"))]),
+        ];
+        let plan = plan_query(&spec, &calls);
+        // rank + row_number + lead (no IGNORE NULLS) all share the filterless
+        // mask and the same criterion: one sort, one code MST, one perm MST.
+        let count =
+            |f: &dyn Fn(&ArtifactKey) -> bool| plan.prebuild.iter().filter(|k| f(k)).count();
+        assert_eq!(count(&|k| matches!(k, ArtifactKey::DenseCodes(..))), 1);
+        assert_eq!(count(&|k| matches!(k, ArtifactKey::CodeMst(..))), 1);
+        assert_eq!(count(&|k| matches!(k, ArtifactKey::PermMst(..))), 1);
+        assert_eq!(count(&|k| matches!(k, ArtifactKey::Mask(..))), 1);
+    }
+}

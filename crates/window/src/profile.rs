@@ -8,6 +8,7 @@
 //! and the embarrassingly parallel result probe.
 
 use crate::error::Result;
+use crate::executor::{CacheStats, ExecOptions, WindowQuery};
 use crate::expr::Expr;
 use crate::frame::{resolve_frames, FrameSpec};
 use crate::hash::hash_value;
@@ -19,6 +20,27 @@ use std::time::{Duration, Instant};
 
 /// One named phase and its wall time.
 pub type Phase = (String, Duration);
+
+/// Runs a full query through the plan → build → probe executor and reports
+/// the three pipeline phases alongside the artifact-cache counters and the
+/// output table.
+///
+/// The build phase covers partition sorting, frame resolution and the eager
+/// prebuild of planned artifacts; lazily-built (data-dependent) artifacts
+/// are attributed to the probe phase.
+pub fn profile_query(
+    query: &WindowQuery,
+    table: &Table,
+    opts: ExecOptions,
+) -> Result<(Vec<Phase>, CacheStats, Table)> {
+    let (out, profile) = query.execute_profiled(table, opts)?;
+    let phases = vec![
+        ("plan".to_string(), profile.plan),
+        ("build artifacts".to_string(), profile.build),
+        ("probe".to_string(), profile.probe),
+    ];
+    Ok((phases, profile.cache, out))
+}
 
 /// Runs a framed `COUNT(DISTINCT value)` over `ORDER BY order_key` with the
 /// given frame, timing each execution phase. Returns the phase list and the
@@ -126,5 +148,22 @@ mod tests {
         // Running distinct counts: 1, 2, 3, 3, 3, 3 — back in original row
         // order (d=4 is 4th):
         assert_eq!(counts, vec![3, 1, 3, 2, 3, 3]);
+    }
+
+    #[test]
+    fn profile_query_reports_pipeline_phases() {
+        use crate::spec::{FunctionCall, WindowSpec};
+        let t = Table::new(vec![("x", Column::ints(vec![3, 1, 2, 5, 4]))]).unwrap();
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::median(col("x")).named("med"));
+        let (phases, stats, out) = profile_query(&q, &t, ExecOptions::serial()).unwrap();
+        let names: Vec<&str> = phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["plan", "build artifacts", "probe"]);
+        assert!(stats.misses > 0);
+        assert_eq!(out.column("med").unwrap().len(), 5);
     }
 }

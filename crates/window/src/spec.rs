@@ -88,10 +88,7 @@ impl FuncKind {
     /// True for the selection family (percentiles and value functions).
     pub fn is_selection(self) -> bool {
         use FuncKind::*;
-        matches!(
-            self,
-            PercentileDisc | PercentileCont | Median | FirstValue | LastValue | NthValue
-        )
+        matches!(self, PercentileDisc | PercentileCont | Median | FirstValue | LastValue | NthValue)
     }
 
     /// Display name.
@@ -262,14 +259,12 @@ impl FunctionCall {
 
     /// `PERCENTILE_DISC(fraction ORDER BY key)` (§4.5).
     pub fn percentile_disc(fraction: f64, key: SortKey) -> Self {
-        Self::new(FuncKind::PercentileDisc, vec![crate::expr::lit(fraction)])
-            .order_by(vec![key])
+        Self::new(FuncKind::PercentileDisc, vec![crate::expr::lit(fraction)]).order_by(vec![key])
     }
 
     /// `PERCENTILE_CONT(fraction ORDER BY key)` (§4.5).
     pub fn percentile_cont(fraction: f64, key: SortKey) -> Self {
-        Self::new(FuncKind::PercentileCont, vec![crate::expr::lit(fraction)])
-            .order_by(vec![key])
+        Self::new(FuncKind::PercentileCont, vec![crate::expr::lit(fraction)]).order_by(vec![key])
     }
 
     /// Framed median of an expression (the §6 benchmark function).
@@ -305,6 +300,33 @@ impl FunctionCall {
     /// `MODE(expr)` over the frame (extension; see [`FuncKind::Mode`]).
     pub fn mode(expr: Expr) -> Self {
         Self::new(FuncKind::Mode, vec![expr])
+    }
+
+    /// The expression whose NULL rows this call's preprocessing drops (the
+    /// family-specific half of the kept-row mask; FILTER is the other half):
+    /// aggregates and MODE screen their argument, percentiles their ORDER BY
+    /// key, value functions and LEAD/LAG their argument only under IGNORE
+    /// NULLS. Rank functions screen nothing — NULL keys still rank.
+    pub(crate) fn null_screen(&self) -> Option<&Expr> {
+        use FuncKind::*;
+        match self.kind {
+            Count | Sum | Avg | Min | Max | Mode => self.args.first(),
+            PercentileDisc | PercentileCont | Median => self.inner_order.first().map(|k| &k.expr),
+            FirstValue | LastValue | NthValue | Lead | Lag if self.ignore_nulls => {
+                self.args.first()
+            }
+            _ => None,
+        }
+    }
+
+    /// The ordering criterion a rank-family call actually uses: its own
+    /// function-level ORDER BY, falling back to the window ORDER BY.
+    pub(crate) fn rank_order<'a>(&'a self, spec: &'a WindowSpec) -> &'a [SortKey] {
+        if self.inner_order.is_empty() {
+            &spec.order_by
+        } else {
+            &self.inner_order
+        }
     }
 
     /// Validates structural constraints that don't need the data.
@@ -346,8 +368,7 @@ impl FunctionCall {
                 self.kind.name()
             )));
         }
-        if self.ignore_nulls
-            && !matches!(self.kind, FirstValue | LastValue | NthValue | Lead | Lag)
+        if self.ignore_nulls && !matches!(self.kind, FirstValue | LastValue | NthValue | Lead | Lag)
         {
             return Err(Error::InvalidArgument(format!(
                 "{}: IGNORE NULLS only applies to value functions",
@@ -428,9 +449,7 @@ mod tests {
     fn validation_rejects_bad_shapes() {
         assert!(FunctionCall::new(FuncKind::CountStar, vec![col("x")]).validate().is_err());
         assert!(FunctionCall::new(FuncKind::Sum, vec![]).validate().is_err());
-        assert!(FunctionCall::new(FuncKind::PercentileDisc, vec![lit(0.5)])
-            .validate()
-            .is_err()); // missing ORDER BY
+        assert!(FunctionCall::new(FuncKind::PercentileDisc, vec![lit(0.5)]).validate().is_err()); // missing ORDER BY
         assert!(FunctionCall::rank(vec![]).distinct().validate().is_err());
         assert!(FunctionCall::rank(vec![]).ignore_nulls().validate().is_err());
         assert!(FunctionCall::first_value(col("x")).ignore_nulls().validate().is_ok());

@@ -95,10 +95,7 @@ mod tests {
 
     #[test]
     fn rejects_ragged_columns() {
-        let r = Table::new(vec![
-            ("a", Column::ints(vec![1, 2, 3])),
-            ("b", Column::ints(vec![1])),
-        ]);
+        let r = Table::new(vec![("a", Column::ints(vec![1, 2, 3])), ("b", Column::ints(vec![1]))]);
         assert!(matches!(r, Err(Error::LengthMismatch { expected: 3, got: 1 })));
     }
 

@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn date_roundtrip() {
-        for &(y, m, d) in
-            &[(1970, 1, 1), (1992, 1, 2), (1998, 12, 31), (2000, 2, 29), (1900, 3, 1)]
+        for &(y, m, d) in &[(1970, 1, 1), (1992, 1, 2), (1998, 12, 31), (2000, 2, 29), (1900, 3, 1)]
         {
             let days = ymd_to_days(y, m, d);
             assert_eq!(days_to_ymd(days), (y, m, d), "{y}-{m}-{d}");

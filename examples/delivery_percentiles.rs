@@ -38,7 +38,10 @@ fn main() -> holistic_windows::window::Result<()> {
     let mut rows: Vec<usize> = (0..table.num_rows()).collect();
     let ship = table.column("l_shipdate")?;
     rows.sort_by_key(|&i| ship.get(i).as_i64());
-    println!("{:<12} {:>15} {:>16} {:>15}", "shipdate", "orders_in_week", "p99_delivery_days", "median");
+    println!(
+        "{:<12} {:>15} {:>16} {:>15}",
+        "shipdate", "orders_in_week", "p99_delivery_days", "median"
+    );
     for &i in rows.iter().step_by(n / 20) {
         println!(
             "{:<12} {:>15} {:>16} {:>15}",

@@ -22,12 +22,9 @@ fn main() -> holistic_windows::window::Result<()> {
     let table = stock_orders(10_000, 7);
 
     let out = WindowQuery::over(
-        WindowSpec::new()
-            .order_by(vec![SortKey::asc(col("placement_time"))])
-            .frame(FrameSpec::range(
-                FrameBound::CurrentRow,
-                FrameBound::Following(col("good_for")),
-            )),
+        WindowSpec::new().order_by(vec![SortKey::asc(col("placement_time"))]).frame(
+            FrameSpec::range(FrameBound::CurrentRow, FrameBound::Following(col("good_for"))),
+        ),
     )
     .call(FunctionCall::median(col("price")).named("median_while_valid"))
     .call(FunctionCall::count_star().named("competing_orders"))
@@ -35,7 +32,10 @@ fn main() -> holistic_windows::window::Result<()> {
 
     let mut above = 0usize;
     let mut below_eq = 0usize;
-    println!("{:>6} {:>8} {:>9} | {:>18} {:>16} favorable?", "time", "price", "good_for", "median_while_valid", "competing_orders");
+    println!(
+        "{:>6} {:>8} {:>9} | {:>18} {:>16} favorable?",
+        "time", "price", "good_for", "median_while_valid", "competing_orders"
+    );
     for i in 0..table.num_rows() {
         let price = table.column("price")?.get(i).as_i64().unwrap();
         let med = out.column("median_while_valid")?.get(i).as_i64().unwrap();

@@ -34,11 +34,13 @@ fn main() -> holistic_windows::window::Result<()> {
         .call(FunctionCall::rank(by_tps_desc()).named("rank_at_submission"))
         .call(FunctionCall::first_value(col("tps")).order_by(by_tps_desc()).named("best_tps"))
         .call(
-            FunctionCall::first_value(col("dbsystem"))
-                .order_by(by_tps_desc())
-                .named("best_system"),
+            FunctionCall::first_value(col("dbsystem")).order_by(by_tps_desc()).named("best_system"),
         )
-        .call(FunctionCall::lead(col("tps"), 1, lit(Value::Null)).order_by(by_tps_desc()).named("next_best_tps"))
+        .call(
+            FunctionCall::lead(col("tps"), 1, lit(Value::Null))
+                .order_by(by_tps_desc())
+                .named("next_best_tps"),
+        )
         .call(
             FunctionCall::lead(col("dbsystem"), 1, lit(Value::Null))
                 .order_by(by_tps_desc())
@@ -48,8 +50,15 @@ fn main() -> holistic_windows::window::Result<()> {
 
     println!(
         "{:<12} {:>12} {:>8} | {:>11} {:>5} {:>9} {:>12} {:>13} {:>16}",
-        "date", "dbsystem", "tps", "competitors", "rank", "best_tps", "best_system",
-        "next_best_tps", "next_best_system"
+        "date",
+        "dbsystem",
+        "tps",
+        "competitors",
+        "rank",
+        "best_tps",
+        "best_system",
+        "next_best_tps",
+        "next_best_system"
     );
     for i in 0..table.num_rows() {
         println!(

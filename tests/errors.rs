@@ -24,11 +24,9 @@ fn unknown_column_in_every_position() {
         run(base(), FunctionCall::sum(col("zzz"))),
         Err(Error::UnknownColumn(c)) if c == "zzz"
     ));
-    assert!(run(
-        WindowSpec::new().partition_by(vec![col("nope")]),
-        FunctionCall::count_star()
-    )
-    .is_err());
+    assert!(
+        run(WindowSpec::new().partition_by(vec![col("nope")]), FunctionCall::count_star()).is_err()
+    );
     assert!(run(
         WindowSpec::new().order_by(vec![SortKey::asc(col("nope"))]),
         FunctionCall::count_star()
@@ -55,9 +53,8 @@ fn range_frame_restrictions() {
         .frame(FrameSpec::range(FrameBound::Preceding(lit(1i64)), FrameBound::CurrentRow));
     assert!(matches!(run(spec, FunctionCall::count_star()), Err(Error::Unsupported(_))));
     // RANGE without offsets is fine for any key.
-    let spec = WindowSpec::new()
-        .order_by(vec![SortKey::asc(col("s"))])
-        .frame(FrameSpec::default_frame());
+    let spec =
+        WindowSpec::new().order_by(vec![SortKey::asc(col("s"))]).frame(FrameSpec::default_frame());
     assert!(run(spec, FunctionCall::count_star()).is_ok());
 }
 
@@ -65,22 +62,24 @@ fn range_frame_restrictions() {
 fn invalid_frame_bounds() {
     let base = || WindowSpec::new().order_by(vec![SortKey::asc(col("a"))]);
     // Negative offset.
-    let spec = base().frame(FrameSpec::rows(FrameBound::Preceding(lit(-1i64)), FrameBound::CurrentRow));
+    let spec =
+        base().frame(FrameSpec::rows(FrameBound::Preceding(lit(-1i64)), FrameBound::CurrentRow));
     assert!(matches!(run(spec, FunctionCall::count_star()), Err(Error::InvalidFrameBound(_))));
     // NULL offset.
-    let spec = base().frame(FrameSpec::rows(
-        FrameBound::Preceding(lit(Value::Null)),
-        FrameBound::CurrentRow,
-    ));
+    let spec = base()
+        .frame(FrameSpec::rows(FrameBound::Preceding(lit(Value::Null)), FrameBound::CurrentRow));
     assert!(matches!(run(spec, FunctionCall::count_star()), Err(Error::InvalidFrameBound(_))));
     // UNBOUNDED FOLLOWING as a start bound.
-    let spec = base().frame(FrameSpec::rows(FrameBound::UnboundedFollowing, FrameBound::CurrentRow));
+    let spec =
+        base().frame(FrameSpec::rows(FrameBound::UnboundedFollowing, FrameBound::CurrentRow));
     assert!(run(spec, FunctionCall::count_star()).is_err());
     // UNBOUNDED PRECEDING as an end bound.
-    let spec = base().frame(FrameSpec::rows(FrameBound::CurrentRow, FrameBound::UnboundedPreceding));
+    let spec =
+        base().frame(FrameSpec::rows(FrameBound::CurrentRow, FrameBound::UnboundedPreceding));
     assert!(run(spec, FunctionCall::count_star()).is_err());
     // String offset.
-    let spec = base().frame(FrameSpec::rows(FrameBound::Preceding(col("s")), FrameBound::CurrentRow));
+    let spec =
+        base().frame(FrameSpec::rows(FrameBound::Preceding(col("s")), FrameBound::CurrentRow));
     assert!(matches!(run(spec, FunctionCall::count_star()), Err(Error::InvalidFrameBound(_))));
 }
 
@@ -88,10 +87,7 @@ fn invalid_frame_bounds() {
 fn function_argument_validation() {
     let base = || WindowSpec::new().order_by(vec![SortKey::asc(col("a"))]);
     // SUM over strings.
-    assert!(matches!(
-        run(base(), FunctionCall::sum(col("s"))),
-        Err(Error::TypeMismatch { .. })
-    ));
+    assert!(matches!(run(base(), FunctionCall::sum(col("s"))), Err(Error::TypeMismatch { .. })));
     // SUM(DISTINCT) over strings.
     assert!(run(base(), FunctionCall::sum_distinct(col("s"))).is_err());
     // percentile fraction out of range.
@@ -130,9 +126,6 @@ fn errors_do_not_depend_on_parallelism() {
 
 #[test]
 fn ragged_table_rejected_at_construction() {
-    let r = Table::new(vec![
-        ("a", Column::ints(vec![1, 2])),
-        ("b", Column::ints(vec![1])),
-    ]);
+    let r = Table::new(vec![("a", Column::ints(vec![1, 2])), ("b", Column::ints(vec![1]))]);
     assert!(matches!(r, Err(Error::LengthMismatch { .. })));
 }

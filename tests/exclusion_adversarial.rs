@@ -46,11 +46,7 @@ fn single_giant_peer_group() {
     let n = 200;
     let mut rng = StdRng::seed_from_u64(1);
     let v: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
-    let t = Table::new(vec![
-        ("k", Column::ints(vec![7; n])),
-        ("v", Column::ints(v)),
-    ])
-    .unwrap();
+    let t = Table::new(vec![("k", Column::ints(vec![7; n])), ("v", Column::ints(v))]).unwrap();
     for excl in [FrameExclusion::CurrentRow, FrameExclusion::Group, FrameExclusion::Ties] {
         let spec = WindowSpec::new()
             .order_by(vec![SortKey::asc(col("k"))])
@@ -76,8 +72,7 @@ fn hole_only_values_are_corrected() {
             FrameSpec::range(FrameBound::Preceding(lit(1i64)), FrameBound::Following(lit(1i64)))
                 .exclude(excl),
         ] {
-            let spec =
-                WindowSpec::new().order_by(vec![SortKey::asc(col("k"))]).frame(frame);
+            let spec = WindowSpec::new().order_by(vec![SortKey::asc(col("k"))]).frame(frame);
             check(&t, spec, distinct_calls());
         }
     }
@@ -108,9 +103,8 @@ fn exclusion_with_filter_and_nulls() {
     let mut rng = StdRng::seed_from_u64(3);
     let n = 250;
     let k: Vec<i64> = (0..n).map(|_| rng.gen_range(0..6)).collect();
-    let v: Vec<Option<i64>> = (0..n)
-        .map(|_| if rng.gen_bool(0.2) { None } else { Some(rng.gen_range(0..4)) })
-        .collect();
+    let v: Vec<Option<i64>> =
+        (0..n).map(|_| if rng.gen_bool(0.2) { None } else { Some(rng.gen_range(0..4)) }).collect();
     let f: Vec<i64> = (0..n).map(|_| rng.gen_range(0..3)).collect();
     let t = Table::new(vec![
         ("k", Column::ints(k)),
@@ -119,16 +113,12 @@ fn exclusion_with_filter_and_nulls() {
     ])
     .unwrap();
     for excl in [FrameExclusion::CurrentRow, FrameExclusion::Group, FrameExclusion::Ties] {
-        let spec = WindowSpec::new()
-            .order_by(vec![SortKey::asc(col("k"))])
-            .frame(
-                FrameSpec::rows(FrameBound::Preceding(lit(40i64)), FrameBound::Following(lit(40i64)))
-                    .exclude(excl),
-            );
-        let calls: Vec<FunctionCall> = distinct_calls()
-            .into_iter()
-            .map(|c| c.filter(col("f").ne(lit(0i64))))
-            .collect();
+        let spec = WindowSpec::new().order_by(vec![SortKey::asc(col("k"))]).frame(
+            FrameSpec::rows(FrameBound::Preceding(lit(40i64)), FrameBound::Following(lit(40i64)))
+                .exclude(excl),
+        );
+        let calls: Vec<FunctionCall> =
+            distinct_calls().into_iter().map(|c| c.filter(col("f").ne(lit(0i64)))).collect();
         check(&t, spec, calls);
     }
 }

@@ -87,10 +87,7 @@ fn groups_frames_with_holistic_functions() {
         vec![Value::Int(10), Value::Int(10), Value::Int(20), Value::Int(40), Value::Int(40)]
     );
     let cd: Vec<Value> = out.column("cd").unwrap().to_values();
-    assert_eq!(
-        cd,
-        vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(2), Value::Int(2)]
-    );
+    assert_eq!(cd, vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(2), Value::Int(2)]);
 }
 
 #[test]

@@ -10,7 +10,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_table(rng: &mut StdRng, n: usize) -> Table {
     let groups = ["x", "y", "z"];
-    let g: Vec<&str> = (0..n).map(|_| groups[rng.gen_range(0..3)]).collect();
+    let g: Vec<&str> = (0..n).map(|_| groups[rng.gen_range(0usize..3)]).collect();
     let k: Vec<Option<i64>> = (0..n)
         .map(|_| if rng.gen_bool(0.08) { None } else { Some(rng.gen_range(0..40)) })
         .collect();
@@ -164,9 +164,7 @@ fn all_calls(rng: &mut StdRng) -> Vec<FunctionCall> {
 
 fn values_close(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Float(x), Value::Float(y)) => {
-            (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
-        }
+        (Value::Float(x), Value::Float(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
         (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
             (*x - *y as f64).abs() <= 1e-9
         }

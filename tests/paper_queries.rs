@@ -74,7 +74,11 @@ fn tpcc_leaderboard_semantics() {
         .call(FunctionCall::rank(by_tps()).named("rank"))
         .call(FunctionCall::first_value(col("tps")).order_by(by_tps()).named("best_tps"))
         .call(FunctionCall::first_value(col("dbsystem")).order_by(by_tps()).named("best_sys"))
-        .call(FunctionCall::lead(col("tps"), 1, lit(Value::Null)).order_by(by_tps()).named("next_tps"))
+        .call(
+            FunctionCall::lead(col("tps"), 1, lit(Value::Null))
+                .order_by(by_tps())
+                .named("next_tps"),
+        )
         .execute(&t)
         .unwrap();
 
@@ -112,9 +116,9 @@ fn stock_orders_median_over_validity() {
     ])
     .unwrap();
     let out = WindowQuery::over(
-        WindowSpec::new()
-            .order_by(vec![SortKey::asc(col("placement_time"))])
-            .frame(FrameSpec::range(FrameBound::CurrentRow, FrameBound::Following(col("good_for")))),
+        WindowSpec::new().order_by(vec![SortKey::asc(col("placement_time"))]).frame(
+            FrameSpec::range(FrameBound::CurrentRow, FrameBound::Following(col("good_for"))),
+        ),
     )
     .call(FunctionCall::median(col("price")).named("med"))
     .execute(&t)
@@ -134,12 +138,10 @@ fn stock_orders_median_over_validity() {
 fn frame_idioms() {
     let t = Table::new(vec![("x", Column::ints(vec![5, 3, 9, 1]))]).unwrap();
     let out = WindowQuery::over(
-        WindowSpec::new()
-            .order_by(vec![SortKey::asc(col("x"))])
-            .frame(
-                FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing)
-                    .exclude(FrameExclusion::CurrentRow),
-            ),
+        WindowSpec::new().order_by(vec![SortKey::asc(col("x"))]).frame(
+            FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing)
+                .exclude(FrameExclusion::CurrentRow),
+        ),
     )
     .call(FunctionCall::max(col("x")).named("max_of_others"))
     .execute(&t)
@@ -166,18 +168,13 @@ fn filtered_rank() {
         ("pos", Column::ints(vec![0, 1, 2, 3])),
     ])
     .unwrap();
-    let out = WindowQuery::over(
-        WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]).frame(
+    let out =
+        WindowQuery::over(WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]).frame(
             FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::UnboundedFollowing),
-        ),
-    )
-    .call(
-        FunctionCall::rank(vec![SortKey::asc(col("a"))])
-            .filter(col("is_active"))
-            .named("r"),
-    )
-    .execute(&t)
-    .unwrap();
+        ))
+        .call(FunctionCall::rank(vec![SortKey::asc(col("a"))]).filter(col("is_active")).named("r"))
+        .execute(&t)
+        .unwrap();
     // Active rows: 10, 30, 40. Ranks against those: 10→1, 20→2 (one active
     // smaller), 30→2, 40→3.
     let r: Vec<i64> =
@@ -199,9 +196,9 @@ fn ignore_nulls_first_value() {
             call = call.ignore_nulls();
         }
         WindowQuery::over(
-            WindowSpec::new().order_by(vec![SortKey::asc(col("pos"))]).frame(
-                FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow),
-            ),
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("pos"))])
+                .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
         )
         .call(call)
         .execute(&t)

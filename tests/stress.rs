@@ -22,11 +22,7 @@ fn prepare(seed: u64, w: i64) -> Prepared {
     let mut rng = StdRng::seed_from_u64(seed);
     let key: Vec<i64> = (0..N).map(|_| rng.gen_range(0..1_000_000)).collect();
     let val: Vec<i64> = (0..N).map(|_| rng.gen_range(0..5_000)).collect();
-    let table = Table::new(vec![
-        ("k", Column::ints(key)),
-        ("v", Column::ints(val)),
-    ])
-    .unwrap();
+    let table = Table::new(vec![("k", Column::ints(key)), ("v", Column::ints(val))]).unwrap();
     let kc = KeyColumns::evaluate(&table, &[SortKey::asc(col("k"))]).unwrap();
     let mut rows: Vec<usize> = (0..N).collect();
     sort_permutation(&kc, &mut rows, true);
@@ -37,9 +33,7 @@ fn prepare(seed: u64, w: i64) -> Prepared {
 
 fn frame_values(p: &Prepared, pos: usize) -> Vec<i64> {
     let (a, b) = p.bounds[pos];
-    (a..b)
-        .map(|q| p.table.column("v").unwrap().get(p.rows[q]).as_i64().unwrap())
-        .collect()
+    (a..b).map(|q| p.table.column("v").unwrap().get(p.rows[q]).as_i64().unwrap()).collect()
 }
 
 #[test]
@@ -61,11 +55,7 @@ fn large_median_spot_check() {
         let mut fv = frame_values(&p, pos);
         fv.sort_unstable();
         let j = ((0.5 * fv.len() as f64).ceil() as usize).clamp(1, fv.len());
-        assert_eq!(
-            out.column("med").unwrap().get(row).as_i64().unwrap(),
-            fv[j - 1],
-            "pos {pos}"
-        );
+        assert_eq!(out.column("med").unwrap().get(row).as_i64().unwrap(), fv[j - 1], "pos {pos}");
     }
 }
 
@@ -138,11 +128,7 @@ fn serial_equals_parallel_at_scale() {
     for _ in 0..SPOT * 10 {
         let row = rng.gen_range(0..N);
         for name in ["med", "cd"] {
-            assert!(a
-                .column(name)
-                .unwrap()
-                .get(row)
-                .sql_eq(&b.column(name).unwrap().get(row)));
+            assert!(a.column(name).unwrap().get(row).sql_eq(&b.column(name).unwrap().get(row)));
         }
     }
 }
