@@ -16,4 +16,8 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private identity)"
+N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json
+N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext
+
 echo "CI OK"

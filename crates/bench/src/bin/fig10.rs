@@ -15,13 +15,23 @@
 //! operations are skipped to keep runtimes sane.
 
 use holistic_baselines::{incremental, taskpar};
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
 use holistic_bench::{algos, env_usize, mtps, time_once};
 use holistic_core::MstParams;
 
+/// Converts a throughput in Mtuples/s into ns per row for the JSON record.
+fn push(records: &mut Vec<BenchRecord>, func: &str, n: usize, algo: &str, mtps: Option<f64>) {
+    if let Some(m) = mtps {
+        records.push(BenchRecord::new(func, n, algo, 1000.0 / m));
+    }
+}
+
 fn main() {
     let n_max = env_usize("N_MAX", 400_000);
     let work_cap = env_usize("WORK_CAP", 2_000_000_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records = Vec::new();
     let task = taskpar::HYPER_TASK_SIZE;
     let mut sizes = vec![20_000usize, 50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000];
     sizes.retain(|&n| n <= n_max);
@@ -69,6 +79,15 @@ fn main() {
             fmt(inc_serial),
             fmt(naive)
         );
+        for (algo, m) in [
+            ("mst", mst),
+            ("ostree", ost),
+            ("incremental", inc),
+            ("incr-serial", inc_serial),
+            ("naive", naive),
+        ] {
+            push(&mut records, "median", n, algo, m);
+        }
 
         // ---- rank ----
         let (_, d) = time_once(|| algos::mst_rank(vals, &frames, MstParams::default()));
@@ -91,6 +110,9 @@ fn main() {
             "n/a",
             fmt(naive)
         );
+        for (algo, m) in [("mst", mst), ("ostree", ost), ("naive", naive)] {
+            push(&mut records, "rank", n, algo, m);
+        }
 
         // ---- lead ----
         let (_, d) = time_once(|| algos::mst_lead(vals, &frames, MstParams::default()));
@@ -109,6 +131,9 @@ fn main() {
             "n/a",
             fmt(naive)
         );
+        for (algo, m) in [("mst", mst), ("naive", naive)] {
+            push(&mut records, "lead", n, algo, m);
+        }
 
         // ---- distinct count ----
         let (_, d) = time_once(|| algos::mst_distinct_count(hashes, &frames, MstParams::default()));
@@ -135,6 +160,16 @@ fn main() {
             fmt(inc_serial),
             fmt(naive)
         );
+        for (algo, m) in
+            [("mst", mst), ("incremental", inc), ("incr-serial", inc_serial), ("naive", naive)]
+        {
+            push(&mut records, "distinct", n, algo, m);
+        }
+    }
+
+    if emit_json {
+        let path = json::write("fig10", &records).unwrap();
+        println!("# wrote {}", path.display());
     }
 }
 

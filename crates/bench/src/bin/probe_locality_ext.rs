@@ -1,0 +1,181 @@
+//! Supplementary experiment: cursor-carrying MST probes vs. stateless
+//! probes (DESIGN.md §3.1).
+//!
+//! The paper's probe phase answers every frame independently with O(log n)
+//! cascaded binary searches. Real frames are overwhelmingly *monotonic*:
+//! consecutive rows probe nearly-identical boundaries, so a cursor that
+//! memoizes the previous row's per-level positions and gallops from them
+//! turns the descent into amortized O(1) per level. This binary measures
+//! that on three holistic families — framed median, framed rank, and
+//! framed COUNT(DISTINCT) — under a monotonic ROWS frame, a monotonic
+//! RANGE frame, and a Fig.-12-style jittered (non-monotonic) ROWS frame.
+//!
+//! Both configurations run serially (`ExecOptions::serial()` vs.
+//! `.stateless_probes()`) so the comparison isolates the probe kernel, and
+//! results are asserted bit-identical before any timing. Human-readable
+//! table always; `--json` additionally writes
+//! `bench_results/BENCH_probe_locality_ext.json`.
+
+use holistic_bench::json::{self, BenchRecord};
+use holistic_bench::{env_usize, time_best};
+use holistic_tpch::lineitem;
+use holistic_window::frame::{FrameBound, FrameSpec};
+use holistic_window::{
+    col, lit, Column, ExecOptions, ExecProfile, FunctionCall, SortKey, Table, WindowQuery,
+    WindowSpec,
+};
+
+/// One frame shape under test.
+struct Workload {
+    name: &'static str,
+    spec: WindowSpec,
+}
+
+fn workloads(w: i64) -> Vec<Workload> {
+    let by_date_pos = || vec![SortKey::asc(col("date")), SortKey::asc(col("pos"))];
+    vec![
+        // Classic trailing window: both bounds advance by one row per row.
+        Workload {
+            name: "rows_monotonic",
+            spec: WindowSpec::new()
+                .order_by(by_date_pos())
+                .frame(FrameSpec::rows(FrameBound::Preceding(lit(w - 1)), FrameBound::CurrentRow)),
+        },
+        // Value-based frame over the date key: bounds advance with the key.
+        Workload {
+            name: "range_monotonic",
+            spec: WindowSpec::new().order_by(vec![SortKey::asc(col("date"))]).frame(
+                FrameSpec::range(
+                    FrameBound::Preceding(lit(30i64)),
+                    FrameBound::Following(lit(30i64)),
+                ),
+            ),
+        },
+        // Fig. 12 (§6.5) jitter at full amplitude: a ~500-row frame whose
+        // placement jumps pseudo-randomly, defeating probe locality.
+        Workload {
+            name: "rows_jitter",
+            spec: WindowSpec::new().order_by(by_date_pos()).frame(FrameSpec::rows(
+                FrameBound::Preceding(col("ja")),
+                FrameBound::Following(col("jb")),
+            )),
+        },
+    ]
+}
+
+fn calls() -> Vec<(&'static str, FunctionCall)> {
+    vec![
+        ("median", FunctionCall::median(col("price")).named("out")),
+        ("rank", FunctionCall::rank(vec![SortKey::asc(col("price"))]).named("out")),
+        ("distinct", FunctionCall::count_distinct(col("part")).named("out")),
+    ]
+}
+
+/// Best-of-`reps` by probe-phase time, keeping that run's full profile.
+fn best_probe_profile(
+    q: &WindowQuery,
+    table: &Table,
+    opts: ExecOptions,
+    reps: usize,
+) -> ExecProfile {
+    let (profile, _) = time_best(reps, || q.execute_profiled(table, opts).unwrap().1);
+    profile
+}
+
+fn record(workload: &str, n: usize, algorithm: &str, call: &str, p: &ExecProfile) -> BenchRecord {
+    let k = &p.probe_kernel;
+    BenchRecord::new(
+        &format!("{workload}/{call}"),
+        n,
+        algorithm,
+        p.probe.as_nanos() as f64 / n as f64,
+    )
+    .with("cursor_probes", k.cursor_probes as f64)
+    .with("stateless_probes", k.stateless_probes as f64)
+    .with("gallop_seeded", k.gallop_seeded as f64)
+    .with("gallop_steps", k.gallop_steps as f64)
+    .with("full_searches", k.full_searches as f64)
+    .with("level_resets", k.level_resets as f64)
+}
+
+fn main() {
+    let n = env_usize("N", 100_000);
+    let w = env_usize("W", 500).max(1) as i64;
+    let reps = env_usize("REPS", 3);
+    let emit_json = std::env::args().any(|a| a == "--json");
+
+    let li = lineitem(n, 42);
+    // Fig. 12's jitter function at amplitude m = 1: frames stay ~500 rows
+    // wide but their placement jumps with the (pseudo-random) price.
+    let ja: Vec<i64> = li.extendedprice.iter().map(|&p| (p * 7703).rem_euclid(499)).collect();
+    let jb: Vec<i64> = ja.iter().map(|&a| 499 - a).collect();
+    let table = Table::new(vec![
+        ("date", Column::ints(li.shipdate.iter().map(|&d| d as i64).collect())),
+        ("pos", Column::ints((0..n as i64).collect())),
+        ("price", Column::ints(li.extendedprice.clone())),
+        ("part", Column::ints(li.partkey.clone())),
+        ("ja", Column::ints(ja)),
+        ("jb", Column::ints(jb)),
+    ])
+    .unwrap();
+
+    let cursor_opts = ExecOptions::serial();
+    let stateless_opts = ExecOptions::serial().stateless_probes();
+
+    println!("# probe_locality_ext: probe-phase ns/row, cursor vs stateless probes, n={n} w={w}");
+    println!(
+        "{:<16} {:<9} | {:>10} {:>10} {:>8} | {:>12} {:>12} {:>12}",
+        "workload",
+        "call",
+        "cursor",
+        "stateless",
+        "speedup",
+        "gallop_seed",
+        "gallop_steps",
+        "resets"
+    );
+
+    let mut records = Vec::new();
+    for wl in workloads(w) {
+        for (call_name, call) in calls() {
+            let q = WindowQuery::over(wl.spec.clone()).call(call);
+
+            // Correctness gate: cursor and stateless probes must agree on
+            // every output value before anything is timed.
+            let (cur_out, _) = q.execute_profiled(&table, cursor_opts).unwrap();
+            let (stl_out, _) = q.execute_profiled(&table, stateless_opts).unwrap();
+            assert_eq!(
+                cur_out.column("out").unwrap().to_values(),
+                stl_out.column("out").unwrap().to_values(),
+                "cursor/stateless outputs differ: {} {}",
+                wl.name,
+                call_name
+            );
+
+            let cur_p = best_probe_profile(&q, &table, cursor_opts, reps);
+            let stl_p = best_probe_profile(&q, &table, stateless_opts, reps);
+            let cur_ns = cur_p.probe.as_nanos() as f64 / n as f64;
+            let stl_ns = stl_p.probe.as_nanos() as f64 / n as f64;
+            println!(
+                "{:<16} {:<9} | {:>10.1} {:>10.1} {:>8.3} | {:>12} {:>12} {:>12}",
+                wl.name,
+                call_name,
+                cur_ns,
+                stl_ns,
+                stl_ns / cur_ns,
+                cur_p.probe_kernel.gallop_seeded,
+                cur_p.probe_kernel.gallop_steps,
+                cur_p.probe_kernel.level_resets,
+            );
+
+            records.push(record(wl.name, n, "cursor", call_name, &cur_p));
+            records.push(record(wl.name, n, "stateless", call_name, &stl_p));
+        }
+    }
+    println!("# (cursor and stateless outputs verified identical on every cell)");
+
+    if emit_json {
+        let path = json::write("probe_locality_ext", &records).unwrap();
+        println!("# wrote {}", path.display());
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine-readable bench output: `--json` mode for the figure binaries.
+//!
+//! Each run writes `bench_results/BENCH_<name>.json` — a JSON array of
+//! records, one per (workload, n, algorithm) cell, with the normalized
+//! per-row cost in nanoseconds plus free-form extra counters. The format is
+//! hand-rolled (the container carries no serde) but stable: CI and the
+//! experiment notes both consume it.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// One measured cell of a benchmark grid.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload label (e.g. `rows_monotonic`).
+    pub workload: String,
+    /// Input size in rows.
+    pub n: usize,
+    /// Algorithm / configuration label (e.g. `cursor`, `stateless`).
+    pub algorithm: String,
+    /// Normalized cost: nanoseconds of probe (or total) time per input row.
+    pub ns_per_row: f64,
+    /// Extra numeric fields appended verbatim (counter names must be
+    /// JSON-safe identifiers).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// A record with no extra counters.
+    pub fn new(workload: &str, n: usize, algorithm: &str, ns_per_row: f64) -> Self {
+        Self {
+            workload: workload.to_string(),
+            n,
+            algorithm: algorithm.to_string(),
+            ns_per_row,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Appends an extra numeric field.
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+}
+
+/// Escapes a string for a JSON string literal (labels are plain ASCII in
+/// practice; this keeps the writer safe regardless).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 so the output is valid JSON (no NaN/inf literals).
+fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes records to a JSON array string.
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"workload\":\"{}\",\"n\":{},\"algorithm\":\"{}\",\"ns_per_row\":{}",
+            escape(&r.workload),
+            r.n,
+            escape(&r.algorithm),
+            number(r.ns_per_row),
+        ));
+        for (k, v) in &r.extra {
+            out.push_str(&format!(",\"{}\":{}", escape(k), number(*v)));
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Writes `bench_results/BENCH_<name>.json` relative to the current
+/// directory and returns the path.
+pub fn write(name: &str, records: &[BenchRecord]) -> io::Result<PathBuf> {
+    let dir = PathBuf::from("bench_results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    fs::write(&path, to_json(records))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_serialize_to_valid_json_shape() {
+        let recs = vec![
+            BenchRecord::new("rows_monotonic", 1000, "cursor", 12.5).with("gallop_seeded", 42.0),
+            BenchRecord::new("rows_jitter", 1000, "stateless", f64::NAN),
+        ];
+        let s = to_json(&recs);
+        assert!(s.starts_with("[\n"));
+        assert!(s.trim_end().ends_with(']'));
+        assert!(s.contains("\"workload\":\"rows_monotonic\""));
+        assert!(s.contains("\"gallop_seeded\":42.000"));
+        assert!(s.contains("\"ns_per_row\":null"));
+        // Exactly one comma between the two records.
+        assert_eq!(s.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

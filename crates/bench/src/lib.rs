@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algos;
+pub mod json;
 pub mod workloads;
 
 use std::time::{Duration, Instant};

@@ -9,6 +9,7 @@
 //! states — O(log n) per output row.
 
 use crate::aggregate::DistinctAggregate;
+use crate::cursor::ProbeCursor;
 use crate::index::TreeIndex;
 use crate::mst::{build_levels, Level, MergeSortTree};
 use crate::params::MstParams;
@@ -110,6 +111,51 @@ impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
             let (s, c) = self.aggregate_below(a, b, t);
             state = A::combine(state, s);
             count += c;
+        }
+        (state, count)
+    }
+
+    /// Cursor-seeded [`Self::aggregate_below`]. The decomposition's visit
+    /// order is preserved, so the combine order — and therefore the result,
+    /// even for floating-point states — is bit-identical to the stateless
+    /// path.
+    pub fn aggregate_below_with_cursor(
+        &self,
+        a: usize,
+        b: usize,
+        t: I,
+        cur: &mut ProbeCursor,
+    ) -> (A::State, usize) {
+        let mut state = A::identity();
+        let mut count = 0usize;
+        self.tree.decompose_below_cursor(a, b, t, 0, cur, |level, run_start, pos| {
+            if pos > 0 {
+                state = A::combine(state, self.prefix[level][run_start + pos - 1]);
+                count += pos;
+            }
+        });
+        (state, count)
+    }
+
+    /// Cursor-seeded [`Self::aggregate_below_multi`]; each piece keeps its
+    /// own memo slot.
+    pub fn aggregate_below_multi_with_cursor(
+        &self,
+        ranges: &RangeSet,
+        t: I,
+        cur: &mut ProbeCursor,
+    ) -> (A::State, usize) {
+        let mut state = A::identity();
+        let mut count = 0usize;
+        for (ri, (a, b)) in ranges.iter().enumerate() {
+            let mut piece = A::identity();
+            self.tree.decompose_below_cursor(a, b, t, ri, cur, |level, run_start, pos| {
+                if pos > 0 {
+                    piece = A::combine(piece, self.prefix[level][run_start + pos - 1]);
+                    count += pos;
+                }
+            });
+            state = A::combine(state, piece);
         }
         (state, count)
     }
@@ -235,6 +281,39 @@ mod tests {
         let (s, cnt) = tree.aggregate_below_multi(&rs, 1);
         assert_eq!(SumI64::finish(s), 5 + 6 + 9 + 10);
         assert_eq!(cnt, 4);
+    }
+
+    #[test]
+    fn cursor_aggregate_bit_identical_including_floats() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let n = 257usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-8..8) as f64 / 3.0).collect();
+        let keys: Vec<i64> = values.iter().map(|v| v.to_bits() as i64).collect();
+        let prev = shifted_prev(&keys);
+        let tree = AnnotatedMst::<u32, AvgF64>::build(&prev, &values, MstParams::new(4, 4));
+        let mut cur = ProbeCursor::new();
+        for i in 0..n {
+            let a = i.saturating_sub(13);
+            let b = (i + 9).min(n);
+            let (s0, c0) = tree.aggregate_below(a, b, a as u32 + 1);
+            let (s1, c1) = tree.aggregate_below_with_cursor(a, b, a as u32 + 1, &mut cur);
+            // Exact equality of the float state proves combine-order
+            // preservation, not just numeric closeness.
+            assert_eq!(AvgF64::finish(s0).map(f64::to_bits), AvgF64::finish(s1).map(f64::to_bits));
+            assert_eq!(c0, c1);
+        }
+        // Non-monotonic jumps stay bit-identical too.
+        for _ in 0..200 {
+            let a = rng.gen_range(0..=n);
+            let b = rng.gen_range(0..=n);
+            let rs = RangeSet::frame_minus_holes(a.min(b), b.max(a), &[(a, a + 2)]);
+            let (s0, c0) = tree.aggregate_below_multi(&rs, a.min(b) as u32 + 1);
+            let (s1, c1) =
+                tree.aggregate_below_multi_with_cursor(&rs, a.min(b) as u32 + 1, &mut cur);
+            assert_eq!(AvgF64::finish(s0).map(f64::to_bits), AvgF64::finish(s1).map(f64::to_bits));
+            assert_eq!(c0, c1);
+        }
+        assert!(cur.stats.gallop_seeded > 0);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Probe cursors: amortized O(1) merge-sort-tree descents for monotonic
+//! frame sequences.
+//!
+//! The evaluators of `holistic-window` issue one tree probe per output row.
+//! For the dominant workloads (`ROWS BETWEEN x PRECEDING AND y FOLLOWING`,
+//! RANGE frames over a sorted key) consecutive probes move the frame
+//! boundaries and the threshold forward by a handful of positions, yet a
+//! stateless probe re-runs a full top-level binary search over all `n`
+//! elements plus a cascaded descent from scratch. A [`ProbeCursor`] memoizes
+//! the previous probe's per-level lower-bound positions along the two
+//! boundary descent paths and re-seeds each search with a **galloping
+//! (exponential) search** from the memoized position: moving a position by
+//! `Δ` costs O(log Δ) instead of O(log n), so a monotonic pass over the
+//! partition costs O(n) per level in total — amortized O(1) per probe per
+//! level, exactly like a merge pass. Non-monotonic jumps degrade
+//! gracefully: galloping within a run is never worse than ~2× a full binary
+//! search, and a memo pointing into a *different* run falls back to the
+//! unchanged sampled-cascading refinement (counted as a reset).
+//!
+//! Correctness does not depend on monotonicity: a galloping lower-bound
+//! search returns *exactly* the same position as `slice::partition_point`,
+//! so cursor-based probes are bit-identical to stateless probes on every
+//! input — the cursor only changes the constant factor. The visit order of
+//! the underlying range decomposition is also preserved, so even
+//! non-associative-rounding aggregates (`SUM(DISTINCT)` over floats) stay
+//! bit-identical.
+
+use crate::index::TreeIndex;
+use crate::range_set::MAX_RANGES;
+
+/// Probe-kernel counters accumulated by a cursor over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CursorStats {
+    /// Probe primitives that ran through an enabled cursor.
+    pub cursor_probes: u64,
+    /// Probe primitives that ran through a disabled cursor (the stateless
+    /// fallback kept behind `ProbeOptions`).
+    pub stateless_probes: u64,
+    /// Searches answered by galloping from a memoized position.
+    pub gallop_seeded: u64,
+    /// Total galloping steps taken across all seeded searches.
+    pub gallop_steps: u64,
+    /// Full binary searches (no usable memo yet).
+    pub full_searches: u64,
+    /// Per-level memo misses: the memo pointed into a different run and the
+    /// descent fell back to the standard cascaded refinement.
+    pub level_resets: u64,
+}
+
+impl CursorStats {
+    /// Accumulates another counter set into `self`.
+    pub fn merge_from(&mut self, o: &CursorStats) {
+        self.cursor_probes += o.cursor_probes;
+        self.stateless_probes += o.stateless_probes;
+        self.gallop_seeded += o.gallop_seeded;
+        self.gallop_steps += o.gallop_steps;
+        self.full_searches += o.full_searches;
+        self.level_resets += o.level_resets;
+    }
+}
+
+/// Lower bound (`partition_point`) by galloping outward from `seed`.
+///
+/// `below(x)` must be monotone over `data` (true-prefix), exactly like the
+/// predicate of `slice::partition_point`; the return value is identical to
+/// `data.partition_point(below)` for every `seed`. Cost is O(log Δ) where
+/// `Δ = |result - seed|`.
+pub(crate) fn gallop_partition_point<T>(
+    data: &[T],
+    seed: usize,
+    below: impl Fn(&T) -> bool,
+    steps: &mut u64,
+) -> usize {
+    let n = data.len();
+    let seed = seed.min(n);
+    let (lo, hi);
+    if seed < n && below(&data[seed]) {
+        // The boundary lies strictly right of the seed: probe seed + 1, 2, 4…
+        let mut off = 1usize;
+        loop {
+            let idx = seed + off;
+            if idx >= n || !below(&data[idx]) {
+                break;
+            }
+            *steps += 1;
+            off <<= 1;
+        }
+        lo = seed + (off >> 1) + 1;
+        hi = (seed + off).min(n);
+    } else {
+        // The boundary lies at or left of the seed: probe seed − 1, 2, 4…
+        let mut off = 1usize;
+        loop {
+            if off > seed || below(&data[seed - off]) {
+                break;
+            }
+            *steps += 1;
+            off <<= 1;
+        }
+        lo = if off > seed { 0 } else { seed - off + 1 };
+        hi = seed - (off >> 1);
+    }
+    debug_assert!(lo <= hi && hi <= n);
+    lo + data[lo..hi].partition_point(below)
+}
+
+/// One memoized per-level position: the lower bound of the last threshold
+/// within absolute child run `run`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LevelMemo {
+    pub(crate) run: usize,
+    pub(crate) pos: usize,
+}
+
+const INVALID: usize = usize::MAX;
+
+impl LevelMemo {
+    fn invalid() -> Self {
+        LevelMemo { run: INVALID, pos: 0 }
+    }
+}
+
+/// Which boundary descent path a per-level memo belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Side {
+    /// The path of the frame start `a` (also the shared joint path while
+    /// both boundaries fall into the same child).
+    Left,
+    /// The path of the frame end `b`.
+    Right,
+}
+
+/// Cursor for `count_below` / `aggregate_below` style probes on one
+/// `(tree, boundary stream)` pair.
+///
+/// Holds the shared top-level threshold memo plus, per frame piece (up to
+/// [`MAX_RANGES`]) and boundary side, one memoized `(run, pos)` per tree
+/// level. Construct one per tree and per probe loop (or per parallel probe
+/// chunk); never share a cursor across trees with different contents.
+#[derive(Debug, Clone)]
+pub struct ProbeCursor {
+    enabled: bool,
+    top_pos: usize,
+    top_valid: bool,
+    /// Number of memoized child levels (tree height − 1); sized lazily on
+    /// first use so a fresh cursor works with any tree.
+    levels: usize,
+    /// `[slot][side][level]`, flattened with stride `levels`.
+    memos: Vec<LevelMemo>,
+    /// Counters; drain via [`Self::stats`] or read directly.
+    pub stats: CursorStats,
+}
+
+impl Default for ProbeCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeCursor {
+    /// A fresh enabled cursor (memo storage grows on first probe).
+    pub fn new() -> Self {
+        ProbeCursor {
+            enabled: true,
+            top_pos: 0,
+            top_valid: false,
+            levels: 0,
+            memos: Vec::new(),
+            stats: CursorStats::default(),
+        }
+    }
+
+    /// A disabled cursor: every probe primitive takes the stateless path
+    /// (and counts as `stateless_probes`). Used to keep one code path in
+    /// probe loops while `ProbeOptions` toggles cursors off.
+    pub fn disabled() -> Self {
+        ProbeCursor { enabled: false, ..Self::new() }
+    }
+
+    /// Whether probes through this cursor use memoized positions.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Invalidates all memos (the next probe pays full searches again).
+    pub fn reset(&mut self) {
+        self.top_valid = false;
+        self.memos.fill(LevelMemo::invalid());
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Ensures memo storage for `levels` child levels, resetting on growth
+    /// (only happens when a cursor is reused against a taller tree).
+    pub(crate) fn ensure_levels(&mut self, levels: usize) {
+        if self.levels < levels {
+            self.levels = levels;
+            self.memos = vec![LevelMemo::invalid(); MAX_RANGES * 2 * levels];
+            self.top_valid = false;
+        }
+    }
+
+    /// Flat memo index for `(slot, side, level)`.
+    #[inline]
+    pub(crate) fn memo_index(&self, slot: usize, side: Side, level: usize) -> usize {
+        debug_assert!(slot < MAX_RANGES && level < self.levels);
+        let side = match side {
+            Side::Left => 0,
+            Side::Right => 1,
+        };
+        (slot * 2 + side) * self.levels + level
+    }
+
+    #[inline]
+    pub(crate) fn memo(&self, idx: usize) -> LevelMemo {
+        self.memos[idx]
+    }
+
+    #[inline]
+    pub(crate) fn set_memo(&mut self, idx: usize, run: usize, pos: usize) {
+        self.memos[idx] = LevelMemo { run, pos };
+    }
+
+    /// Top-level lower bound of `below` (a `partition_point` predicate),
+    /// galloping from the previous probe's position when available.
+    pub(crate) fn top_position<T>(&mut self, data: &[T], below: impl Fn(&T) -> bool) -> usize {
+        let pos = if self.top_valid {
+            self.stats.gallop_seeded += 1;
+            gallop_partition_point(data, self.top_pos, below, &mut self.stats.gallop_steps)
+        } else {
+            self.stats.full_searches += 1;
+            data.partition_point(below)
+        };
+        self.top_valid = true;
+        self.top_pos = pos;
+        pos
+    }
+}
+
+/// Cursor for `select` probes: memoizes the top-level positions of the per
+/// frame-piece value bounds (two per piece). The descent below the top level
+/// is already O(1) per level via sampled cascading and needs no memo.
+#[derive(Debug, Clone)]
+pub struct SelectCursor {
+    enabled: bool,
+    memos: [usize; MAX_RANGES * 2],
+    /// Counters; drain via [`Self::stats`] or read directly.
+    pub stats: CursorStats,
+}
+
+impl Default for SelectCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SelectCursor {
+    /// A fresh enabled cursor.
+    pub fn new() -> Self {
+        SelectCursor {
+            enabled: true,
+            memos: [INVALID; MAX_RANGES * 2],
+            stats: CursorStats::default(),
+        }
+    }
+
+    /// A disabled cursor (stateless fallback; see [`ProbeCursor::disabled`]).
+    pub fn disabled() -> Self {
+        SelectCursor { enabled: false, ..Self::new() }
+    }
+
+    /// Whether probes through this cursor use memoized positions.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Invalidates all memos.
+    pub fn reset(&mut self) {
+        self.memos = [INVALID; MAX_RANGES * 2];
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Top-level lower bound of value `key` in `data` for memo slot `slot`,
+    /// galloping from the previous position when available.
+    pub(crate) fn seek<I: TreeIndex>(&mut self, slot: usize, data: &[I], key: usize) -> usize {
+        let seed = self.memos[slot];
+        let pos = if seed == INVALID {
+            self.stats.full_searches += 1;
+            data.partition_point(|&x| x.to_usize() < key)
+        } else {
+            self.stats.gallop_seeded += 1;
+            gallop_partition_point(
+                data,
+                seed,
+                |&x| x.to_usize() < key,
+                &mut self.stats.gallop_steps,
+            )
+        };
+        self.memos[slot] = pos;
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn gallop_matches_partition_point_everywhere() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..120);
+            let mut data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..60)).collect();
+            data.sort_unstable();
+            for _ in 0..40 {
+                let t = rng.gen_range(0..65);
+                let seed = rng.gen_range(0..=(n as usize) + 3);
+                let mut steps = 0u64;
+                let got = gallop_partition_point(&data, seed, |&x| x < t, &mut steps);
+                assert_eq!(got, data.partition_point(|&x| x < t), "n={n} t={t} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_near_seed_is_cheap() {
+        let data: Vec<u32> = (0..1_000_000).collect();
+        // Moving the boundary by one position takes O(1) steps.
+        let mut steps = 0u64;
+        let p = gallop_partition_point(&data, 500_000, |&x| x < 500_001, &mut steps);
+        assert_eq!(p, 500_001);
+        assert!(steps <= 2, "steps = {steps}");
+        let mut steps = 0u64;
+        let p = gallop_partition_point(&data, 500_000, |&x| x < 499_999, &mut steps);
+        assert_eq!(p, 499_999);
+        assert!(steps <= 2, "steps = {steps}");
+    }
+
+    #[test]
+    fn disabled_cursors_report_disabled() {
+        assert!(!ProbeCursor::disabled().enabled());
+        assert!(!SelectCursor::disabled().enabled());
+        assert!(ProbeCursor::new().enabled());
+        assert!(SelectCursor::new().enabled());
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let a = CursorStats {
+            cursor_probes: 1,
+            stateless_probes: 2,
+            gallop_seeded: 3,
+            gallop_steps: 4,
+            full_searches: 5,
+            level_resets: 6,
+        };
+        let mut b = a;
+        b.merge_from(&a);
+        assert_eq!(b.cursor_probes, 2);
+        assert_eq!(b.level_resets, 12);
+    }
+
+    #[test]
+    fn select_cursor_seek_matches_partition_point() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut data: Vec<u32> = (0..500).map(|_| rng.gen_range(0..400)).collect();
+        data.sort_unstable();
+        let mut cur = SelectCursor::new();
+        for _ in 0..200 {
+            let key = rng.gen_range(0..420usize);
+            let slot = rng.gen_range(0..MAX_RANGES * 2);
+            assert_eq!(cur.seek(slot, &data, key), data.partition_point(|&x| (x as usize) < key));
+        }
+        assert!(cur.stats.gallop_seeded > 0);
+    }
+}

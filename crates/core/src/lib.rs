@@ -46,6 +46,7 @@
 pub mod aggregate;
 pub mod annotated;
 pub mod codes;
+pub mod cursor;
 pub mod index;
 mod loser_tree;
 pub mod merge;
@@ -59,6 +60,7 @@ pub mod stats;
 pub use aggregate::{AvgF64, CountAgg, DistinctAggregate, MaxI64, MinI64, SumF64, SumI64};
 pub use annotated::AnnotatedMst;
 pub use codes::{dense_codes, DenseCodes};
+pub use cursor::{CursorStats, ProbeCursor, SelectCursor};
 pub use index::TreeIndex;
 pub use mst::MergeSortTree;
 pub use params::MstParams;

@@ -57,16 +57,32 @@ impl RangeSet {
     /// The frame `[start, end)` minus the given holes (each optional, both
     /// clipped to the frame). This is exactly the shape produced by frame
     /// exclusion: EXCLUDE TIES yields two holes around the current row.
+    ///
+    /// Runs per output row inside the probe loops, so it is allocation-free:
+    /// clipped holes go into fixed scratch (frame exclusion produces at most
+    /// two) sorted by insertion.
     pub fn frame_minus_holes(start: usize, end: usize, holes: &[(usize, usize)]) -> Self {
+        const MAX_HOLES: usize = 4;
+        let mut sorted = [(0usize, 0usize); MAX_HOLES];
+        let mut nh = 0usize;
+        for &(a, b) in holes {
+            let (a, b) = (a.max(start), b.min(end));
+            if a >= b {
+                continue;
+            }
+            assert!(nh < MAX_HOLES, "too many holes");
+            // Insertion sort by (start, end); nh ≤ 2 in practice.
+            let mut i = nh;
+            while i > 0 && sorted[i - 1] > (a, b) {
+                sorted[i] = sorted[i - 1];
+                i -= 1;
+            }
+            sorted[i] = (a, b);
+            nh += 1;
+        }
         let mut rs = Self::empty();
         let mut cursor = start;
-        let mut sorted: Vec<(usize, usize)> = holes
-            .iter()
-            .map(|&(a, b)| (a.max(start), b.min(end)))
-            .filter(|&(a, b)| a < b)
-            .collect();
-        sorted.sort_unstable();
-        for (a, b) in sorted {
+        for &(a, b) in &sorted[..nh] {
             if a > cursor {
                 rs.push(cursor, a);
             }

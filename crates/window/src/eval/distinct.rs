@@ -55,16 +55,20 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Res
 }
 
 /// The exclusion hole(s) of row `i`, remapped to kept space and clipped to
-/// the frame hull.
-fn kept_holes(ctx: &Ctx<'_>, mask: &MaskArtifact, i: usize) -> Vec<(usize, usize)> {
+/// the frame hull. Fixed-size return: this runs per output row.
+fn kept_holes(ctx: &Ctx<'_>, mask: &MaskArtifact, i: usize) -> ([(usize, usize); 2], usize) {
     let (a, b) = ctx.frames.bounds[i];
-    ctx.frames
-        .holes(i)
-        .into_iter()
-        .map(|(h1, h2)| (h1.max(a).min(b), h2.max(a).min(b)))
-        .map(|(h1, h2)| mask.remap.range(h1, h2.max(h1)))
-        .filter(|&(h1, h2)| h1 < h2)
-        .collect()
+    let mut out = [(0usize, 0usize); 2];
+    let mut nh = 0usize;
+    for (h1, h2) in ctx.frames.holes(i).iter() {
+        let (h1, h2) = (h1.max(a).min(b), h2.max(a).min(b));
+        let (h1, h2) = mask.remap.range(h1, h2.max(h1));
+        if h1 < h2 {
+            out[nh] = (h1, h2);
+            nh += 1;
+        }
+    }
+    (out, nh)
 }
 
 /// Values that occur inside the row's holes but nowhere else in its frame.
@@ -104,19 +108,22 @@ fn evaluate_impl<I: TreeIndex>(
     match call.kind {
         FuncKind::Count => {
             let tree = ctx.distinct_count_mst::<I>(&cp.args[0], &cp.mask)?;
-            ctx.probe(move |i| {
-                let (a, b) = ctx.frames.bounds[i];
-                let (ka, kb) = mask.remap.range(a, b);
-                let base = tree.count_below(ka, kb, I::from_usize(ka + 1));
-                if !ctx.frames.has_exclusion() {
-                    return Ok(Value::Int(base as i64));
-                }
-                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-                let holes = kept_holes(ctx, &mask, i);
-                let mut correction = 0usize;
-                hole_only_values(&prep, &pieces, &holes, |_| correction += 1);
-                Ok(Value::Int((base - correction) as i64))
-            })
+            ctx.probe_with(
+                || ctx.new_probe_cursor(),
+                move |cur, i| {
+                    let (a, b) = ctx.frames.bounds[i];
+                    let (ka, kb) = mask.remap.range(a, b);
+                    let base = tree.count_below_with_cursor(ka, kb, I::from_usize(ka + 1), cur);
+                    if !ctx.frames.has_exclusion() {
+                        return Ok(Value::Int(base as i64));
+                    }
+                    let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+                    let (holes, nh) = kept_holes(ctx, &mask, i);
+                    let mut correction = 0usize;
+                    hole_only_values(&prep, &pieces, &holes[..nh], |_| correction += 1);
+                    Ok(Value::Int((base - correction) as i64))
+                },
+            )
         }
         FuncKind::Sum | FuncKind::Avg => {
             let avg = call.kind == FuncKind::Avg;
@@ -222,23 +229,27 @@ where
         let payloads: Vec<A::Payload> = prep.values.iter().map(&payload_of).collect();
         Ok(AnnotatedMst::<I, A>::build(&prev, &payloads, ctx.params))
     })?;
-    ctx.probe(|i| {
-        let (a, b) = ctx.frames.bounds[i];
-        let (ka, kb) = mask.remap.range(a, b);
-        let (state, counted) = tree.aggregate_below(ka, kb, I::from_usize(ka + 1));
-        if !ctx.frames.has_exclusion() {
-            return Ok(finish(state, (A::identity(), counted)));
-        }
-        let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-        let holes = kept_holes(ctx, mask, i);
-        let mut corr = A::identity();
-        let mut removed = 0usize;
-        hole_only_values(prep, &pieces, &holes, |p| {
-            corr = A::combine(corr, A::lift(payload_of(&prep.values[p])));
-            removed += 1;
-        });
-        Ok(finish(state, (corr, counted - removed)))
-    })
+    ctx.probe_with(
+        || ctx.new_probe_cursor(),
+        |cur, i| {
+            let (a, b) = ctx.frames.bounds[i];
+            let (ka, kb) = mask.remap.range(a, b);
+            let (state, counted) =
+                tree.aggregate_below_with_cursor(ka, kb, I::from_usize(ka + 1), cur);
+            if !ctx.frames.has_exclusion() {
+                return Ok(finish(state, (A::identity(), counted)));
+            }
+            let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+            let (holes, nh) = kept_holes(ctx, mask, i);
+            let mut corr = A::identity();
+            let mut removed = 0usize;
+            hole_only_values(prep, &pieces, &holes[..nh], |p| {
+                corr = A::combine(corr, A::lift(payload_of(&prep.values[p])));
+                removed += 1;
+            });
+            Ok(finish(state, (corr, counted - removed)))
+        },
+    )
 }
 
 #[cfg(test)]

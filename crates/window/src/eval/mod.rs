@@ -18,12 +18,13 @@ pub(crate) mod select_based;
 
 use crate::artifacts::ArtifactCache;
 use crate::error::{Error, Result};
+use crate::executor::AtomicProbeKernel;
 use crate::frame::ResolvedFrames;
 use crate::plan::CallPlan;
 use crate::spec::{FuncKind, FunctionCall};
 use crate::table::Table;
 use crate::value::Value;
-use holistic_core::MstParams;
+use holistic_core::{CursorStats, MstParams, ProbeCursor, SelectCursor};
 
 /// Evaluation context of one sorted partition.
 pub(crate) struct Ctx<'a> {
@@ -39,6 +40,46 @@ pub(crate) struct Ctx<'a> {
     pub params: MstParams,
     /// The partition's preprocessing-artifact cache.
     pub cache: &'a ArtifactCache,
+    /// Seed tree probes with cursors (see `ProbeOptions`).
+    pub cursors: bool,
+    /// Query-level probe-kernel counters; cursors flush into it when their
+    /// probe loop (or chunk) finishes.
+    pub kernel: &'a AtomicProbeKernel,
+}
+
+/// Per-probe-loop cursor state: owns the loop's cursors and exposes their
+/// counters so [`Ctx::probe_with`] can flush them into the query-level
+/// kernel. Implemented for the cursor types, tuples of them, and `()` for
+/// loops without tree probes.
+pub(crate) trait CursorState: Send {
+    /// Accumulated counters of every cursor in this state.
+    fn stats(&self) -> CursorStats;
+}
+
+impl CursorState for () {
+    fn stats(&self) -> CursorStats {
+        CursorStats::default()
+    }
+}
+
+impl CursorState for ProbeCursor {
+    fn stats(&self) -> CursorStats {
+        self.stats
+    }
+}
+
+impl CursorState for SelectCursor {
+    fn stats(&self) -> CursorStats {
+        self.stats
+    }
+}
+
+impl CursorState for (ProbeCursor, SelectCursor) {
+    fn stats(&self) -> CursorStats {
+        let mut s = self.0.stats;
+        s.merge_from(&self.1.stats);
+        s
+    }
 }
 
 impl<'a> Ctx<'a> {
@@ -53,17 +94,71 @@ impl<'a> Ctx<'a> {
         self.rows.iter().map(|&r| bound.eval(self.table, r)).collect()
     }
 
-    /// Runs `f` for every position, in parallel when allowed.
+    /// A probe cursor honoring the query's `ProbeOptions`.
+    pub fn new_probe_cursor(&self) -> ProbeCursor {
+        if self.cursors {
+            ProbeCursor::new()
+        } else {
+            ProbeCursor::disabled()
+        }
+    }
+
+    /// A select cursor honoring the query's `ProbeOptions`.
+    pub fn new_select_cursor(&self) -> SelectCursor {
+        if self.cursors {
+            SelectCursor::new()
+        } else {
+            SelectCursor::disabled()
+        }
+    }
+
+    /// Runs `f(state, i)` for every position `i` with cursor state from
+    /// `make`. Serially, one state walks the whole partition (maximal probe
+    /// locality); in parallel, positions are split into contiguous chunks
+    /// with a fresh state per chunk, so every probe still sees monotonically
+    /// advancing bounds within its chunk. Cursor probes are bit-identical to
+    /// stateless probes, hence serial ≡ parallel output is untouched.
+    pub fn probe_with<S, M, F>(&self, make: M, f: F) -> Result<Vec<Value>>
+    where
+        S: CursorState,
+        M: Fn() -> S + Send + Sync,
+        F: Fn(&mut S, usize) -> Result<Value> + Send + Sync,
+    {
+        use rayon::prelude::*;
+        let m = self.m();
+        if self.parallel && m >= 2048 {
+            let chunk = m.div_ceil(rayon::current_num_threads()).max(2048);
+            let mut out = vec![Value::Null; m];
+            out.par_chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, slots)| {
+                    let mut st = make();
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        *slot = f(&mut st, ci * chunk + off)?;
+                    }
+                    self.kernel.absorb(&st.stats());
+                    Ok(())
+                })
+                .collect::<Result<()>>()?;
+            Ok(out)
+        } else {
+            let mut st = make();
+            let mut out = Vec::with_capacity(m);
+            for i in 0..m {
+                out.push(f(&mut st, i)?);
+            }
+            self.kernel.absorb(&st.stats());
+            Ok(out)
+        }
+    }
+
+    /// Runs `f` for every position, in parallel when allowed (probe loops
+    /// without per-loop cursor state).
     pub fn probe<F>(&self, f: F) -> Result<Vec<Value>>
     where
         F: Fn(usize) -> Result<Value> + Send + Sync,
     {
-        use rayon::prelude::*;
-        if self.parallel && self.m() >= 2048 {
-            (0..self.m()).into_par_iter().map(f).collect()
-        } else {
-            (0..self.m()).map(f).collect()
-        }
+        self.probe_with(|| (), |_, i| f(i))
     }
 }
 

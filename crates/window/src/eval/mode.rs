@@ -22,8 +22,12 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, _call: &FunctionCall, cp: &CallPlan) -> Re
     ctx.probe(|i| {
         let answer = if ctx.frames.has_exclusion() {
             let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-            let ranges: Vec<(usize, usize)> = pieces.iter().collect();
-            art.index.query_multi(&ranges)
+            // Fixed scratch: this runs per output row.
+            let mut ranges = [(0usize, 0usize); holistic_core::range_set::MAX_RANGES];
+            for (ri, r) in pieces.iter().enumerate() {
+                ranges[ri] = r;
+            }
+            art.index.query_multi(&ranges[..pieces.len()])
         } else {
             let (a, b) = ctx.frames.bounds[i];
             let (ka, kb) = mask.remap.range(a, b);

@@ -26,7 +26,7 @@ use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::codes::DenseCodes;
 use holistic_core::index::fits_u32;
-use holistic_core::{RangeSet, TreeIndex};
+use holistic_core::{ProbeCursor, RangeSet, TreeIndex};
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
 
@@ -117,10 +117,13 @@ fn evaluate_impl<I: TreeIndex>(
     let tree = ctx.code_mst::<I>(rank_order_key(cp), &cp.mask)?;
 
     // ROW_NUMBER of row i within its frame (1-based); also used by NTILE.
-    let row_number = |i: usize, pieces: &RangeSet| -> usize {
+    // Kept rows probe through the cursor (one threshold stream); dropped rows
+    // interleave several thresholds and clipped piece sets, so their extra
+    // probes stay stateless — they are the cold path.
+    let row_number = |i: usize, pieces: &RangeSet, cur: &mut ProbeCursor| -> usize {
         let (gmin, _gend, ucode) = prep.code_bounds(ctx, i);
         match ucode {
-            Some(c) => tree.count_below_multi(pieces, I::from_usize(c)) + 1,
+            Some(c) => tree.count_below_multi_with_cursor(pieces, I::from_usize(c), cur) + 1,
             None => {
                 // Dropped rows: key-smaller rows plus equal-key rows that
                 // precede the current row positionally.
@@ -142,55 +145,76 @@ fn evaluate_impl<I: TreeIndex>(
     };
 
     match call.kind {
-        FuncKind::RowNumber => ctx.probe(|i| {
-            let pieces = prep.kept_pieces(ctx, i);
-            Ok(Value::Int(row_number(i, &pieces) as i64))
-        }),
-        FuncKind::Rank => ctx.probe(|i| {
-            let pieces = prep.kept_pieces(ctx, i);
-            let (gmin, _, _) = prep.code_bounds(ctx, i);
-            Ok(Value::Int((tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1) as i64))
-        }),
-        FuncKind::PercentRank => ctx.probe(|i| {
-            let pieces = prep.kept_pieces(ctx, i);
-            let size = pieces.count();
-            if size == 0 {
-                return Ok(Value::Null);
-            }
-            let (gmin, _, _) = prep.code_bounds(ctx, i);
-            let rank = tree.count_below_multi(&pieces, I::from_usize(gmin)) + 1;
-            Ok(Value::Float(if size <= 1 { 0.0 } else { (rank - 1) as f64 / (size - 1) as f64 }))
-        }),
-        FuncKind::CumeDist => ctx.probe(|i| {
-            let pieces = prep.kept_pieces(ctx, i);
-            let size = pieces.count();
-            if size == 0 {
-                return Ok(Value::Null);
-            }
-            let (_, gend, _) = prep.code_bounds(ctx, i);
-            let le = tree.count_below_multi(&pieces, I::from_usize(gend));
-            Ok(Value::Float(le as f64 / size as f64))
-        }),
-        FuncKind::Ntile => {
-            let buckets_expr = call.args[0].bind(ctx.table)?;
-            ctx.probe(|i| {
-                let b = match buckets_expr.eval(ctx.table, ctx.rows[i])? {
-                    Value::Int(x) if x >= 1 => x as usize,
-                    Value::Null => return Ok(Value::Null),
-                    v => {
-                        return Err(Error::InvalidArgument(format!(
-                            "ntile: bucket count must be a positive integer, got {v}"
-                        )))
-                    }
-                };
+        FuncKind::RowNumber => ctx.probe_with(
+            || ctx.new_probe_cursor(),
+            |cur, i| {
+                let pieces = prep.kept_pieces(ctx, i);
+                Ok(Value::Int(row_number(i, &pieces, cur) as i64))
+            },
+        ),
+        FuncKind::Rank => ctx.probe_with(
+            || ctx.new_probe_cursor(),
+            |cur, i| {
+                let pieces = prep.kept_pieces(ctx, i);
+                let (gmin, _, _) = prep.code_bounds(ctx, i);
+                let below = tree.count_below_multi_with_cursor(&pieces, I::from_usize(gmin), cur);
+                Ok(Value::Int((below + 1) as i64))
+            },
+        ),
+        FuncKind::PercentRank => ctx.probe_with(
+            || ctx.new_probe_cursor(),
+            |cur, i| {
                 let pieces = prep.kept_pieces(ctx, i);
                 let size = pieces.count();
                 if size == 0 {
                     return Ok(Value::Null);
                 }
-                let rn = row_number(i, &pieces);
-                Ok(Value::Int(ntile_of(rn, size, b) as i64))
-            })
+                let (gmin, _, _) = prep.code_bounds(ctx, i);
+                let rank =
+                    tree.count_below_multi_with_cursor(&pieces, I::from_usize(gmin), cur) + 1;
+                Ok(Value::Float(if size <= 1 {
+                    0.0
+                } else {
+                    (rank - 1) as f64 / (size - 1) as f64
+                }))
+            },
+        ),
+        FuncKind::CumeDist => ctx.probe_with(
+            || ctx.new_probe_cursor(),
+            |cur, i| {
+                let pieces = prep.kept_pieces(ctx, i);
+                let size = pieces.count();
+                if size == 0 {
+                    return Ok(Value::Null);
+                }
+                let (_, gend, _) = prep.code_bounds(ctx, i);
+                let le = tree.count_below_multi_with_cursor(&pieces, I::from_usize(gend), cur);
+                Ok(Value::Float(le as f64 / size as f64))
+            },
+        ),
+        FuncKind::Ntile => {
+            let buckets_expr = call.args[0].bind(ctx.table)?;
+            ctx.probe_with(
+                || ctx.new_probe_cursor(),
+                |cur, i| {
+                    let b = match buckets_expr.eval(ctx.table, ctx.rows[i])? {
+                        Value::Int(x) if x >= 1 => x as usize,
+                        Value::Null => return Ok(Value::Null),
+                        v => {
+                            return Err(Error::InvalidArgument(format!(
+                                "ntile: bucket count must be a positive integer, got {v}"
+                            )))
+                        }
+                    };
+                    let pieces = prep.kept_pieces(ctx, i);
+                    let size = pieces.count();
+                    if size == 0 {
+                        return Ok(Value::Null);
+                    }
+                    let rn = row_number(i, &pieces, cur);
+                    Ok(Value::Int(ntile_of(rn, size, b) as i64))
+                },
+            )
         }
         _ => unreachable!("rank dispatch"),
     }
@@ -247,17 +271,19 @@ pub(crate) fn evaluate_dense_rank(
         // Correct for smaller-key groups whose only frame occurrences sit in
         // the exclusion hole.
         let pieces = prep.mask.remap.range_set(&ctx.frames.range_set(i));
-        let holes: Vec<(usize, usize)> = ctx
-            .frames
-            .holes(i)
-            .into_iter()
-            .map(|(h1, h2)| (h1.max(a).min(b), h2.max(a).min(b)))
-            .map(|(h1, h2)| prep.mask.remap.range(h1, h2.max(h1)))
-            .filter(|&(h1, h2)| h1 < h2)
-            .collect();
+        let mut holes = [(0usize, 0usize); 2];
+        let mut nh = 0usize;
+        for (h1, h2) in ctx.frames.holes(i).iter() {
+            let (h1, h2) = (h1.max(a).min(b), h2.max(a).min(b));
+            let (h1, h2) = prep.mask.remap.range(h1, h2.max(h1));
+            if h1 < h2 {
+                holes[nh] = (h1, h2);
+                nh += 1;
+            }
+        }
         let mut seen: FxHashSet<usize> = FxHashSet::default();
         let mut correction = 0usize;
-        for &(h1, h2) in &holes {
+        for &(h1, h2) in &holes[..nh] {
             for p in h1..h2 {
                 let g = prep.dc.group_id[p];
                 if g >= gcount || !seen.insert(g) {

@@ -18,7 +18,7 @@ use crate::plan::{CallPlan, CanonicalExpr, OrderKey};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::index::fits_u32;
-use holistic_core::{RangeSet, TreeIndex};
+use holistic_core::{RangeSet, SelectCursor, TreeIndex};
 
 pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     if fits_u32(ctx.m() + 1) {
@@ -60,9 +60,10 @@ fn evaluate_impl<I: TreeIndex>(
     let tree = ctx.perm_mst::<I>(order, &cp.mask)?;
 
     // Selects the j-th (0-based) frame row by inner order; returns its kept
-    // position.
-    let select = |pieces: &RangeSet, j: usize| -> Option<usize> {
-        tree.select(pieces, j).map(|rank| match &dc {
+    // position. The cursor seeds the per-piece value-bound searches from the
+    // previous row's positions.
+    let select = |pieces: &RangeSet, j: usize, cur: &mut SelectCursor| -> Option<usize> {
+        tree.select_with_cursor(pieces, j, cur).map(|rank| match &dc {
             Some(dc) => dc.perm[rank],
             None => rank,
         })
@@ -71,17 +72,20 @@ fn evaluate_impl<I: TreeIndex>(
     match call.kind {
         FuncKind::PercentileDisc | FuncKind::Median => {
             let p = if call.kind == FuncKind::Median { 0.5 } else { fraction_arg(ctx, call)? };
-            ctx.probe(|i| {
-                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-                let s = pieces.count();
-                if s == 0 {
-                    return Ok(Value::Null);
-                }
-                // PERCENTILE_DISC: first value with cume_dist >= p.
-                let j = ((p * s as f64).ceil() as usize).clamp(1, s);
-                let kp = select(&pieces, j - 1).expect("j <= s");
-                Ok(kept_out[kp].clone())
-            })
+            ctx.probe_with(
+                || ctx.new_select_cursor(),
+                |cur, i| {
+                    let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+                    let s = pieces.count();
+                    if s == 0 {
+                        return Ok(Value::Null);
+                    }
+                    // PERCENTILE_DISC: first value with cume_dist >= p.
+                    let j = ((p * s as f64).ceil() as usize).clamp(1, s);
+                    let kp = select(&pieces, j - 1, cur).expect("j <= s");
+                    Ok(kept_out[kp].clone())
+                },
+            )
         }
         FuncKind::PercentileCont => {
             let p = fraction_arg(ctx, call)?;
@@ -94,64 +98,76 @@ fn evaluate_impl<I: TreeIndex>(
                     context: "percentile_cont",
                 });
             }
-            ctx.probe(|i| {
-                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-                let s = pieces.count();
-                if s == 0 {
-                    return Ok(Value::Null);
-                }
-                let rn = p * (s - 1) as f64;
-                let lo = rn.floor() as usize;
-                let hi = rn.ceil() as usize;
-                let vlo = &kept_out[select(&pieces, lo).expect("lo < s")];
-                if lo == hi {
-                    return Ok(vlo.clone());
-                }
-                let vhi = &kept_out[select(&pieces, hi).expect("hi < s")];
-                let (Some(x), Some(y)) = (vlo.as_f64(), vhi.as_f64()) else {
-                    return Err(Error::TypeMismatch {
-                        expected: "numeric",
-                        got: vlo.type_name(),
-                        context: "percentile_cont",
-                    });
-                };
-                Ok(Value::Float(x + (y - x) * (rn - lo as f64)))
-            })
-        }
-        FuncKind::FirstValue => ctx.probe(|i| {
-            let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-            Ok(match select(&pieces, 0) {
-                Some(kp) => kept_out[kp].clone(),
-                None => Value::Null,
-            })
-        }),
-        FuncKind::LastValue => ctx.probe(|i| {
-            let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-            let s = pieces.count();
-            Ok(if s == 0 {
-                Value::Null
-            } else {
-                kept_out[select(&pieces, s - 1).expect("s-1 < s")].clone()
-            })
-        }),
-        FuncKind::NthValue => {
-            let n_expr = call.args[1].bind(ctx.table)?;
-            ctx.probe(|i| {
-                let n = match n_expr.eval(ctx.table, ctx.rows[i])? {
-                    Value::Int(x) if x >= 1 => x as usize,
-                    Value::Null => return Ok(Value::Null),
-                    v => {
-                        return Err(Error::InvalidArgument(format!(
-                            "nth_value: n must be a positive integer, got {v}"
-                        )))
+            ctx.probe_with(
+                || ctx.new_select_cursor(),
+                |cur, i| {
+                    let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+                    let s = pieces.count();
+                    if s == 0 {
+                        return Ok(Value::Null);
                     }
-                };
+                    let rn = p * (s - 1) as f64;
+                    let lo = rn.floor() as usize;
+                    let hi = rn.ceil() as usize;
+                    let vlo = &kept_out[select(&pieces, lo, cur).expect("lo < s")];
+                    if lo == hi {
+                        return Ok(vlo.clone());
+                    }
+                    let vhi = &kept_out[select(&pieces, hi, cur).expect("hi < s")];
+                    let (Some(x), Some(y)) = (vlo.as_f64(), vhi.as_f64()) else {
+                        return Err(Error::TypeMismatch {
+                            expected: "numeric",
+                            got: vlo.type_name(),
+                            context: "percentile_cont",
+                        });
+                    };
+                    Ok(Value::Float(x + (y - x) * (rn - lo as f64)))
+                },
+            )
+        }
+        FuncKind::FirstValue => ctx.probe_with(
+            || ctx.new_select_cursor(),
+            |cur, i| {
                 let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-                Ok(match select(&pieces, n - 1) {
+                Ok(match select(&pieces, 0, cur) {
                     Some(kp) => kept_out[kp].clone(),
                     None => Value::Null,
                 })
-            })
+            },
+        ),
+        FuncKind::LastValue => ctx.probe_with(
+            || ctx.new_select_cursor(),
+            |cur, i| {
+                let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+                let s = pieces.count();
+                Ok(if s == 0 {
+                    Value::Null
+                } else {
+                    kept_out[select(&pieces, s - 1, cur).expect("s-1 < s")].clone()
+                })
+            },
+        ),
+        FuncKind::NthValue => {
+            let n_expr = call.args[1].bind(ctx.table)?;
+            ctx.probe_with(
+                || ctx.new_select_cursor(),
+                |cur, i| {
+                    let n = match n_expr.eval(ctx.table, ctx.rows[i])? {
+                        Value::Int(x) if x >= 1 => x as usize,
+                        Value::Null => return Ok(Value::Null),
+                        v => {
+                            return Err(Error::InvalidArgument(format!(
+                                "nth_value: n must be a positive integer, got {v}"
+                            )))
+                        }
+                    };
+                    let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
+                    Ok(match select(&pieces, n - 1, cur) {
+                        Some(kp) => kept_out[kp].clone(),
+                        None => Value::Null,
+                    })
+                },
+            )
         }
         _ => unreachable!("selection dispatch"),
     }

@@ -40,11 +40,35 @@ pub struct ExecOptions {
     /// trees) but nothing is shared between calls. Results are identical;
     /// only the work differs. Used by benchmarks quantifying sharing.
     pub share_artifacts: bool,
+    /// Probe-kernel tuning (cursor-seeded vs. stateless tree probes).
+    pub probe: ProbeOptions,
+}
+
+/// Probe-kernel tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeOptions {
+    /// Seed tree probes with per-`(tree, boundary)` cursors that gallop from
+    /// the previous row's positions (default). Results are bit-identical
+    /// with cursors on or off — this only trades O(log n) searches for
+    /// amortized O(1) galloping on monotonic frame sequences. The stateless
+    /// path is kept for benchmarking and as a safety valve.
+    pub cursors: bool,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        ProbeOptions { cursors: true }
+    }
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel: true, params: MstParams::default(), share_artifacts: true }
+        ExecOptions {
+            parallel: true,
+            params: MstParams::default(),
+            share_artifacts: true,
+            probe: ProbeOptions::default(),
+        }
     }
 }
 
@@ -55,12 +79,20 @@ impl ExecOptions {
             parallel: false,
             params: MstParams::default().serial(),
             share_artifacts: true,
+            probe: ProbeOptions::default(),
         }
     }
 
     /// Disables cross-call artifact sharing.
     pub fn no_sharing(mut self) -> Self {
         self.share_artifacts = false;
+        self
+    }
+
+    /// Disables cursor-seeded probes (every tree probe searches from
+    /// scratch). Used by benchmarks quantifying probe locality.
+    pub fn stateless_probes(mut self) -> Self {
+        self.probe.cursors = false;
         self
     }
 }
@@ -85,6 +117,59 @@ pub struct CacheStats {
     pub modeindex_builds: u64,
 }
 
+/// Probe-kernel counters, accumulated over every cursor of one execution
+/// (serial loops and parallel probe chunks alike).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeKernelStats {
+    /// Probe primitives that ran through an enabled cursor.
+    pub cursor_probes: u64,
+    /// Probe primitives that took the stateless path (cursors disabled).
+    pub stateless_probes: u64,
+    /// Searches answered by galloping from a memoized position.
+    pub gallop_seeded: u64,
+    /// Total galloping steps across all seeded searches.
+    pub gallop_steps: u64,
+    /// Full binary searches (no usable memo).
+    pub full_searches: u64,
+    /// Per-level memo misses that fell back to cascaded refinement.
+    pub level_resets: u64,
+}
+
+/// Lock-free accumulator for [`ProbeKernelStats`]; one per execution, shared
+/// across partitions and probe chunks.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicProbeKernel {
+    cursor_probes: AtomicU64,
+    stateless_probes: AtomicU64,
+    gallop_seeded: AtomicU64,
+    gallop_steps: AtomicU64,
+    full_searches: AtomicU64,
+    level_resets: AtomicU64,
+}
+
+impl AtomicProbeKernel {
+    /// Folds one cursor's counters into the query-level totals.
+    pub(crate) fn absorb(&self, s: &holistic_core::CursorStats) {
+        self.cursor_probes.fetch_add(s.cursor_probes, Relaxed);
+        self.stateless_probes.fetch_add(s.stateless_probes, Relaxed);
+        self.gallop_seeded.fetch_add(s.gallop_seeded, Relaxed);
+        self.gallop_steps.fetch_add(s.gallop_steps, Relaxed);
+        self.full_searches.fetch_add(s.full_searches, Relaxed);
+        self.level_resets.fetch_add(s.level_resets, Relaxed);
+    }
+
+    fn snapshot(&self) -> ProbeKernelStats {
+        ProbeKernelStats {
+            cursor_probes: self.cursor_probes.load(Relaxed),
+            stateless_probes: self.stateless_probes.load(Relaxed),
+            gallop_seeded: self.gallop_seeded.load(Relaxed),
+            gallop_steps: self.gallop_steps.load(Relaxed),
+            full_searches: self.full_searches.load(Relaxed),
+            level_resets: self.level_resets.load(Relaxed),
+        }
+    }
+}
+
 /// Phase timings and cache counters of one execution.
 ///
 /// `build` covers the partition sort, frame resolution and the eager
@@ -105,6 +190,9 @@ pub struct ExecProfile {
     pub partitions: usize,
     /// Accumulated artifact-cache counters.
     pub cache: CacheStats,
+    /// Accumulated probe-kernel counters (cursor galloping vs. full
+    /// searches).
+    pub probe_kernel: ProbeKernelStats,
 }
 
 /// A window query: one OVER clause, many function calls.
@@ -174,6 +262,7 @@ impl WindowQuery {
         let build_nanos = AtomicU64::new(0);
         let probe_nanos = AtomicU64::new(0);
         let totals = AtomicStats::default();
+        let kernel = AtomicProbeKernel::default();
 
         let seeded_cache = || {
             let cache = ArtifactCache::new();
@@ -201,6 +290,8 @@ impl WindowQuery {
                     parallel: within,
                     params,
                     cache: &cache,
+                    cursors: opts.probe.cursors,
+                    kernel: &kernel,
                 };
                 for key in &plan.prebuild {
                     artifacts::force(&ctx, key)?;
@@ -226,6 +317,8 @@ impl WindowQuery {
                         parallel: within,
                         params,
                         cache: &cache,
+                        cursors: opts.probe.cursors,
+                        kernel: &kernel,
                     };
                     outs.push(evaluate_call(&ctx, call, cp)?);
                     cache.stats().merge_into(&totals);
@@ -259,6 +352,7 @@ impl WindowQuery {
             probe: Duration::from_nanos(probe_nanos.load(Relaxed)),
             partitions: partitions.len(),
             cache: totals.snapshot(),
+            probe_kernel: kernel.snapshot(),
         };
         Ok((out, profile))
     }

@@ -119,23 +119,54 @@ pub struct ResolvedFrames {
     pub peer_end: Vec<usize>,
 }
 
+/// Up to two exclusion holes, stack-allocated: `holes()` runs per output row
+/// inside the probe loops, so it must not heap-allocate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Holes {
+    arr: [(usize, usize); 2],
+    len: u8,
+}
+
+impl Holes {
+    /// Appends a hole; empty holes are dropped.
+    fn push(&mut self, a: usize, b: usize) {
+        if a < b {
+            self.arr[self.len as usize] = (a, b);
+            self.len += 1;
+        }
+    }
+
+    /// The holes as a slice.
+    pub fn as_slice(&self) -> &[(usize, usize)] {
+        &self.arr[..self.len as usize]
+    }
+
+    /// Iterates over the holes.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
 impl ResolvedFrames {
     /// The exclusion holes of row `i` (positions to drop from its frame).
-    pub fn holes(&self, i: usize) -> Vec<(usize, usize)> {
+    pub fn holes(&self, i: usize) -> Holes {
+        let mut h = Holes::default();
         match self.exclusion {
-            FrameExclusion::NoOthers => Vec::new(),
-            FrameExclusion::CurrentRow => vec![(i, i + 1)],
-            FrameExclusion::Group => vec![(self.peer_start[i], self.peer_end[i])],
+            FrameExclusion::NoOthers => {}
+            FrameExclusion::CurrentRow => h.push(i, i + 1),
+            FrameExclusion::Group => h.push(self.peer_start[i], self.peer_end[i]),
             FrameExclusion::Ties => {
-                vec![(self.peer_start[i], i), (i + 1, self.peer_end[i])]
+                h.push(self.peer_start[i], i);
+                h.push(i + 1, self.peer_end[i]);
             }
         }
+        h
     }
 
     /// The frame of row `i` as up to three disjoint ranges.
     pub fn range_set(&self, i: usize) -> RangeSet {
         let (a, b) = self.bounds[i];
-        RangeSet::frame_minus_holes(a, b, &self.holes(i))
+        RangeSet::frame_minus_holes(a, b, self.holes(i).as_slice())
     }
 
     /// True when no row's frame has exclusion holes.

@@ -58,7 +58,9 @@ pub mod value;
 
 pub use column::Column;
 pub use error::{Error, Result};
-pub use executor::{CacheStats, ExecOptions, ExecProfile, WindowQuery};
+pub use executor::{
+    CacheStats, ExecOptions, ExecProfile, ProbeKernelStats, ProbeOptions, WindowQuery,
+};
 pub use expr::{col, lit, BinOp, Expr};
 pub use frame::{FrameBound, FrameExclusion, FrameMode, FrameSpec};
 pub use order::SortKey;
@@ -69,7 +71,9 @@ pub use value::{DataType, Value};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::column::Column;
-    pub use crate::executor::{CacheStats, ExecOptions, ExecProfile, WindowQuery};
+    pub use crate::executor::{
+        CacheStats, ExecOptions, ExecProfile, ProbeKernelStats, ProbeOptions, WindowQuery,
+    };
     pub use crate::expr::{col, lit, Expr};
     pub use crate::frame::{FrameBound, FrameExclusion, FrameSpec};
     pub use crate::order::SortKey;
