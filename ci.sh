@@ -16,6 +16,14 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> fuzz smoke (differential: naive vs all 8 engine configs, fixed seed)"
+# Deterministic and time-budgeted; failures print a --replay command.
+cargo run --release -q -p holistic-fuzz --bin fuzz -- \
+  --cases 600 --seed 0xC0FFEE --max-n 40 --time-budget-secs 120
+
+echo "==> fuzz panic sweep (invalid specs must Error, never panic)"
+cargo run --release -q -p holistic-fuzz --bin fuzz -- --panic-sweep --cases 400 --seed 0x5EED
+
 echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private identity)"
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext

@@ -423,32 +423,42 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
                     }
                 },
             };
-            let off = if call.kind == Lag { -off_raw } else { off_raw };
+            // LAG negates; saturate `-i64::MIN` (out of range for every
+            // partition either way, and the target arithmetic is checked).
+            let off =
+                if call.kind == Lag { off_raw.checked_neg().unwrap_or(i64::MAX) } else { off_raw };
             let default = match call.args.get(2) {
                 Some(d) => d.bind(ctx.table)?.eval(ctx.table, ctx.rows[i])?,
                 None => Value::Null,
             };
+            // `base + off` bounds-checked into [0, len); overflow ≡ out of
+            // range.
+            let target_position = |base: usize, len: usize| {
+                (base as i64)
+                    .checked_add(off)
+                    .and_then(|t| usize::try_from(t).ok())
+                    .filter(|&t| t < len)
+            };
             if !ctx.has_inner_order {
-                // Classic positional semantics (frame ignored).
+                // Classic positional semantics (frame ignored). Offset 0 is
+                // the current row, even under IGNORE NULLS.
                 if call.ignore_nulls && off != 0 {
                     let nn: Vec<usize> = (0..ctx.m()).filter(|&p| !ctx.arg0[p].is_null()).collect();
                     let target = if off > 0 {
                         let idx = nn.partition_point(|&p| p <= i);
-                        idx.checked_add(off as usize - 1)
+                        idx.checked_add(off as usize).and_then(|t| t.checked_sub(1))
                     } else {
                         let idx = nn.partition_point(|&p| p < i);
-                        idx.checked_sub((-off) as usize)
+                        usize::try_from(off.unsigned_abs()).ok().and_then(|o| idx.checked_sub(o))
                     };
                     return Ok(match target.and_then(|t| nn.get(t)) {
                         Some(&p) => ctx.arg0[p].clone(),
                         None => default,
                     });
                 }
-                let t = i as i64 + off;
-                return Ok(if t >= 0 && (t as usize) < ctx.m() {
-                    ctx.arg0[t as usize].clone()
-                } else {
-                    default
+                return Ok(match target_position(i, ctx.m()) {
+                    Some(t) => ctx.arg0[t].clone(),
+                    None => default,
                 });
             }
             // Framed semantics (§4.6).
@@ -459,11 +469,9 @@ fn eval_row(ctx: &NaiveCtx<'_>, call: &FunctionCall, i: usize) -> Result<Value> 
                 .collect();
             kept.sort_by(|&a, &b| ctx.cmp_inner(a, b));
             let rn0 = kept.iter().filter(|&&p| ctx.cmp_inner(p, i) == Ordering::Less).count();
-            let target = rn0 as i64 + off;
-            Ok(if target >= 0 && (target as usize) < kept.len() {
-                ctx.arg0[kept[target as usize]].clone()
-            } else {
-                default
+            Ok(match target_position(rn0, kept.len()) {
+                Some(t) => ctx.arg0[kept[t]].clone(),
+                None => default,
             })
         }
     }

@@ -1,0 +1,193 @@
+//! The differential fuzzing driver.
+//!
+//! ```text
+//! fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]
+//!      [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep]
+//! ```
+//!
+//! Default mode generates `--cases` cases from `--seed` and runs each
+//! through the differential check (naive baseline + all eight engine
+//! configurations). On the first divergence it shrinks the case, prints a
+//! replayable report and exits non-zero. `--replay` re-runs exactly one case
+//! by its per-case seed (printed in every failure report). `--panic-sweep`
+//! runs the invalid-spec corpus instead: everything must return `Error`,
+//! nothing may panic.
+
+use holistic_fuzz::gen::{case_seed, generate, GenConfig};
+use holistic_fuzz::{check_case, dump_table, panic_sweep, shrink, with_quiet_panics};
+use std::time::Instant;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    max_n: usize,
+    max_calls: usize,
+    time_budget_secs: Option<u64>,
+    replay: Option<u64>,
+    panic_sweep: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            cases: 500,
+            seed: 0xC0FFEE,
+            max_n: 48,
+            max_calls: 5,
+            time_budget_secs: None,
+            replay: None,
+            panic_sweep: false,
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("not a number: {s}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--cases" => args.cases = parse_u64(&value("--cases")?)?,
+            "--seed" => args.seed = parse_u64(&value("--seed")?)?,
+            "--max-n" => args.max_n = parse_u64(&value("--max-n")?)? as usize,
+            "--max-calls" => args.max_calls = parse_u64(&value("--max-calls")?)?.max(1) as usize,
+            "--time-budget-secs" => {
+                args.time_budget_secs = Some(parse_u64(&value("--time-budget-secs")?)?)
+            }
+            "--replay" => args.replay = Some(parse_u64(&value("--replay")?)?),
+            "--panic-sweep" => args.panic_sweep = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]\n\
+         \x20           [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep]"
+    );
+}
+
+fn replay_command(case_seed: u64, args: &Args) -> String {
+    format!(
+        "cargo run --release -p holistic-fuzz --bin fuzz -- --replay {case_seed:#x} \
+         --max-n {} --max-calls {}",
+        args.max_n, args.max_calls
+    )
+}
+
+fn report_failure(
+    index: Option<u64>,
+    cs: u64,
+    case: &holistic_fuzz::FuzzCase,
+    divergence: &holistic_fuzz::Divergence,
+    args: &Args,
+) {
+    match index {
+        Some(i) => println!("FUZZ FAILURE at case #{i} (case seed {cs:#x})"),
+        None => println!("FUZZ FAILURE (case seed {cs:#x})"),
+    }
+    println!("  divergence: {divergence}");
+    println!("  replay:     {}", replay_command(cs, args));
+    let fails =
+        |t: &holistic_window::Table, q: &holistic_window::WindowQuery| check_case(t, q).is_err();
+    let (table, query) = shrink(&case.table, &case.query, &fails);
+    let shrunk_div = check_case(&table, &query).err();
+    println!(
+        "  shrunk to {} rows, {} calls{}:",
+        table.num_rows(),
+        query.calls.len(),
+        match &shrunk_div {
+            Some(d) => format!(" (divergence: {d})"),
+            None => String::new(),
+        }
+    );
+    print!("{}", dump_table(&table));
+    println!("  query: {query:#?}");
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+
+    if args.panic_sweep {
+        let start = Instant::now();
+        let report = with_quiet_panics(|| panic_sweep(args.seed, args.cases as usize, args.max_n));
+        for f in &report.failures {
+            println!("PANIC SWEEP FAILURE: {f}");
+        }
+        println!(
+            "panic sweep: {} cases, {} failures ({:.1}s)",
+            report.cases,
+            report.failures.len(),
+            start.elapsed().as_secs_f64()
+        );
+        std::process::exit(if report.failures.is_empty() { 0 } else { 1 });
+    }
+
+    let cfg = GenConfig { max_n: args.max_n, max_calls: args.max_calls };
+
+    if let Some(cs) = args.replay {
+        let case = generate(cs, &cfg);
+        println!("replaying case seed {cs:#x}:");
+        print!("{}", dump_table(&case.table));
+        println!("  query: {:#?}", case.query);
+        match with_quiet_panics(|| check_case(&case.table, &case.query)) {
+            Ok(()) => println!("replay OK: no divergence"),
+            Err(d) => {
+                report_failure(None, cs, &case, &d, &args);
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let start = Instant::now();
+    let mut ran = 0u64;
+    let failed = with_quiet_panics(|| {
+        for i in 0..args.cases {
+            if let Some(budget) = args.time_budget_secs {
+                if start.elapsed().as_secs() >= budget {
+                    println!("time budget of {budget}s reached after {ran} cases — stopping early");
+                    break;
+                }
+            }
+            let cs = case_seed(args.seed, i);
+            let case = generate(cs, &cfg);
+            if let Err(d) = check_case(&case.table, &case.query) {
+                report_failure(Some(i), cs, &case, &d, &args);
+                return true;
+            }
+            ran += 1;
+            if ran.is_multiple_of(100) {
+                println!("  {ran}/{} cases, {:.1}s", args.cases, start.elapsed().as_secs_f64());
+            }
+        }
+        false
+    });
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz OK: {ran} cases, seed {:#x}, max-n {}, all 8 engine configs vs naive ({:.1}s)",
+        args.seed,
+        args.max_n,
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,157 @@
+//! The differential check: naive baseline vs. every engine configuration.
+//!
+//! Two comparison regimes, deliberately different:
+//!
+//! * **engine vs. naive** — float-tolerant ([`values_close`]). The two sides
+//!   derive every aggregate independently and sum floats in different orders
+//!   (segment-tree pairwise vs. linear scan), so exact equality is not a
+//!   sound expectation.
+//! * **engine config vs. engine config** — bit-identical
+//!   ([`values_identical`]). Serial/parallel, cursor/stateless and
+//!   shared/private caching are pure execution strategies; any difference at
+//!   all, down to the sign of a zero, is a bug.
+//!
+//! Errors count as agreement only when *both* sides error (messages may
+//! legitimately differ); a panic anywhere is always a failure — the engine's
+//! contract is `Result`, never unwinding.
+
+use holistic_baselines::naive;
+use holistic_window::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One observed disagreement (or panic), attributed to the configuration
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which execution produced the bad result (`naive` or an
+    /// [`ExecOptions::label`]).
+    pub config: String,
+    /// Human-readable description of the disagreement.
+    pub message: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.config, self.message)
+    }
+}
+
+/// Float-tolerant value comparison (engine vs. naive).
+pub fn values_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            (x.is_nan() && y.is_nan()) || (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+        }
+        (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
+            (*x - *y as f64).abs() <= 1e-9
+        }
+        _ => a == b,
+    }
+}
+
+/// Bit-identical value comparison (engine config vs. engine config).
+pub fn values_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into a [`Divergence`] attributed to `config`.
+/// The vendored rayon re-panics worker panics on the calling thread, so this
+/// boundary catches parallel-mode panics too.
+pub(crate) fn run_protected<T>(
+    config: &str,
+    f: impl FnOnce() -> holistic_window::Result<T>,
+) -> Result<holistic_window::Result<T>, Divergence> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| Divergence {
+        config: config.to_string(),
+        message: format!("panicked: {}", panic_message(p.as_ref())),
+    })
+}
+
+fn compare_tables(
+    config: &str,
+    against: &str,
+    query: &WindowQuery,
+    expect: &Table,
+    got: &Table,
+    eq: fn(&Value, &Value) -> bool,
+) -> Result<(), Divergence> {
+    for call in &query.calls {
+        let name = &call.output_name;
+        let (ce, cg) = match (expect.column(name), got.column(name)) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => {
+                return Err(Divergence {
+                    config: config.to_string(),
+                    message: format!("output column {name} missing"),
+                })
+            }
+        };
+        for row in 0..expect.num_rows() {
+            let (e, g) = (ce.get(row), cg.get(row));
+            if !eq(&e, &g) {
+                return Err(Divergence {
+                    config: config.to_string(),
+                    message: format!(
+                        "column {name} row {row}: got {g}, {against} has {e} \
+                         ({} {})",
+                        call.kind.name(),
+                        if call.inner_order.is_empty() { "" } else { "with inner order" },
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks one case: the naive baseline and all eight engine configurations
+/// must agree (per the module-level comparison regimes). `Ok(())` means
+/// full agreement; `Err` carries the first divergence found.
+pub fn check_case(table: &Table, query: &WindowQuery) -> Result<(), Divergence> {
+    let naive_res = run_protected("naive", || naive::execute(query, table))?;
+    let mut reference: Option<(String, Table)> = None;
+    for opts in ExecOptions::all_configs() {
+        let label = opts.label();
+        let engine_res = run_protected(&label, || query.execute_with(table, opts))?;
+        match (&naive_res, engine_res) {
+            // Both sides reject the case: agreement (invalid specs are the
+            // panic sweep's business, not the differential check's).
+            (Err(_), Err(_)) => {}
+            (Err(e), Ok(_)) => {
+                return Err(Divergence {
+                    config: label,
+                    message: format!("engine succeeded where naive errors ({e})"),
+                })
+            }
+            (Ok(_), Err(e)) => {
+                return Err(Divergence {
+                    config: label,
+                    message: format!("engine error where naive succeeds: {e}"),
+                })
+            }
+            (Ok(expect), Ok(got)) => {
+                compare_tables(&label, "naive", query, expect, &got, values_close)?;
+                match &reference {
+                    Some((ref_label, ref_table)) => {
+                        compare_tables(&label, ref_label, query, ref_table, &got, values_identical)?
+                    }
+                    None => reference = Some((label, got)),
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! Delta-debugging minimization of failing cases.
+//!
+//! Shrinking runs three passes to a bounded fixpoint, each preserving the
+//! failure predicate: (1) table rows via ddmin-style chunk removal, (2)
+//! whole calls, (3) individual spec features — exclusion, partitioning,
+//! ORDER BY keys, frame mode and bounds, FILTER, IGNORE NULLS, DISTINCT and
+//! inner orders — each simplified one at a time. A candidate that turns the
+//! query invalid is harmless: both engine and naive then error, the
+//! differential predicate stops failing, and the candidate is rejected.
+
+use crate::gen::frame_is_trivial;
+use holistic_window::frame::FrameMode;
+use holistic_window::prelude::*;
+
+/// The failure predicate: true while the (table, query) pair still exhibits
+/// the failure being minimized.
+pub type FailPred<'a> = dyn Fn(&Table, &WindowQuery) -> bool + 'a;
+
+/// Copies `keep`'s rows (in order) into a fresh table, preserving column
+/// types even when every kept value is NULL.
+pub fn subset_rows(table: &Table, keep: &[usize]) -> Table {
+    let mut cols: Vec<(String, Column)> = Vec::new();
+    for (name, c) in table.iter() {
+        let mut nc = Column::new_empty(c.data_type());
+        for &r in keep {
+            nc.push(c.get(r)).expect("subset keeps the column type");
+        }
+        cols.push((name.to_string(), nc));
+    }
+    Table::new(cols).expect("subset columns share one length")
+}
+
+/// Minimizes a failing case. `fails` must be true for the input pair; the
+/// returned pair still satisfies it. The total number of predicate
+/// evaluations is bounded, so shrinking always terminates quickly even when
+/// the predicate is expensive.
+pub fn shrink(table: &Table, query: &WindowQuery, fails: &FailPred) -> (Table, WindowQuery) {
+    let all: Vec<usize> = (0..table.num_rows()).collect();
+    let mut table = subset_rows(table, &all);
+    let mut query = query.clone();
+    let mut budget = 800usize;
+    loop {
+        let mut progress = false;
+        progress |= shrink_rows(&mut table, &query, fails, &mut budget);
+        progress |= shrink_calls(&table, &mut query, fails, &mut budget);
+        progress |= shrink_features(&table, &mut query, fails, &mut budget);
+        if !progress || budget == 0 {
+            return (table, query);
+        }
+    }
+}
+
+fn shrink_rows(
+    table: &mut Table,
+    query: &WindowQuery,
+    fails: &FailPred,
+    budget: &mut usize,
+) -> bool {
+    let mut any = false;
+    let mut chunk = (table.num_rows() / 2).max(1);
+    loop {
+        let mut removed = false;
+        let mut start = 0;
+        while start < table.num_rows() && *budget > 0 {
+            let end = (start + chunk).min(table.num_rows());
+            let keep: Vec<usize> =
+                (0..table.num_rows()).filter(|i| !(start..end).contains(i)).collect();
+            let candidate = subset_rows(table, &keep);
+            *budget -= 1;
+            if fails(&candidate, query) {
+                *table = candidate;
+                any = true;
+                removed = true;
+                // Same window position now holds the following rows.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            // At granularity one, loop until a full pass removes nothing.
+            if !removed || *budget == 0 {
+                return any;
+            }
+        } else {
+            chunk /= 2;
+        }
+    }
+}
+
+fn shrink_calls(
+    table: &Table,
+    query: &mut WindowQuery,
+    fails: &FailPred,
+    budget: &mut usize,
+) -> bool {
+    let mut any = false;
+    let mut i = 0;
+    while i < query.calls.len() && *budget > 0 {
+        let mut candidate = query.clone();
+        candidate.calls.remove(i);
+        *budget -= 1;
+        if fails(table, &candidate) {
+            *query = candidate;
+            any = true;
+        } else {
+            i += 1;
+        }
+    }
+    any
+}
+
+/// Single-feature simplification candidates, cheapest-to-explain first.
+fn feature_candidates(q: &WindowQuery) -> Vec<WindowQuery> {
+    let mut out = Vec::new();
+    let mut with = |f: &dyn Fn(&mut WindowQuery)| {
+        let mut c = q.clone();
+        f(&mut c);
+        out.push(c);
+    };
+
+    if q.spec.frame.exclusion != FrameExclusion::NoOthers {
+        with(&|c| c.spec.frame.exclusion = FrameExclusion::NoOthers);
+    }
+    if !q.spec.partition_by.is_empty() {
+        with(&|c| c.spec.partition_by.clear());
+    }
+    if q.spec.order_by.len() > 1 {
+        with(&|c| c.spec.order_by.truncate(1));
+    } else if q.spec.order_by.len() == 1 {
+        with(&|c| c.spec.order_by.clear());
+    }
+    if !frame_is_trivial(&q.spec.frame) {
+        with(&|c| {
+            let e = c.spec.frame.exclusion;
+            c.spec.frame = FrameSpec::whole_partition().exclude(e);
+        });
+    }
+    if q.spec.frame.mode != FrameMode::Rows {
+        with(&|c| c.spec.frame.mode = FrameMode::Rows);
+    }
+    if !matches!(q.spec.frame.start, FrameBound::UnboundedPreceding) {
+        with(&|c| c.spec.frame.start = FrameBound::UnboundedPreceding);
+        with(&|c| c.spec.frame.start = FrameBound::Preceding(lit(1i64)));
+    }
+    if !matches!(q.spec.frame.end, FrameBound::UnboundedFollowing) {
+        with(&|c| c.spec.frame.end = FrameBound::UnboundedFollowing);
+        with(&|c| c.spec.frame.end = FrameBound::Following(lit(1i64)));
+    }
+    for i in 0..q.calls.len() {
+        if q.calls[i].filter.is_some() {
+            with(&|c| c.calls[i].filter = None);
+        }
+        if q.calls[i].ignore_nulls {
+            with(&|c| c.calls[i].ignore_nulls = false);
+        }
+        if q.calls[i].distinct {
+            with(&|c| c.calls[i].distinct = false);
+        }
+        if q.calls[i].inner_order.len() > 1 {
+            with(&|c| c.calls[i].inner_order.truncate(1));
+        } else if q.calls[i].inner_order.len() == 1 {
+            with(&|c| c.calls[i].inner_order.clear());
+        }
+    }
+    out
+}
+
+fn shrink_features(
+    table: &Table,
+    query: &mut WindowQuery,
+    fails: &FailPred,
+    budget: &mut usize,
+) -> bool {
+    let mut any = false;
+    loop {
+        let mut accepted = false;
+        for candidate in feature_candidates(query) {
+            if *budget == 0 {
+                return any;
+            }
+            *budget -= 1;
+            if fails(table, &candidate) {
+                *query = candidate;
+                accepted = true;
+                any = true;
+                break;
+            }
+        }
+        if !accepted {
+            return any;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The fuzz subsystem's own tier-1 tests: a deterministic differential
+//! smoke run, a panic-sweep run, and shrinker unit checks.
+
+use holistic_fuzz::gen::{case_seed, generate, GenConfig};
+use holistic_fuzz::shrink::{shrink, subset_rows};
+use holistic_fuzz::{check_case, panic_sweep, with_quiet_panics};
+use holistic_window::prelude::*;
+use holistic_window::DataType;
+
+#[test]
+fn differential_smoke() {
+    let cfg = GenConfig { max_n: 24, max_calls: 4 };
+    let failures: Vec<String> = with_quiet_panics(|| {
+        (0..120u64)
+            .filter_map(|i| {
+                let case = generate(case_seed(0xD1FF, i), &cfg);
+                check_case(&case.table, &case.query)
+                    .err()
+                    .map(|d| format!("case {i} (seed {:#x}): {d}", case.seed))
+            })
+            .collect()
+    });
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn panic_sweep_smoke() {
+    let report = with_quiet_panics(|| panic_sweep(0x5EED, 50, 16));
+    assert!(
+        report.failures.is_empty(),
+        "{} sweep failures:\n{}",
+        report.failures.len(),
+        report.failures.join("\n")
+    );
+}
+
+#[test]
+fn generator_is_deterministic_per_seed() {
+    let cfg = GenConfig::default();
+    let a = generate(42, &cfg);
+    let b = generate(42, &cfg);
+    assert_eq!(a.table.num_rows(), b.table.num_rows());
+    assert_eq!(format!("{:?}", a.query), format!("{:?}", b.query));
+    for (na, ca) in a.table.iter() {
+        assert_eq!(ca.to_values(), b.table.column(na).unwrap().to_values());
+    }
+    // Distinct seeds diverge (astronomically unlikely to collide).
+    let c = generate(43, &cfg);
+    assert!(
+        format!("{:?}", a.query) != format!("{:?}", c.query)
+            || a.table.num_rows() != c.table.num_rows()
+    );
+}
+
+#[test]
+fn subset_rows_preserves_types_on_all_null_selections() {
+    let t = Table::new(vec![
+        ("a", Column::ints_opt(vec![Some(1), None, Some(3)])),
+        ("b", Column::floats_opt(vec![None, None, Some(0.5)])),
+    ])
+    .unwrap();
+    let s = subset_rows(&t, &[1]);
+    assert_eq!(s.num_rows(), 1);
+    assert_eq!(s.column("a").unwrap().data_type(), DataType::Int);
+    assert_eq!(s.column("b").unwrap().data_type(), DataType::Float);
+    assert_eq!(s.column("a").unwrap().get(0), Value::Null);
+}
+
+#[test]
+fn shrinker_minimizes_a_synthetic_failure() {
+    // Failure predicate: the table still contains v == 7 and the query still
+    // has at least one call. The minimum is one row, one call, with every
+    // optional feature stripped.
+    let v: Vec<Option<i64>> = (0..30).map(|i| Some(if i == 17 { 7 } else { i })).collect();
+    let d: Vec<i32> = (0..30).collect();
+    let table = Table::new(vec![
+        ("v", Column::ints_opt(v)),
+        ("d", Column::dates(d)),
+        ("g", Column::strs(vec!["x"; 30])),
+    ])
+    .unwrap();
+    let query = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("d"))])
+            .frame(
+                FrameSpec::groups(FrameBound::Preceding(lit(2i64)), FrameBound::CurrentRow)
+                    .exclude(FrameExclusion::Ties),
+            ),
+    )
+    .call(FunctionCall::sum(col("v")).filter(col("v").gt(lit(0i64))).named("a"))
+    .call(FunctionCall::count_star().named("b"))
+    .call(FunctionCall::median(col("v")).named("c"));
+
+    let pred = |t: &Table, q: &WindowQuery| {
+        !q.calls.is_empty()
+            && t.column("v").map(|c| c.to_values().contains(&Value::Int(7))).unwrap_or(false)
+    };
+    assert!(pred(&table, &query));
+    let (st, sq) = shrink(&table, &query, &pred);
+    assert_eq!(st.num_rows(), 1, "rows not minimized: {}", st.num_rows());
+    assert_eq!(st.column("v").unwrap().get(0), Value::Int(7));
+    assert_eq!(sq.calls.len(), 1, "calls not minimized");
+    assert!(sq.spec.partition_by.is_empty(), "partitioning not stripped");
+    assert!(sq.spec.order_by.is_empty(), "order by not stripped");
+    assert!(sq.calls[0].filter.is_none(), "filter not stripped");
+    assert_eq!(sq.spec.frame.exclusion, FrameExclusion::NoOthers);
+}

@@ -47,7 +47,17 @@ fn offset_for(
             }
         },
     };
-    Ok(Some(if call.kind == FuncKind::Lag { -raw } else { raw }))
+    // LAG negates; `-i64::MIN` overflows, and an offset of magnitude 2^63
+    // is out of range for every representable partition anyway, so
+    // saturating to i64::MAX is exact (target arithmetic below is checked).
+    Ok(Some(if call.kind == FuncKind::Lag { raw.checked_neg().unwrap_or(i64::MAX) } else { raw }))
+}
+
+/// `base + off` as a bounds-checked position: `None` when the target falls
+/// outside `[0, len)` or the addition overflows (equivalent, since any
+/// overflowing target is out of range for every representable `len`).
+fn target_position(base: usize, off: i64, len: usize) -> Option<usize> {
+    (base as i64).checked_add(off).and_then(|t| usize::try_from(t).ok()).filter(|&t| t < len)
 }
 
 /// Classic LEAD/LAG: positional within the partition, frame ignored — this is
@@ -73,25 +83,30 @@ fn evaluate_classic(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result
         let Some(off) = offset_for(ctx, call, &offset_expr, i)? else {
             return Ok(Value::Null);
         };
-        if call.ignore_nulls && off != 0 {
-            // Position among non-null rows strictly after/before i.
+        // Offset 0 is the current row itself, per SQL — even under IGNORE
+        // NULLS (an offset of zero never skips anywhere). Handling it up
+        // front also keeps the `off - 1` below strictly positive.
+        if off == 0 {
+            return Ok(values[i].clone());
+        }
+        if call.ignore_nulls {
+            // Position among non-null rows strictly after/before i. All
+            // arithmetic is checked: `off` can be anything up to ±i64::MAX.
             let idx = non_null.partition_point(|&p| p <= i);
             let target = if off > 0 {
-                idx.checked_add(off as usize - 1)
+                idx.checked_add(off as usize).and_then(|t| t.checked_sub(1))
             } else {
                 let before = non_null.partition_point(|&p| p < i);
-                before.checked_sub((-off) as usize)
+                usize::try_from(off.unsigned_abs()).ok().and_then(|o| before.checked_sub(o))
             };
             return Ok(match target.and_then(|t| non_null.get(t)) {
                 Some(&p) => values[p].clone(),
                 None => default()?,
             });
         }
-        let target = i as i64 + off;
-        if target >= 0 && (target as usize) < m {
-            Ok(values[target as usize].clone())
-        } else {
-            default()
+        match target_position(i, off, m) {
+            Some(t) => Ok(values[t].clone()),
+            None => default(),
         }
     })
 }
@@ -177,14 +192,12 @@ fn evaluate_framed<I: TreeIndex>(
                     - code_tree.count_below_multi(&earlier, I::from_usize(gmin));
                 smaller + eq_before
             };
-            // Steps 2+3: adjust and select.
-            let target = rn0 as i64 + off;
-            if target < 0 || target as usize >= s {
+            // Steps 2+3: adjust and select (checked: `off` is unbounded).
+            let Some(target) = target_position(rn0, off, s) else {
                 return default();
-            }
-            let rank = select_tree
-                .select_with_cursor(&pieces, target as usize, select_cur)
-                .expect("target < s");
+            };
+            let rank =
+                select_tree.select_with_cursor(&pieces, target, select_cur).expect("target < s");
             Ok(kept_out[dc.perm[rank]].clone())
         },
     )

@@ -111,7 +111,12 @@ fn evaluate_impl<I: TreeIndex>(
                     let hi = rn.ceil() as usize;
                     let vlo = &kept_out[select(&pieces, lo, cur).expect("lo < s")];
                     if lo == hi {
-                        return Ok(vlo.clone());
+                        // CONT yields a float even on an exact rank hit (SQL:
+                        // double precision) — over an integer key, returning
+                        // the key itself would mix Int and Float rows in one
+                        // output column.
+                        let x = vlo.as_f64().expect("checked numeric above");
+                        return Ok(Value::Float(x));
                     }
                     let vhi = &kept_out[select(&pieces, hi, cur).expect("hi < s")];
                     let (Some(x), Some(y)) = (vlo.as_f64(), vhi.as_f64()) else {

@@ -95,6 +95,38 @@ impl ExecOptions {
         self.probe.cursors = false;
         self
     }
+
+    /// Every engine configuration the result must be invariant under:
+    /// serial/parallel × cursor/stateless probes × shared/private artifact
+    /// cache. The differential fuzzer and equivalence tests iterate this
+    /// matrix; all eight configurations must produce bit-identical output.
+    pub fn all_configs() -> [ExecOptions; 8] {
+        let mut out = [ExecOptions::default(); 8];
+        let mut i = 0;
+        for parallel in [false, true] {
+            for cursors in [true, false] {
+                for share in [true, false] {
+                    let mut o =
+                        if parallel { ExecOptions::default() } else { ExecOptions::serial() };
+                    o.probe.cursors = cursors;
+                    o.share_artifacts = share;
+                    out[i] = o;
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// A short human-readable label of this configuration (replay output).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            if self.parallel { "parallel" } else { "serial" },
+            if self.probe.cursors { "cursors" } else { "stateless" },
+            if self.share_artifacts { "shared" } else { "private" },
+        )
+    }
 }
 
 /// Artifact-cache counters, accumulated over all per-partition caches of one

@@ -19,6 +19,7 @@ use crate::order::{peer_bounds, KeyColumns};
 use crate::table::Table;
 use crate::value::Value;
 use holistic_core::RangeSet;
+use std::cmp::Ordering;
 
 /// How frame offsets are interpreted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,12 +195,51 @@ fn pre_bind(b: &FrameBound, table: &Table) -> Result<PreBound> {
     })
 }
 
+/// A validated, non-negative frame offset. The integer representation is
+/// kept exact: converting to f64 would silently collapse offsets beyond
+/// 2^53, and casting to usize would saturate huge values into overflow
+/// territory for the `i + off` frame arithmetic.
+#[derive(Debug, Clone, Copy)]
+enum Offset {
+    /// Exact integer offset (>= 0).
+    Int(i64),
+    /// Finite float offset (>= 0.0).
+    Float(f64),
+}
+
+impl Offset {
+    /// The offset as a row/group count, clamped to `m`. Anything past the
+    /// partition (or group table) behaves like UNBOUNDED, so clamping is
+    /// semantically exact and keeps all downstream index arithmetic in
+    /// `[0, 2m]`.
+    fn count(self, m: usize) -> usize {
+        match self {
+            Offset::Int(x) => usize::try_from(x).map_or(m, |c| c.min(m)),
+            Offset::Float(x) => {
+                if x >= m as f64 {
+                    m
+                } else {
+                    x as usize
+                }
+            }
+        }
+    }
+
+    /// Lossy float view (the RANGE fallback for float keys).
+    fn as_f64(self) -> f64 {
+        match self {
+            Offset::Int(x) => x as f64,
+            Offset::Float(x) => x,
+        }
+    }
+}
+
 /// Evaluates a pre-bound offset expression for a table row.
-fn eval_offset(expr: &crate::expr::BoundExpr, table: &Table, row: usize) -> Result<f64> {
+fn eval_offset(expr: &crate::expr::BoundExpr, table: &Table, row: usize) -> Result<Offset> {
     let v = expr.eval(table, row)?;
     match v {
-        Value::Int(x) if x >= 0 => Ok(x as f64),
-        Value::Float(x) if x >= 0.0 && x.is_finite() => Ok(x),
+        Value::Int(x) if x >= 0 => Ok(Offset::Int(x)),
+        Value::Float(x) if x >= 0.0 && x.is_finite() => Ok(Offset::Float(x)),
         Value::Int(_) | Value::Float(_) => {
             Err(Error::InvalidFrameBound("offset must be non-negative".into()))
         }
@@ -235,13 +275,13 @@ pub fn resolve_frames(
                 let start = match &pstart {
                     PreBound::UnboundedPreceding => 0,
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
+                        let off = eval_offset(e, table, rows[i])?.count(m);
                         i.saturating_sub(off)
                     }
                     PreBound::CurrentRow => i,
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
-                        (i + off).min(m)
+                        let off = eval_offset(e, table, rows[i])?.count(m);
+                        i.saturating_add(off).min(m)
                     }
                     PreBound::UnboundedFollowing => {
                         return Err(Error::InvalidFrameBound(
@@ -252,12 +292,12 @@ pub fn resolve_frames(
                 let end = match &pend {
                     PreBound::UnboundedFollowing => m,
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
-                        (i + off + 1).min(m)
+                        let off = eval_offset(e, table, rows[i])?.count(m);
+                        i.saturating_add(off).saturating_add(1).min(m)
                     }
                     PreBound::CurrentRow => i + 1,
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
+                        let off = eval_offset(e, table, rows[i])?.count(m);
                         (i + 1).saturating_sub(off)
                     }
                     PreBound::UnboundedPreceding => {
@@ -302,16 +342,15 @@ pub fn resolve_frames(
                 let start = match &pstart {
                     PreBound::UnboundedPreceding => 0,
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
+                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
                         starts[gi.saturating_sub(off)]
                     }
                     PreBound::CurrentRow => peer_start[i],
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
-                        if gi + off < num_groups {
-                            starts[gi + off]
-                        } else {
-                            m
+                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
+                        match gi.checked_add(off) {
+                            Some(g) if g < num_groups => starts[g],
+                            _ => m,
                         }
                     }
                     PreBound::UnboundedFollowing => {
@@ -323,16 +362,15 @@ pub fn resolve_frames(
                 let end = match &pend {
                     PreBound::UnboundedFollowing => m,
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
-                        if gi + off < num_groups {
-                            ends[gi + off]
-                        } else {
-                            m
+                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
+                        match gi.checked_add(off) {
+                            Some(g) if g < num_groups => ends[g],
+                            _ => m,
                         }
                     }
                     PreBound::CurrentRow => peer_end[i],
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])? as usize;
+                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
                         if off > gi {
                             0
                         } else {
@@ -393,44 +431,67 @@ fn resolve_range_frames(
     }
 
     // Offset bounds: single numeric key required (the SQL restriction).
-    let mut key_vals = Vec::with_capacity(m);
+    // Integral keys (Int / Date) stay in exact i64 arithmetic — converting
+    // them to f64 silently merges distinct keys beyond 2^53. Float keys, or
+    // integral keys combined with a float offset, use f64.
+    let mut raw: Vec<Option<&Value>> = Vec::with_capacity(m);
     let mut desc = false;
-    for (i, &row) in rows.iter().enumerate() {
-        let Some((v, d)) = ({
-            let _ = i;
-            keys.single_key(row)
-        }) else {
+    let mut all_int = true;
+    for &row in rows.iter() {
+        let Some((v, d)) = keys.single_key(row) else {
             return Err(Error::Unsupported(
                 "RANGE frames with offsets require exactly one ORDER BY key".into(),
             ));
         };
         desc = d;
         match v {
-            Value::Null => key_vals.push(None),
-            other => match other.as_f64() {
-                Some(x) => key_vals.push(Some(x)),
-                None => {
+            Value::Null => raw.push(None),
+            other => {
+                if other.as_f64().is_none() {
                     return Err(Error::Unsupported(
                         "RANGE frames with offsets require a numeric ORDER BY key".into(),
-                    ))
+                    ));
                 }
-            },
+                all_int &= other.as_i64().is_some();
+                raw.push(Some(other));
+            }
         }
     }
+    let key_vals: KeyRep = if all_int {
+        KeyRep::Int(raw.iter().map(|o| o.and_then(|v| v.as_i64())).collect())
+    } else {
+        KeyRep::Float(raw.iter().map(|o| o.and_then(|v| v.as_f64())).collect())
+    };
     // NULL rows are contiguous at one end; compute the non-null span.
-    let nn_lo = key_vals.iter().take_while(|v| v.is_none()).count();
-    let nn_hi = m - key_vals.iter().rev().take_while(|v| v.is_none()).count();
-    let keyf = |p: usize| key_vals[p].expect("non-null span");
+    let nn_lo = (0..m).take_while(|&p| key_vals.is_null(p)).count();
+    let nn_hi = m - (0..m).rev().take_while(|&p| key_vals.is_null(p)).count();
 
+    // The threshold `key(i) ± off` for the current row. `add` is in key
+    // space: the caller has already folded the PRECEDING/FOLLOWING direction
+    // and ASC/DESC together.
+    let thresh = |p: usize, off: Offset, add: bool| -> Thresh {
+        match (&key_vals, off) {
+            // i64 ± i64 always fits in i128: the exact path.
+            (KeyRep::Int(ks), Offset::Int(o)) => {
+                let k = ks[p].expect("non-null span") as i128;
+                Thresh::Int(if add { k + o as i128 } else { k - o as i128 })
+            }
+            _ => {
+                let k = key_vals.as_f64(p);
+                let o = off.as_f64();
+                Thresh::Float(if add { k + o } else { k - o })
+            }
+        }
+    };
     // First position in [nn_lo, nn_hi) whose key is "at or past" v coming
-    // from the frame start direction.
-    let search_start = |v: f64| -> usize {
-        // ASC: first key >= v. DESC: first key <= v.
+    // from the frame start direction (ASC: key >= v; DESC: key <= v).
+    let search_start = |v: &Thresh| -> usize {
         let mut lo = nn_lo;
         let mut hi = nn_hi;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let past = if desc { keyf(mid) <= v } else { keyf(mid) >= v };
+            let ord = key_vals.cmp_thresh(mid, v);
+            let past = if desc { ord != Ordering::Greater } else { ord != Ordering::Less };
             if past {
                 hi = mid;
             } else {
@@ -439,14 +500,15 @@ fn resolve_range_frames(
         }
         lo
     };
-    // One past the last position whose key is "at or before" v.
-    let search_end = |v: f64| -> usize {
-        // ASC: positions with key <= v. DESC: key >= v.
+    // One past the last position whose key is "at or before" v
+    // (ASC: key <= v; DESC: key >= v).
+    let search_end = |v: &Thresh| -> usize {
         let mut lo = nn_lo;
         let mut hi = nn_hi;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let within = if desc { keyf(mid) >= v } else { keyf(mid) <= v };
+            let ord = key_vals.cmp_thresh(mid, v);
+            let within = if desc { ord != Ordering::Less } else { ord != Ordering::Greater };
             if within {
                 lo = mid + 1;
             } else {
@@ -458,7 +520,7 @@ fn resolve_range_frames(
 
     for i in 0..m {
         // SQL: a NULL key row's offset frame is its peer group of NULLs.
-        let is_null = key_vals[i].is_none();
+        let is_null = key_vals.is_null(i);
         let start = match pstart {
             PreBound::UnboundedPreceding => 0,
             PreBound::CurrentRow => peer_start[i],
@@ -467,8 +529,7 @@ fn resolve_range_frames(
                 if is_null {
                     peer_start[i]
                 } else {
-                    let v = if desc { keyf(i) + off } else { keyf(i) - off };
-                    search_start(v)
+                    search_start(&thresh(i, off, desc))
                 }
             }
             PreBound::Following(e) => {
@@ -476,8 +537,7 @@ fn resolve_range_frames(
                 if is_null {
                     peer_start[i]
                 } else {
-                    let v = if desc { keyf(i) - off } else { keyf(i) + off };
-                    search_start(v)
+                    search_start(&thresh(i, off, !desc))
                 }
             }
             PreBound::UnboundedFollowing => {
@@ -494,8 +554,7 @@ fn resolve_range_frames(
                 if is_null {
                     peer_end[i]
                 } else {
-                    let v = if desc { keyf(i) - off } else { keyf(i) + off };
-                    search_end(v)
+                    search_end(&thresh(i, off, !desc))
                 }
             }
             PreBound::Preceding(e) => {
@@ -503,8 +562,7 @@ fn resolve_range_frames(
                 if is_null {
                     peer_end[i]
                 } else {
-                    let v = if desc { keyf(i) + off } else { keyf(i) - off };
-                    search_end(v)
+                    search_end(&thresh(i, off, desc))
                 }
             }
             PreBound::UnboundedPreceding => {
@@ -516,6 +574,53 @@ fn resolve_range_frames(
         bounds.push((start, end.max(start)));
     }
     Ok(())
+}
+
+/// RANGE key columns: exact integers or floats.
+enum KeyRep {
+    /// All non-null keys are integral (Int / Date columns).
+    Int(Vec<Option<i64>>),
+    /// At least one float key: everything compares through f64.
+    Float(Vec<Option<f64>>),
+}
+
+/// A `key ± offset` bound value: i128 holds any i64 ± i64 exactly.
+enum Thresh {
+    /// Exact integer threshold.
+    Int(i128),
+    /// Float threshold (total order via `total_cmp`).
+    Float(f64),
+}
+
+impl KeyRep {
+    fn is_null(&self, p: usize) -> bool {
+        match self {
+            KeyRep::Int(ks) => ks[p].is_none(),
+            KeyRep::Float(ks) => ks[p].is_none(),
+        }
+    }
+
+    fn as_f64(&self, p: usize) -> f64 {
+        match self {
+            KeyRep::Int(ks) => ks[p].expect("non-null span") as f64,
+            KeyRep::Float(ks) => ks[p].expect("non-null span"),
+        }
+    }
+
+    /// Compares the key at `p` with a threshold. Exact when both sides are
+    /// integers; otherwise falls back to f64 (matching the threshold's own
+    /// precision).
+    fn cmp_thresh(&self, p: usize, t: &Thresh) -> Ordering {
+        match (self, t) {
+            (KeyRep::Int(ks), Thresh::Int(v)) => (ks[p].expect("non-null span") as i128).cmp(v),
+            (_, Thresh::Float(v)) => self.as_f64(p).total_cmp(v),
+            (KeyRep::Float(_), Thresh::Int(v)) => {
+                // Unreachable through `thresh` (float keys always produce
+                // float thresholds), but kept total for safety.
+                self.as_f64(p).total_cmp(&(*v as f64))
+            }
+        }
+    }
 }
 
 #[cfg(test)]

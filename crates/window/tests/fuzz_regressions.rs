@@ -1,0 +1,33 @@
+//! Regression tests for bugs found by the differential fuzzer
+//! (`crates/fuzz`), beyond the overflow family covered in
+//! `overflow_regressions.rs`. Each test names the fuzzer seed that first
+//! exposed the bug.
+
+use holistic_window::prelude::*;
+
+/// Found by seed 0x87ff248bd515301d: PERCENTILE_CONT over an *integer* key
+/// returned the key value itself (an Int) whenever the rank landed exactly
+/// on one element, but an interpolated Float otherwise — mixing both types
+/// in one output column, which fails to build. CONT must always yield a
+/// float (SQL: double precision), as the naive baseline always did.
+#[test]
+fn percentile_cont_over_int_keys_is_float_on_exact_hits() {
+    let t = Table::new(vec![("v", Column::ints(vec![1, 2, 3]))]).unwrap();
+    // Running frame: row 0 selects exactly one element (the exact-hit
+    // branch), rows 1 and 2 interpolate.
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("v"))])
+            .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::percentile_cont(0.5, SortKey::asc(col("v"))).named("p"));
+    for opts in ExecOptions::all_configs() {
+        let out = q.execute_with(&t, opts).unwrap();
+        assert_eq!(
+            out.column("p").unwrap().to_values(),
+            vec![Value::Float(1.0), Value::Float(1.5), Value::Float(2.0)],
+            "config {}",
+            opts.label(),
+        );
+    }
+}

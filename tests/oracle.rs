@@ -1,244 +1,76 @@
 //! The semantics oracle: the merge-sort-tree engine must agree with the
 //! naive per-row implementation on randomized tables, window specs, frames
-//! and function options. The two sides share only the partition/sort/frame
-//! plumbing; every aggregate result is derived independently.
+//! and function options.
+//!
+//! Scenarios are drawn from the *shared* generator in `crates/fuzz`, so the
+//! oracle and the differential fuzzer agree on one definition of the spec
+//! space — GROUPS frames, DESC inner ORDER BYs, per-row expression bounds,
+//! huge offsets, NULL-heavy and tie-heavy tables all come from the same
+//! weighted distribution. The check itself is the fuzzer's differential
+//! check: float-tolerant against naive, bit-identical across all eight
+//! engine configurations.
 
-use holistic_windows::baselines::naive;
+use holistic_fuzz::gen::{self, case_seed, generate, GenConfig};
+use holistic_fuzz::{check_case, with_quiet_panics};
 use holistic_windows::prelude::*;
-use holistic_windows::window::frame::FrameMode;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::{rngs::StdRng, SeedableRng};
 
-fn random_table(rng: &mut StdRng, n: usize) -> Table {
-    let groups = ["x", "y", "z"];
-    let g: Vec<&str> = (0..n).map(|_| groups[rng.gen_range(0usize..3)]).collect();
-    let k: Vec<Option<i64>> = (0..n)
-        .map(|_| if rng.gen_bool(0.08) { None } else { Some(rng.gen_range(0..40)) })
-        .collect();
-    let v: Vec<Option<i64>> = (0..n)
-        .map(|_| if rng.gen_bool(0.12) { None } else { Some(rng.gen_range(-15..15)) })
-        .collect();
-    let f: Vec<Option<f64>> = (0..n)
-        .map(|_| if rng.gen_bool(0.1) { None } else { Some(rng.gen_range(-8.0..8.0)) })
-        .collect();
-    let d: Vec<i32> = (0..n).map(|_| rng.gen_range(0..500)).collect();
-    Table::new(vec![
-        ("g", Column::strs(g)),
-        ("k", Column::ints_opt(k)),
-        ("v", Column::ints_opt(v)),
-        ("f", Column::floats_opt(f)),
-        ("d", Column::dates(d)),
-    ])
-    .unwrap()
-}
-
-fn random_bound(rng: &mut StdRng, start: bool) -> FrameBound {
-    match rng.gen_range(0..5) {
-        0 => {
-            if start {
-                FrameBound::UnboundedPreceding
-            } else {
-                FrameBound::UnboundedFollowing
-            }
-        }
-        1 => FrameBound::CurrentRow,
-        2 => FrameBound::Preceding(lit(rng.gen_range(0..30i64))),
-        3 => FrameBound::Following(lit(rng.gen_range(0..30i64))),
-        // Per-row expression bound (non-monotonic frames, §6.5).
-        _ => {
-            // d − DATE '1970-01-01' turns the date into day counts.
-            let days = col("d").sub(lit(Value::Date(0)));
-            let e = days.mul(lit(7703i64)).rem(lit(rng.gen_range(3..25i64)));
-            if rng.gen_bool(0.5) {
-                FrameBound::Preceding(e)
-            } else {
-                FrameBound::Following(e)
-            }
-        }
-    }
-}
-
-fn random_frame(rng: &mut StdRng, range_ok: bool) -> FrameSpec {
-    let mode = match rng.gen_range(0..4) {
-        0 | 1 => FrameMode::Rows,
-        2 if range_ok => FrameMode::Range,
-        _ => FrameMode::Groups,
-    };
-    let start = random_bound(rng, true);
-    let end = random_bound(rng, false);
-    let mut spec = match mode {
-        FrameMode::Rows => FrameSpec::rows(start, end),
-        FrameMode::Range => FrameSpec::range(start, end),
-        FrameMode::Groups => FrameSpec::groups(start, end),
-    };
-    spec.exclusion = match rng.gen_range(0..4) {
-        0 => FrameExclusion::NoOthers,
-        1 => FrameExclusion::CurrentRow,
-        2 => FrameExclusion::Group,
-        _ => FrameExclusion::Ties,
-    };
-    spec
-}
-
-fn random_spec(rng: &mut StdRng) -> WindowSpec {
-    let partition_by = if rng.gen_bool(0.5) { vec![col("g")] } else { vec![] };
-    // RANGE with offsets needs one non-null... a single numeric key; allow
-    // NULLs (peer-group semantics are exercised too).
-    let (order_by, range_ok) = match rng.gen_range(0..4) {
-        0 => (vec![SortKey::asc(col("k"))], true),
-        1 => (vec![SortKey::desc(col("k"))], true),
-        2 => (vec![SortKey::asc(col("d"))], true),
-        _ => (vec![SortKey::asc(col("k")), SortKey::desc(col("d"))], false),
-    };
-    WindowSpec::new()
-        .partition_by(partition_by)
-        .order_by(order_by)
-        .frame(random_frame(rng, range_ok))
-}
-
-fn random_inner_order(rng: &mut StdRng) -> Vec<SortKey> {
-    match rng.gen_range(0..3) {
-        0 => vec![SortKey::asc(col("v"))],
-        1 => vec![SortKey::desc(col("v"))],
-        _ => vec![SortKey::asc(col("f"))],
-    }
-}
-
-fn all_calls(rng: &mut StdRng) -> Vec<FunctionCall> {
-    let maybe_filter = |c: FunctionCall, rng: &mut StdRng| {
-        if rng.gen_bool(0.4) {
-            let days = col("d").sub(lit(Value::Date(0)));
-            c.filter(days.rem(lit(3i64)).ne(lit(0i64)))
-        } else {
-            c
-        }
-    };
-    let mut calls = vec![
-        FunctionCall::count_star(),
-        FunctionCall::count(col("v")),
-        FunctionCall::count_distinct(col("v")),
-        FunctionCall::sum(col("v")),
-        FunctionCall::sum_distinct(col("v")),
-        FunctionCall::sum(col("f")),
-        FunctionCall::sum_distinct(col("f")),
-        FunctionCall::avg(col("v")).distinct(),
-        FunctionCall::avg(col("f")),
-        FunctionCall::min(col("v")),
-        FunctionCall::max(col("f")),
-        FunctionCall::min(col("g")),
-        FunctionCall::row_number(random_inner_order(rng)),
-        FunctionCall::row_number(vec![]),
-        FunctionCall::rank(random_inner_order(rng)),
-        FunctionCall::rank(vec![]),
-        FunctionCall::dense_rank(random_inner_order(rng)),
-        FunctionCall::dense_rank(vec![]),
-        FunctionCall::percent_rank(random_inner_order(rng)),
-        FunctionCall::cume_dist(random_inner_order(rng)),
-        FunctionCall::ntile(lit(rng.gen_range(1..6i64)), random_inner_order(rng)),
-        FunctionCall::percentile_disc(rng.gen_range(0.0..=1.0), SortKey::asc(col("v"))),
-        FunctionCall::percentile_disc(0.99, SortKey::desc(col("f"))),
-        FunctionCall::percentile_cont(rng.gen_range(0.0..=1.0), SortKey::asc(col("f"))),
-        FunctionCall::median(col("v")),
-        FunctionCall::first_value(col("v")),
-        FunctionCall::first_value(col("v")).order_by(random_inner_order(rng)),
-        FunctionCall::first_value(col("v")).ignore_nulls(),
-        FunctionCall::last_value(col("g")).order_by(random_inner_order(rng)),
-        FunctionCall::nth_value(col("v"), lit(rng.gen_range(1..5i64))),
-        FunctionCall::nth_value(col("g"), lit(2i64)).order_by(random_inner_order(rng)),
-        FunctionCall::lead(col("v"), rng.gen_range(1..4), lit(-99i64)),
-        FunctionCall::lag(col("v"), rng.gen_range(1..4), lit(-99i64)),
-        FunctionCall::lead(col("v"), 1, lit(-99i64)).order_by(random_inner_order(rng)),
-        FunctionCall::lag(col("g"), 2, lit("none")).order_by(random_inner_order(rng)),
-        FunctionCall::lead(col("v"), 1, lit(-99i64)).ignore_nulls(),
-        FunctionCall::lead(col("v"), 1, lit(-99i64))
-            .order_by(random_inner_order(rng))
-            .ignore_nulls(),
-        FunctionCall::mode(col("v")),
-        FunctionCall::mode(col("g")),
-    ];
-    calls = calls.into_iter().map(|c| maybe_filter(c, rng)).collect();
-    for (i, c) in calls.iter_mut().enumerate() {
-        c.output_name = format!("c{i}_{}", c.kind.name().replace(['(', ')', '*'], ""));
-    }
-    calls
-}
-
-fn values_close(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Float(x), Value::Float(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
-        (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
-            (*x - *y as f64).abs() <= 1e-9
-        }
-        _ => a == b,
-    }
-}
-
-fn compare(table: &Table, q: &WindowQuery, label: &str) {
-    let expect = naive::execute(q, table).unwrap();
-    for opts in [ExecOptions::default(), ExecOptions::serial()] {
-        let got = q.execute_with(table, opts).unwrap();
-        for (name, col_got) in got.iter() {
-            let col_exp = expect.column(name).unwrap();
-            for i in 0..table.num_rows() {
-                let (g, e) = (col_got.get(i), col_exp.get(i));
-                assert!(
-                    values_close(&g, &e),
-                    "{label}: column {name} row {i}: engine={g} naive={e} \
-                     (parallel={})",
-                    opts.parallel,
-                );
-            }
-        }
-    }
+fn run_cases(base_seed: u64, count: u64, cfg: &GenConfig) -> Vec<String> {
+    with_quiet_panics(|| {
+        (0..count)
+            .filter_map(|i| {
+                let case = generate(case_seed(base_seed, i), cfg);
+                check_case(&case.table, &case.query).err().map(|d| {
+                    format!("case {i} (seed {:#x}, n={}): {d}", case.seed, case.table.num_rows())
+                })
+            })
+            .collect()
+    })
 }
 
 #[test]
 fn engine_matches_naive_on_random_workloads() {
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-    for scenario in 0..25 {
-        let n = rng.gen_range(1..160);
-        let table = random_table(&mut rng, n);
-        let spec = random_spec(&mut rng);
-        let mut q = WindowQuery::over(spec.clone());
-        for call in all_calls(&mut rng) {
-            q = q.call(call);
-        }
-        compare(&table, &q, &format!("scenario {scenario} (n={n}, spec={spec:?})"));
-    }
-}
-
-#[test]
-fn engine_matches_naive_default_and_whole_partition_frames() {
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
-    for scenario in 0..6 {
-        let n = rng.gen_range(1..120);
-        let table = random_table(&mut rng, n);
-        for frame in [FrameSpec::default_frame(), FrameSpec::whole_partition()] {
-            let spec = WindowSpec::new()
-                .partition_by(vec![col("g")])
-                .order_by(vec![SortKey::asc(col("k"))])
-                .frame(frame);
-            let mut q = WindowQuery::over(spec);
-            for call in all_calls(&mut rng) {
-                q = q.call(call);
-            }
-            compare(&table, &q, &format!("default-frame scenario {scenario}"));
-        }
-    }
+    let cfg = GenConfig { max_n: 160, max_calls: 8 };
+    let failures = run_cases(0xC0FFEE, 60, &cfg);
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
 }
 
 #[test]
 fn engine_matches_naive_on_tiny_tables() {
-    // Exhaustive-ish small sizes (empty frames, single rows, all-null cols).
-    let mut rng = StdRng::seed_from_u64(0xAB1E70);
-    for n in 1..8usize {
-        for _ in 0..6 {
-            let table = random_table(&mut rng, n);
-            let spec = random_spec(&mut rng);
-            let mut q = WindowQuery::over(spec);
-            for call in all_calls(&mut rng) {
-                q = q.call(call);
+    // Small sizes are where empty frames, single rows and all-NULL columns
+    // concentrate; drive many more cases through them.
+    let cfg = GenConfig { max_n: 7, max_calls: 5 };
+    let failures = run_cases(0xAB1E70, 250, &cfg);
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn engine_matches_naive_default_and_whole_partition_frames() {
+    // The two fixed frames every SQL engine leans on, combined with
+    // generator-drawn tables and calls.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let failures: Vec<String> = with_quiet_panics(|| {
+        let mut out = Vec::new();
+        for scenario in 0..12 {
+            let table = gen::gen_table(&mut rng, 40 + scenario * 9);
+            for frame in [FrameSpec::default_frame(), FrameSpec::whole_partition()] {
+                let spec = WindowSpec::new()
+                    .partition_by(vec![col("g")])
+                    .order_by(vec![SortKey::asc(col("k"))])
+                    .frame(frame);
+                let mut q = WindowQuery::over(spec);
+                for i in 0..6 {
+                    let mut call = gen::gen_call(&mut rng);
+                    call.output_name =
+                        format!("c{i}_{}", call.kind.name().replace(['(', ')', '*'], ""));
+                    q = q.call(call);
+                }
+                if let Err(d) = check_case(&table, &q) {
+                    out.push(format!("scenario {scenario}: {d}"));
+                }
             }
-            compare(&table, &q, &format!("tiny n={n}"));
         }
-    }
+        out
+    });
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
 }
