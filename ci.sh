@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (workspace, deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -27,5 +30,6 @@ cargo run --release -q -p holistic-fuzz --bin fuzz -- --panic-sweep --cases 400 
 echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private identity)"
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext
+N=4000 W=64 REPS=1 ENGINE_N=2000 cargo run --release -q -p holistic-bench --bin layout_ext -- --json
 
 echo "CI OK"

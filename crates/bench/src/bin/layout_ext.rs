@@ -1,0 +1,300 @@
+//! Supplementary experiment: arena-backed flat MST layout vs. the per-run
+//! allocation baseline (DESIGN.md "Memory layout").
+//!
+//! The merge sort tree's logical structure (levels of sorted runs with
+//! cascading sample pointers) says nothing about its physical layout. The
+//! seed engine allocated every run — keys and pointers — as its own vector;
+//! the arena layout stores all levels' keys in one allocation and all
+//! cascading pointers in flat struct-of-arrays slabs, with run boundaries
+//! reduced to offset/length arithmetic, and prefetches the next level's
+//! cascaded landing run during probe descent. Both layouts run the same
+//! merge kernel, so run *contents* are bit-identical; only locality and
+//! allocation count differ. This binary measures both phases on three
+//! array-level workloads (count, select, annotated distinct-aggregate) and
+//! then asserts engine-level bit-identity across all eight execution
+//! configurations on a window query that exercises every tree family.
+//!
+//! Human-readable tables always; `--json` additionally writes
+//! `bench_results/BENCH_layout_ext.json`. `N=...` rescales (default 1M).
+
+use holistic_bench::json::{self, BenchRecord};
+use holistic_bench::{env_usize, time_best};
+use holistic_core::aggregate::SumI64;
+use holistic_core::layout_baseline::{PerRunAnnotated, PerRunMst};
+use holistic_core::{AnnotatedMst, MergeSortTree, MstParams};
+use holistic_tpch::lineitem;
+use holistic_window::frame::{FrameBound, FrameSpec};
+use holistic_window::{
+    col, lit, Column, ExecOptions, FunctionCall, SortKey, Table, Value, WindowQuery, WindowSpec,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Trailing ROWS frame `[i.saturating_sub(w-1), i+1)` — the monotonic shape
+/// dominating real workloads (fig. 11's sweep fixes the width the same way).
+#[inline]
+fn frame(i: usize, w: usize) -> (usize, usize) {
+    (i.saturating_sub(w - 1), i + 1)
+}
+
+/// Per-row probe time in nanoseconds: best of `reps` full passes.
+fn probe_ns(n: usize, reps: usize, mut pass: impl FnMut() -> u64) -> f64 {
+    // The checksum keeps the optimizer honest across passes.
+    let (_, d) = time_best(reps, &mut pass);
+    d.as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    let n = env_usize("N", 1_000_000);
+    let w = env_usize("W", 1024).max(1);
+    let reps = env_usize("REPS", 3);
+    let engine_n = env_usize("ENGINE_N", n.min(100_000));
+    let emit_json = std::env::args().any(|a| a == "--json");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    // Keys: ~n/16 distinct values, the regime where distinct aggregates and
+    // rank codes both have work to do.
+    let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..(n as u32 / 16).max(1))).collect();
+    // Shifted previous-occurrence indices (Algorithm 1) for the annotated
+    // workload, plus i64 payloads.
+    let mut last = vec![0u32; (n as u32 / 16).max(1) as usize];
+    let prev: Vec<u32> = vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let p = last[v as usize];
+            last[v as usize] = i as u32 + 1;
+            p
+        })
+        .collect();
+    let payloads: Vec<i64> = vals.iter().map(|&v| v as i64 % 97).collect();
+
+    let params = MstParams::default().serial();
+    let params_nopf = params.no_prefetch();
+
+    println!("# layout_ext: arena vs per-run MST layout, n={n} w={w} (serial, u32 keys)");
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut rec = |workload: &str, algorithm: &str, ns: f64, extra: &[(&str, f64)]| {
+        let mut r = BenchRecord::new(workload, n, algorithm, ns);
+        for &(k, v) in extra {
+            r = r.with(k, v);
+        }
+        records.push(r);
+    };
+
+    // ---- Build phase -----------------------------------------------------
+    let (arena, arena_build) = time_best(reps, || MergeSortTree::<u32>::build(&vals, params));
+    let (perrun, perrun_build) = time_best(reps, || PerRunMst::<u32>::build(&vals, params));
+    let arena_ns = arena_build.as_nanos() as f64 / n as f64;
+    let perrun_ns = perrun_build.as_nanos() as f64 / n as f64;
+    println!(
+        "build            | arena {arena_ns:>7.1} ns/row ({} allocs) | per-run {perrun_ns:>7.1} ns/row ({} allocs) | speedup {:.3}",
+        1,
+        perrun.allocations(),
+        perrun_ns / arena_ns,
+    );
+    rec("build", "arena", arena_ns, &[("allocations", 1.0), ("bytes", arena.arena_bytes() as f64)]);
+    rec("build", "per-run", perrun_ns, &[("allocations", perrun.allocations() as f64)]);
+
+    // ---- Probe: count_below (framed rank shape) --------------------------
+    let arena_nopf = MergeSortTree::<u32>::build(&vals, params_nopf);
+    for i in (0..n).step_by((n / 1000).max(1)) {
+        let (a, b) = frame(i, w);
+        assert_eq!(
+            arena.count_below(a, b, vals[i]),
+            perrun.count_below(a, b, vals[i]),
+            "layouts disagree on count_below at row {i}"
+        );
+    }
+    let count_pass = |t: &MergeSortTree<u32>| {
+        let mut acc = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(t.count_below(a, b, v) as u64);
+        }
+        acc
+    };
+    let count_base = {
+        let mut acc = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(perrun.count_below(a, b, v) as u64);
+        }
+        acc
+    };
+    let c_arena = probe_ns(n, reps, || count_pass(&arena));
+    let c_nopf = probe_ns(n, reps, || count_pass(&arena_nopf));
+    let c_perrun = probe_ns(n, reps, || {
+        let mut acc = 0u64;
+        for (i, &v) in vals.iter().enumerate() {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(perrun.count_below(a, b, v) as u64);
+        }
+        assert_eq!(acc, count_base);
+        acc
+    });
+    println!(
+        "probe count      | arena {c_arena:>7.1} | arena-nopf {c_nopf:>7.1} | per-run {c_perrun:>7.1} ns/row | speedup {:.3}",
+        c_perrun / c_arena
+    );
+    rec("count_below", "arena", c_arena, &[]);
+    rec("count_below", "arena-noprefetch", c_nopf, &[]);
+    rec("count_below", "per-run", c_perrun, &[]);
+
+    // ---- Probe: select (framed median shape) -----------------------------
+    // Selection runs over a permutation array (§4.5): the tree's values are
+    // a bijection of 0..n, so a value range [a, b) always holds b-a rows.
+    let mut sel_perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        sel_perm.swap(i, rng.gen_range(0..=i));
+    }
+    let sel_arena = MergeSortTree::<u32>::build(&sel_perm, params);
+    let sel_nopf = MergeSortTree::<u32>::build(&sel_perm, params_nopf);
+    let sel_perrun = PerRunMst::<u32>::build(&sel_perm, params);
+    for i in (0..n).step_by((n / 1000).max(1)) {
+        let (a, b) = frame(i, w);
+        assert_eq!(
+            sel_arena.select_in_range(a, b, (b - a) / 2),
+            sel_perrun.select_in_range(a, b, (b - a) / 2),
+            "layouts disagree on select at row {i}"
+        );
+    }
+    let s_arena = probe_ns(n, reps, || {
+        let mut acc = 0u64;
+        for i in 0..n {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(sel_arena.select_in_range(a, b, (b - a) / 2).unwrap() as u64);
+        }
+        acc
+    });
+    let s_nopf = probe_ns(n, reps, || {
+        let mut acc = 0u64;
+        for i in 0..n {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(sel_nopf.select_in_range(a, b, (b - a) / 2).unwrap() as u64);
+        }
+        acc
+    });
+    let s_perrun = probe_ns(n, reps, || {
+        let mut acc = 0u64;
+        for i in 0..n {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(sel_perrun.select_in_range(a, b, (b - a) / 2).unwrap() as u64);
+        }
+        acc
+    });
+    println!(
+        "probe select     | arena {s_arena:>7.1} | arena-nopf {s_nopf:>7.1} | per-run {s_perrun:>7.1} ns/row | speedup {:.3}",
+        s_perrun / s_arena
+    );
+    rec("select", "arena", s_arena, &[]);
+    rec("select", "arena-noprefetch", s_nopf, &[]);
+    rec("select", "per-run", s_perrun, &[]);
+
+    // ---- Annotated tree: distinct-aggregate shape ------------------------
+    let (ann, ann_build) =
+        time_best(reps, || AnnotatedMst::<u32, SumI64>::build(&prev, &payloads, params));
+    let (ann_base, ann_base_build) =
+        time_best(reps, || PerRunAnnotated::<u32, SumI64>::build(&prev, &payloads, params));
+    for i in (0..n).step_by((n / 1000).max(1)) {
+        let (a, b) = frame(i, w);
+        assert_eq!(
+            ann.aggregate_below(a, b, a as u32 + 1),
+            ann_base.aggregate_below(a, b, a as u32 + 1),
+            "layouts disagree on aggregate_below at row {i}"
+        );
+    }
+    let ab_arena = ann_build.as_nanos() as f64 / n as f64;
+    let ab_perrun = ann_base_build.as_nanos() as f64 / n as f64;
+    let a_arena = probe_ns(n, reps, || {
+        let mut acc = 0i128;
+        for i in 0..n {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(ann.aggregate_below(a, b, a as u32 + 1).0);
+        }
+        acc as u64
+    });
+    let a_perrun = probe_ns(n, reps, || {
+        let mut acc = 0i128;
+        for i in 0..n {
+            let (a, b) = frame(i, w);
+            acc = acc.wrapping_add(ann_base.aggregate_below(a, b, a as u32 + 1).0);
+        }
+        acc as u64
+    });
+    println!(
+        "annotated build  | arena {ab_arena:>7.1} | per-run {ab_perrun:>7.1} ns/row | speedup {:.3}",
+        ab_perrun / ab_arena
+    );
+    println!(
+        "annotated probe  | arena {a_arena:>7.1} | per-run {a_perrun:>7.1} ns/row | speedup {:.3}",
+        a_perrun / a_arena
+    );
+    rec("annotated-build", "arena", ab_arena, &[("bytes", ann.bytes() as f64)]);
+    rec("annotated-build", "per-run", ab_perrun, &[]);
+    rec("annotated-probe", "arena", a_arena, &[]);
+    rec("annotated-probe", "per-run", a_perrun, &[]);
+
+    // ---- Engine bit-identity across all eight configurations ------------
+    // A query exercising code trees, permutation trees, distinct trees and
+    // float aggregation; every config must produce bit-identical output
+    // (floats compared by bits) regardless of layout-internal choices.
+    let li = lineitem(engine_n, 42);
+    let table = Table::new(vec![
+        ("date", Column::ints(li.shipdate.iter().map(|&d| d as i64).collect())),
+        ("pos", Column::ints((0..engine_n as i64).collect())),
+        ("price", Column::floats(li.extendedprice.iter().map(|&p| p as f64 / 100.0).collect())),
+        ("part", Column::ints(li.partkey.clone())),
+    ])
+    .unwrap();
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("date")), SortKey::asc(col("pos"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(499i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("price")).named("med"))
+    .call(FunctionCall::rank(vec![SortKey::asc(col("price"))]).named("r"))
+    .call(FunctionCall::count_distinct(col("part")).named("cd"));
+    let bits = |t: &Table, name: &str| -> Vec<u64> {
+        t.column(name)
+            .unwrap()
+            .to_values()
+            .iter()
+            .map(|v| match v {
+                Value::Float(x) => x.to_bits(),
+                Value::Int(x) => *x as u64,
+                Value::Null => u64::MAX,
+                v => panic!("unexpected value type {v}"),
+            })
+            .collect()
+    };
+    let configs = ExecOptions::all_configs();
+    let (reference, profile) = q.execute_profiled(&table, configs[0]).unwrap();
+    for opts in &configs[1..] {
+        let out = q.execute_with(&table, *opts).unwrap();
+        for name in ["med", "r", "cd"] {
+            assert_eq!(
+                bits(&reference, name),
+                bits(&out, name),
+                "config {} differs from {} on column {name}",
+                opts.label(),
+                configs[0].label()
+            );
+        }
+    }
+    println!("# engine: all {} configs bit-identical on med/r/cd at n={engine_n}", configs.len());
+    println!("# per-artifact memory ({}; shallow bytes):", configs[0].label());
+    for a in &profile.artifacts {
+        println!("#   {:<18} {:>3} builds {:>12} bytes", a.label, a.builds, a.bytes);
+        records.push(
+            BenchRecord::new(&format!("artifact/{}", a.label), engine_n, "arena", 0.0)
+                .with("builds", a.builds as f64)
+                .with("bytes", a.bytes as f64),
+        );
+    }
+
+    if emit_json {
+        let path = json::write("layout_ext", &records).unwrap();
+        println!("# wrote {}", path.display());
+    }
+}

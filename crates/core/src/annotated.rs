@@ -11,65 +11,99 @@
 use crate::aggregate::DistinctAggregate;
 use crate::cursor::ProbeCursor;
 use crate::index::TreeIndex;
-use crate::mst::{build_levels, Level, MergeSortTree};
+use crate::mst::{fill_levels, level_geometry, MergeSortTree};
 use crate::params::MstParams;
 use crate::range_set::RangeSet;
 use rayon::prelude::*;
 
 /// A merge sort tree whose runs carry prefix aggregation states.
+///
+/// Storage follows the same arena discipline as the plain tree (see
+/// [`crate::arena`]): keys and cascading pointers share one allocation, and
+/// all levels' prefix states live in a single struct-of-arrays slab indexed
+/// `level · n + position` — probe lookups resolve against two flat buffers,
+/// never per-level vectors.
 pub struct AnnotatedMst<I: TreeIndex, A: DistinctAggregate> {
     tree: MergeSortTree<I>,
-    /// Per level, aligned with the level's data: prefix states per run.
-    prefix: Vec<Vec<A::State>>,
+    /// All levels' prefix states, level-major: entry `level · n + i` combines
+    /// the payloads of the elements of `i`'s run up to and including `i`.
+    prefix: Vec<A::State>,
 }
 
 impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
     /// Builds an annotated tree over the merge keys `values` (shifted
     /// prevIdcs) and per-row aggregation `payloads`.
+    ///
+    /// The merge runs over `(key, payload)` pairs in a scratch arena; keys
+    /// are then extracted into the tree's final single allocation and the
+    /// payloads folded into the prefix slab (Figure 5), so the scratch pairs
+    /// never survive the build.
     pub fn build(values: &[I], payloads: &[A::Payload], params: MstParams) -> Self {
         assert_eq!(values.len(), payloads.len());
         let n = values.len();
-        let base: Vec<(I, A::Payload)> =
-            values.iter().copied().zip(payloads.iter().copied()).collect();
-        let pair_levels = build_levels::<I, (I, A::Payload)>(base, params);
+        let meta = level_geometry(n, params);
+        let h = meta.len();
+        let ptrs_len = meta.last().unwrap().ptrs.end();
 
-        let mut key_levels = Vec::with_capacity(pair_levels.len());
-        let mut prefix = Vec::with_capacity(pair_levels.len());
-        for lvl in pair_levels {
-            let keys: Vec<I> = lvl.data.iter().map(|&(k, _)| k).collect();
-            let run_len = lvl.run_len;
-            let mut states: Vec<A::State> = Vec::with_capacity(n);
-            // Prefix-fold every run. Runs are independent; fold them in
-            // parallel via chunked iteration.
+        // Scratch pair arena for the merge; same geometry as the key arena.
+        let mut pairs: Vec<(I, A::Payload)> = vec![Default::default(); h * n];
+        for (slot, (&v, &p)) in pairs.iter_mut().zip(values.iter().zip(payloads)) {
+            *slot = (v, p);
+        }
+        let mut ptrs = vec![I::ZERO; ptrs_len];
+        fill_levels::<I, (I, A::Payload)>(n, params, &meta, &mut pairs, &mut ptrs);
+
+        // Final key arena: extracted keys followed by the pointer slabs.
+        let mut arena = vec![I::ZERO; h * n + ptrs_len];
+        let (keys, ptr_region) = arena.split_at_mut(h * n);
+        for (k, &(key, _)) in keys.iter_mut().zip(pairs.iter()) {
+            *k = key;
+        }
+        ptr_region.copy_from_slice(&ptrs);
+
+        // Prefix-fold every run of every level into one level-major slab.
+        // Runs are independent; fold them in parallel via chunked iteration.
+        let mut prefix: Vec<A::State> = vec![A::identity(); h * n];
+        for (lvl, m) in meta.iter().enumerate() {
+            let dst = &mut prefix[lvl * n..(lvl + 1) * n];
+            let src = &pairs[lvl * n..(lvl + 1) * n];
+            let fold = |out: &mut [A::State], data: &[(I, A::Payload)]| {
+                let mut acc = A::identity();
+                for (o, &(_, p)) in out.iter_mut().zip(data.iter()) {
+                    acc = A::combine(acc, A::lift(p));
+                    *o = acc;
+                }
+            };
             if params.parallel && n >= 4096 {
-                states.resize(n, A::identity());
-                states.par_chunks_mut(run_len).zip(lvl.data.par_chunks(run_len)).for_each(
+                dst.par_chunks_mut(m.run_len).zip(src.par_chunks(m.run_len)).for_each(
                     |(out, data)| {
-                        let mut acc = A::identity();
-                        for (o, &(_, p)) in out.iter_mut().zip(data.iter()) {
-                            acc = A::combine(acc, A::lift(p));
-                            *o = acc;
-                        }
+                        fold(out, data);
                     },
                 );
             } else {
-                for chunk in lvl.data.chunks(run_len.max(1)) {
-                    let mut acc = A::identity();
-                    for &(_, p) in chunk {
-                        acc = A::combine(acc, A::lift(p));
-                        states.push(acc);
-                    }
+                for (out, data) in dst.chunks_mut(m.run_len).zip(src.chunks(m.run_len)) {
+                    fold(out, data);
                 }
             }
-            key_levels.push(Level {
-                data: keys,
-                run_len,
-                ptrs: lvl.ptrs,
-                sample_offsets: lvl.sample_offsets,
-            });
-            prefix.push(states);
         }
-        AnnotatedMst { tree: MergeSortTree { levels: key_levels, params, n }, prefix }
+        AnnotatedMst { tree: MergeSortTree::from_parts(arena, meta, params, n), prefix }
+    }
+
+    /// The prefix state at `(level, absolute position)`.
+    #[inline]
+    fn pf(&self, level: usize, i: usize) -> A::State {
+        self.prefix[level * self.tree.len() + i]
+    }
+
+    /// Size in bytes of the prefix-state slab (for artifact accounting; the
+    /// key/pointer arena is reported by [`MergeSortTree::arena_bytes`]).
+    pub fn prefix_bytes(&self) -> usize {
+        self.prefix.len() * std::mem::size_of::<A::State>()
+    }
+
+    /// Total footprint in bytes: the key/pointer arena plus the prefix slab.
+    pub fn bytes(&self) -> usize {
+        self.tree.arena_bytes() + self.prefix_bytes()
     }
 
     /// Number of elements.
@@ -91,7 +125,7 @@ impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
         let mut count = 0usize;
         self.tree.decompose_below(a, b, t, |level, run_start, pos| {
             if pos > 0 {
-                state = A::combine(state, self.prefix[level][run_start + pos - 1]);
+                state = A::combine(state, self.pf(level, run_start + pos - 1));
                 count += pos;
             }
         });
@@ -130,7 +164,7 @@ impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
         let mut count = 0usize;
         self.tree.decompose_below_cursor(a, b, t, 0, cur, |level, run_start, pos| {
             if pos > 0 {
-                state = A::combine(state, self.prefix[level][run_start + pos - 1]);
+                state = A::combine(state, self.pf(level, run_start + pos - 1));
                 count += pos;
             }
         });
@@ -151,7 +185,7 @@ impl<I: TreeIndex, A: DistinctAggregate> AnnotatedMst<I, A> {
             let mut piece = A::identity();
             self.tree.decompose_below_cursor(a, b, t, ri, cur, |level, run_start, pos| {
                 if pos > 0 {
-                    piece = A::combine(piece, self.prefix[level][run_start + pos - 1]);
+                    piece = A::combine(piece, self.pf(level, run_start + pos - 1));
                     count += pos;
                 }
             });

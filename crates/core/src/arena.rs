@@ -1,0 +1,124 @@
+//! Flat storage arena for merge sort trees.
+//!
+//! A merge sort tree is read by tight probe loops that descend one level per
+//! step. Storing every level (and every level's cascading-pointer slab) in
+//! its own heap allocation makes each descent hop between unrelated
+//! allocations; storing the whole tree in **one** contiguous buffer with a
+//! small per-level offset table keeps the descent inside a single, predictably
+//! laid out region — the "sequential, array-based levels" the paper credits
+//! for the structure's practical speed (§5.1).
+//!
+//! The layout (see DESIGN.md "Memory layout") is struct-of-arrays:
+//!
+//! ```text
+//! arena: [ level-0 keys | level-1 keys | … | level-h keys ‖ level-1 ptrs | … ]
+//!          └────────────── keys region ─────────────────┘ └─ pointer slabs ─┘
+//! ```
+//!
+//! Every level holds exactly `n` keys, so the keys region needs no offset
+//! table at all (`level * n`); pointer slabs carry explicit [`Span`]s. Run
+//! boundaries inside a level are `(offset, len)` arithmetic on `run_len`
+//! rather than owned vectors.
+//!
+//! This module also hosts the safe software-prefetch helper used by the probe
+//! descent. The crate forbids `unsafe`, so instead of a prefetch intrinsic we
+//! issue a plain *cache-warming read*: the load has no data dependency on the
+//! searches that follow, so out-of-order execution overlaps the miss with
+//! real work. The descent batches these reads for all of a partial node's
+//! children up front ([`prefetch_read`] returns the value, the caller folds
+//! it into a sink and [`std::hint::black_box`]es the sink once per query), so
+//! the scattered child-window misses are all in flight together rather than
+//! each hiding behind the previous child's binary search.
+
+/// A contiguous `(offset, len)` window into an arena buffer.
+///
+/// Spans replace owned `Vec`s for run and slab boundaries: they are `Copy`,
+/// 16 bytes, and resolve against the arena with a single slice operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start offset into the arena buffer.
+    pub off: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `[off, off + len)`.
+    #[inline]
+    pub fn new(off: usize, len: usize) -> Self {
+        Span { off, len }
+    }
+
+    /// Resolves this span against its arena buffer.
+    #[inline]
+    pub fn slice<'a, T>(&self, buf: &'a [T]) -> &'a [T] {
+        &buf[self.off..self.off + self.len]
+    }
+
+    /// Resolves this span mutably.
+    #[inline]
+    pub fn slice_mut<'a, T>(&self, buf: &'a mut [T]) -> &'a mut [T] {
+        &mut buf[self.off..self.off + self.len]
+    }
+
+    /// Offset one past the last element.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.off + self.len
+    }
+}
+
+/// Software prefetch via a safe cache-warming read.
+///
+/// Touches `buf[idx]` (if in bounds) and returns the value so the caller can
+/// fold it into a sink that is [`std::hint::black_box`]ed *once per query* —
+/// a per-read `black_box` would insert a compiler memory barrier into the
+/// descent's hot loop, which costs more than the warmed line saves. Out of
+/// bounds indices are ignored — prefetching is advisory, never a correctness
+/// concern. Results of any computation are unaffected: this is a pure read.
+///
+/// ```
+/// let data = vec![3u32, 1, 4, 1, 5];
+/// assert_eq!(holistic_core::arena::prefetch_read(&data, 2), 4); // warms data[2]
+/// assert_eq!(holistic_core::arena::prefetch_read(&data, 99), 0); // oob: no-op
+/// ```
+#[inline(always)]
+#[must_use = "fold the warmed value into a black_box'd sink or the read is elided"]
+pub fn prefetch_read<I: crate::index::TreeIndex>(buf: &[I], idx: usize) -> usize {
+    match buf.get(idx) {
+        Some(&v) => v.to_usize(),
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_resolves_windows() {
+        let buf: Vec<u32> = (0..10).collect();
+        let s = Span::new(3, 4);
+        assert_eq!(s.slice(&buf), &[3, 4, 5, 6]);
+        assert_eq!(s.end(), 7);
+        let mut buf = buf;
+        s.slice_mut(&mut buf)[0] = 99;
+        assert_eq!(buf[3], 99);
+    }
+
+    #[test]
+    fn empty_span_is_fine() {
+        let buf: Vec<u32> = vec![1, 2];
+        let s = Span::new(2, 0);
+        assert_eq!(s.slice(&buf), &[] as &[u32]);
+    }
+
+    #[test]
+    fn prefetch_never_panics() {
+        let buf: Vec<u64> = vec![7; 8];
+        assert_eq!(prefetch_read(&buf, 0), 7);
+        assert_eq!(prefetch_read(&buf, 7), 7);
+        assert_eq!(prefetch_read(&buf, 8), 0); // out of bounds: ignored
+        assert_eq!(prefetch_read::<u64>(&[], 0), 0);
+    }
+}

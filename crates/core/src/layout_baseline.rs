@@ -1,0 +1,435 @@
+//! The pre-arena merge sort tree layout, kept as a measurement baseline.
+//!
+//! Before the flat arena (see [`crate::arena`]) the tree allocated each
+//! sorted run and its cascading-sample vector independently, so a probe
+//! descent hopped between unrelated heap allocations at every level and a
+//! build at n = 1M performed tens of thousands of small allocations. This
+//! module preserves that representation — per-run owned `Vec`s, stateless
+//! probes, no prefetching — so `layout_ext` can measure the arena layout
+//! against its predecessor and the equivalence proptests can assert that the
+//! refactor changed nothing observable.
+//!
+//! The merge kernel (`merge::merge_run`) is shared with the arena
+//! build, so per-run *contents* are bit-identical between the two layouts;
+//! only the storage strategy differs. Not used by the execution engine.
+
+use crate::aggregate::DistinctAggregate;
+use crate::index::TreeIndex;
+use crate::merge::{merge_run, Keyed, RunChildren};
+use crate::params::MstParams;
+use crate::range_set::{RangeSet, MAX_RANGES};
+use rayon::prelude::*;
+
+/// One level above the base: nominal run length plus per-run owned storage
+/// (`(sorted data, cascading pointer samples)` per run).
+type BaselineLevel<T, I> = (usize, Vec<(Vec<T>, Vec<I>)>);
+
+/// Builds all levels above the base with per-run allocations, using the same
+/// merge kernel (and therefore producing the same run contents and pointer
+/// snapshots) as the arena build.
+fn build_baseline_levels<I: TreeIndex, T: Keyed<I>>(
+    base: &[T],
+    params: MstParams,
+) -> Vec<BaselineLevel<T, I>> {
+    params.validate();
+    let n = base.len();
+    let (f, k) = (params.fanout, params.sampling);
+    let mut levels: Vec<BaselineLevel<T, I>> = Vec::new();
+    let mut run_len = 1usize;
+    while run_len < n {
+        let child_run_len = run_len;
+        run_len = run_len.saturating_mul(f);
+        let num_runs = n.div_ceil(run_len);
+        let runs = {
+            let prev: Option<&[(Vec<T>, Vec<I>)]> = levels.last().map(|(_, r)| r.as_slice());
+            let build_run = |r: usize, inner_parallel: bool| -> (Vec<T>, Vec<I>) {
+                let start = r * run_len;
+                let end = (start + run_len).min(n);
+                let len = end - start;
+                let mut children: Vec<&[T]> = Vec::with_capacity(f);
+                let mut cs = start;
+                while cs < end {
+                    let ce = (cs + child_run_len).min(end);
+                    children.push(match prev {
+                        None => &base[cs..ce],
+                        Some(rs) => &rs[cs / child_run_len].0,
+                    });
+                    cs = ce;
+                }
+                let mut data = vec![T::default(); len];
+                let mut ptrs = vec![I::ZERO; (len / k + 2) * f];
+                merge_run(&RunChildren { children }, f, k, &mut data, &mut ptrs, inner_parallel);
+                (data, ptrs)
+            };
+            if params.parallel && num_runs > 1 {
+                (0..num_runs).into_par_iter().map(|r| build_run(r, false)).collect()
+            } else {
+                (0..num_runs).map(|r| build_run(r, params.parallel)).collect()
+            }
+        };
+        levels.push((run_len, runs));
+    }
+    levels
+}
+
+/// A merge sort tree in the pre-arena, per-run-allocation layout.
+///
+/// Query results are guaranteed identical to [`crate::MergeSortTree`] (the
+/// probes run the same decomposition and the same cascaded refinements over
+/// the same run contents); only storage and probe locality differ.
+pub struct PerRunMst<I: TreeIndex> {
+    /// Level 0: the input in its original order.
+    base: Vec<I>,
+    /// Levels 1..height, each run an independent allocation.
+    levels: Vec<BaselineLevel<I, I>>,
+    params: MstParams,
+    n: usize,
+}
+
+impl<I: TreeIndex> PerRunMst<I> {
+    /// Builds a baseline tree over `values`.
+    pub fn build(values: &[I], params: MstParams) -> Self {
+        let levels = build_baseline_levels::<I, I>(values, params);
+        PerRunMst { base: values.to_vec(), levels, params, n: values.len() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of levels including the base.
+    pub fn height(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Number of independent heap allocations backing this tree (the figure
+    /// the arena layout collapses to one).
+    pub fn allocations(&self) -> usize {
+        1 + self.levels.iter().map(|(_, runs)| 2 * runs.len()).sum::<usize>()
+    }
+
+    #[inline]
+    fn run_len_of(&self, level: usize) -> usize {
+        if level == 0 {
+            1
+        } else {
+            self.levels[level - 1].0
+        }
+    }
+
+    /// The sorted keys of run `run` at `level`; `cs..ce` are its absolute
+    /// bounds (needed to slice the base level, which is one vector).
+    #[inline]
+    fn keys_of(&self, level: usize, run: usize, cs: usize, ce: usize) -> &[I] {
+        if level == 0 {
+            &self.base[cs..ce]
+        } else {
+            &self.levels[level - 1].1[run].0
+        }
+    }
+
+    /// Cascaded refinement, identical math to the arena tree's — only the
+    /// pointer lookup resolves into a per-run vector.
+    fn cascade(&self, level: usize, run: usize, pos: usize, c: usize, t: I) -> usize {
+        let child_run_len = self.run_len_of(level - 1);
+        let ratio = self.run_len_of(level) / child_run_len;
+        let child_run = run * ratio + c;
+        let cs = child_run * child_run_len;
+        let ce = (cs + child_run_len).min(self.n);
+        let clen = ce - cs;
+        let child = self.keys_of(level - 1, child_run, cs, ce);
+        if !self.params.cascading {
+            return child.partition_point(|&x| x < t);
+        }
+        let f = self.params.fanout;
+        let s = pos / self.params.sampling;
+        let ptrs = &self.levels[level - 1].1[run].1;
+        let lo = ptrs[s * f + c].to_usize();
+        let hi = ptrs[(s + 1) * f + c].to_usize().min(clen);
+        lo + child[lo..hi].partition_point(|&x| x < t)
+    }
+
+    /// The stateless range decomposition, mirroring the arena tree's
+    /// recursion exactly; `visit(level, run, pos)` per fully-covered run.
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        level: usize,
+        run: usize,
+        a: usize,
+        b: usize,
+        t: I,
+        pos: usize,
+        visit: &mut impl FnMut(usize, usize, usize),
+    ) {
+        let run_len = self.run_len_of(level);
+        let rs = run * run_len;
+        let re = (rs + run_len).min(self.n);
+        if a == rs && b == re {
+            visit(level, run, pos);
+            return;
+        }
+        let child_len = self.run_len_of(level - 1);
+        let ratio = run_len / child_len;
+        for c in 0..self.params.fanout.min(ratio) {
+            let cs = rs + c * child_len;
+            if cs >= re {
+                break;
+            }
+            let ce = (cs + child_len).min(re);
+            let lo = a.max(cs);
+            let hi = b.min(ce);
+            if lo >= hi {
+                continue;
+            }
+            let cpos = self.cascade(level, run, pos, c, t);
+            if lo == cs && hi == ce {
+                visit(level - 1, cs / child_len, cpos);
+            } else {
+                self.descend(level - 1, cs / child_len, lo, hi, t, cpos, visit);
+            }
+        }
+    }
+
+    fn decompose(&self, a: usize, b: usize, t: I, visit: &mut impl FnMut(usize, usize, usize)) {
+        let b = b.min(self.n);
+        if a >= b {
+            return;
+        }
+        let top = self.levels.len();
+        let pos = self.keys_of(top, 0, 0, self.n).partition_point(|&x| x < t);
+        self.descend(top, 0, a, b, t, pos, visit);
+    }
+
+    /// Counts elements at positions `[a, b)` with value smaller than `t`.
+    pub fn count_below(&self, a: usize, b: usize, t: I) -> usize {
+        let mut total = 0usize;
+        self.decompose(a, b, t, &mut |_, _, pos| total += pos);
+        total
+    }
+
+    /// [`Self::count_below`] summed over disjoint ranges.
+    pub fn count_below_multi(&self, ranges: &RangeSet, t: I) -> usize {
+        ranges.iter().map(|(a, b)| self.count_below(a, b, t)).sum()
+    }
+
+    /// Position of the `j`-th element (in position order) whose value lies in
+    /// `ranges`; the §4.5 selection query.
+    pub fn select(&self, ranges: &RangeSet, j: usize) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        let top = self.levels.len();
+        let top_keys = self.keys_of(top, 0, 0, self.n);
+        let nr = ranges.len();
+        let mut bounds = [(0usize, 0usize); MAX_RANGES];
+        for (ri, (lo, hi)) in ranges.iter().enumerate() {
+            bounds[ri] = (
+                top_keys.partition_point(|&x| x.to_usize() < lo),
+                top_keys.partition_point(|&x| x.to_usize() < hi),
+            );
+        }
+        let total: usize = bounds[..nr].iter().map(|&(l, h)| h - l).sum();
+        if j >= total {
+            return None;
+        }
+        let mut j = j;
+        let mut level = top;
+        let mut run = 0usize;
+        while level > 0 {
+            let run_len = self.run_len_of(level);
+            let rs = run * run_len;
+            let re = (rs + run_len).min(self.n);
+            let child_len = self.run_len_of(level - 1);
+            let mut found = false;
+            let mut scratch = [(0usize, 0usize); MAX_RANGES];
+            for c in 0..self.params.fanout {
+                let cs = rs + c * child_len;
+                if cs >= re {
+                    break;
+                }
+                let mut cnt = 0usize;
+                for ri in 0..nr {
+                    let (blo, bhi) = bounds[ri];
+                    let (lo_v, hi_v) = ranges.nth(ri);
+                    let pl = self.cascade(level, run, blo, c, I::from_usize(lo_v));
+                    let ph = self.cascade(level, run, bhi, c, I::from_usize(hi_v));
+                    cnt += ph - pl;
+                    scratch[ri] = (pl, ph);
+                }
+                if j < cnt {
+                    bounds = scratch;
+                    run = cs / child_len;
+                    level -= 1;
+                    found = true;
+                    break;
+                }
+                j -= cnt;
+            }
+            if !found {
+                return None;
+            }
+        }
+        Some(run)
+    }
+
+    /// Convenience: select within a single value range `[lo, hi)`.
+    pub fn select_in_range(&self, lo: usize, hi: usize, j: usize) -> Option<usize> {
+        self.select(&RangeSet::single(lo, hi), j)
+    }
+}
+
+/// An annotated merge sort tree in the pre-arena layout: per-run key, pointer
+/// *and* prefix-state vectors. Baseline counterpart of
+/// [`crate::AnnotatedMst`].
+pub struct PerRunAnnotated<I: TreeIndex, A: DistinctAggregate> {
+    tree: PerRunMst<I>,
+    /// Level-0 prefix states: one lifted payload per element.
+    base_prefix: Vec<A::State>,
+    /// `[level - 1][run][pos]` prefix states for levels above the base.
+    prefix: Vec<Vec<Vec<A::State>>>,
+}
+
+impl<I: TreeIndex, A: DistinctAggregate> PerRunAnnotated<I, A> {
+    /// Builds a baseline annotated tree over merge keys and payloads.
+    pub fn build(values: &[I], payloads: &[A::Payload], params: MstParams) -> Self {
+        assert_eq!(values.len(), payloads.len());
+        let n = values.len();
+        let base_pairs: Vec<(I, A::Payload)> =
+            values.iter().copied().zip(payloads.iter().copied()).collect();
+        let pair_levels = build_baseline_levels::<I, (I, A::Payload)>(&base_pairs, params);
+        let mut levels = Vec::with_capacity(pair_levels.len());
+        let mut prefix = Vec::with_capacity(pair_levels.len());
+        for (run_len, runs) in pair_levels {
+            let mut key_runs = Vec::with_capacity(runs.len());
+            let mut pf_runs = Vec::with_capacity(runs.len());
+            for (data, ptrs) in runs {
+                let keys: Vec<I> = data.iter().map(|&(key, _)| key).collect();
+                let mut states = Vec::with_capacity(data.len());
+                let mut acc = A::identity();
+                for &(_, p) in &data {
+                    acc = A::combine(acc, A::lift(p));
+                    states.push(acc);
+                }
+                key_runs.push((keys, ptrs));
+                pf_runs.push(states);
+            }
+            levels.push((run_len, key_runs));
+            prefix.push(pf_runs);
+        }
+        let base_prefix = payloads.iter().map(|&p| A::combine(A::identity(), A::lift(p))).collect();
+        let tree = PerRunMst { base: values.to_vec(), levels, params, n };
+        PerRunAnnotated { tree, base_prefix, prefix }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Combines the payloads of elements at positions `[a, b)` with key
+    /// smaller than `t`; mirrors [`crate::AnnotatedMst::aggregate_below`].
+    pub fn aggregate_below(&self, a: usize, b: usize, t: I) -> (A::State, usize) {
+        let mut state = A::identity();
+        let mut count = 0usize;
+        self.tree.decompose(a, b, t, &mut |level, run, pos| {
+            if pos > 0 {
+                let s = if level == 0 {
+                    self.base_prefix[run]
+                } else {
+                    self.prefix[level - 1][run][pos - 1]
+                };
+                state = A::combine(state, s);
+                count += pos;
+            }
+        });
+        (state, count)
+    }
+
+    /// [`Self::aggregate_below`] over a frame with exclusion holes.
+    pub fn aggregate_below_multi(&self, ranges: &RangeSet, t: I) -> (A::State, usize) {
+        let mut state = A::identity();
+        let mut count = 0usize;
+        for (a, b) in ranges.iter() {
+            let (s, c) = self.aggregate_below(a, b, t);
+            state = A::combine(state, s);
+            count += c;
+        }
+        (state, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SumI64;
+    use crate::annotated::AnnotatedMst;
+    use crate::mst::MergeSortTree;
+    use crate::prev_idcs::prev_idcs_by_key;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn baseline_count_and_select_match_arena_tree() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for &(f, k) in &[(2, 1), (4, 2), (8, 32), (32, 32)] {
+            let n = rng.gen_range(1..400);
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            let params = MstParams::new(f, k);
+            let arena = MergeSortTree::<u32>::build(&perm, params);
+            let baseline = PerRunMst::<u32>::build(&perm, params);
+            assert_eq!(arena.height(), baseline.height());
+            for _ in 0..80 {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(0..=n + 2);
+                let t = rng.gen_range(0..n as u32 + 2);
+                assert_eq!(arena.count_below(a, b, t), baseline.count_below(a, b, t));
+                let (lo, hi) = (rng.gen_range(0..=n), rng.gen_range(0..=n));
+                let j = rng.gen_range(0..n + 1);
+                assert_eq!(arena.select_in_range(lo, hi, j), baseline.select_in_range(lo, hi, j));
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_aggregate_matches_arena_tree() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let n = 300usize;
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-30..30)).collect();
+        let prev: Vec<u32> = prev_idcs_by_key(&values, false).iter().map(|&p| p as u32).collect();
+        let params = MstParams::new(4, 4);
+        let arena = AnnotatedMst::<u32, SumI64>::build(&prev, &values, params);
+        let baseline = PerRunAnnotated::<u32, SumI64>::build(&prev, &values, params);
+        for a in (0..n).step_by(7) {
+            for b in (a..=n).step_by(11) {
+                let (s0, c0) = arena.aggregate_below(a, b, a as u32 + 1);
+                let (s1, c1) = baseline.aggregate_below(a, b, a as u32 + 1);
+                assert_eq!(SumI64::finish(s0), SumI64::finish(s1));
+                assert_eq!(c0, c1);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_count_grows_with_runs() {
+        let vals: Vec<u32> = (0..1000).collect();
+        let t = PerRunMst::<u32>::build(&vals, MstParams::new(4, 8));
+        // 250 + 63 + 16 + 4 + 1 runs, two allocations each, plus the base.
+        assert_eq!(t.allocations(), 1 + 2 * (250 + 63 + 16 + 4 + 1));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1000);
+    }
+}

@@ -40,15 +40,17 @@
 //! assert_eq!(tree.count_below(3, 8, 4), 3); // three distinct values: a, b, c
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
 pub mod annotated;
+pub mod arena;
 pub mod codes;
 pub mod cursor;
 pub mod index;
-mod loser_tree;
+pub mod layout_baseline;
+pub mod loser_tree;
 pub mod merge;
 pub mod mst;
 pub mod params;

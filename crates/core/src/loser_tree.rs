@@ -6,7 +6,11 @@
 //! merges are deterministic.
 
 /// K-way merge iterator over sorted slices.
-pub(crate) struct LoserTree<'a, T, F> {
+///
+/// `T` is the element type, `F` the strict-weak-order "less" predicate. Ties
+/// always break towards the lower run index, making the merge deterministic
+/// and stable across serial/parallel builds.
+pub struct LoserTree<'a, T, F> {
     runs: Vec<&'a [T]>,
     /// Next unconsumed position per run.
     pos: Vec<usize>,
@@ -19,7 +23,10 @@ pub(crate) struct LoserTree<'a, T, F> {
 }
 
 impl<'a, T: Copy, F: Fn(&T, &T) -> bool> LoserTree<'a, T, F> {
-    pub(crate) fn new(runs: Vec<&'a [T]>, less: F) -> Self {
+    /// Builds the tournament over `runs` (each individually sorted by
+    /// `less`). Empty runs are allowed; O(total
+    /// elements · log fanout) to drain.
+    pub fn new(runs: Vec<&'a [T]>, less: F) -> Self {
         let leaves = runs.len().next_power_of_two().max(1);
         let mut lt = LoserTree {
             pos: vec![0; runs.len()],
@@ -75,7 +82,7 @@ impl<'a, T: Copy, F: Fn(&T, &T) -> bool> LoserTree<'a, T, F> {
 
     /// Pops the globally smallest head element, returning it with its run.
     #[inline]
-    pub(crate) fn pop(&mut self) -> Option<(T, usize)> {
+    pub fn pop(&mut self) -> Option<(T, usize)> {
         let w = self.winner as usize;
         let item = *self.head(w)?;
         self.pos[w] += 1;
@@ -97,13 +104,13 @@ impl<'a, T: Copy, F: Fn(&T, &T) -> bool> LoserTree<'a, T, F> {
     /// Consumed position of run `r` (the paper's "input iterator", persisted
     /// as cascading pointer snapshots during tree construction).
     #[inline]
-    pub(crate) fn position(&self, r: usize) -> usize {
+    pub fn position(&self, r: usize) -> usize {
         self.pos[r]
     }
 
     /// Number of input runs.
     #[inline]
-    pub(crate) fn num_runs(&self) -> usize {
+    pub fn num_runs(&self) -> usize {
         self.runs.len()
     }
 }

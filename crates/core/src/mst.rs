@@ -1,5 +1,17 @@
 //! The merge sort tree data structure (§4.2, §4.5, §5.1).
+//!
+//! Storage is a single contiguous arena per tree (see [`crate::arena`]): all
+//! levels' keys live in one allocation, followed by the sampled
+//! cascading-pointer slabs, with a small per-level metadata table. Run
+//! boundaries are `(offset, len)` arithmetic — no per-run or per-level owned
+//! vectors. The probe descent batches software prefetches (safe cache-warming
+//! reads) for every overlapped child's cascaded landing window before the
+//! cascade loop of each partial node, so the scattered key-line misses
+//! overlap in the memory system, and short-circuits partial level-1 runs by
+//! scanning the contiguous base keys directly instead of cascading into
+//! singleton children.
 
+use crate::arena::{prefetch_read, Span};
 use crate::cursor::{gallop_partition_point, ProbeCursor, SelectCursor, Side};
 use crate::index::TreeIndex;
 use crate::merge::{merge_run, Keyed, RunChildren};
@@ -7,25 +19,28 @@ use crate::params::MstParams;
 use crate::range_set::{RangeSet, MAX_RANGES};
 use rayon::prelude::*;
 
-/// One level of a merge sort tree: sorted runs of nominal length `run_len`
-/// stored contiguously, plus sampled cascading pointers into the level below.
-#[derive(Debug, Clone)]
-pub(crate) struct Level<T, I> {
-    /// All runs, concatenated; total length = input length.
-    pub data: Vec<T>,
+/// Per-level metadata of an arena-backed merge sort tree.
+///
+/// A level's keys occupy `[level · n, (level + 1) · n)` of the keys region
+/// (every level stores exactly `n` elements, so key offsets need no table);
+/// its cascading-pointer slab is addressed by an explicit [`Span`] relative
+/// to the pointer region. Per-run pointer-slab offsets are the closed form
+/// `run · samples_per_run · fanout` — valid because every run before the last
+/// is full-length — replacing the per-level `sample_offsets` vector of the
+/// pre-arena representation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LevelMeta {
     /// Nominal run length `fanout^level` (the final run may be shorter).
     pub run_len: usize,
-    /// Cascading pointers, laid out `[run][sample][child]`; empty at level 0.
-    /// Entry `(r, s, c)` is the number of elements of child run `c` among the
-    /// first `s·k` elements of run `r` (the persisted merge iterator of §4.2).
-    pub ptrs: Vec<I>,
-    /// Per-run start offset into `ptrs`, in units of samples (`len + 1`
-    /// entries, last = total sample count).
-    pub sample_offsets: Vec<usize>,
+    /// This level's pointer slab within the pointer region (empty at level 0).
+    pub ptrs: Span,
+    /// Pointer samples per full-length run: `run_len / sampling + 2` (the two
+    /// extra slots are the trailing "after everything" sentinels).
+    pub samples_per_run: usize,
 }
 
-impl<T, I> Level<T, I> {
-    /// Actual length of run `r` given `n` total elements.
+impl LevelMeta {
+    /// Bounds `[start, end)` of run `r` given `n` total elements.
     #[inline]
     pub fn run_bounds(&self, r: usize, n: usize) -> (usize, usize) {
         let start = r * self.run_len;
@@ -33,67 +48,78 @@ impl<T, I> Level<T, I> {
     }
 }
 
-/// Builds all levels above the provided base level.
-pub(crate) fn build_levels<I: TreeIndex, T: Keyed<I>>(
-    base: Vec<T>,
-    params: MstParams,
-) -> Vec<Level<T, I>> {
+/// Computes the level table for `n` elements: run lengths, pointer-slab spans
+/// and sample strides, without touching any data. The whole arena size is
+/// known from this table alone, so storage is allocated exactly once.
+pub(crate) fn level_geometry(n: usize, params: MstParams) -> Vec<LevelMeta> {
     params.validate();
-    let n = base.len();
-    let mut levels =
-        vec![Level { data: base, run_len: 1, ptrs: Vec::new(), sample_offsets: Vec::new() }];
-    while levels.last().unwrap().run_len < n {
-        let next = build_next_level(levels.last().unwrap(), n, params);
-        levels.push(next);
+    let (f, k) = (params.fanout, params.sampling);
+    let mut meta =
+        vec![LevelMeta { run_len: 1, ptrs: Span::new(0, 0), samples_per_run: 1 / k + 2 }];
+    while meta.last().unwrap().run_len < n {
+        let run_len = meta.last().unwrap().run_len.saturating_mul(f);
+        let num_runs = n.div_ceil(run_len);
+        let samples_per_run = run_len / k + 2;
+        let last_len = n - (num_runs - 1) * run_len;
+        let total_samples = (num_runs - 1) * samples_per_run + (last_len / k + 2);
+        let off = meta.last().unwrap().ptrs.end();
+        meta.push(LevelMeta { run_len, ptrs: Span::new(off, total_samples * f), samples_per_run });
     }
-    levels
+    meta
 }
 
-/// Merges one level's runs into the next level (fanout-way).
-pub(crate) fn build_next_level<I: TreeIndex, T: Keyed<I>>(
-    child: &Level<T, I>,
+/// Merges level upon level into preallocated storage.
+///
+/// `data` holds `meta.len() · n` elements with `data[0..n]` prefilled with
+/// the base level (input order); `ptrs` holds the concatenated pointer slabs
+/// (`meta.last().ptrs.end()` elements). Returns the wall time spent merging
+/// each level — the "build tree layer" phases of Figure 14.
+///
+/// Lower levels parallelize across runs, upper levels inside a single merge
+/// via multisequence selection (§5.2), exactly as the per-level-vector build
+/// did — outputs are bit-identical, only the backing storage changed.
+pub(crate) fn fill_levels<I: TreeIndex, T: Keyed<I>>(
     n: usize,
     params: MstParams,
-) -> Level<T, I> {
+    meta: &[LevelMeta],
+    data: &mut [T],
+    ptrs: &mut [I],
+) -> Vec<std::time::Duration> {
     let (f, k) = (params.fanout, params.sampling);
-    {
-        let child_run_len = child.run_len;
-        let run_len = child_run_len.saturating_mul(f);
+    debug_assert_eq!(data.len(), meta.len() * n);
+    let mut times = Vec::with_capacity(meta.len().saturating_sub(1));
+    for lvl in 1..meta.len() {
+        let t0 = std::time::Instant::now();
+        let m = meta[lvl];
+        let child_run_len = meta[lvl - 1].run_len;
+        let run_len = m.run_len;
         let num_runs = n.div_ceil(run_len);
 
-        // Per-run sample counts depend on actual run lengths.
-        let mut sample_offsets = Vec::with_capacity(num_runs + 1);
-        sample_offsets.push(0usize);
-        for r in 0..num_runs {
-            let start = r * run_len;
-            let len = (start + run_len).min(n) - start;
-            sample_offsets.push(sample_offsets[r] + len / k + 2);
-        }
-        let total_samples = *sample_offsets.last().unwrap();
-
-        let mut data = vec![T::default(); n];
-        let mut ptrs = vec![I::ZERO; total_samples * f];
+        // The child level is read-only while the current level is written:
+        // disjoint regions of the single keys buffer.
+        let (lower, upper) = data.split_at_mut(lvl * n);
+        let child_data = &lower[(lvl - 1) * n..];
+        let out_level = &mut upper[..n];
+        let ptr_level = m.ptrs.slice_mut(ptrs);
 
         // Carve output and pointer storage into per-run slices.
         let mut out_parts: Vec<&mut [T]> = Vec::with_capacity(num_runs);
         let mut ptr_parts: Vec<&mut [I]> = Vec::with_capacity(num_runs);
         {
-            let mut data_rest = &mut data[..];
-            let mut ptr_rest = &mut ptrs[..];
+            let mut data_rest = out_level;
+            let mut ptr_rest = ptr_level;
             for r in 0..num_runs {
                 let start = r * run_len;
                 let len = (start + run_len).min(n) - start;
                 let (h, t) = data_rest.split_at_mut(len);
                 out_parts.push(h);
                 data_rest = t;
-                let slots = (sample_offsets[r + 1] - sample_offsets[r]) * f;
-                let (ph, pt) = ptr_rest.split_at_mut(slots);
+                let (ph, pt) = ptr_rest.split_at_mut((len / k + 2) * f);
                 ptr_parts.push(ph);
                 ptr_rest = pt;
             }
         }
 
-        let child_data = &child.data;
         let make_children = |r: usize| -> RunChildren<'_, T> {
             let start = r * run_len;
             let end = (start + run_len).min(n);
@@ -118,9 +144,9 @@ pub(crate) fn build_next_level<I: TreeIndex, T: Keyed<I>>(
                 merge_run(&make_children(r), f, k, out, snaps, params.parallel);
             }
         }
-
-        Level { data, run_len, ptrs, sample_offsets }
+        times.push(t0.elapsed());
     }
+    times
 }
 
 /// A merge sort tree over integer payloads.
@@ -128,41 +154,50 @@ pub(crate) fn build_next_level<I: TreeIndex, T: Keyed<I>>(
 /// Payloads are produced by the preprocessing steps of §4/§5.1 (previous
 /// occurrence indices, dense rank codes, or permutation entries) and are
 /// always integers, so the tree itself is query-independent (§5.4).
+///
+/// The entire tree — every level's keys and every cascading-pointer slab —
+/// lives in one contiguous allocation (see [`crate::arena`]); probes descend
+/// through one buffer instead of hopping between per-level vectors.
 #[derive(Debug, Clone)]
 pub struct MergeSortTree<I: TreeIndex> {
-    pub(crate) levels: Vec<Level<I, I>>,
-    pub(crate) params: MstParams,
-    pub(crate) n: usize,
+    /// `[level-0 keys | … | top keys ‖ level-1 ptrs | … | top ptrs]`.
+    arena: Vec<I>,
+    levels: Vec<LevelMeta>,
+    params: MstParams,
+    n: usize,
 }
 
 impl<I: TreeIndex> MergeSortTree<I> {
     /// Builds a tree over `values` (level 0 keeps the original order).
     pub fn build(values: &[I], params: MstParams) -> Self {
-        let n = values.len();
-        let levels = build_levels(values.to_vec(), params);
-        MergeSortTree { levels, params, n }
+        Self::build_profiled(values, params).0
     }
 
     /// Like [`Self::build`], but also reports the wall time spent merging
     /// each level — the "build tree layer" phases of the paper's cost
     /// breakdown (Figure 14).
     pub fn build_profiled(values: &[I], params: MstParams) -> (Self, Vec<std::time::Duration>) {
-        params.validate();
         let n = values.len();
-        let mut levels = vec![Level {
-            data: values.to_vec(),
-            run_len: 1,
-            ptrs: Vec::new(),
-            sample_offsets: Vec::new(),
-        }];
-        let mut times = Vec::new();
-        while levels.last().unwrap().run_len < n {
-            let t0 = std::time::Instant::now();
-            let next = build_next_level(levels.last().unwrap(), n, params);
-            times.push(t0.elapsed());
-            levels.push(next);
-        }
-        (MergeSortTree { levels, params, n }, times)
+        let meta = level_geometry(n, params);
+        let keys_len = meta.len() * n;
+        let ptrs_len = meta.last().unwrap().ptrs.end();
+        let mut arena = vec![I::ZERO; keys_len + ptrs_len];
+        let (keys, ptrs) = arena.split_at_mut(keys_len);
+        keys[..n].copy_from_slice(values);
+        let times = fill_levels(n, params, &meta, keys, ptrs);
+        (MergeSortTree { arena, levels: meta, params, n }, times)
+    }
+
+    /// Wraps storage produced elsewhere (the annotated build fills a pair
+    /// arena first, then extracts the keys into a fresh key arena).
+    pub(crate) fn from_parts(
+        arena: Vec<I>,
+        levels: Vec<LevelMeta>,
+        params: MstParams,
+        n: usize,
+    ) -> Self {
+        debug_assert_eq!(arena.len(), levels.len() * n + levels.last().unwrap().ptrs.end());
+        MergeSortTree { arena, levels, params, n }
     }
 
     /// Number of elements.
@@ -180,15 +215,31 @@ impl<I: TreeIndex> MergeSortTree<I> {
         self.params
     }
 
+    /// The keys of `level`, all runs concatenated (`n` elements).
+    #[inline]
+    pub(crate) fn keys(&self, level: usize) -> &[I] {
+        &self.arena[level * self.n..(level + 1) * self.n]
+    }
+
+    /// The cascading-pointer slab of `level`, laid out `[run][sample][child]`.
+    #[inline]
+    pub(crate) fn ptr_slab(&self, level: usize) -> &[I] {
+        let base = self.levels.len() * self.n;
+        let s = self.levels[level].ptrs;
+        &self.arena[base + s.off..base + s.end()]
+    }
+
     /// The element stored at (level-0) position `i`.
     #[inline]
     pub fn value(&self, i: usize) -> I {
-        self.levels[0].data[i]
+        debug_assert!(i < self.n);
+        self.arena[i]
     }
 
     /// Cascaded refinement: given the lower-bound position `pos` of threshold
     /// `t` within run `r` of `level`, returns the lower-bound position of `t`
     /// within child run `c`.
+    ///
     #[inline]
     pub(crate) fn cascade(&self, level: usize, run: usize, pos: usize, c: usize, t: I) -> usize {
         let lvl = &self.levels[level];
@@ -196,24 +247,74 @@ impl<I: TreeIndex> MergeSortTree<I> {
         let child_run = run * (lvl.run_len / child.run_len) + c;
         let (cs, ce) = child.run_bounds(child_run, self.n);
         let clen = ce - cs;
+        let child_keys = self.keys(level - 1);
         if !self.params.cascading {
             // Ablation mode: full binary search on every level (Figure 2's
             // O((log n)²) query instead of Figure 3's O(log n)).
-            return child.data[cs..ce].partition_point(|&x| x < t);
+            return child_keys[cs..ce].partition_point(|&x| x < t);
         }
         let f = self.params.fanout;
         let k = self.params.sampling;
         let s = pos / k;
-        let base = (lvl.sample_offsets[run] + s) * f + c;
-        let lo = lvl.ptrs[base].to_usize();
-        let hi = lvl.ptrs[base + f].to_usize().min(clen);
+        let base = (run * lvl.samples_per_run + s) * f + c;
+        let ptrs = self.ptr_slab(level);
+        let lo = ptrs[base].to_usize();
+        let hi = ptrs[base + f].to_usize().min(clen);
         debug_assert!(lo <= hi);
-        lo + child.data[cs + lo..cs + hi].partition_point(|&x| x < t)
+        lo + child_keys[cs + lo..cs + hi].partition_point(|&x| x < t)
+    }
+
+    /// Batched landing-window warm-up for children `c_from..c_to` of `(level,
+    /// run)`: reads each child's sampled cascading pointer (the bundle for
+    /// all children shares a cache line) and touches the child key it lands
+    /// on. Issued *before* the cascade loop so the scattered key-line misses
+    /// overlap in the memory system instead of serializing behind each
+    /// child's binary search. Pure reads folded into `warm` — results are
+    /// unaffected (see [`prefetch_read`]).
+    #[inline]
+    fn warm_children(
+        &self,
+        level: usize,
+        run: usize,
+        pos: usize,
+        c_from: usize,
+        c_to: usize,
+        warm: &mut usize,
+    ) {
+        if !self.params.prefetch || !self.params.cascading || c_to <= c_from {
+            return;
+        }
+        let lvl = &self.levels[level];
+        let child = &self.levels[level - 1];
+        let f = self.params.fanout;
+        let base = (run * lvl.samples_per_run + pos / self.params.sampling) * f + c_from;
+        let ptrs = &self.ptr_slab(level)[base..base + (c_to - c_from)];
+        let child_keys = self.keys(level - 1);
+        for (i, p) in ptrs.iter().enumerate() {
+            let (cs, ce) =
+                child.run_bounds(run * (lvl.run_len / child.run_len) + c_from + i, self.n);
+            if cs >= ce {
+                break;
+            }
+            *warm ^= prefetch_read(child_keys, cs + p.to_usize().min(ce - cs - 1));
+        }
     }
 
     /// Counts the elements at positions `[a, b)` whose value is smaller than
     /// `t`. O(log n) with the default parameters. This is the 2-d range
     /// counting query of §4.2 (distinct counts) and §4.4 (rank functions).
+    ///
+    /// ```
+    /// use holistic_core::{MergeSortTree, MstParams};
+    ///
+    /// let vals: Vec<u32> = vec![5, 1, 4, 2, 3];
+    /// let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(2, 1));
+    /// // Among positions [1, 4) — values {1, 4, 2} — two are smaller than 4:
+    /// assert_eq!(tree.count_below(1, 4, 4), 2);
+    /// // Empty and clamped ranges are fine:
+    /// assert_eq!(tree.count_below(3, 3, 9), 0);
+    /// assert_eq!(tree.count_below(0, 100, 6), 5);
+    /// ```
     pub fn count_below(&self, a: usize, b: usize, t: I) -> usize {
         let mut total = 0usize;
         self.decompose_below(a, b, t, |_, _, pos| total += pos);
@@ -271,8 +372,26 @@ impl<I: TreeIndex> MergeSortTree<I> {
             return;
         }
         let top = self.levels.len() - 1;
-        let top_pos = self.levels[top].data[..self.n].partition_point(|&x| x < t);
-        self.descend_below(top, 0, a, b, t, top_pos, &mut visit);
+        let top_pos = self.keys(top).partition_point(|&x| x < t);
+        let mut warm = 0usize;
+        self.descend_below(top, 0, a, b, t, top_pos, &mut warm, &mut visit);
+        // One opaque use per query keeps every prefetch read alive without
+        // putting a compiler barrier inside the descent loops.
+        std::hint::black_box(warm);
+    }
+
+    /// Visits the covered positions of a *partial* level-1 run by scanning the
+    /// contiguous base keys directly. The children are singletons, so each
+    /// cascaded refinement degenerates to one comparison; the scan produces
+    /// the same visits in the same order with the same per-singleton counts —
+    /// bit-identical — while skipping up to `2 · fanout` sampled-pointer loads
+    /// per boundary.
+    #[inline]
+    fn scan_leaves(&self, a: usize, b: usize, t: I, visit: &mut impl FnMut(usize, usize, usize)) {
+        let keys0 = self.keys(0);
+        for (p, &k) in keys0.iter().enumerate().take(b).skip(a) {
+            visit(0, p, usize::from(k < t));
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -284,6 +403,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
         b: usize,
         t: I,
         pos: usize,
+        warm: &mut usize,
         visit: &mut impl FnMut(usize, usize, usize),
     ) {
         let lvl = &self.levels[level];
@@ -294,9 +414,25 @@ impl<I: TreeIndex> MergeSortTree<I> {
             return;
         }
         debug_assert!(level > 0, "partial overlap impossible on singleton runs");
+        if level == 1 {
+            self.scan_leaves(a, b, t, visit);
+            return;
+        }
         let child_len = self.levels[level - 1].run_len;
         let ratio = lvl.run_len / child_len;
-        for c in 0..self.params.fanout.min(ratio) {
+        let nc = self.params.fanout.min(ratio);
+        // Issue every overlapped child's landing-window load up front so the
+        // scattered misses overlap; the cascade loop then hits in-flight
+        // lines instead of paying each miss behind the previous search.
+        self.warm_children(
+            level,
+            run,
+            pos,
+            (a - rs) / child_len,
+            ((b - 1 - rs) / child_len + 1).min(nc),
+            warm,
+        );
+        for c in 0..nc {
             let cs = rs + c * child_len;
             if cs >= re {
                 break;
@@ -311,7 +447,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
             if lo == cs && hi == ce {
                 visit(level - 1, cs, cpos);
             } else {
-                self.descend_below(level - 1, cs / child_len, lo, hi, t, cpos, visit);
+                self.descend_below(level - 1, cs / child_len, lo, hi, t, cpos, warm, visit);
             }
         }
     }
@@ -346,7 +482,8 @@ impl<I: TreeIndex> MergeSortTree<I> {
         cur.stats.cursor_probes += 1;
         let top = self.levels.len() - 1;
         cur.ensure_levels(top);
-        let mut pos = cur.top_position(&self.levels[top].data[..self.n], |&x| x < t);
+        let mut warm = 0usize;
+        let mut pos = cur.top_position(self.keys(top), |&x| x < t);
         // Joint phase: walk down while [a, b) fits within one child, sharing
         // the left-side memo between both boundaries.
         let mut level = top;
@@ -357,9 +494,15 @@ impl<I: TreeIndex> MergeSortTree<I> {
             debug_assert!(rs <= a && b <= re);
             if a == rs && b == re {
                 visit(level, rs, pos);
-                return;
+                break;
             }
             debug_assert!(level > 0, "partial overlap impossible on singleton runs");
+            if level == 1 {
+                // Same leaf fast path as the stateless descent: identical
+                // visits, no per-singleton cascades, no memo traffic.
+                self.scan_leaves(a, b, t, &mut visit);
+                break;
+            }
             let child_len = self.levels[level - 1].run_len;
             let ca = (a - rs) / child_len;
             let cb = (b - 1 - rs) / child_len;
@@ -371,15 +514,37 @@ impl<I: TreeIndex> MergeSortTree<I> {
             }
             // The paths split: descend the left boundary, emit fully-covered
             // middle children, then descend the right boundary.
+            self.warm_children(level, run, pos, ca + 1, cb, &mut warm);
             let ca_pos = self.child_pos(level, run, pos, ca, t, slot, Side::Left, cur);
-            self.left_descend(level - 1, rs / child_len + ca, a, t, ca_pos, slot, cur, &mut visit);
+            self.left_descend(
+                level - 1,
+                rs / child_len + ca,
+                a,
+                t,
+                ca_pos,
+                slot,
+                cur,
+                &mut warm,
+                &mut visit,
+            );
             for c in ca + 1..cb {
                 visit(level - 1, rs + c * child_len, self.cascade(level, run, pos, c, t));
             }
             let cb_pos = self.child_pos(level, run, pos, cb, t, slot, Side::Right, cur);
-            self.right_descend(level - 1, rs / child_len + cb, b, t, cb_pos, slot, cur, &mut visit);
-            return;
+            self.right_descend(
+                level - 1,
+                rs / child_len + cb,
+                b,
+                t,
+                cb_pos,
+                slot,
+                cur,
+                &mut warm,
+                &mut visit,
+            );
+            break;
         }
+        std::hint::black_box(warm);
     }
 
     /// Lower bound of `t` in child `c` of `(level, run)`: gallops from the
@@ -407,7 +572,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
             let (cs, ce) = child.run_bounds(child_run, self.n);
             cur.stats.gallop_seeded += 1;
             gallop_partition_point(
-                &child.data[cs..ce],
+                &self.keys(level - 1)[cs..ce],
                 m.pos,
                 |&x| x < t,
                 &mut cur.stats.gallop_steps,
@@ -433,6 +598,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
         pos: usize,
         slot: usize,
         cur: &mut ProbeCursor,
+        warm: &mut usize,
         visit: &mut impl FnMut(usize, usize, usize),
     ) {
         let lvl = &self.levels[level];
@@ -443,11 +609,16 @@ impl<I: TreeIndex> MergeSortTree<I> {
             return;
         }
         debug_assert!(level > 0);
+        if level == 1 {
+            self.scan_leaves(a, re, t, visit);
+            return;
+        }
         let child_len = self.levels[level - 1].run_len;
         let ca = (a - rs) / child_len;
-        let ca_pos = self.child_pos(level, run, pos, ca, t, slot, Side::Left, cur);
-        self.left_descend(level - 1, rs / child_len + ca, a, t, ca_pos, slot, cur, visit);
         let ratio = lvl.run_len / child_len;
+        self.warm_children(level, run, pos, ca + 1, self.params.fanout.min(ratio), warm);
+        let ca_pos = self.child_pos(level, run, pos, ca, t, slot, Side::Left, cur);
+        self.left_descend(level - 1, rs / child_len + ca, a, t, ca_pos, slot, cur, warm, visit);
         for c in ca + 1..self.params.fanout.min(ratio) {
             let cs = rs + c * child_len;
             if cs >= re {
@@ -470,6 +641,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
         pos: usize,
         slot: usize,
         cur: &mut ProbeCursor,
+        warm: &mut usize,
         visit: &mut impl FnMut(usize, usize, usize),
     ) {
         let lvl = &self.levels[level];
@@ -480,13 +652,18 @@ impl<I: TreeIndex> MergeSortTree<I> {
             return;
         }
         debug_assert!(level > 0);
+        if level == 1 {
+            self.scan_leaves(rs, b, t, visit);
+            return;
+        }
         let child_len = self.levels[level - 1].run_len;
         let cb = (b - 1 - rs) / child_len;
+        self.warm_children(level, run, pos, 0, cb, warm);
         for c in 0..cb {
             visit(level - 1, rs + c * child_len, self.cascade(level, run, pos, c, t));
         }
         let cb_pos = self.child_pos(level, run, pos, cb, t, slot, Side::Right, cur);
-        self.right_descend(level - 1, rs / child_len + cb, b, t, cb_pos, slot, cur, visit);
+        self.right_descend(level - 1, rs / child_len + cb, b, t, cb_pos, slot, cur, warm, visit);
     }
 
     /// Finds the level-0 position of the `j`-th element (0-based) whose
@@ -499,12 +676,26 @@ impl<I: TreeIndex> MergeSortTree<I> {
     /// position order *is* rank order, values are original row positions, and
     /// the frame is a value range. The returned position is the rank of the
     /// selected row; `perm[rank]` recovers the row itself.
+    ///
+    /// ```
+    /// use holistic_core::{MergeSortTree, MstParams, RangeSet};
+    ///
+    /// // §4.5 use case: perm[rank] = original row, sorted by some inner key.
+    /// let perm: Vec<u32> = vec![3, 0, 4, 1, 2];
+    /// let tree = MergeSortTree::<u32>::build(&perm, MstParams::new(2, 1));
+    /// // Rows (= values) in the frame [1, 4) sit at positions 0, 3, 4
+    /// // (values 3, 1, 2). Select the j-th in position order:
+    /// let frame = RangeSet::single(1, 4);
+    /// assert_eq!(tree.select(&frame, 0), Some(0));
+    /// assert_eq!(tree.select(&frame, 2), Some(4));
+    /// assert_eq!(tree.select(&frame, 3), None); // only 3 rows qualify
+    /// ```
     pub fn select(&self, ranges: &RangeSet, j: usize) -> Option<usize> {
         if self.n == 0 {
             return None;
         }
         let top = self.levels.len() - 1;
-        let top_data = &self.levels[top].data[..self.n];
+        let top_data = self.keys(top);
         // Per-range (lower, upper) positions within the current run; frames
         // decompose into at most MAX_RANGES pieces, so fixed-size scratch
         // keeps the probe loop allocation-free.
@@ -537,7 +728,7 @@ impl<I: TreeIndex> MergeSortTree<I> {
         }
         cur.stats.cursor_probes += 1;
         let top = self.levels.len() - 1;
-        let top_data = &self.levels[top].data[..self.n];
+        let top_data = self.keys(top);
         let mut bounds = [(0usize, 0usize); MAX_RANGES];
         for (ri, (lo, hi)) in ranges.iter().enumerate() {
             bounds[ri] = (cur.seek(2 * ri, top_data, lo), cur.seek(2 * ri + 1, top_data, hi));
@@ -557,13 +748,40 @@ impl<I: TreeIndex> MergeSortTree<I> {
         if j >= total {
             return None;
         }
+        let mut warm = 0usize;
         let mut j = j;
         let mut level = self.levels.len() - 1;
         let mut run = 0usize;
         while level > 0 {
             let lvl = &self.levels[level];
             let (rs, re) = lvl.run_bounds(run, self.n);
+            if level == 1 {
+                // Leaf fast path: singleton children contribute 0 or 1 per
+                // value range, so the cascaded per-range counts degenerate to
+                // direct membership tests on the contiguous base keys. Same
+                // enumeration order, no sampled-pointer loads.
+                std::hint::black_box(warm);
+                let keys0 = self.keys(0);
+                for (p, &k) in keys0.iter().enumerate().take(re).skip(rs) {
+                    let v = k.to_usize();
+                    let mut cnt = 0usize;
+                    for ri in 0..nr {
+                        let (lo_v, hi_v) = ranges.nth(ri);
+                        cnt += usize::from(v >= lo_v && v < hi_v);
+                    }
+                    if j < cnt {
+                        return Some(p);
+                    }
+                    j -= cnt;
+                }
+                debug_assert!(false, "select descent lost the target");
+                return None;
+            }
             let child_len = self.levels[level - 1].run_len;
+            // Warm every child's landing window for the first range's lower
+            // bound before the count loop, overlapping the scattered misses.
+            let nc = (re - rs).div_ceil(child_len).min(self.params.fanout);
+            self.warm_children(level, run, bounds[0].0, 0, nc, &mut warm);
             let mut found = false;
             let mut scratch = [(0usize, 0usize); MAX_RANGES];
             for c in 0..self.params.fanout {
@@ -594,11 +812,12 @@ impl<I: TreeIndex> MergeSortTree<I> {
                 return None;
             }
         }
+        std::hint::black_box(warm);
         // Level 0: singleton run.
         Some(run)
     }
 
-    /// Convenience: select within a single position... value range `[lo, hi)`.
+    /// Convenience: select within a single value range `[lo, hi)`.
     pub fn select_in_range(&self, lo: usize, hi: usize, j: usize) -> Option<usize> {
         self.select(&RangeSet::single(lo, hi), j)
     }
@@ -606,17 +825,29 @@ impl<I: TreeIndex> MergeSortTree<I> {
     /// Total number of stored elements across all levels (memory accounting,
     /// §5.1/§6.6).
     pub fn stored_elements(&self) -> usize {
-        self.levels.iter().map(|l| l.data.len()).sum()
+        self.levels.len() * self.n
     }
 
     /// Total number of stored cascading pointers.
     pub fn stored_pointers(&self) -> usize {
-        self.levels.iter().map(|l| l.ptrs.len()).sum()
+        self.levels.last().map(|m| m.ptrs.end()).unwrap_or(0)
     }
 
     /// Number of levels (including the base level).
     pub fn height(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Size in bytes of the single backing allocation (keys region plus
+    /// pointer slabs). Metadata (`LevelMeta` table) is O(height) and excluded.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<I>()
+    }
+
+    /// Internal: the per-level metadata table (for in-crate structure tests).
+    #[cfg(test)]
+    pub(crate) fn level_meta(&self) -> &[LevelMeta] {
+        &self.levels
     }
 }
 
@@ -659,6 +890,7 @@ mod tests {
         assert_eq!(tree.count_below(0, 0, 5), 0);
         assert!(tree.is_empty());
         assert!(tree.select_in_range(0, 10, 0).is_none());
+        assert_eq!(tree.arena_bytes(), 0);
 
         let tree = MergeSortTree::<u32>::build(&[7], MstParams::default());
         assert_eq!(tree.len(), 1);
@@ -787,8 +1019,8 @@ mod tests {
         let tp = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 8));
         let ts = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 8).serial());
         for lvl in 0..tp.height() {
-            assert_eq!(tp.levels[lvl].data, ts.levels[lvl].data, "level {lvl} data");
-            assert_eq!(tp.levels[lvl].ptrs, ts.levels[lvl].ptrs, "level {lvl} ptrs");
+            assert_eq!(tp.keys(lvl), ts.keys(lvl), "level {lvl} keys");
+            assert_eq!(tp.ptr_slab(lvl), ts.ptr_slab(lvl), "level {lvl} ptrs");
         }
     }
 
@@ -799,21 +1031,39 @@ mod tests {
         let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(4, 8));
         let mut sorted_all = vals.clone();
         sorted_all.sort_unstable();
-        for lvl in &tree.levels {
+        for lvl in 0..tree.height() {
+            let meta = tree.level_meta()[lvl];
+            let keys = tree.keys(lvl);
             // Each level is a permutation of the input.
-            let mut level_sorted = lvl.data.clone();
+            let mut level_sorted = keys.to_vec();
             level_sorted.sort_unstable();
             assert_eq!(level_sorted, sorted_all);
             // Each run is sorted.
             let mut r = 0;
-            while r * lvl.run_len < vals.len() {
-                let (s, e) = lvl.run_bounds(r, vals.len());
-                assert!(lvl.data[s..e].windows(2).all(|w| w[0] <= w[1]));
+            while r * meta.run_len < vals.len() {
+                let (s, e) = meta.run_bounds(r, vals.len());
+                assert!(keys[s..e].windows(2).all(|w| w[0] <= w[1]));
                 r += 1;
             }
         }
         // Top level is fully sorted.
-        assert_eq!(tree.levels.last().unwrap().data, sorted_all);
+        assert_eq!(tree.keys(tree.height() - 1), &sorted_all[..]);
+    }
+
+    #[test]
+    fn arena_is_one_allocation_with_level_major_layout() {
+        let vals: Vec<u32> = (0..300).map(|i| (i * 37) % 97).collect();
+        let tree = MergeSortTree::<u32>::build(&vals, MstParams::new(4, 4));
+        // Keys region: levels stored back-to-back, n elements each; the base
+        // level is the input itself.
+        assert_eq!(tree.keys(0), &vals[..]);
+        assert_eq!(tree.arena_bytes(), (tree.stored_elements() + tree.stored_pointers()) * 4);
+        // Pointer slabs are contiguous and non-overlapping in level order.
+        let metas = tree.level_meta();
+        assert_eq!(metas[0].ptrs.len, 0);
+        for w in 1..metas.len() {
+            assert_eq!(metas[w].ptrs.off, metas[w - 1].ptrs.end());
+        }
     }
 
     #[test]
@@ -830,6 +1080,24 @@ mod tests {
             assert_eq!(with.count_below(a, b, t), without.count_below(a, b, t));
             let (lo, hi) = (rng.gen_range(0..60), rng.gen_range(60..130));
             let j = rng.gen_range(0..n as usize);
+            assert_eq!(with.select_in_range(lo, hi, j), without.select_in_range(lo, hi, j));
+        }
+    }
+
+    #[test]
+    fn no_prefetch_gives_identical_answers() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 500;
+        let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..140)).collect();
+        let with = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 4));
+        let without = MergeSortTree::<u32>::build(&vals, MstParams::new(8, 4).no_prefetch());
+        for _ in 0..200 {
+            let a = rng.gen_range(0..=n as usize);
+            let b = rng.gen_range(a..=n as usize);
+            let t = rng.gen_range(0..150);
+            assert_eq!(with.count_below(a, b, t), without.count_below(a, b, t));
+            let (lo, hi) = (rng.gen_range(0..70), rng.gen_range(70..150));
+            let j = rng.gen_range(0..40);
             assert_eq!(with.select_in_range(lo, hi, j), without.select_in_range(lo, hi, j));
         }
     }

@@ -27,18 +27,23 @@ pub struct MstParams {
     /// Figure 2 instead of Figure 3's O(log n) — and exists for the ablation
     /// benchmark; production use keeps it on.
     pub cascading: bool,
+    /// Issue software prefetches (safe cache-warming reads, see
+    /// [`crate::arena`]) for the next level's cascaded landing run during
+    /// probe descents. Pure reads: query results are bit-identical either
+    /// way. Requires `cascading`; a no-op in the ablation mode.
+    pub prefetch: bool,
 }
 
 impl Default for MstParams {
     fn default() -> Self {
-        MstParams { fanout: 32, sampling: 32, parallel: true, cascading: true }
+        MstParams { fanout: 32, sampling: 32, parallel: true, cascading: true, prefetch: true }
     }
 }
 
 impl MstParams {
     /// Parameters with the given fanout and sampling stride (parallel build).
     pub fn new(fanout: usize, sampling: usize) -> Self {
-        let p = MstParams { fanout, sampling, parallel: true, cascading: true };
+        let p = MstParams { fanout, sampling, ..Self::default() };
         p.validate();
         p
     }
@@ -53,6 +58,12 @@ impl MstParams {
     /// Disables fractional cascading during queries (ablation only).
     pub fn no_cascading(mut self) -> Self {
         self.cascading = false;
+        self
+    }
+
+    /// Disables probe-descent software prefetching (ablation / measurement).
+    pub fn no_prefetch(mut self) -> Self {
+        self.prefetch = false;
         self
     }
 
@@ -72,6 +83,16 @@ mod tests {
         let p = MstParams::default();
         assert_eq!(p.fanout, 32);
         assert_eq!(p.sampling, 32);
+        assert!(p.parallel);
+        assert!(p.cascading);
+        assert!(p.prefetch);
+    }
+
+    #[test]
+    fn no_prefetch_toggles_prefetch_only() {
+        let p = MstParams::new(8, 4).no_prefetch();
+        assert!(!p.prefetch);
+        assert!(p.cascading);
         assert!(p.parallel);
     }
 

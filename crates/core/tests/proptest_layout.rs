@@ -1,0 +1,167 @@
+//! Property-based tests: the arena-backed tree layout is observationally
+//! identical to the pre-arena per-run-allocation baseline.
+//!
+//! Both layouts share the merge kernel, so run contents are bit-identical by
+//! construction; these tests pin that the *probe paths* — stateless,
+//! cursor-seeded, prefetched and not — also agree on every query, for u32 and
+//! u64 keys and arbitrary frames. A regression here means the arena refactor
+//! changed something observable.
+
+use holistic_core::aggregate::{AvgF64, SumI64};
+use holistic_core::layout_baseline::{PerRunAnnotated, PerRunMst};
+use holistic_core::{
+    prev_idcs_by_key, AnnotatedMst, MergeSortTree, MstParams, ProbeCursor, RangeSet,
+};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = MstParams> {
+    // Prefetch distance rides on sampling; disabling it exercises the
+    // non-prefetching descent against the same baseline.
+    (2usize..=33, 1usize..=33, any::<bool>(), any::<bool>()).prop_map(|(f, k, par, pf)| {
+        let p = MstParams::new(f, k);
+        let p = if par { p } else { p.serial() };
+        if pf {
+            p
+        } else {
+            p.no_prefetch()
+        }
+    })
+}
+
+/// Frame triples (a, b, t) with a <= b; t doubles as a threshold / rank.
+#[derive(Debug, Clone)]
+struct FrameSeq {
+    frames: Vec<(usize, usize, usize)>,
+}
+
+fn frame_seq(n_hint: usize) -> impl Strategy<Value = FrameSeq> {
+    prop::collection::vec((0usize..n_hint, 0usize..n_hint, 0usize..n_hint), 1..40).prop_map(
+        |mut v| {
+            for f in v.iter_mut() {
+                if f.0 > f.1 {
+                    std::mem::swap(&mut f.0, &mut f.1);
+                }
+            }
+            FrameSeq { frames: v }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// count_below on the arena layout — stateless and through a cursor —
+    /// equals the per-run baseline, on u32 and u64 trees.
+    #[test]
+    fn arena_count_below_matches_baseline(
+        vals in prop::collection::vec(0u32..64, 0..220),
+        params in params_strategy(),
+        seq in frame_seq(230),
+    ) {
+        let arena32 = MergeSortTree::<u32>::build(&vals, params);
+        let base32 = PerRunMst::<u32>::build(&vals, params);
+        let vals64: Vec<u64> = vals.iter().map(|&v| v as u64).collect();
+        let arena64 = MergeSortTree::<u64>::build(&vals64, params);
+        let base64 = PerRunMst::<u64>::build(&vals64, params);
+        let mut cur32 = ProbeCursor::new();
+        let mut cur64 = ProbeCursor::new();
+        for &(a, b, t) in &seq.frames {
+            prop_assert_eq!(arena32.count_below(a, b, t as u32), base32.count_below(a, b, t as u32));
+            prop_assert_eq!(
+                arena32.count_below_with_cursor(a, b, t as u32, &mut cur32),
+                base32.count_below(a, b, t as u32)
+            );
+            prop_assert_eq!(arena64.count_below(a, b, t as u64), base64.count_below(a, b, t as u64));
+            prop_assert_eq!(
+                arena64.count_below_with_cursor(a, b, t as u64, &mut cur64),
+                base64.count_below(a, b, t as u64)
+            );
+        }
+    }
+
+    /// Multi-piece frames (exclusion holes) agree between layouts.
+    #[test]
+    fn arena_count_multi_matches_baseline(
+        vals in prop::collection::vec(0u32..48, 0..200),
+        params in params_strategy(),
+        seq in frame_seq(210),
+    ) {
+        let arena = MergeSortTree::<u32>::build(&vals, params);
+        let base = PerRunMst::<u32>::build(&vals, params);
+        for w in seq.frames.windows(2) {
+            let (a, b, t) = w[0];
+            let (h1, h2, _) = w[1];
+            let mut rs = RangeSet::empty();
+            rs.push(a, b.min(h1));
+            rs.push(h2.max(a).min(b), b);
+            prop_assert_eq!(
+                arena.count_below_multi(&rs, t as u32),
+                base.count_below_multi(&rs, t as u32)
+            );
+        }
+    }
+
+    /// Selection over a permutation tree (§4.5) agrees between layouts, both
+    /// for present ranks and out-of-range ranks (None on both sides).
+    #[test]
+    fn arena_select_matches_baseline(
+        n in 0usize..180,
+        shuffle_seed in any::<u64>(),
+        params in params_strategy(),
+        seq in frame_seq(190),
+    ) {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut s = shuffle_seed | 1;
+        for i in (1..n).rev() {
+            // Tiny xorshift: deterministic shuffle without extra deps.
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            perm.swap(i, (s as usize) % (i + 1));
+        }
+        let arena = MergeSortTree::<u32>::build(&perm, params);
+        let base = PerRunMst::<u32>::build(&perm, params);
+        for &(lo, hi, j) in &seq.frames {
+            prop_assert_eq!(arena.select_in_range(lo, hi, j), base.select_in_range(lo, hi, j));
+            let mut rs = RangeSet::empty();
+            rs.push(lo, hi.min(lo + (hi - lo) / 2));
+            rs.push(lo + (hi - lo) / 2 + 1, hi);
+            prop_assert_eq!(arena.select(&rs, j), base.select(&rs, j));
+        }
+    }
+
+    /// Annotated prefix aggregation (SUM and AVG states) agrees between
+    /// layouts, single-range and multi-piece.
+    #[test]
+    fn arena_aggregate_matches_baseline(
+        payloads in prop::collection::vec(-40i64..40, 0..200),
+        params in params_strategy(),
+        seq in frame_seq(210),
+    ) {
+        let prev: Vec<u32> =
+            prev_idcs_by_key(&payloads, false).iter().map(|&p| p as u32).collect();
+        let arena = AnnotatedMst::<u32, SumI64>::build(&prev, &payloads, params);
+        let base = PerRunAnnotated::<u32, SumI64>::build(&prev, &payloads, params);
+        let fpay: Vec<f64> = payloads.iter().map(|&p| p as f64).collect();
+        let arena_avg = AnnotatedMst::<u32, AvgF64>::build(&prev, &fpay, params);
+        let base_avg = PerRunAnnotated::<u32, AvgF64>::build(&prev, &fpay, params);
+        for &(a, b, t) in &seq.frames {
+            let (s0, c0) = arena.aggregate_below(a, b, t as u32);
+            let (s1, c1) = base.aggregate_below(a, b, t as u32);
+            prop_assert_eq!(s0, s1);
+            prop_assert_eq!(c0, c1);
+            let ((sa, ca), cnt0) = arena_avg.aggregate_below(a, b, t as u32);
+            let ((sb, cb), cnt1) = base_avg.aggregate_below(a, b, t as u32);
+            prop_assert_eq!(sa.to_bits(), sb.to_bits());
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(cnt0, cnt1);
+            let mut rs = RangeSet::empty();
+            rs.push(a, a + (b - a) / 3);
+            rs.push(a + (b - a) / 2, b);
+            let (m0, mc0) = arena.aggregate_below_multi(&rs, t as u32);
+            let (m1, mc1) = base.aggregate_below_multi(&rs, t as u32);
+            prop_assert_eq!(m0, m1);
+            prop_assert_eq!(mc0, mc1);
+        }
+    }
+}

@@ -15,10 +15,10 @@
 //!   orders) and all eight engine configurations must agree bit-identically
 //!   with each other. Panics are caught and reported as failures, never
 //!   allowed to take the harness down.
-//! * [`shrink`] — delta-debugging minimization of a failing case: first the
+//! * [`mod@shrink`] — delta-debugging minimization of a failing case: first the
 //!   table rows, then the calls, then individual spec features, so the
 //!   reported repro is as small as the failure allows.
-//! * [`panic_sweep`] — the negative half: generated-*invalid* specs
+//! * [`mod@panic_sweep`] — the negative half: generated-*invalid* specs
 //!   (negative/NULL/non-integer offsets, bad key types, malformed call
 //!   shapes) must yield `Error`, never panic, on every configuration.
 //!

@@ -24,16 +24,18 @@ use rayon::prelude::*;
 
 /// A static 3-d range counting structure over implicit positions and two
 /// `u32` value dimensions (`x`, `y`).
+///
+/// Storage follows the arena discipline of `holistic-core`: all levels' `x`
+/// arrays live level-major in one allocation (each level holds exactly `n`
+/// values) and every inner `y` tree is itself a single arena, so a query
+/// touches O(log n) flat buffers instead of per-level vectors.
 pub struct RangeTree3 {
-    /// Per level ℓ ≥ 0: runs of length 2^ℓ sorted by `x`, stored as the `x`
-    /// array plus an inner tree over the co-permuted `y` values.
-    levels: Vec<LevelRT>,
-    n: usize,
-}
-
-struct LevelRT {
+    /// Level-major `x` arrays: level ℓ (runs of length 2^ℓ sorted by `x`)
+    /// occupies `[ℓ·n, (ℓ+1)·n)`.
     xs: Vec<u32>,
-    ytree: MergeSortTree<u32>,
+    /// Per level: an inner merge sort tree over the co-permuted `y` values.
+    ytrees: Vec<MergeSortTree<u32>>,
+    n: usize,
 }
 
 impl RangeTree3 {
@@ -43,13 +45,23 @@ impl RangeTree3 {
         assert_eq!(xs.len(), ys.len());
         let n = xs.len();
         let params = if parallel { MstParams::default() } else { MstParams::default().serial() };
+        let mut height = 1usize;
+        let mut top_run = 1usize;
+        while top_run < n.max(1) {
+            top_run *= 2;
+            height += 1;
+        }
+        let mut xs_arena = vec![0u32; height * n];
+        let mut ytrees = Vec::with_capacity(height);
         let mut pairs: Vec<(u32, u32)> = xs.iter().copied().zip(ys.iter().copied()).collect();
-        let mut levels = Vec::new();
         let mut run = 1usize;
         loop {
+            let lvl = ytrees.len();
             let level_ys: Vec<u32> = pairs.iter().map(|p| p.1).collect();
-            let level_xs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
-            levels.push(LevelRT { xs: level_xs, ytree: MergeSortTree::build(&level_ys, params) });
+            for (slot, p) in xs_arena[lvl * n..(lvl + 1) * n].iter_mut().zip(&pairs) {
+                *slot = p.0;
+            }
+            ytrees.push(MergeSortTree::build(&level_ys, params));
             if run >= n.max(1) {
                 break;
             }
@@ -84,7 +96,8 @@ impl RangeTree3 {
             pairs = next;
             run = next_run;
         }
-        RangeTree3 { levels, n }
+        debug_assert_eq!(ytrees.len(), height);
+        RangeTree3 { xs: xs_arena, ytrees, n }
     }
 
     /// Number of rows.
@@ -107,18 +120,18 @@ impl RangeTree3 {
         let mut pos = a;
         while pos < b {
             let mut lvl = 0usize;
-            while lvl + 1 < self.levels.len()
+            while lvl + 1 < self.ytrees.len()
                 && pos.is_multiple_of(1 << (lvl + 1))
                 && pos + (1 << (lvl + 1)) <= b
             {
                 lvl += 1;
             }
             let len = 1 << lvl;
-            let level = &self.levels[lvl];
             // Second dimension: prefix of the run with x < c.
-            let p = level.xs[pos..pos + len].partition_point(|&x| x < c);
+            let level_xs = &self.xs[lvl * self.n..(lvl + 1) * self.n];
+            let p = level_xs[pos..pos + len].partition_point(|&x| x < c);
             // Third dimension: inner tree over the same prefix.
-            total += level.ytree.count_below(pos, pos + p, d);
+            total += self.ytrees[lvl].count_below(pos, pos + p, d);
             pos += len;
         }
         total
@@ -127,7 +140,7 @@ impl RangeTree3 {
     /// Approximate memory footprint in bytes (for the space-complexity
     /// discussion in Table 1 / EXPERIMENTS.md).
     pub fn bytes(&self) -> usize {
-        self.levels.iter().map(|l| l.xs.len() * 4 + l.ytree.stats().bytes).sum()
+        self.xs.len() * 4 + self.ytrees.iter().map(|t| t.stats().bytes).sum::<usize>()
     }
 }
 

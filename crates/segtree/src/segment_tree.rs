@@ -51,6 +51,11 @@ impl<M: Monoid> SegmentTree<M> {
         self.n == 0
     }
 
+    /// Size in bytes of the backing allocation (for artifact accounting).
+    pub fn bytes(&self) -> usize {
+        self.tree.len() * std::mem::size_of::<M::State>()
+    }
+
     /// Combines rows `[a, b)`. O(log n); returns the identity for empty
     /// ranges. Bounds are clamped to the input length.
     pub fn query(&self, a: usize, b: usize) -> M::State {

@@ -14,9 +14,17 @@
 use rayon::prelude::*;
 
 /// Segment tree whose nodes carry sorted value lists.
+///
+/// Storage follows the arena discipline of `holistic-core`: every level holds
+/// exactly `n` values, so all levels live back-to-back in one allocation and
+/// a node's list is `(level, offset, len)` arithmetic — no per-level or
+/// per-node vectors.
 pub struct SortedListSegTree {
-    /// levels[0] = input; levels[ℓ] = sorted runs of length 2^ℓ.
-    levels: Vec<Vec<i64>>,
+    /// Level-major: level ℓ (sorted runs of length 2^ℓ) occupies
+    /// `[ℓ·n, (ℓ+1)·n)`; level 0 is the input.
+    arena: Vec<i64>,
+    /// Number of levels, including the base.
+    height: usize,
     n: usize,
 }
 
@@ -24,12 +32,20 @@ impl SortedListSegTree {
     /// Builds by pairwise merging, O(n log n) total, parallel across runs.
     pub fn build(values: &[i64], parallel: bool) -> Self {
         let n = values.len();
-        let mut levels = vec![values.to_vec()];
+        let mut height = 1usize;
+        let mut top_run = 1usize;
+        while top_run < n {
+            top_run *= 2;
+            height += 1;
+        }
+        let mut arena = vec![0i64; height * n];
+        arena[..n].copy_from_slice(values);
         let mut run = 1usize;
-        while run < n {
-            let child = levels.last().unwrap();
+        for lvl in 1..height {
             let next_run = run * 2;
-            let mut next = vec![0i64; n];
+            let (lower, upper) = arena.split_at_mut(lvl * n);
+            let child = &lower[(lvl - 1) * n..];
+            let next = &mut upper[..n];
             let merge_one = |(start, out): (usize, &mut [i64])| {
                 let mid = (start + run).min(n);
                 let end = (start + next_run).min(n);
@@ -54,10 +70,9 @@ impl SortedListSegTree {
                     merge_one((r * next_run, out));
                 }
             }
-            levels.push(next);
             run = next_run;
         }
-        SortedListSegTree { levels, n }
+        SortedListSegTree { arena, height, n }
     }
 
     /// Number of rows.
@@ -68,6 +83,17 @@ impl SortedListSegTree {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Size in bytes of the backing allocation (for artifact accounting).
+    pub fn bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<i64>()
+    }
+
+    /// The values of `level`, all runs concatenated.
+    #[inline]
+    fn level(&self, lvl: usize) -> &[i64] {
+        &self.arena[lvl * self.n..(lvl + 1) * self.n]
     }
 
     /// The canonical decomposition of `[a, b)` into sorted node lists.
@@ -82,14 +108,14 @@ impl SortedListSegTree {
         while pos < b {
             let mut lvl = 0usize;
             // Largest 2^lvl such that pos is aligned and pos + 2^lvl <= b.
-            while lvl + 1 < self.levels.len()
+            while lvl + 1 < self.height
                 && pos.is_multiple_of(1 << (lvl + 1))
                 && pos + (1 << (lvl + 1)) <= b
             {
                 lvl += 1;
             }
             let len = 1 << lvl;
-            runs.push(&self.levels[lvl][pos..pos + len]);
+            runs.push(&self.level(lvl)[pos..pos + len]);
             pos += len;
         }
         runs
@@ -178,9 +204,19 @@ mod tests {
         let vals: Vec<i64> = (0..40_000).map(|_| rng.gen_range(-1000..1000)).collect();
         let sp = SortedListSegTree::build(&vals, true);
         let ss = SortedListSegTree::build(&vals, false);
-        for (lp, ls) in sp.levels.iter().zip(&ss.levels) {
-            assert_eq!(lp, ls);
-        }
+        assert_eq!(sp.arena, ss.arena);
+    }
+
+    #[test]
+    fn arena_is_level_major() {
+        let vals: Vec<i64> = (0..100).rev().collect();
+        let st = SortedListSegTree::build(&vals, false);
+        assert_eq!(st.level(0), &vals[..]);
+        assert_eq!(st.bytes(), st.height * 100 * 8);
+        // Top level fully sorted.
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(st.level(st.height - 1), &sorted[..]);
     }
 
     #[test]

@@ -9,12 +9,22 @@
 //! `RANK`, `ROW_NUMBER` and a framed `LEAD` over the same inner ORDER BY —
 //! share the sort and the trees instead of redoing them per call.
 //!
+//! Keys are derived once, in the plan phase ([`crate::plan::CallKeys`]);
+//! every request here *borrows* a plan-owned key, and [`ArtifactCache`]
+//! clones it exactly once — when the key's slot is first created. The
+//! `key_clones` counter pins this: it always equals the miss count.
+//!
 //! Artifacts are stored type-erased (`Arc<dyn Any>`) behind a `OnceLock` per
 //! key: the slot map's lock is held only to fetch the slot, the build runs
-//! outside it, and nested requests (an artifact forcing its ingredients)
+//! outside it, and nested requests (an artifact building its ingredients)
 //! recurse safely because dependencies form a DAG of distinct keys. Build
 //! errors are cached too ([`Error`] is `Clone`), so a failing recipe fails
-//! identically for every requester.
+//! identically for every requester. Ingredient lookups happen *inside* the
+//! build closures: a cache hit touches exactly one slot.
+//!
+//! Every artifact reports its heap footprint through [`ArtifactBytes`] when
+//! built; the cache records per-slot `(label, bytes)` pairs that
+//! `execute_profiled` aggregates into [`crate::ExecProfile::artifacts`].
 //!
 //! Index width (u32/u64) is intentionally not part of the key: it is a pure
 //! function of the partition size ([`fits_u32`]), so all requests against
@@ -25,30 +35,85 @@ use crate::eval::Ctx;
 use crate::executor::CacheStats;
 use crate::hash::hash_value;
 use crate::order::{dense_codes_for, KeyColumns};
-use crate::plan::{
-    sort_keys_of, ArtifactKey, CanonicalExpr, CanonicalSortKey, MaskKey, OrderKey, SegFlavor,
-};
+use crate::plan::{sort_keys_of, ArtifactKey, OrderKey, SegFlavor};
 use crate::remap::Remap;
 use crate::value::Value;
+use holistic_core::aggregate::DistinctAggregate;
 use holistic_core::codes::DenseCodes;
 use holistic_core::index::fits_u32;
-use holistic_core::{MergeSortTree, TreeIndex};
+use holistic_core::{AnnotatedMst, MergeSortTree, TreeIndex};
 use holistic_rangemode::RangeModeIndex;
 use holistic_rangetree::RangeTree3;
-use holistic_segtree::{CountMonoid, SegmentTree};
+use holistic_segtree::{CountMonoid, Monoid, SegmentTree};
 use rustc_hash::FxHashMap;
 use std::any::Any;
+use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
 
 type Payload = Arc<dyn Any + Send + Sync>;
 type Slot = Arc<OnceLock<std::result::Result<Payload, Error>>>;
 
+/// Approximate heap footprint of a cached artifact, recorded at build time.
+///
+/// Estimates are deliberately shallow: a `Vec<Value>` counts its spine (the
+/// inline `Value` representation), not the string heap behind `Arc<str>`
+/// values, and `Arc`-shared ingredients are attributed to the artifact that
+/// owns them. The numbers answer "which preprocessing products dominate
+/// memory", not "what does the allocator report".
+pub(crate) trait ArtifactBytes {
+    /// Heap bytes owned by this artifact.
+    fn bytes_built(&self) -> usize;
+}
+
+impl ArtifactBytes for Vec<Value> {
+    fn bytes_built(&self) -> usize {
+        self.len() * size_of::<Value>()
+    }
+}
+
+impl ArtifactBytes for KeyColumns {
+    fn bytes_built(&self) -> usize {
+        self.bytes()
+    }
+}
+
+impl ArtifactBytes for DenseCodes {
+    fn bytes_built(&self) -> usize {
+        (self.code.len()
+            + self.group_min.len()
+            + self.group_end.len()
+            + self.group_id.len()
+            + self.perm.len())
+            * size_of::<usize>()
+    }
+}
+
+impl<I: TreeIndex> ArtifactBytes for MergeSortTree<I> {
+    fn bytes_built(&self) -> usize {
+        self.arena_bytes()
+    }
+}
+
+impl<I: TreeIndex, A: DistinctAggregate> ArtifactBytes for AnnotatedMst<I, A> {
+    fn bytes_built(&self) -> usize {
+        self.bytes()
+    }
+}
+
+impl<M: Monoid> ArtifactBytes for SegmentTree<M> {
+    fn bytes_built(&self) -> usize {
+        self.bytes()
+    }
+}
+
 /// Internal atomic counters; snapshotted into the public [`CacheStats`].
 #[derive(Debug, Default)]
 pub(crate) struct AtomicStats {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
+    pub key_clones: AtomicU64,
+    pub bytes_built: AtomicU64,
     pub inner_sorts: AtomicU64,
     pub mst_builds: AtomicU64,
     pub segtree_builds: AtomicU64,
@@ -61,6 +126,8 @@ impl AtomicStats {
     pub fn merge_into(&self, dst: &AtomicStats) {
         dst.hits.fetch_add(self.hits.load(Relaxed), Relaxed);
         dst.misses.fetch_add(self.misses.load(Relaxed), Relaxed);
+        dst.key_clones.fetch_add(self.key_clones.load(Relaxed), Relaxed);
+        dst.bytes_built.fetch_add(self.bytes_built.load(Relaxed), Relaxed);
         dst.inner_sorts.fetch_add(self.inner_sorts.load(Relaxed), Relaxed);
         dst.mst_builds.fetch_add(self.mst_builds.load(Relaxed), Relaxed);
         dst.segtree_builds.fetch_add(self.segtree_builds.load(Relaxed), Relaxed);
@@ -72,6 +139,8 @@ impl AtomicStats {
         CacheStats {
             hits: self.hits.load(Relaxed),
             misses: self.misses.load(Relaxed),
+            key_clones: self.key_clones.load(Relaxed),
+            bytes_built: self.bytes_built.load(Relaxed),
             inner_sorts: self.inner_sorts.load(Relaxed),
             mst_builds: self.mst_builds.load(Relaxed),
             segtree_builds: self.segtree_builds.load(Relaxed),
@@ -84,16 +153,27 @@ impl AtomicStats {
 /// The per-partition artifact cache.
 pub(crate) struct ArtifactCache {
     slots: Mutex<FxHashMap<ArtifactKey, Slot>>,
+    /// `(label, bytes)` per slot actually built (seeded slots excluded).
+    footprints: Mutex<Vec<(&'static str, usize)>>,
     stats: AtomicStats,
 }
 
 impl ArtifactCache {
     pub fn new() -> Self {
-        ArtifactCache { slots: Mutex::new(FxHashMap::default()), stats: AtomicStats::default() }
+        ArtifactCache {
+            slots: Mutex::new(FxHashMap::default()),
+            footprints: Mutex::new(Vec::new()),
+            stats: AtomicStats::default(),
+        }
     }
 
     pub fn stats(&self) -> &AtomicStats {
         &self.stats
+    }
+
+    /// Drains the per-slot build footprints recorded so far.
+    pub fn take_footprints(&self) -> Vec<(&'static str, usize)> {
+        std::mem::take(&mut *self.footprints.lock().expect("artifact cache poisoned"))
     }
 
     /// Pre-populates a slot with an already-built artifact (the executor
@@ -109,19 +189,37 @@ impl ArtifactCache {
     /// request. Concurrent requesters block on the same slot; the build runs
     /// outside the map lock, so builds of *different* keys — including a
     /// build requesting its own ingredients — never contend.
-    pub fn get_or_build<T, F>(&self, key: ArtifactKey, build: F) -> Result<Arc<T>>
+    ///
+    /// The key is borrowed: the caller keeps the plan-derived key alive and
+    /// the cache clones it only when creating the slot (`key_clones` counts
+    /// exactly those clones — one per miss, never per hit).
+    pub fn get_or_build<T, F>(&self, key: &ArtifactKey, build: F) -> Result<Arc<T>>
     where
-        T: Any + Send + Sync,
+        T: Any + Send + Sync + ArtifactBytes,
         F: FnOnce() -> Result<T>,
     {
         let slot = {
             let mut slots = self.slots.lock().expect("artifact cache poisoned");
-            slots.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+            match slots.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    self.stats.key_clones.fetch_add(1, Relaxed);
+                    Arc::clone(
+                        slots.entry(key.clone()).or_insert_with(|| Arc::new(OnceLock::new())),
+                    )
+                }
+            }
         };
         let mut fresh = false;
         let res = slot.get_or_init(|| {
             fresh = true;
-            build().map(|v| Arc::new(v) as Payload)
+            build().map(|v| {
+                let v = Arc::new(v);
+                let bytes = v.bytes_built();
+                self.stats.bytes_built.fetch_add(bytes as u64, Relaxed);
+                self.footprints.lock().expect("artifact cache poisoned").push((key.label(), bytes));
+                v as Payload
+            })
         });
         if fresh {
             self.stats.misses.fetch_add(1, Relaxed);
@@ -154,6 +252,12 @@ impl MaskArtifact {
     }
 }
 
+impl ArtifactBytes for MaskArtifact {
+    fn bytes_built(&self) -> usize {
+        self.keep.len() + self.remap.bytes() + self.kept_rows.len() * size_of::<usize>()
+    }
+}
+
 /// Distinct-aggregate preprocessing (§4.2): value hashes and shifted
 /// previous-occurrence indices per kept position, in `usize` (widened to the
 /// partition's tree index on demand).
@@ -162,10 +266,19 @@ pub(crate) struct DistinctPrepArt {
     pub hashes: Vec<u64>,
     /// Shifted previous-occurrence index per kept position (Algorithm 1).
     pub prev: Vec<usize>,
-    /// Kept values (payloads / exclusion corrections).
+    /// Kept values (payloads / exclusion corrections). `Arc`-shared with the
+    /// kept-values artifact, which is the one charged for them.
     pub values: Arc<Vec<Value>>,
     /// hash → ascending kept positions; built only under frame exclusion.
     pub occurrences: FxHashMap<u64, Vec<usize>>,
+}
+
+impl ArtifactBytes for DistinctPrepArt {
+    fn bytes_built(&self) -> usize {
+        self.hashes.len() * size_of::<u64>()
+            + self.prev.len() * size_of::<usize>()
+            + self.occurrences.values().map(|v| v.len() * size_of::<usize>()).sum::<usize>()
+    }
 }
 
 /// DENSE_RANK range-tree artifact (§4.4).
@@ -173,6 +286,13 @@ pub(crate) struct RangeTreeArt {
     pub rt: RangeTree3,
     /// Tie group → ascending kept positions; built only under exclusion.
     pub occurrences: Vec<Vec<usize>>,
+}
+
+impl ArtifactBytes for RangeTreeArt {
+    fn bytes_built(&self) -> usize {
+        self.rt.bytes()
+            + self.occurrences.iter().map(|v| v.len() * size_of::<usize>()).sum::<usize>()
+    }
 }
 
 /// MODE artifact: dense value ids (in value order) plus the √-decomposition
@@ -183,6 +303,12 @@ pub(crate) struct ModeArt {
     pub index: RangeModeIndex,
 }
 
+impl ArtifactBytes for ModeArt {
+    fn bytes_built(&self) -> usize {
+        self.decode.len() * size_of::<Value>() + self.index.bytes()
+    }
+}
+
 impl Ctx<'_> {
     /// True when this partition's trees index with u32 (uniform per
     /// partition, hence absent from artifact keys).
@@ -190,15 +316,17 @@ impl Ctx<'_> {
         fits_u32(self.m() + 1)
     }
 
-    /// Expression values per partition position.
-    pub(crate) fn values_art(&self, e: &CanonicalExpr) -> Result<Arc<Vec<Value>>> {
-        self.cache
-            .get_or_build(ArtifactKey::Values(e.clone()), || self.eval_positions(&e.to_expr()))
+    /// Expression values per partition position. `key` must be a
+    /// [`ArtifactKey::Values`] (plan-derived; see [`crate::plan::CallKeys`]).
+    pub(crate) fn values_art(&self, key: &ArtifactKey) -> Result<Arc<Vec<Value>>> {
+        let ArtifactKey::Values(e) = key else { unreachable!("values_art wants a Values key") };
+        self.cache.get_or_build(key, || self.eval_positions(&e.to_expr()))
     }
 
-    /// The kept-row mask artifact.
-    pub(crate) fn mask_art(&self, mk: &MaskKey) -> Result<Arc<MaskArtifact>> {
-        self.cache.get_or_build(ArtifactKey::Mask(mk.clone()), || {
+    /// The kept-row mask artifact, from a [`ArtifactKey::Mask`] key.
+    pub(crate) fn mask_art(&self, key: &ArtifactKey) -> Result<Arc<MaskArtifact>> {
+        let ArtifactKey::Mask(mk) = key else { unreachable!("mask_art wants a Mask key") };
+        self.cache.get_or_build(key, || {
             let m = self.m();
             let mut keep = match &mk.filter {
                 None => vec![true; m],
@@ -211,7 +339,7 @@ impl Ctx<'_> {
                 }
             };
             if let Some(screen) = &mk.screen {
-                let vals = self.values_art(screen)?;
+                let vals = self.values_art(&ArtifactKey::Values(screen.clone()))?;
                 for (i, k) in keep.iter_mut().enumerate() {
                     *k = *k && !vals[i].is_null();
                 }
@@ -223,15 +351,14 @@ impl Ctx<'_> {
         })
     }
 
-    /// Expression values per *kept* position.
-    pub(crate) fn kept_values_art(
-        &self,
-        e: &CanonicalExpr,
-        mk: &MaskKey,
-    ) -> Result<Arc<Vec<Value>>> {
-        let values = self.values_art(e)?;
-        let mask = self.mask_art(mk)?;
-        self.cache.get_or_build(ArtifactKey::KeptValues(e.clone(), mk.clone()), || {
+    /// Expression values per *kept* position ([`ArtifactKey::KeptValues`]).
+    pub(crate) fn kept_values_art(&self, key: &ArtifactKey) -> Result<Arc<Vec<Value>>> {
+        let ArtifactKey::KeptValues(e, mk) = key else {
+            unreachable!("kept_values_art wants a KeptValues key")
+        };
+        self.cache.get_or_build(key, || {
+            let values = self.values_art(&ArtifactKey::Values(e.clone()))?;
+            let mask = self.mask_art(&ArtifactKey::Mask(mk.clone()))?;
             Ok((0..mask.kept_len())
                 .map(|k| values[mask.remap.to_position(k)].clone())
                 .collect::<Vec<Value>>())
@@ -240,40 +367,45 @@ impl Ctx<'_> {
 
     /// Materialized inner ORDER BY key columns (full table; independent of
     /// any mask, so structurally equal criteria share one evaluation).
-    pub(crate) fn inner_keys_art(&self, ks: &[CanonicalSortKey]) -> Result<Arc<KeyColumns>> {
-        self.cache.get_or_build(ArtifactKey::InnerKeys(ks.to_vec()), || {
-            KeyColumns::evaluate(self.table, &sort_keys_of(ks))
-        })
+    /// `key` must be an [`ArtifactKey::InnerKeys`].
+    pub(crate) fn inner_keys_art(&self, key: &ArtifactKey) -> Result<Arc<KeyColumns>> {
+        let ArtifactKey::InnerKeys(ks) = key else {
+            unreachable!("inner_keys_art wants an InnerKeys key")
+        };
+        self.cache.get_or_build(key, || KeyColumns::evaluate(self.table, &sort_keys_of(ks)))
     }
 
     /// The inner sort: dense codes over the kept rows (Figure 8). Every
     /// cache miss here is one actual sort — the profile's `inner_sorts`.
-    pub(crate) fn dense_codes_art(
-        &self,
-        order: &OrderKey,
-        mk: &MaskKey,
-    ) -> Result<Arc<DenseCodes>> {
+    /// `key` must be an [`ArtifactKey::DenseCodes`].
+    pub(crate) fn dense_codes_art(&self, key: &ArtifactKey) -> Result<Arc<DenseCodes>> {
+        let ArtifactKey::DenseCodes(order, mk) = key else {
+            unreachable!("dense_codes_art wants a DenseCodes key")
+        };
         let OrderKey::Keys(ks) = order else {
             unreachable!("dense codes require an explicit criterion")
         };
-        let keys = self.inner_keys_art(ks)?;
-        let mask = self.mask_art(mk)?;
         let stats = self.cache.stats();
-        self.cache.get_or_build(ArtifactKey::DenseCodes(order.clone(), mk.clone()), || {
+        self.cache.get_or_build(key, || {
+            let keys = self.inner_keys_art(&ArtifactKey::InnerKeys(ks.clone()))?;
+            let mask = self.mask_art(&ArtifactKey::Mask(mk.clone()))?;
             stats.inner_sorts.fetch_add(1, Relaxed);
             Ok(dense_codes_for(&keys, &mask.kept_rows, self.parallel))
         })
     }
 
-    /// Merge sort tree over the unique codes (rank family / framed LEAD).
+    /// Merge sort tree over the unique codes (rank family / framed LEAD),
+    /// from an [`ArtifactKey::CodeMst`] key.
     pub(crate) fn code_mst<I: TreeIndex>(
         &self,
-        order: &OrderKey,
-        mk: &MaskKey,
+        key: &ArtifactKey,
     ) -> Result<Arc<MergeSortTree<I>>> {
-        let dc = self.dense_codes_art(order, mk)?;
+        let ArtifactKey::CodeMst(order, mk) = key else {
+            unreachable!("code_mst wants a CodeMst key")
+        };
         let stats = self.cache.stats();
-        self.cache.get_or_build(ArtifactKey::CodeMst(order.clone(), mk.clone()), || {
+        self.cache.get_or_build(key, || {
+            let dc = self.dense_codes_art(&ArtifactKey::DenseCodes(order.clone(), mk.clone()))?;
             stats.mst_builds.fetch_add(1, Relaxed);
             let codes: Vec<I> = dc.code.iter().map(|&c| I::from_usize(c)).collect();
             Ok(MergeSortTree::<I>::build(&codes, self.params))
@@ -282,42 +414,40 @@ impl Ctx<'_> {
 
     /// Merge sort tree over the permutation array (selection family). The
     /// `Identity` order is the identity permutation over the kept rows.
+    /// `key` must be an [`ArtifactKey::PermMst`].
     pub(crate) fn perm_mst<I: TreeIndex>(
         &self,
-        order: &OrderKey,
-        mk: &MaskKey,
+        key: &ArtifactKey,
     ) -> Result<Arc<MergeSortTree<I>>> {
-        let key = ArtifactKey::PermMst(order.clone(), mk.clone());
+        let ArtifactKey::PermMst(order, mk) = key else {
+            unreachable!("perm_mst wants a PermMst key")
+        };
         let stats = self.cache.stats();
-        match order {
-            OrderKey::Identity => {
-                let mask = self.mask_art(mk)?;
-                self.cache.get_or_build(key, || {
-                    stats.mst_builds.fetch_add(1, Relaxed);
-                    let perm_i: Vec<I> = (0..mask.kept_len()).map(I::from_usize).collect();
-                    Ok(MergeSortTree::<I>::build(&perm_i, self.params))
-                })
-            }
-            OrderKey::Keys(_) => {
-                let dc = self.dense_codes_art(order, mk)?;
-                self.cache.get_or_build(key, || {
-                    stats.mst_builds.fetch_add(1, Relaxed);
-                    let perm_i: Vec<I> = dc.perm.iter().map(|&p| I::from_usize(p)).collect();
-                    Ok(MergeSortTree::<I>::build(&perm_i, self.params))
-                })
-            }
-        }
+        self.cache.get_or_build(key, || {
+            stats.mst_builds.fetch_add(1, Relaxed);
+            let perm_i: Vec<I> = match order {
+                OrderKey::Identity => {
+                    let mask = self.mask_art(&ArtifactKey::Mask(mk.clone()))?;
+                    (0..mask.kept_len()).map(I::from_usize).collect()
+                }
+                OrderKey::Keys(_) => {
+                    let dc =
+                        self.dense_codes_art(&ArtifactKey::DenseCodes(order.clone(), mk.clone()))?;
+                    dc.perm.iter().map(|&p| I::from_usize(p)).collect()
+                }
+            };
+            Ok(MergeSortTree::<I>::build(&perm_i, self.params))
+        })
     }
 
     /// Distinct preprocessing: hashes, previous-occurrence indices and (under
-    /// exclusion) per-value occurrence lists.
-    pub(crate) fn distinct_prep_art(
-        &self,
-        e: &CanonicalExpr,
-        mk: &MaskKey,
-    ) -> Result<Arc<DistinctPrepArt>> {
-        let values = self.kept_values_art(e, mk)?;
-        self.cache.get_or_build(ArtifactKey::DistinctPrep(e.clone(), mk.clone()), || {
+    /// exclusion) per-value occurrence lists ([`ArtifactKey::DistinctPrep`]).
+    pub(crate) fn distinct_prep_art(&self, key: &ArtifactKey) -> Result<Arc<DistinctPrepArt>> {
+        let ArtifactKey::DistinctPrep(e, mk) = key else {
+            unreachable!("distinct_prep_art wants a DistinctPrep key")
+        };
+        self.cache.get_or_build(key, || {
+            let values = self.kept_values_art(&ArtifactKey::KeptValues(e.clone(), mk.clone()))?;
             let hashes: Vec<u64> = values.iter().map(hash_value).collect();
             let prev = holistic_core::prev_idcs_u64(&hashes, self.parallel);
             let mut occurrences: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
@@ -330,41 +460,48 @@ impl Ctx<'_> {
         })
     }
 
-    /// Merge sort tree over the previous-occurrence indices (COUNT DISTINCT).
+    /// Merge sort tree over the previous-occurrence indices (COUNT DISTINCT),
+    /// from an [`ArtifactKey::DistinctCountMst`] key.
     pub(crate) fn distinct_count_mst<I: TreeIndex>(
         &self,
-        e: &CanonicalExpr,
-        mk: &MaskKey,
+        key: &ArtifactKey,
     ) -> Result<Arc<MergeSortTree<I>>> {
-        let prep = self.distinct_prep_art(e, mk)?;
+        let ArtifactKey::DistinctCountMst(e, mk) = key else {
+            unreachable!("distinct_count_mst wants a DistinctCountMst key")
+        };
         let stats = self.cache.stats();
-        self.cache.get_or_build(ArtifactKey::DistinctCountMst(e.clone(), mk.clone()), || {
+        self.cache.get_or_build(key, || {
+            let prep = self.distinct_prep_art(&ArtifactKey::DistinctPrep(e.clone(), mk.clone()))?;
             stats.mst_builds.fetch_add(1, Relaxed);
             let prev: Vec<I> = prep.prev.iter().map(|&p| I::from_usize(p)).collect();
             Ok(MergeSortTree::<I>::build(&prev, self.params))
         })
     }
 
-    /// The kept-row count segment tree shared by a mask's aggregates.
-    pub(crate) fn count_segtree(&self, mk: &MaskKey) -> Result<Arc<SegmentTree<CountMonoid>>> {
-        let mask = self.mask_art(mk)?;
+    /// The kept-row count segment tree shared by a mask's aggregates, from
+    /// an [`ArtifactKey::SegTree`] `(None, _, Count)` key.
+    pub(crate) fn count_segtree(&self, key: &ArtifactKey) -> Result<Arc<SegmentTree<CountMonoid>>> {
+        let ArtifactKey::SegTree(None, mk, SegFlavor::Count) = key else {
+            unreachable!("count_segtree wants the count segment tree key")
+        };
         let stats = self.cache.stats();
-        self.cache.get_or_build(ArtifactKey::SegTree(None, mk.clone(), SegFlavor::Count), || {
+        self.cache.get_or_build(key, || {
+            let mask = self.mask_art(&ArtifactKey::Mask(mk.clone()))?;
             stats.segtree_builds.fetch_add(1, Relaxed);
             let counts: Vec<u64> = mask.keep.iter().map(|&k| k as u64).collect();
             Ok(SegmentTree::<CountMonoid>::build(&counts, self.parallel))
         })
     }
 
-    /// DENSE_RANK's 3-d range tree over tie-group ids (u32 partitions only).
-    pub(crate) fn range_tree_art(
-        &self,
-        order: &OrderKey,
-        mk: &MaskKey,
-    ) -> Result<Arc<RangeTreeArt>> {
-        let dc = self.dense_codes_art(order, mk)?;
+    /// DENSE_RANK's 3-d range tree over tie-group ids (u32 partitions only),
+    /// from an [`ArtifactKey::RangeTree`] key.
+    pub(crate) fn range_tree_art(&self, key: &ArtifactKey) -> Result<Arc<RangeTreeArt>> {
+        let ArtifactKey::RangeTree(order, mk) = key else {
+            unreachable!("range_tree_art wants a RangeTree key")
+        };
         let stats = self.cache.stats();
-        self.cache.get_or_build(ArtifactKey::RangeTree(order.clone(), mk.clone()), || {
+        self.cache.get_or_build(key, || {
+            let dc = self.dense_codes_art(&ArtifactKey::DenseCodes(order.clone(), mk.clone()))?;
             stats.rangetree_builds.fetch_add(1, Relaxed);
             let gids: Vec<u32> = dc.group_id.iter().map(|&g| g as u32).collect();
             let prev: Vec<u32> = holistic_core::prev_idcs_by_key(&gids, self.parallel)
@@ -383,11 +520,15 @@ impl Ctx<'_> {
         })
     }
 
-    /// The MODE decode table and √-decomposition index.
-    pub(crate) fn mode_art(&self, e: &CanonicalExpr, mk: &MaskKey) -> Result<Arc<ModeArt>> {
-        let values = self.kept_values_art(e, mk)?;
+    /// The MODE decode table and √-decomposition index, from an
+    /// [`ArtifactKey::ModeIndex`] key.
+    pub(crate) fn mode_art(&self, key: &ArtifactKey) -> Result<Arc<ModeArt>> {
+        let ArtifactKey::ModeIndex(e, mk) = key else {
+            unreachable!("mode_art wants a ModeIndex key")
+        };
         let stats = self.cache.stats();
-        self.cache.get_or_build(ArtifactKey::ModeIndex(e.clone(), mk.clone()), || {
+        self.cache.get_or_build(key, || {
+            let values = self.kept_values_art(&ArtifactKey::KeptValues(e.clone(), mk.clone()))?;
             stats.modeindex_builds.fetch_add(1, Relaxed);
             // Dense ids in value order (ids ascend with sql_cmp) so the
             // index's smallest-id tie-break picks the smallest value.
@@ -414,42 +555,42 @@ impl Ctx<'_> {
 pub(crate) fn force(ctx: &Ctx<'_>, key: &ArtifactKey) -> Result<()> {
     use ArtifactKey as K;
     match key {
-        K::Values(e) => drop(ctx.values_art(e)?),
-        K::Mask(mk) => drop(ctx.mask_art(mk)?),
-        K::KeptValues(e, mk) => drop(ctx.kept_values_art(e, mk)?),
-        K::InnerKeys(ks) => drop(ctx.inner_keys_art(ks)?),
-        K::DenseCodes(o, mk) => drop(ctx.dense_codes_art(o, mk)?),
-        K::CodeMst(o, mk) => {
+        K::Values(_) => drop(ctx.values_art(key)?),
+        K::Mask(_) => drop(ctx.mask_art(key)?),
+        K::KeptValues(..) => drop(ctx.kept_values_art(key)?),
+        K::InnerKeys(_) => drop(ctx.inner_keys_art(key)?),
+        K::DenseCodes(..) => drop(ctx.dense_codes_art(key)?),
+        K::CodeMst(..) => {
             if ctx.u32_trees() {
-                drop(ctx.code_mst::<u32>(o, mk)?);
+                drop(ctx.code_mst::<u32>(key)?);
             } else {
-                drop(ctx.code_mst::<u64>(o, mk)?);
+                drop(ctx.code_mst::<u64>(key)?);
             }
         }
-        K::PermMst(o, mk) => {
+        K::PermMst(..) => {
             if ctx.u32_trees() {
-                drop(ctx.perm_mst::<u32>(o, mk)?);
+                drop(ctx.perm_mst::<u32>(key)?);
             } else {
-                drop(ctx.perm_mst::<u64>(o, mk)?);
+                drop(ctx.perm_mst::<u64>(key)?);
             }
         }
-        K::DistinctPrep(e, mk) => drop(ctx.distinct_prep_art(e, mk)?),
-        K::DistinctCountMst(e, mk) => {
+        K::DistinctPrep(..) => drop(ctx.distinct_prep_art(key)?),
+        K::DistinctCountMst(..) => {
             if ctx.u32_trees() {
-                drop(ctx.distinct_count_mst::<u32>(e, mk)?);
+                drop(ctx.distinct_count_mst::<u32>(key)?);
             } else {
-                drop(ctx.distinct_count_mst::<u64>(e, mk)?);
+                drop(ctx.distinct_count_mst::<u64>(key)?);
             }
         }
-        K::SegTree(None, mk, SegFlavor::Count) => drop(ctx.count_segtree(mk)?),
-        K::RangeTree(o, mk) => {
+        K::SegTree(None, _, SegFlavor::Count) => drop(ctx.count_segtree(key)?),
+        K::RangeTree(..) => {
             // Wide partitions error at probe time (DENSE_RANK is u32-only);
             // skipping here keeps the error message on the evaluator's path.
             if ctx.u32_trees() {
-                drop(ctx.range_tree_art(o, mk)?);
+                drop(ctx.range_tree_art(key)?);
             }
         }
-        K::ModeIndex(e, mk) => drop(ctx.mode_art(e, mk)?),
+        K::ModeIndex(..) => drop(ctx.mode_art(key)?),
         // Data-dependent artifacts (SUM flavor, MIN/MAX ordinal trees,
         // annotated distinct trees) are never planned eagerly; they build
         // lazily through the same cache during the probe phase.

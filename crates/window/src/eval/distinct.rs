@@ -27,7 +27,7 @@
 use super::{distributive, Ctx};
 use crate::artifacts::{DistinctPrepArt, MaskArtifact};
 use crate::error::{Error, Result};
-use crate::plan::{AggFlavor, ArtifactKey, CallPlan};
+use crate::plan::{AggFlavor, CallPlan};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::aggregate::{AvgF64, SumF64, SumI64};
@@ -103,11 +103,11 @@ fn evaluate_impl<I: TreeIndex>(
     call: &FunctionCall,
     cp: &CallPlan,
 ) -> Result<Vec<Value>> {
-    let mask = ctx.mask_art(&cp.mask)?;
-    let prep = ctx.distinct_prep_art(&cp.args[0], &cp.mask)?;
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let prep = ctx.distinct_prep_art(cp.keys.distinct_prep())?;
     match call.kind {
         FuncKind::Count => {
-            let tree = ctx.distinct_count_mst::<I>(&cp.args[0], &cp.mask)?;
+            let tree = ctx.distinct_count_mst::<I>(cp.keys.distinct_count_mst())?;
             ctx.probe_with(
                 || ctx.new_probe_cursor(),
                 move |cur, i| {
@@ -221,14 +221,14 @@ where
     I: TreeIndex,
     A: DistinctAggregate + 'static,
 {
-    let key = ArtifactKey::DistinctAggMst(cp.args[0].clone(), cp.mask.clone(), flavor);
     let stats = ctx.cache.stats();
-    let tree: Arc<AnnotatedMst<I, A>> = ctx.cache.get_or_build(key, || {
-        stats.mst_builds.fetch_add(1, Relaxed);
-        let prev: Vec<I> = prep.prev.iter().map(|&p| I::from_usize(p)).collect();
-        let payloads: Vec<A::Payload> = prep.values.iter().map(&payload_of).collect();
-        Ok(AnnotatedMst::<I, A>::build(&prev, &payloads, ctx.params))
-    })?;
+    let tree: Arc<AnnotatedMst<I, A>> =
+        ctx.cache.get_or_build(cp.keys.distinct_agg(flavor), || {
+            stats.mst_builds.fetch_add(1, Relaxed);
+            let prev: Vec<I> = prep.prev.iter().map(|&p| I::from_usize(p)).collect();
+            let payloads: Vec<A::Payload> = prep.values.iter().map(&payload_of).collect();
+            Ok(AnnotatedMst::<I, A>::build(&prev, &payloads, ctx.params))
+        })?;
     ctx.probe_with(
         || ctx.new_probe_cursor(),
         |cur, i| {

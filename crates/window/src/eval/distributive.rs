@@ -13,8 +13,9 @@
 //! keys during the probe phase.
 
 use super::Ctx;
+use crate::artifacts::ArtifactBytes;
 use crate::error::{Error, Result};
-use crate::plan::{ArtifactKey, CallPlan, SegFlavor};
+use crate::plan::{CallPlan, SegFlavor};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::{DataType, Value};
 use holistic_segtree::{MaxMonoid, MinMonoid, SegmentTree, SumF64Monoid, SumMonoid};
@@ -49,6 +50,16 @@ enum OrdinalDecode {
 struct OrdEnc {
     ords: Vec<Option<i64>>,
     decode: OrdinalDecode,
+}
+
+impl ArtifactBytes for OrdEnc {
+    fn bytes_built(&self) -> usize {
+        let table = match &self.decode {
+            OrdinalDecode::Str(uniq) => uniq.len() * std::mem::size_of::<Arc<str>>(),
+            _ => 0,
+        };
+        self.ords.len() * std::mem::size_of::<Option<i64>>() + table
+    }
 }
 
 /// Encodes comparable values as i64 ordinals for MIN/MAX segment trees.
@@ -120,18 +131,17 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Res
     let m = ctx.m();
 
     if call.kind == FuncKind::CountStar {
-        let tree = ctx.count_segtree(&cp.mask)?;
+        let tree = ctx.count_segtree(cp.keys.count_segtree())?;
         return ctx.probe(move |i| {
             Ok(Value::Int(tree.query_multi(ctx.frames.range_set(i).iter()) as i64))
         });
     }
 
-    let arg = &cp.args[0];
-    let values = ctx.values_art(arg)?;
+    let values = ctx.values_art(cp.keys.values())?;
     // "Participating" = passes FILTER and is non-NULL — exactly the mask the
     // plan derived (screen = the argument).
-    let mask = ctx.mask_art(&cp.mask)?;
-    let count_tree = ctx.count_segtree(&cp.mask)?;
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let count_tree = ctx.count_segtree(cp.keys.count_segtree())?;
     let stats = ctx.cache.stats();
 
     match call.kind {
@@ -151,8 +161,7 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Res
                 });
             }
             if is_float || avg {
-                let key =
-                    ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::SumF64);
+                let key = cp.keys.seg(SegFlavor::SumF64);
                 let tree: Arc<SegmentTree<SumF64Monoid>> = ctx.cache.get_or_build(key, || {
                     stats.segtree_builds.fetch_add(1, Relaxed);
                     let inputs: Vec<f64> = (0..m)
@@ -170,8 +179,7 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Res
                     Ok(Value::Float(if avg { s / cnt as f64 } else { s }))
                 })
             } else {
-                let key =
-                    ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::SumI64);
+                let key = cp.keys.seg(SegFlavor::SumI64);
                 let tree: Arc<SegmentTree<SumMonoid>> = ctx.cache.get_or_build(key, || {
                     stats.segtree_builds.fetch_add(1, Relaxed);
                     let inputs: Vec<i64> = (0..m)
@@ -191,12 +199,11 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Res
         }
         FuncKind::Min | FuncKind::Max => {
             let is_min = call.kind == FuncKind::Min;
-            let enc: Arc<OrdEnc> =
-                ctx.cache.get_or_build(ArtifactKey::OrdinalEnc(arg.clone()), || {
-                    encode_ordinals(&values).map(|(ords, decode)| OrdEnc { ords, decode })
-                })?;
+            let enc: Arc<OrdEnc> = ctx.cache.get_or_build(cp.keys.ordinal_enc(), || {
+                encode_ordinals(&values).map(|(ords, decode)| OrdEnc { ords, decode })
+            })?;
             if is_min {
-                let key = ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::Min);
+                let key = cp.keys.seg(SegFlavor::Min);
                 let enc2 = Arc::clone(&enc);
                 let tree: Arc<SegmentTree<MinMonoid>> = ctx.cache.get_or_build(key, || {
                     stats.segtree_builds.fetch_add(1, Relaxed);
@@ -220,7 +227,7 @@ pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Res
                     Ok(decode_ordinal(tree.query_multi(rs.iter()), &enc.decode))
                 })
             } else {
-                let key = ArtifactKey::SegTree(Some(arg.clone()), cp.mask.clone(), SegFlavor::Max);
+                let key = cp.keys.seg(SegFlavor::Max);
                 let enc2 = Arc::clone(&enc);
                 let tree: Arc<SegmentTree<MaxMonoid>> = ctx.cache.get_or_build(key, || {
                     stats.segtree_builds.fetch_add(1, Relaxed);

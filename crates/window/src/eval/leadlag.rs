@@ -11,7 +11,7 @@
 
 use super::Ctx;
 use crate::error::{Error, Result};
-use crate::plan::{CallPlan, OrderKey};
+use crate::plan::CallPlan;
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::index::fits_u32;
@@ -64,7 +64,7 @@ fn target_position(base: usize, off: i64, len: usize) -> Option<usize> {
 /// the SQL:2011 behaviour when no function-level ORDER BY is given.
 fn evaluate_classic(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     let m = ctx.m();
-    let values = ctx.values_art(&cp.args[0])?;
+    let values = ctx.values_art(cp.keys.values())?;
     let offset_expr = call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
     let default_expr = call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;
     // IGNORE NULLS: the n-th non-null value before/after the current row.
@@ -117,16 +117,12 @@ fn evaluate_framed<I: TreeIndex>(
     call: &FunctionCall,
     cp: &CallPlan,
 ) -> Result<Vec<Value>> {
-    let order = cp.order.as_ref().expect("framed lead/lag plans an order");
-    let OrderKey::Keys(ks) = order else {
-        unreachable!("framed lead/lag requires an inner ORDER BY")
-    };
-    let mask = ctx.mask_art(&cp.mask)?;
-    let kept_out = ctx.kept_values_art(&cp.args[0], &cp.mask)?;
-    let keys = ctx.inner_keys_art(ks)?;
-    let dc = ctx.dense_codes_art(order, &cp.mask)?;
-    let code_tree = ctx.code_mst::<I>(order, &cp.mask)?;
-    let select_tree = ctx.perm_mst::<I>(order, &cp.mask)?;
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let kept_out = ctx.kept_values_art(cp.keys.kept_values())?;
+    let keys = ctx.inner_keys_art(cp.keys.inner_keys())?;
+    let dc = ctx.dense_codes_art(cp.keys.dense_codes())?;
+    let code_tree = ctx.code_mst::<I>(cp.keys.code_mst())?;
+    let select_tree = ctx.perm_mst::<I>(cp.keys.perm_mst())?;
 
     let offset_expr = call.args.get(1).map(|e| e.bind(ctx.table)).transpose()?;
     let default_expr = call.args.get(2).map(|e| e.bind(ctx.table)).transpose()?;

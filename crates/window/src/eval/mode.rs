@@ -16,8 +16,8 @@ use crate::spec::FunctionCall;
 use crate::value::Value;
 
 pub(crate) fn evaluate(ctx: &Ctx<'_>, _call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
-    let mask = ctx.mask_art(&cp.mask)?;
-    let art = ctx.mode_art(&cp.args[0], &cp.mask)?;
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let art = ctx.mode_art(cp.keys.mode_index())?;
 
     ctx.probe(|i| {
         let answer = if ctx.frames.has_exclusion() {

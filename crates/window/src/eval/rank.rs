@@ -21,7 +21,7 @@ use super::Ctx;
 use crate::artifacts::MaskArtifact;
 use crate::error::{Error, Result};
 use crate::order::KeyColumns;
-use crate::plan::{CallPlan, OrderKey};
+use crate::plan::CallPlan;
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::codes::DenseCodes;
@@ -38,20 +38,10 @@ struct RankPrep {
 }
 
 fn prepare(ctx: &Ctx<'_>, cp: &CallPlan) -> Result<RankPrep> {
-    let order = rank_order_key(cp);
-    let OrderKey::Keys(ks) = order else {
-        unreachable!("rank plans always carry an explicit criterion")
-    };
-    let keys = ctx.inner_keys_art(ks)?;
-    let mask = ctx.mask_art(&cp.mask)?;
-    let dc = ctx.dense_codes_art(order, &cp.mask)?;
+    let keys = ctx.inner_keys_art(cp.keys.inner_keys())?;
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let dc = ctx.dense_codes_art(cp.keys.dense_codes())?;
     Ok(RankPrep { keys, mask, dc })
-}
-
-/// The planned ordering criterion (inner ORDER BY, or the window ORDER BY
-/// fallback the planner substituted).
-fn rank_order_key(cp: &CallPlan) -> &OrderKey {
-    cp.order.as_ref().expect("rank plans always carry an order")
 }
 
 impl RankPrep {
@@ -114,7 +104,7 @@ fn evaluate_impl<I: TreeIndex>(
     cp: &CallPlan,
 ) -> Result<Vec<Value>> {
     let prep = prepare(ctx, cp)?;
-    let tree = ctx.code_mst::<I>(rank_order_key(cp), &cp.mask)?;
+    let tree = ctx.code_mst::<I>(cp.keys.code_mst())?;
 
     // ROW_NUMBER of row i within its frame (1-based); also used by NTILE.
     // Kept rows probe through the cursor (one threshold stream); dropped rows
@@ -255,7 +245,7 @@ pub(crate) fn evaluate_dense_rank(
         return Err(Error::Unsupported("DENSE_RANK partitions beyond u32 positions".into()));
     }
     let prep = prepare(ctx, cp)?;
-    let rt_art = ctx.range_tree_art(rank_order_key(cp), &cp.mask)?;
+    let rt_art = ctx.range_tree_art(cp.keys.range_tree())?;
 
     ctx.probe(|i| {
         let (a, b) = ctx.frames.bounds[i];

@@ -14,7 +14,7 @@
 
 use super::{fraction_arg, Ctx};
 use crate::error::{Error, Result};
-use crate::plan::{CallPlan, CanonicalExpr, OrderKey};
+use crate::plan::{CallPlan, OrderKey};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::index::fits_u32;
@@ -33,31 +33,19 @@ fn evaluate_impl<I: TreeIndex>(
     call: &FunctionCall,
     cp: &CallPlan,
 ) -> Result<Vec<Value>> {
-    let is_percentile =
-        matches!(call.kind, FuncKind::PercentileDisc | FuncKind::PercentileCont | FuncKind::Median);
     let order = cp.order.as_ref().expect("selection plans always carry an order");
 
-    // The selected-row output: percentile result is the ORDER BY key itself,
-    // value functions evaluate their first argument.
-    let out_expr: &CanonicalExpr = if is_percentile {
-        let OrderKey::Keys(ks) = order else {
-            unreachable!("percentiles require an inner ORDER BY")
-        };
-        &ks[0].expr
-    } else {
-        &cp.args[0]
-    };
-
-    let mask = ctx.mask_art(&cp.mask)?;
-    // Output value per kept position.
-    let kept_out = ctx.kept_values_art(out_expr, &cp.mask)?;
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    // Output value per kept position: the ORDER BY key for percentiles, the
+    // first argument for value functions — the plan already derived the key.
+    let kept_out = ctx.kept_values_art(cp.keys.kept_values())?;
 
     // Permutation by the inner order (identity = frame position order).
     let dc = match order {
         OrderKey::Identity => None,
-        OrderKey::Keys(_) => Some(ctx.dense_codes_art(order, &cp.mask)?),
+        OrderKey::Keys(_) => Some(ctx.dense_codes_art(cp.keys.dense_codes())?),
     };
-    let tree = ctx.perm_mst::<I>(order, &cp.mask)?;
+    let tree = ctx.perm_mst::<I>(cp.keys.perm_mst())?;
 
     // Selects the j-th (0-based) frame row by inner order; returns its kept
     // position. The cursor seeds the per-piece value-bound searches from the

@@ -3,9 +3,9 @@
 //! Mirrors the paper's execution pipeline (Figure 14) with an explicit
 //! planning phase in front: hash partitioning, per-partition ORDER BY sort,
 //! then per-partition preprocessing-artifact build + embarrassingly parallel
-//! probe. The [plan phase](crate::plan) runs once per query and derives a
+//! probe. The plan phase (`plan.rs`) runs once per query and derives a
 //! canonical key for every preprocessing product; per partition, a shared
-//! [artifact cache](crate::artifacts) builds each distinct product exactly
+//! artifact cache (`artifacts.rs`) builds each distinct product exactly
 //! once no matter how many calls consume it. Partitions run in parallel;
 //! inside a partition, build and probe phases parallelize as described in
 //! §5.2.
@@ -23,8 +23,9 @@ use crate::table::Table;
 use crate::value::Value;
 use holistic_core::MstParams;
 use rayon::prelude::*;
+use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Execution tuning knobs.
@@ -137,6 +138,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Artifact requests that triggered a build.
     pub misses: u64,
+    /// `ArtifactKey` clones performed by the cache. Keys are derived once in
+    /// the plan phase and borrowed on every request; the cache clones one
+    /// only when creating a new slot, so this always equals `misses` — the
+    /// executor's tests pin that invariant.
+    pub key_clones: u64,
+    /// Total bytes of artifacts built (shallow per-artifact estimates).
+    pub bytes_built: u64,
     /// Inner-sort (dense code) computations actually performed.
     pub inner_sorts: u64,
     /// Merge sort tree builds (code, permutation and distinct trees).
@@ -202,13 +210,27 @@ impl AtomicProbeKernel {
     }
 }
 
+/// Memory footprint of one artifact kind, accumulated over every build of
+/// one execution (all partitions, all per-call caches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArtifactFootprint {
+    /// The artifact kind (an `ArtifactKey` label, e.g.
+    /// `"code-mst"` or `"dense-codes"`).
+    pub label: &'static str,
+    /// Number of builds of this kind.
+    pub builds: u64,
+    /// Total bytes across those builds (shallow estimates; see the artifact
+    /// cache docs).
+    pub bytes: u64,
+}
+
 /// Phase timings and cache counters of one execution.
 ///
 /// `build` covers the partition sort, frame resolution and the eager
 /// prebuild of statically-planned artifacts; data-dependent artifacts (e.g.
 /// the SUM segment tree, whose element type depends on the data) are built
 /// lazily through the same cache and attributed to `probe`.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecProfile {
     /// Call validation + query planning (once per query).
     pub plan: Duration,
@@ -225,6 +247,8 @@ pub struct ExecProfile {
     /// Accumulated probe-kernel counters (cursor galloping vs. full
     /// searches).
     pub probe_kernel: ProbeKernelStats,
+    /// Per-kind artifact memory footprints, largest first.
+    pub artifacts: Vec<ArtifactFootprint>,
 }
 
 /// A window query: one OVER clause, many function calls.
@@ -295,6 +319,20 @@ impl WindowQuery {
         let probe_nanos = AtomicU64::new(0);
         let totals = AtomicStats::default();
         let kernel = AtomicProbeKernel::default();
+        // label → (builds, bytes), accumulated as each cache retires.
+        let footprints = Mutex::new(FxHashMap::<&'static str, (u64, u64)>::default());
+        let absorb_footprints = |cache: &ArtifactCache| {
+            let built = cache.take_footprints();
+            if built.is_empty() {
+                return;
+            }
+            let mut map = footprints.lock().expect("footprint accumulator poisoned");
+            for (label, bytes) in built {
+                let e = map.entry(label).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += bytes as u64;
+            }
+        };
 
         let seeded_cache = || {
             let cache = ArtifactCache::new();
@@ -335,6 +373,7 @@ impl WindowQuery {
                 }
                 probe_nanos.fetch_add(probe_start.elapsed().as_nanos() as u64, Relaxed);
                 cache.stats().merge_into(&totals);
+                absorb_footprints(&cache);
             } else {
                 build_nanos.fetch_add(build_start.elapsed().as_nanos() as u64, Relaxed);
                 let probe_start = Instant::now();
@@ -354,6 +393,7 @@ impl WindowQuery {
                     };
                     outs.push(evaluate_call(&ctx, call, cp)?);
                     cache.stats().merge_into(&totals);
+                    absorb_footprints(&cache);
                 }
                 probe_nanos.fetch_add(probe_start.elapsed().as_nanos() as u64, Relaxed);
             }
@@ -378,6 +418,13 @@ impl WindowQuery {
             }
             out.add_column(call.output_name.clone(), Column::from_values(&values)?)?;
         }
+        let mut artifacts: Vec<ArtifactFootprint> = footprints
+            .into_inner()
+            .expect("footprint accumulator poisoned")
+            .into_iter()
+            .map(|(label, (builds, bytes))| ArtifactFootprint { label, builds, bytes })
+            .collect();
+        artifacts.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.label.cmp(b.label)));
         let profile = ExecProfile {
             plan: plan_time,
             build: Duration::from_nanos(build_nanos.load(Relaxed)),
@@ -385,6 +432,7 @@ impl WindowQuery {
             partitions: partitions.len(),
             cache: totals.snapshot(),
             probe_kernel: kernel.snapshot(),
+            artifacts,
         };
         Ok((out, profile))
     }
@@ -534,6 +582,47 @@ mod tests {
         // The median needs exactly one inner sort; the sum needs none.
         assert_eq!(profile.cache.inner_sorts, 1);
         assert_eq!(profile.cache.segtree_builds, 2); // count + sum trees
+    }
+
+    #[test]
+    fn key_clones_equal_misses_and_footprints_reported() {
+        // Keys are derived in the plan phase and borrowed on every request;
+        // the cache clones one only when creating a slot. If any evaluator
+        // re-derived a key on the probe path (the old lazy-build behaviour),
+        // hits would outnumber slots yet clones would exceed misses.
+        let t = Table::new(vec![
+            ("x", Column::ints(vec![5, 1, 4, 2, 3, 9, 8, 7])),
+            ("f", Column::floats(vec![0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5])),
+        ])
+        .unwrap();
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .order_by(vec![SortKey::asc(col("x"))])
+                .frame(FrameSpec::rows(FrameBound::Preceding(lit(3i64)), FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::sum(col("f")).named("s"))
+        .call(FunctionCall::avg(col("f")).named("a"))
+        .call(FunctionCall::min(col("x")).named("lo"))
+        .call(FunctionCall::sum_distinct(col("x")).named("sd"))
+        .call(FunctionCall::median(col("x")).named("med"))
+        .call(FunctionCall::rank(vec![SortKey::desc(col("x"))]).named("r"));
+        for opts in ExecOptions::all_configs() {
+            let (_, profile) = q.execute_profiled(&t, opts).unwrap();
+            assert!(profile.cache.hits > 0, "{}: sharing expected", opts.label());
+            assert_eq!(
+                profile.cache.key_clones,
+                profile.cache.misses,
+                "{}: a request cloned its key without creating a slot",
+                opts.label()
+            );
+            // Every build was charged to a footprint bucket.
+            let builds: u64 = profile.artifacts.iter().map(|a| a.builds).sum();
+            assert_eq!(builds, profile.cache.misses, "{}", opts.label());
+            let bytes: u64 = profile.artifacts.iter().map(|a| a.bytes).sum();
+            assert_eq!(bytes, profile.cache.bytes_built, "{}", opts.label());
+            assert!(profile.artifacts.iter().any(|a| a.label == "segtree-sum-f64"));
+            assert!(profile.artifacts.windows(2).all(|w| w[0].bytes >= w[1].bytes));
+        }
     }
 
     #[test]

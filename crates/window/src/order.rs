@@ -63,6 +63,12 @@ impl KeyColumns {
         self.keys.is_empty()
     }
 
+    /// Shallow footprint in bytes of the materialized key columns (the
+    /// `Value` spines; string heap data behind `Arc<str>` is not counted).
+    pub fn bytes(&self) -> usize {
+        self.keys.iter().map(|(vals, _, _)| vals.len() * std::mem::size_of::<Value>()).sum()
+    }
+
     /// Compares two rows under the full criteria list.
     pub fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
         for (vals, desc, nulls_first) in &self.keys {

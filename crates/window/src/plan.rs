@@ -223,15 +223,179 @@ pub(crate) enum ArtifactKey {
     ModeIndex(CanonicalExpr, MaskKey),
 }
 
+impl ArtifactKey {
+    /// Short stable label for profiling output (`ExecProfile::artifacts`).
+    /// Distinct keys of one shape share a label; footprints aggregate per
+    /// label across partitions.
+    pub(crate) fn label(&self) -> &'static str {
+        use ArtifactKey as K;
+        match self {
+            K::Values(_) => "values",
+            K::Mask(_) => "mask",
+            K::KeptValues(..) => "kept-values",
+            K::InnerKeys(_) => "inner-keys",
+            K::DenseCodes(..) => "dense-codes",
+            K::CodeMst(..) => "code-mst",
+            K::PermMst(..) => "perm-mst",
+            K::DistinctPrep(..) => "distinct-prep",
+            K::DistinctCountMst(..) => "distinct-count-mst",
+            K::DistinctAggMst(..) => "distinct-agg-mst",
+            K::OrdinalEnc(_) => "ordinal-enc",
+            K::SegTree(_, _, SegFlavor::Count) => "segtree-count",
+            K::SegTree(_, _, SegFlavor::SumI64) => "segtree-sum-i64",
+            K::SegTree(_, _, SegFlavor::SumF64) => "segtree-sum-f64",
+            K::SegTree(_, _, SegFlavor::Min) => "segtree-min",
+            K::SegTree(_, _, SegFlavor::Max) => "segtree-max",
+            K::RangeTree(..) => "range-tree",
+            K::ModeIndex(..) => "mode-index",
+        }
+    }
+}
+
+/// Every artifact key one call's evaluator may request — eager and lazy
+/// (data-dependent) alike — derived **once** at plan time. The probe phase
+/// only borrows these; [`crate::artifacts::ArtifactCache::get_or_build`]
+/// clones a key exactly once, when its slot is first created. Before this
+/// hoist, every lazy probe-phase build re-derived its key (deep-cloning the
+/// canonical expression, mask and ordering criterion) per partition and per
+/// call — pure waste, since the plan already knows every key.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CallKeys {
+    /// Kept-row mask (absent only for classic positional LEAD/LAG, which
+    /// never masks).
+    pub mask: Option<ArtifactKey>,
+    /// Argument (or percentile key) values per partition position.
+    pub values: Option<ArtifactKey>,
+    /// Output values per kept position.
+    pub kept_values: Option<ArtifactKey>,
+    /// Materialized inner ORDER BY key columns.
+    pub inner_keys: Option<ArtifactKey>,
+    /// The inner sort (dense codes + permutation).
+    pub dense_codes: Option<ArtifactKey>,
+    /// Merge sort tree over unique codes.
+    pub code_mst: Option<ArtifactKey>,
+    /// Merge sort tree over the permutation array.
+    pub perm_mst: Option<ArtifactKey>,
+    /// Distinct preprocessing (hashes + previous occurrences).
+    pub distinct_prep: Option<ArtifactKey>,
+    /// COUNT DISTINCT tree.
+    pub distinct_count_mst: Option<ArtifactKey>,
+    /// Kept-row count segment tree.
+    pub count_segtree: Option<ArtifactKey>,
+    /// DENSE_RANK 3-d range tree.
+    pub range_tree: Option<ArtifactKey>,
+    /// MODE √-decomposition index.
+    pub mode_index: Option<ArtifactKey>,
+    /// Lazy SUM/AVG DISTINCT annotated trees, one per possible flavor.
+    pub distinct_agg_sum_i64: Option<ArtifactKey>,
+    /// See [`CallKeys::distinct_agg_sum_i64`].
+    pub distinct_agg_sum_f64: Option<ArtifactKey>,
+    /// See [`CallKeys::distinct_agg_sum_i64`].
+    pub distinct_agg_avg: Option<ArtifactKey>,
+    /// Lazy SUM segment tree (integer flavor; chosen by the observed data).
+    pub seg_sum_i64: Option<ArtifactKey>,
+    /// Lazy SUM/AVG segment tree (float flavor).
+    pub seg_sum_f64: Option<ArtifactKey>,
+    /// Lazy MIN segment tree over ordinals.
+    pub seg_min: Option<ArtifactKey>,
+    /// Lazy MAX segment tree over ordinals.
+    pub seg_max: Option<ArtifactKey>,
+    /// Lazy MIN/MAX ordinal encoding.
+    pub ordinal_enc: Option<ArtifactKey>,
+}
+
+/// Panicking accessors: an evaluator reaching for a key its own plan did not
+/// derive is a planner/evaluator mismatch, not a runtime condition.
+impl CallKeys {
+    pub fn mask(&self) -> &ArtifactKey {
+        self.mask.as_ref().expect("plan derives a mask key for masked calls")
+    }
+    pub fn values(&self) -> &ArtifactKey {
+        self.values.as_ref().expect("plan derives a values key")
+    }
+    pub fn kept_values(&self) -> &ArtifactKey {
+        self.kept_values.as_ref().expect("plan derives a kept-values key")
+    }
+    pub fn inner_keys(&self) -> &ArtifactKey {
+        self.inner_keys.as_ref().expect("plan derives an inner-keys key")
+    }
+    pub fn dense_codes(&self) -> &ArtifactKey {
+        self.dense_codes.as_ref().expect("plan derives a dense-codes key")
+    }
+    pub fn code_mst(&self) -> &ArtifactKey {
+        self.code_mst.as_ref().expect("plan derives a code-MST key")
+    }
+    pub fn perm_mst(&self) -> &ArtifactKey {
+        self.perm_mst.as_ref().expect("plan derives a permutation-MST key")
+    }
+    pub fn distinct_prep(&self) -> &ArtifactKey {
+        self.distinct_prep.as_ref().expect("plan derives a distinct-prep key")
+    }
+    pub fn distinct_count_mst(&self) -> &ArtifactKey {
+        self.distinct_count_mst.as_ref().expect("plan derives a COUNT DISTINCT tree key")
+    }
+    pub fn count_segtree(&self) -> &ArtifactKey {
+        self.count_segtree.as_ref().expect("plan derives a count segment tree key")
+    }
+    pub fn range_tree(&self) -> &ArtifactKey {
+        self.range_tree.as_ref().expect("plan derives a range-tree key")
+    }
+    pub fn mode_index(&self) -> &ArtifactKey {
+        self.mode_index.as_ref().expect("plan derives a mode-index key")
+    }
+    pub fn distinct_agg(&self, flavor: AggFlavor) -> &ArtifactKey {
+        let k = match flavor {
+            AggFlavor::SumI64 => &self.distinct_agg_sum_i64,
+            AggFlavor::SumF64 => &self.distinct_agg_sum_f64,
+            AggFlavor::Avg => &self.distinct_agg_avg,
+        };
+        k.as_ref().expect("plan derives every reachable distinct-agg flavor")
+    }
+    pub fn seg(&self, flavor: SegFlavor) -> &ArtifactKey {
+        let k = match flavor {
+            SegFlavor::SumI64 => &self.seg_sum_i64,
+            SegFlavor::SumF64 => &self.seg_sum_f64,
+            SegFlavor::Min => &self.seg_min,
+            SegFlavor::Max => &self.seg_max,
+            SegFlavor::Count => &self.count_segtree,
+        };
+        k.as_ref().expect("plan derives every reachable segment-tree flavor")
+    }
+    pub fn ordinal_enc(&self) -> &ArtifactKey {
+        self.ordinal_enc.as_ref().expect("plan derives an ordinal-encoding key")
+    }
+
+    /// The statically-known keys to prebuild eagerly, in dependency-
+    /// compatible order (the getters recurse through missing ingredients, so
+    /// the order is cosmetic, not load-bearing). Lazy data-dependent keys
+    /// (SUM flavors, ordinal trees, annotated distinct trees) are excluded.
+    fn eager(&self) -> impl Iterator<Item = &ArtifactKey> {
+        [
+            self.values.as_ref(),
+            self.mask.as_ref(),
+            self.kept_values.as_ref(),
+            self.inner_keys.as_ref(),
+            self.dense_codes.as_ref(),
+            self.code_mst.as_ref(),
+            self.perm_mst.as_ref(),
+            self.distinct_prep.as_ref(),
+            self.distinct_count_mst.as_ref(),
+            self.count_segtree.as_ref(),
+            self.range_tree.as_ref(),
+            self.mode_index.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+    }
+}
+
 /// The per-call slice of a [`QueryPlan`].
 #[derive(Debug, Clone)]
 pub(crate) struct CallPlan {
     /// Canonical ordering criterion (None: the call never sorts).
     pub order: Option<OrderKey>,
-    /// Canonical kept-row mask.
-    pub mask: MaskKey,
-    /// Canonical forms of the call's positional arguments.
-    pub args: Vec<CanonicalExpr>,
+    /// Pre-derived artifact keys (see [`CallKeys`]).
+    pub keys: CallKeys,
 }
 
 /// The whole-query plan: per-call keys plus the deduplicated, statically
@@ -252,11 +416,11 @@ pub(crate) fn plan_query(spec: &WindowSpec, calls: &[FunctionCall]) -> QueryPlan
     let mut seen: FxHashSet<ArtifactKey> = FxHashSet::default();
     for call in calls {
         let cp = plan_call(spec, call);
-        collect_prebuild(call, &cp, &mut |key: ArtifactKey| {
+        for key in cp.keys.eager() {
             if seen.insert(key.clone()) {
-                prebuild.push(key);
+                prebuild.push(key.clone());
             }
-        });
+        }
         call_plans.push(cp);
     }
     QueryPlan { calls: call_plans, prebuild }
@@ -290,88 +454,130 @@ fn plan_call(spec: &WindowSpec, call: &FunctionCall) -> CallPlan {
         filter: call.filter.as_ref().map(CanonicalExpr::from_expr),
         screen: call.null_screen().map(CanonicalExpr::from_expr),
     };
-    CallPlan { order, mask, args: call.args.iter().map(CanonicalExpr::from_expr).collect() }
+    let args: Vec<CanonicalExpr> = call.args.iter().map(CanonicalExpr::from_expr).collect();
+    let keys = derive_keys(call, &order, &mask, &args);
+    CallPlan { order, keys }
 }
 
-/// Emits the statically known artifact keys one call needs.
-fn collect_prebuild(call: &FunctionCall, cp: &CallPlan, push: &mut dyn FnMut(ArtifactKey)) {
+/// Derives every artifact key the call's evaluator may request — the one
+/// place canonical forms are cloned into keys. Mirrors the evaluator
+/// dispatch in `crate::eval` exactly; a key the evaluator asks for but this
+/// function does not derive panics loudly in the [`CallKeys`] accessors.
+fn derive_keys(
+    call: &FunctionCall,
+    order: &Option<OrderKey>,
+    mask: &MaskKey,
+    args: &[CanonicalExpr],
+) -> CallKeys {
     use ArtifactKey as K;
     use FuncKind::*;
-    let mask = cp.mask.clone();
+    let mut keys = CallKeys { mask: Some(K::Mask(mask.clone())), ..CallKeys::default() };
     match call.kind {
         CountStar => {
-            push(K::Mask(mask.clone()));
-            push(K::SegTree(None, mask, SegFlavor::Count));
+            keys.count_segtree = Some(K::SegTree(None, mask.clone(), SegFlavor::Count));
         }
         Count | Sum | Avg | Min | Max => {
-            let arg = cp.args[0].clone();
-            push(K::Values(arg.clone()));
-            push(K::Mask(mask.clone()));
+            let arg = args[0].clone();
+            keys.values = Some(K::Values(arg.clone()));
             if call.distinct && !matches!(call.kind, Min | Max) {
                 // MIN/MAX DISTINCT ≡ plain MIN/MAX → segment tree path below.
-                push(K::KeptValues(arg.clone(), mask.clone()));
-                push(K::DistinctPrep(arg.clone(), mask.clone()));
-                if call.kind == Count {
-                    push(K::DistinctCountMst(arg, mask));
+                keys.kept_values = Some(K::KeptValues(arg.clone(), mask.clone()));
+                keys.distinct_prep = Some(K::DistinctPrep(arg.clone(), mask.clone()));
+                match call.kind {
+                    Count => {
+                        keys.distinct_count_mst = Some(K::DistinctCountMst(arg, mask.clone()));
+                    }
+                    Sum => {
+                        keys.distinct_agg_sum_i64 =
+                            Some(K::DistinctAggMst(arg.clone(), mask.clone(), AggFlavor::SumI64));
+                        keys.distinct_agg_sum_f64 =
+                            Some(K::DistinctAggMst(arg, mask.clone(), AggFlavor::SumF64));
+                    }
+                    Avg => {
+                        keys.distinct_agg_avg =
+                            Some(K::DistinctAggMst(arg, mask.clone(), AggFlavor::Avg));
+                    }
+                    _ => unreachable!("distinct aggregate kinds"),
                 }
             } else {
-                push(K::SegTree(None, mask, SegFlavor::Count));
+                keys.count_segtree = Some(K::SegTree(None, mask.clone(), SegFlavor::Count));
+                match call.kind {
+                    Sum => {
+                        keys.seg_sum_i64 =
+                            Some(K::SegTree(Some(arg.clone()), mask.clone(), SegFlavor::SumI64));
+                        keys.seg_sum_f64 =
+                            Some(K::SegTree(Some(arg), mask.clone(), SegFlavor::SumF64));
+                    }
+                    Avg => {
+                        keys.seg_sum_f64 =
+                            Some(K::SegTree(Some(arg), mask.clone(), SegFlavor::SumF64));
+                    }
+                    Min => {
+                        keys.ordinal_enc = Some(K::OrdinalEnc(arg.clone()));
+                        keys.seg_min = Some(K::SegTree(Some(arg), mask.clone(), SegFlavor::Min));
+                    }
+                    Max => {
+                        keys.ordinal_enc = Some(K::OrdinalEnc(arg.clone()));
+                        keys.seg_max = Some(K::SegTree(Some(arg), mask.clone(), SegFlavor::Max));
+                    }
+                    _ => {}
+                }
             }
         }
         RowNumber | Rank | DenseRank | PercentRank | CumeDist | Ntile => {
-            let order = cp.order.clone().expect("rank family always orders");
+            let order = order.clone().expect("rank family always orders");
             let OrderKey::Keys(ks) = &order else { unreachable!("rank order is explicit") };
-            push(K::Mask(mask.clone()));
-            push(K::InnerKeys(ks.clone()));
-            push(K::DenseCodes(order.clone(), mask.clone()));
+            keys.inner_keys = Some(K::InnerKeys(ks.clone()));
+            keys.dense_codes = Some(K::DenseCodes(order.clone(), mask.clone()));
             if call.kind == DenseRank {
-                push(K::RangeTree(order, mask));
+                keys.range_tree = Some(K::RangeTree(order, mask.clone()));
             } else {
-                push(K::CodeMst(order, mask));
+                keys.code_mst = Some(K::CodeMst(order, mask.clone()));
             }
         }
         PercentileDisc | PercentileCont | Median => {
-            let order = cp.order.clone().expect("percentiles always order");
+            let order = order.clone().expect("percentiles always order");
             let OrderKey::Keys(ks) = &order else { unreachable!("percentile order is explicit") };
             let key_expr = ks[0].expr.clone();
-            push(K::Values(key_expr.clone()));
-            push(K::Mask(mask.clone()));
-            push(K::KeptValues(key_expr, mask.clone()));
-            push(K::InnerKeys(ks.clone()));
-            push(K::DenseCodes(order.clone(), mask.clone()));
-            push(K::PermMst(order, mask));
+            keys.values = Some(K::Values(key_expr.clone()));
+            keys.kept_values = Some(K::KeptValues(key_expr, mask.clone()));
+            keys.inner_keys = Some(K::InnerKeys(ks.clone()));
+            keys.dense_codes = Some(K::DenseCodes(order.clone(), mask.clone()));
+            keys.perm_mst = Some(K::PermMst(order, mask.clone()));
         }
         FirstValue | LastValue | NthValue => {
-            let arg = cp.args[0].clone();
-            let order = cp.order.clone().expect("value functions always have an order key");
-            push(K::Values(arg.clone()));
-            push(K::Mask(mask.clone()));
-            push(K::KeptValues(arg, mask.clone()));
+            let arg = args[0].clone();
+            let order = order.clone().expect("value functions always have an order key");
+            keys.values = Some(K::Values(arg.clone()));
+            keys.kept_values = Some(K::KeptValues(arg, mask.clone()));
             if let OrderKey::Keys(ks) = &order {
-                push(K::InnerKeys(ks.clone()));
-                push(K::DenseCodes(order.clone(), mask.clone()));
+                keys.inner_keys = Some(K::InnerKeys(ks.clone()));
+                keys.dense_codes = Some(K::DenseCodes(order.clone(), mask.clone()));
             }
-            push(K::PermMst(order, mask));
+            keys.perm_mst = Some(K::PermMst(order, mask.clone()));
         }
         Lead | Lag => {
-            let arg = cp.args[0].clone();
-            push(K::Values(arg.clone()));
-            if let Some(order @ OrderKey::Keys(ks)) = &cp.order {
-                push(K::Mask(mask.clone()));
-                push(K::KeptValues(arg, mask.clone()));
-                push(K::InnerKeys(ks.clone()));
-                push(K::DenseCodes(order.clone(), mask.clone()));
-                push(K::CodeMst(order.clone(), mask.clone()));
-                push(K::PermMst(order.clone(), mask));
+            let arg = args[0].clone();
+            keys.values = Some(K::Values(arg.clone()));
+            match order {
+                Some(order @ OrderKey::Keys(ks)) => {
+                    keys.kept_values = Some(K::KeptValues(arg, mask.clone()));
+                    keys.inner_keys = Some(K::InnerKeys(ks.clone()));
+                    keys.dense_codes = Some(K::DenseCodes(order.clone(), mask.clone()));
+                    keys.code_mst = Some(K::CodeMst(order.clone(), mask.clone()));
+                    keys.perm_mst = Some(K::PermMst(order.clone(), mask.clone()));
+                }
+                // Classic positional LEAD/LAG: frame and mask are ignored.
+                _ => keys.mask = None,
             }
         }
         Mode => {
-            let arg = cp.args[0].clone();
-            push(K::Values(arg.clone()));
-            push(K::Mask(mask.clone()));
-            push(K::ModeIndex(arg, mask));
+            let arg = args[0].clone();
+            keys.values = Some(K::Values(arg.clone()));
+            keys.mode_index = Some(K::ModeIndex(arg, mask.clone()));
         }
     }
+    keys
 }
 
 #[cfg(test)]
@@ -423,10 +629,48 @@ mod tests {
         let rnk = FunctionCall::rank(vec![SortKey::asc(col("v"))]);
         let plan = plan_query(&spec, &[med, rnk]);
         assert_eq!(plan.calls[0].order, plan.calls[1].order);
-        assert_ne!(plan.calls[0].mask, plan.calls[1].mask);
+        assert_ne!(plan.calls[0].keys.mask(), plan.calls[1].keys.mask());
         let sorts =
             plan.prebuild.iter().filter(|k| matches!(k, ArtifactKey::DenseCodes(..))).count();
         assert_eq!(sorts, 2);
+    }
+
+    #[test]
+    fn lazy_flavors_are_planned_but_not_prebuilt() {
+        // Data-dependent artifacts (SUM's integer-vs-float tree, MIN/MAX
+        // ordinal trees, annotated distinct trees) must have plan-derived
+        // keys — the probe path borrows them — yet stay off the eager
+        // prebuild worklist, whose flavor choice needs the data.
+        let spec = WindowSpec::new();
+        let calls = vec![
+            FunctionCall::sum(col("v")),
+            FunctionCall::min(col("v")),
+            FunctionCall::sum_distinct(col("v")),
+        ];
+        let plan = plan_query(&spec, &calls);
+        let sum = &plan.calls[0].keys;
+        assert!(matches!(sum.seg(SegFlavor::SumI64), ArtifactKey::SegTree(..)));
+        assert!(matches!(sum.seg(SegFlavor::SumF64), ArtifactKey::SegTree(..)));
+        let min = &plan.calls[1].keys;
+        assert!(matches!(min.ordinal_enc(), ArtifactKey::OrdinalEnc(..)));
+        assert!(matches!(min.seg(SegFlavor::Min), ArtifactKey::SegTree(..)));
+        let sd = &plan.calls[2].keys;
+        assert!(matches!(sd.distinct_agg(AggFlavor::SumI64), ArtifactKey::DistinctAggMst(..)));
+        assert!(matches!(sd.distinct_agg(AggFlavor::SumF64), ArtifactKey::DistinctAggMst(..)));
+        assert!(!plan.prebuild.iter().any(|k| matches!(
+            k,
+            ArtifactKey::OrdinalEnc(..)
+                | ArtifactKey::DistinctAggMst(..)
+                | ArtifactKey::SegTree(_, _, SegFlavor::SumI64)
+                | ArtifactKey::SegTree(_, _, SegFlavor::SumF64)
+                | ArtifactKey::SegTree(_, _, SegFlavor::Min)
+                | ArtifactKey::SegTree(_, _, SegFlavor::Max)
+        )));
+        // The count tree, shared by all three masks' aggregates, is eager.
+        assert!(plan
+            .prebuild
+            .iter()
+            .any(|k| matches!(k, ArtifactKey::SegTree(None, _, SegFlavor::Count))));
     }
 
     #[test]

@@ -43,6 +43,11 @@ impl Remap {
         self.kept.len()
     }
 
+    /// Footprint in bytes of both index arrays (for artifact accounting).
+    pub fn bytes(&self) -> usize {
+        (self.kept_before.len() + self.kept.len()) * std::mem::size_of::<usize>()
+    }
+
     /// True when nothing was dropped.
     pub fn is_identity(&self) -> bool {
         self.kept.len() + 1 == self.kept_before.len()
