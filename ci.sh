@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (strategy crates, explicit gate)"
+cargo clippy -p holistic-baselines -p holistic-strategies --all-targets -- -D warnings
+
 echo "==> cargo doc (workspace, deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
@@ -19,7 +22,10 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> fuzz smoke (differential: naive vs all 8 engine configs, fixed seed)"
+echo "==> strategy equivalence (adaptive vs forced-MST, serial vs parallel)"
+cargo test --release -q -p holistic-window --test strategy_equivalence
+
+echo "==> fuzz smoke (differential: naive vs adaptive/forced configs, fixed seed)"
 # Deterministic and time-budgeted; failures print a --replay command.
 cargo run --release -q -p holistic-fuzz --bin fuzz -- \
   --cases 600 --seed 0xC0FFEE --max-n 40 --time-budget-secs 120
@@ -31,5 +37,6 @@ echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private ident
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext
 N=4000 W=64 REPS=1 ENGINE_N=2000 cargo run --release -q -p holistic-bench --bin layout_ext -- --json
+N=4000 REPS=1 cargo run --release -q -p holistic-bench --bin crossover_ext -- --json
 
 echo "CI OK"

@@ -14,12 +14,29 @@
 //! * [`sqlsim`] — the "traditional SQL" rewritings of Figure 9 (correlated
 //!   subquery and self join), executed as the nested-loop plans real
 //!   optimizers produce for them, plus the client-side-tool simulator.
+//!
+//! Since the strategy-layer refactor, the algorithm kernels (`incremental`,
+//! `ostree`, `taskpar`) live in the dependency-free `holistic-strategies`
+//! crate so the window executor can pick them per partition; this crate
+//! re-exports them unchanged and keeps the engine-coupled comparators
+//! ([`naive`], [`sqlsim`]) local.
+//!
+//! ```
+//! use holistic_baselines::ostree::OrderStatisticTree;
+//!
+//! let mut t = OrderStatisticTree::new();
+//! for v in [5i64, 1, 3, 3, 9] {
+//!     t.insert(v);
+//! }
+//! assert_eq!(t.select(0), Some(1)); // smallest
+//! assert_eq!(t.rank(4), 3); // values strictly below 4
+//! assert_eq!(t.percentile_disc(0.5), Some(3));
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod incremental;
+pub use holistic_strategies::{incremental, ostree, taskpar};
+
 pub mod naive;
-pub mod ostree;
 pub mod sqlsim;
-pub mod taskpar;

@@ -7,9 +7,12 @@
 //!   (segment-tree pairwise vs. linear scan), so exact equality is not a
 //!   sound expectation.
 //! * **engine config vs. engine config** — bit-identical
-//!   ([`values_identical`]). Serial/parallel, cursor/stateless and
-//!   shared/private caching are pure execution strategies; any difference at
-//!   all, down to the sign of a zero, is a bug.
+//!   ([`values_identical`]). Serial/parallel, cursor/stateless,
+//!   shared/private caching and adaptive-vs-forced-MST strategy choice are
+//!   pure execution strategies; any difference at all, down to the sign of
+//!   a zero, is a bug. Forced *alternate* strategies (naive, incremental,
+//!   ostree, segtree) compute with genuinely different arithmetic and are
+//!   held to the float-tolerant regime against the baseline instead.
 //!
 //! Errors count as agreement only when *both* sides error (messages may
 //! legitimately differ); a panic anywhere is always a failure — the engine's
@@ -117,13 +120,30 @@ fn compare_tables(
     Ok(())
 }
 
-/// Checks one case: the naive baseline and all eight engine configurations
-/// must agree (per the module-level comparison regimes). `Ok(())` means
-/// full agreement; `Err` carries the first divergence found.
+/// Checks one case: the naive baseline, all eight adaptive engine
+/// configurations, forced-MST, and every forced alternate strategy must
+/// agree (per the module-level comparison regimes). `Ok(())` means full
+/// agreement; `Err` carries the first divergence found.
+///
+/// Comparison groups:
+///
+/// * the eight adaptive configs plus forced-MST (serial and parallel) form
+///   the **bit-identical** group — the adaptive chooser is a pure function
+///   of the resolved frames, so per-partition strategy choices cannot vary
+///   across configs, and the direct/alternate evaluators replicate the MST
+///   artifact recipes exactly;
+/// * each remaining forced strategy (naive, incremental, ostree, segtree)
+///   is compared **float-tolerantly** against the naive baseline — these
+///   paths derive aggregates with genuinely different arithmetic (e.g. a
+///   sliding order-statistic tree vs. a per-row scan) — and its `Err`-ness
+///   must match the baseline's.
 pub fn check_case(table: &Table, query: &WindowQuery) -> Result<(), Divergence> {
     let naive_res = run_protected("naive", || naive::execute(query, table))?;
     let mut reference: Option<(String, Table)> = None;
-    for opts in ExecOptions::all_configs() {
+    let mut exact: Vec<ExecOptions> = ExecOptions::all_configs().to_vec();
+    exact.push(ExecOptions::serial().force_strategy(Strategy::Mst));
+    exact.push(ExecOptions::default().force_strategy(Strategy::Mst));
+    for opts in exact {
         let label = opts.label();
         let engine_res = run_protected(&label, || query.execute_with(table, opts))?;
         match (&naive_res, engine_res) {
@@ -150,6 +170,31 @@ pub fn check_case(table: &Table, query: &WindowQuery) -> Result<(), Divergence> 
                     }
                     None => reference = Some((label, got)),
                 }
+            }
+        }
+    }
+    // Forced alternates: strategies a call can't support fall back to the
+    // MST per call, so every case exercises each forced path end to end.
+    for s in [Strategy::Naive, Strategy::Incremental, Strategy::OsTree, Strategy::SegTree] {
+        let opts = ExecOptions::serial().force_strategy(s);
+        let label = opts.label();
+        let engine_res = run_protected(&label, || query.execute_with(table, opts))?;
+        match (&naive_res, engine_res) {
+            (Err(_), Err(_)) => {}
+            (Err(e), Ok(_)) => {
+                return Err(Divergence {
+                    config: label,
+                    message: format!("engine succeeded where naive errors ({e})"),
+                })
+            }
+            (Ok(_), Err(e)) => {
+                return Err(Divergence {
+                    config: label,
+                    message: format!("engine error where naive succeeds: {e}"),
+                })
+            }
+            (Ok(expect), Ok(got)) => {
+                compare_tables(&label, "naive", query, expect, &got, values_close)?
             }
         }
     }

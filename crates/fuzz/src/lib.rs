@@ -12,8 +12,10 @@
 //!   regenerates the same table and query, so every failure is replayable.
 //! * [`diff`] — the differential check: the engine must agree with the naive
 //!   per-row baseline (float-tolerant, the two sides sum in different
-//!   orders) and all eight engine configurations must agree bit-identically
-//!   with each other. Panics are caught and reported as failures, never
+//!   orders); all eight adaptive configurations plus forced-MST must agree
+//!   bit-identically with each other; and every forced alternate strategy
+//!   (naive, incremental, ostree, segtree) must agree float-tolerantly with
+//!   the baseline. Panics are caught and reported as failures, never
 //!   allowed to take the harness down.
 //! * [`mod@shrink`] — delta-debugging minimization of a failing case: first the
 //!   table rows, then the calls, then individual spec features, so the

@@ -14,6 +14,65 @@ use rayon::prelude::*;
 /// Hyper's task granularity (§5.5).
 pub const HYPER_TASK_SIZE: usize = 20_000;
 
+/// Counters of one task-parallel slide, in the spirit of the engine's
+/// probe-kernel stats: they make the §3.2 re-warm overhead measurable
+/// instead of opaque.
+///
+/// `warmup_adds` counts the `add` calls a task performs *before emitting its
+/// first output row* — pure repeated work that the serial algorithm would
+/// not do. `slide_adds`/`slide_removes` are the steady-state updates after
+/// warm-up. The parallelization penalty of Figures 10–12 is exactly
+/// `warmup_adds` growing with the frame size times the task count.
+///
+/// ```
+/// use holistic_strategies::taskpar::{percentile_stats, SlideStats};
+/// let vals = [5i64, 1, 4, 2, 3, 9, 8];
+/// let frames: Vec<(usize, usize)> = (0..7usize).map(|i| (i.saturating_sub(3), i + 1)).collect();
+/// let (serial, s0) = percentile_stats(&vals, &frames, 0.5, usize::MAX, false);
+/// let (tasked, s1) = percentile_stats(&vals, &frames, 0.5, 2, false);
+/// assert_eq!(serial, tasked);            // outputs are task-size invariant
+/// assert_eq!(s0.tasks, 1);
+/// assert!(s1.warmup_adds > s0.warmup_adds); // …but the re-warm work is not
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlideStats {
+    /// Number of tasks the frame sequence was split into.
+    pub tasks: u64,
+    /// `add` calls performed before a task's first output row (re-warm work).
+    pub warmup_adds: u64,
+    /// `add` calls performed after a task's first output row.
+    pub slide_adds: u64,
+    /// `remove` calls performed after a task's first output row (warm-up
+    /// never removes: the state starts empty).
+    pub slide_removes: u64,
+}
+
+impl SlideStats {
+    /// Total `add` calls, warm-up included.
+    pub fn total_adds(&self) -> u64 {
+        self.warmup_adds + self.slide_adds
+    }
+
+    /// Fraction of all `add` calls spent re-warming task states (0 when no
+    /// adds happened at all).
+    pub fn warmup_fraction(&self) -> f64 {
+        let total = self.total_adds();
+        if total == 0 {
+            0.0
+        } else {
+            self.warmup_adds as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn merge_from(&mut self, other: &SlideStats) {
+        self.tasks += other.tasks;
+        self.warmup_adds += other.warmup_adds;
+        self.slide_adds += other.slide_adds;
+        self.slide_removes += other.slide_removes;
+    }
+}
+
 /// Evaluates a sliding-state algorithm over `frames`, split into tasks of
 /// `task_size` output rows. Each task builds a fresh state via `mk_state`,
 /// warms it up to its first row's frame, then slides.
@@ -33,27 +92,71 @@ where
     S: Send,
     Out: Send,
 {
+    task_parallel_slide_stats(frames, task_size, parallel, mk_state, add, remove, result).0
+}
+
+/// [`task_parallel_slide`] with per-run [`SlideStats`] counters.
+pub fn task_parallel_slide_stats<S, Out>(
+    frames: &[(usize, usize)],
+    task_size: usize,
+    parallel: bool,
+    mk_state: impl Fn() -> S + Sync,
+    add: impl Fn(&mut S, usize) + Sync,
+    remove: impl Fn(&mut S, usize) + Sync,
+    result: impl Fn(&mut S, usize) -> Out + Sync,
+) -> (Vec<Out>, SlideStats)
+where
+    S: Send,
+    Out: Send,
+{
+    use std::cell::Cell;
     let task_size = task_size.max(1);
-    let run_task = |(t0, chunk): (usize, &[(usize, usize)])| -> Vec<Out> {
+    let run_task = |(t0, chunk): (usize, &[(usize, usize)])| -> (Vec<Out>, SlideStats) {
         let mut state = mk_state();
         let mut outs = Vec::with_capacity(chunk.len());
+        // Cells: the add/remove/out closures below each observe the counters.
+        let (warmup_adds, slide_adds, slide_removes) =
+            (Cell::new(0u64), Cell::new(0u64), Cell::new(0u64));
+        let warming = Cell::new(true);
         crate::incremental::slide(
             chunk,
             &mut state,
-            |s, p| add(s, p),
-            |s, p| remove(s, p),
-            |s, local_i| outs.push(result(s, t0 + local_i)),
+            |s, p| {
+                let c = if warming.get() { &warmup_adds } else { &slide_adds };
+                c.set(c.get() + 1);
+                add(s, p)
+            },
+            |s, p| {
+                slide_removes.set(slide_removes.get() + 1);
+                remove(s, p)
+            },
+            |s, local_i| {
+                warming.set(false);
+                outs.push(result(s, t0 + local_i))
+            },
         );
-        outs
+        let stats = SlideStats {
+            tasks: 1,
+            warmup_adds: warmup_adds.get(),
+            slide_adds: slide_adds.get(),
+            slide_removes: slide_removes.get(),
+        };
+        (outs, stats)
     };
     let tasks: Vec<(usize, &[(usize, usize)])> =
         frames.chunks(task_size).enumerate().map(|(t, c)| (t * task_size, c)).collect();
-    let per_task: Vec<Vec<Out>> = if parallel {
+    let per_task: Vec<(Vec<Out>, SlideStats)> = if parallel {
         tasks.into_par_iter().map(run_task).collect()
     } else {
         tasks.into_iter().map(run_task).collect()
     };
-    per_task.into_iter().flatten().collect()
+    let mut totals = SlideStats::default();
+    let mut outs = Vec::with_capacity(frames.len());
+    for (o, s) in per_task {
+        totals.merge_from(&s);
+        outs.extend(o);
+    }
+    (outs, totals)
 }
 
 /// Task-parallel incremental distinct count (the "incremental" line of the
@@ -64,12 +167,22 @@ pub fn distinct_count(
     task_size: usize,
     parallel: bool,
 ) -> Vec<usize> {
+    distinct_count_stats(hashes, frames, task_size, parallel).0
+}
+
+/// [`distinct_count`] with [`SlideStats`] re-warm counters.
+pub fn distinct_count_stats(
+    hashes: &[u64],
+    frames: &[(usize, usize)],
+    task_size: usize,
+    parallel: bool,
+) -> (Vec<usize>, SlideStats) {
     use rustc_hash::FxHashMap;
     struct St {
         counts: FxHashMap<u64, u32>,
         distinct: usize,
     }
-    task_parallel_slide(
+    task_parallel_slide_stats(
         frames,
         task_size,
         parallel,
@@ -100,7 +213,18 @@ pub fn percentile(
     task_size: usize,
     parallel: bool,
 ) -> Vec<Option<i64>> {
-    task_parallel_slide(
+    percentile_stats(values, frames, p, task_size, parallel).0
+}
+
+/// [`percentile`] with [`SlideStats`] re-warm counters.
+pub fn percentile_stats(
+    values: &[i64],
+    frames: &[(usize, usize)],
+    p: f64,
+    task_size: usize,
+    parallel: bool,
+) -> (Vec<Option<i64>>, SlideStats) {
+    task_parallel_slide_stats(
         frames,
         task_size,
         parallel,
@@ -133,8 +257,19 @@ pub fn ostree_percentile(
     task_size: usize,
     parallel: bool,
 ) -> Vec<Option<i64>> {
+    ostree_percentile_stats(values, frames, p, task_size, parallel).0
+}
+
+/// [`ostree_percentile`] with [`SlideStats`] re-warm counters.
+pub fn ostree_percentile_stats(
+    values: &[i64],
+    frames: &[(usize, usize)],
+    p: f64,
+    task_size: usize,
+    parallel: bool,
+) -> (Vec<Option<i64>>, SlideStats) {
     use crate::ostree::OrderStatisticTree;
-    task_parallel_slide(
+    task_parallel_slide_stats(
         frames,
         task_size,
         parallel,

@@ -1,0 +1,164 @@
+//! Alternate hull-frame evaluators behind the strategy layer — the
+//! baselines of Table 1 promoted to production paths.
+//!
+//! The cost model routes a (partition × call) here when sliding or
+//! tree-free selection beats the merge sort tree: narrow monotonic frames
+//! favor the incremental sorted array or the order-statistic tree, static
+//! mid-size partitions the sorted-list segment tree. All three consume the
+//! *same cached artifacts* (mask, kept values, dense codes) as the MST
+//! evaluators, so a mixed partition — one call on the MST, another on an
+//! alternate — still shares its preprocessing sort.
+//!
+//! Applicability is the strategy layer's contract: percentiles (DISC /
+//! CONT / MEDIAN) on all three engines, COUNT(DISTINCT) on the incremental
+//! multiset — and only for frames without exclusion, so every frame is a
+//! contiguous hull in kept space. Selection operates on unique dense codes
+//! (exact integers); outputs are clones of the same kept values the MST
+//! path returns, so results are bit-identical by construction.
+
+use super::{fraction_arg, Ctx};
+use crate::error::{Error, Result};
+use crate::plan::CallPlan;
+use crate::spec::{FuncKind, FunctionCall};
+use crate::strategy::Strategy;
+use crate::value::Value;
+use holistic_segtree::SortedListSegTree;
+use holistic_strategies::incremental;
+use holistic_strategies::ostree::OrderStatisticTree;
+
+/// Evaluates one call on an alternate strategy. Callers guarantee
+/// `applicable(strategy, class, stats)` held for this call.
+pub(crate) fn evaluate(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+    strategy: Strategy,
+) -> Result<Vec<Value>> {
+    match call.kind {
+        FuncKind::Count if call.distinct => count_distinct_incremental(ctx, cp),
+        FuncKind::PercentileDisc | FuncKind::PercentileCont | FuncKind::Median => {
+            percentile(ctx, call, cp, strategy)
+        }
+        _ => unreachable!("strategy layer routes only percentiles/COUNT DISTINCT to alternates"),
+    }
+}
+
+/// Kept-space hull frames, one per row (no exclusion ⇒ one piece per frame).
+fn kept_frames(ctx: &Ctx<'_>, mask: &crate::artifacts::MaskArtifact) -> Vec<(usize, usize)> {
+    (0..ctx.m())
+        .map(|i| {
+            let (a, b) = ctx.frames.bounds[i];
+            mask.remap.range(a, b)
+        })
+        .collect()
+}
+
+/// COUNT(DISTINCT x) on the incremental hash multiset (Table 1 row 1):
+/// O(1) amortized per slide step on monotonic frames.
+fn count_distinct_incremental(ctx: &Ctx<'_>, cp: &CallPlan) -> Result<Vec<Value>> {
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let prep = ctx.distinct_prep_art(cp.keys.distinct_prep())?;
+    let frames = kept_frames(ctx, &mask);
+    let counts = incremental::distinct_count(&prep.hashes, &frames);
+    Ok(counts.into_iter().map(|c| Value::Int(c as i64)).collect())
+}
+
+/// Percentiles by sliding / selecting over unique dense codes.
+fn percentile(
+    ctx: &Ctx<'_>,
+    call: &FunctionCall,
+    cp: &CallPlan,
+    strategy: Strategy,
+) -> Result<Vec<Value>> {
+    // Same artifact acquisition order as the MST selection path, so error
+    // precedence (mask/values/keys before the fraction argument) matches.
+    let mask = ctx.mask_art(cp.keys.mask())?;
+    let kept_out = ctx.kept_values_art(cp.keys.kept_values())?;
+    let dc = ctx.dense_codes_art(cp.keys.dense_codes())?;
+    let m = ctx.m();
+    let frames = kept_frames(ctx, &mask);
+
+    let cont = call.kind == FuncKind::PercentileCont;
+    let p = if call.kind == FuncKind::Median { 0.5 } else { fraction_arg(ctx, call)? };
+    if cont {
+        if let Some(v) = kept_out.iter().find(|v| v.as_f64().is_none()) {
+            return Err(Error::TypeMismatch {
+                expected: "numeric",
+                got: v.type_name(),
+                context: "percentile_cont",
+            });
+        }
+    }
+
+    let mut out = vec![Value::Null; m];
+    {
+        // Fills row `i` given the frame size and a 0-based rank → code
+        // accessor. DISC picks one code; CONT interpolates between two.
+        let mut emit = |i: usize, s: usize, select: &mut dyn FnMut(usize) -> usize| {
+            if s == 0 {
+                return;
+            }
+            if cont {
+                let rn = p * (s - 1) as f64;
+                let lo = rn.floor() as usize;
+                let hi = rn.ceil() as usize;
+                let x = kept_out[dc.perm[select(lo)]].as_f64().expect("checked numeric above");
+                out[i] = if lo == hi {
+                    Value::Float(x)
+                } else {
+                    let y = kept_out[dc.perm[select(hi)]].as_f64().expect("checked numeric above");
+                    Value::Float(x + (y - x) * (rn - lo as f64))
+                };
+            } else {
+                let j = ((p * s as f64).ceil() as usize).clamp(1, s);
+                out[i] = kept_out[dc.perm[select(j - 1)]].clone();
+            }
+        };
+
+        match strategy {
+            Strategy::Incremental => {
+                // Sorted array of codes under add/remove (the O(n²) row of
+                // Table 1 — chosen only when frames are narrow).
+                let mut sorted: Vec<usize> = Vec::new();
+                incremental::slide(
+                    &frames,
+                    &mut sorted,
+                    |s, k| {
+                        let c = dc.code[k];
+                        let idx = s.partition_point(|&v| v < c);
+                        s.insert(idx, c);
+                    },
+                    |s, k| {
+                        let c = dc.code[k];
+                        let idx = s.partition_point(|&v| v < c);
+                        s.remove(idx);
+                    },
+                    |s, i| emit(i, s.len(), &mut |j| s[j]),
+                );
+            }
+            Strategy::OsTree => {
+                let mut tree = OrderStatisticTree::new();
+                incremental::slide(
+                    &frames,
+                    &mut tree,
+                    |t, k| t.insert(dc.code[k] as i64),
+                    |t, k| t.remove(dc.code[k] as i64),
+                    |t, i| emit(i, t.len(), &mut |j| t.select(j).expect("j < len") as usize),
+                );
+            }
+            Strategy::SegTree => {
+                let codes: Vec<i64> = dc.code.iter().map(|&c| c as i64).collect();
+                let tree = SortedListSegTree::build(&codes, ctx.parallel);
+                for (i, &(ka, kb)) in frames.iter().enumerate() {
+                    emit(i, kb - ka, &mut |j| {
+                        tree.select(ka, kb, j).expect("j < frame size") as usize
+                    });
+                }
+            }
+            Strategy::Naive | Strategy::Mst => {
+                unreachable!("naive/MST percentiles have dedicated evaluators")
+            }
+        }
+    }
+    Ok(out)
+}

@@ -37,7 +37,7 @@ pub(crate) fn ordinal_to_f64(i: i64) -> f64 {
 }
 
 /// How MIN/MAX ordinals decode back into values.
-enum OrdinalDecode {
+pub(crate) enum OrdinalDecode {
     Int,
     Date,
     Float,
@@ -63,7 +63,7 @@ impl ArtifactBytes for OrdEnc {
 }
 
 /// Encodes comparable values as i64 ordinals for MIN/MAX segment trees.
-fn encode_ordinals(values: &[Value]) -> Result<(Vec<Option<i64>>, OrdinalDecode)> {
+pub(crate) fn encode_ordinals(values: &[Value]) -> Result<(Vec<Option<i64>>, OrdinalDecode)> {
     // Establish the column type from the first non-null value.
     let first = values.iter().find(|v| !v.is_null());
     let decode = match first {
@@ -116,7 +116,7 @@ fn encode_ordinals(values: &[Value]) -> Result<(Vec<Option<i64>>, OrdinalDecode)
     Ok((ords, decode))
 }
 
-fn decode_ordinal(o: i64, d: &OrdinalDecode) -> Value {
+pub(crate) fn decode_ordinal(o: i64, d: &OrdinalDecode) -> Value {
     match d {
         OrdinalDecode::Int => Value::Int(o),
         OrdinalDecode::Date => Value::Date(o as i32),

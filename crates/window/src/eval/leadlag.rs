@@ -56,7 +56,7 @@ fn offset_for(
 /// `base + off` as a bounds-checked position: `None` when the target falls
 /// outside `[0, len)` or the addition overflows (equivalent, since any
 /// overflowing target is out of range for every representable `len`).
-fn target_position(base: usize, off: i64, len: usize) -> Option<usize> {
+pub(crate) fn target_position(base: usize, off: i64, len: usize) -> Option<usize> {
     (base as i64).checked_add(off).and_then(|t| usize::try_from(t).ok()).filter(|&t| t < len)
 }
 

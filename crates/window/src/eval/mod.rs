@@ -9,6 +9,8 @@
 //! parallel (§4.1). Evaluators receive their call's [`CallPlan`] carrying
 //! the canonical artifact keys the plan phase derived.
 
+pub(crate) mod alt;
+pub(crate) mod direct;
 pub(crate) mod distinct;
 pub(crate) mod distributive;
 pub(crate) mod leadlag;

@@ -13,12 +13,16 @@
 use crate::artifacts::{self, ArtifactCache, AtomicStats};
 use crate::column::Column;
 use crate::error::Result;
-use crate::eval::{evaluate_call, Ctx};
+use crate::eval::direct::DirectCtx;
+use crate::eval::{alt, direct, evaluate_call, Ctx};
 use crate::frame::resolve_frames;
 use crate::order::{sort_permutation, KeyColumns};
 use crate::partition::partition_rows;
-use crate::plan::{canonical_order, plan_query, ArtifactKey, QueryPlan};
+use crate::plan::{
+    canonical_order, plan_query, sort_keys_of, ArtifactKey, CanonicalSortKey, QueryPlan,
+};
 use crate::spec::{FunctionCall, WindowSpec};
+use crate::strategy::{choose, CostModel, PartitionStats, Strategy, StrategyMode};
 use crate::table::Table;
 use crate::value::Value;
 use holistic_core::MstParams;
@@ -43,6 +47,13 @@ pub struct ExecOptions {
     pub share_artifacts: bool,
     /// Probe-kernel tuning (cursor-seeded vs. stateless tree probes).
     pub probe: ProbeOptions,
+    /// Per-(partition × call) strategy selection: cost-based adaptive choice
+    /// (default) or one forced strategy. Output is bit-identical under every
+    /// mode — forcing exists for benchmarks and the differential fuzzer.
+    pub strategy: StrategyMode,
+    /// Cost-model constants driving [`StrategyMode::Adaptive`]. Defaults are
+    /// calibrated by the `crossover_ext` benchmark.
+    pub cost_model: CostModel,
 }
 
 /// Probe-kernel tuning knobs.
@@ -69,6 +80,8 @@ impl Default for ExecOptions {
             params: MstParams::default(),
             share_artifacts: true,
             probe: ProbeOptions::default(),
+            strategy: StrategyMode::default(),
+            cost_model: CostModel::default(),
         }
     }
 }
@@ -81,7 +94,16 @@ impl ExecOptions {
             params: MstParams::default().serial(),
             share_artifacts: true,
             probe: ProbeOptions::default(),
+            strategy: StrategyMode::default(),
+            cost_model: CostModel::default(),
         }
+    }
+
+    /// Forces one strategy for every (partition × call) where it applies;
+    /// calls the strategy cannot evaluate fall back to the merge sort tree.
+    pub fn force_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = StrategyMode::Force(s);
+        self
     }
 
     /// Disables cross-call artifact sharing.
@@ -121,11 +143,16 @@ impl ExecOptions {
 
     /// A short human-readable label of this configuration (replay output).
     pub fn label(&self) -> String {
+        let forced = match self.strategy {
+            StrategyMode::Adaptive => String::new(),
+            StrategyMode::Force(s) => format!("/force-{}", s.name()),
+        };
         format!(
-            "{}/{}/{}",
+            "{}/{}/{}{}",
             if self.parallel { "parallel" } else { "serial" },
             if self.probe.cursors { "cursors" } else { "stateless" },
             if self.share_artifacts { "shared" } else { "private" },
+            forced,
         )
     }
 }
@@ -224,6 +251,19 @@ pub struct ArtifactFootprint {
     pub bytes: u64,
 }
 
+/// Per-(partition × call) strategy decisions of one execution, accumulated
+/// across partitions. Indexed by [`Strategy::index`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrategyProfile {
+    /// Total decisions per strategy over all (partition × call) pairs.
+    pub decisions: [u64; 5],
+    /// Decisions per call (outer index = call position in the query).
+    pub per_call: Vec<[u64; 5]>,
+    /// Partitions where *every* call chose [`Strategy::Naive`] and the whole
+    /// artifact machinery (cache, seeding, footprints) was skipped.
+    pub cacheless_partitions: u64,
+}
+
 /// Phase timings and cache counters of one execution.
 ///
 /// `build` covers the partition sort, frame resolution and the eager
@@ -249,6 +289,8 @@ pub struct ExecProfile {
     pub probe_kernel: ProbeKernelStats,
     /// Per-kind artifact memory footprints, largest first.
     pub artifacts: Vec<ArtifactFootprint>,
+    /// Per-(partition × call) strategy decisions.
+    pub strategy: StrategyProfile,
 }
 
 /// A window query: one OVER clause, many function calls.
@@ -308,6 +350,27 @@ impl WindowQuery {
         // order never re-evaluate the key expressions.
         let window_order = canonical_order(&self.spec.order_by);
 
+        // Hoist *every* planned inner ORDER BY criterion to query level:
+        // key columns cover the full table and are mask-independent, so one
+        // evaluation serves all partitions (and the direct path, which has
+        // no cache to share through). Skipped when there are no partitions,
+        // preserving the no-work-no-error behaviour of empty inputs.
+        let mut hoisted_keys: FxHashMap<Vec<CanonicalSortKey>, Arc<KeyColumns>> =
+            FxHashMap::default();
+        if !partitions.is_empty() {
+            if !window_order.is_empty() {
+                hoisted_keys.insert(window_order.clone(), Arc::clone(&window_keys));
+            }
+            for key in &plan.prebuild {
+                if let ArtifactKey::InnerKeys(ks) = key {
+                    if !hoisted_keys.contains_key(ks) {
+                        let kc = Arc::new(KeyColumns::evaluate(table, &sort_keys_of(ks))?);
+                        hoisted_keys.insert(ks.clone(), kc);
+                    }
+                }
+            }
+        }
+
         // Parallelize across partitions when there are many, inside a
         // partition when there are few (§5.2's task model collapses to this
         // two-level scheme here).
@@ -336,11 +399,17 @@ impl WindowQuery {
 
         let seeded_cache = || {
             let cache = ArtifactCache::new();
-            if !window_order.is_empty() {
-                cache.seed(ArtifactKey::InnerKeys(window_order.clone()), Arc::clone(&window_keys));
+            for (ks, kc) in &hoisted_keys {
+                cache.seed(ArtifactKey::InnerKeys(ks.clone()), Arc::clone(kc));
             }
             cache
         };
+        // Strategy decisions, accumulated per partition. Additions commute,
+        // so the totals are deterministic under partition parallelism.
+        let strategy_acc = Mutex::new(StrategyProfile {
+            per_call: vec![[0u64; 5]; self.calls.len()],
+            ..StrategyProfile::default()
+        });
 
         // Build + probe one partition; returns its sorted rows and one
         // output vector per call (scattered back to table order below).
@@ -350,8 +419,41 @@ impl WindowQuery {
             sort_permutation(&window_keys, &mut rows, within);
             let frames = resolve_frames(table, &rows, &window_keys, &self.spec.frame)?;
             let params = if within { opts.params } else { opts.params.serial() };
+
+            // Pick a strategy per call. The choice is a pure function of
+            // (mode, call class, frame stats, cost model) — none of which
+            // depend on parallelism, cursors or sharing — so every engine
+            // configuration makes identical choices and stays bit-identical.
+            let pstats = PartitionStats::from_frames(&frames);
+            let choices: Vec<Strategy> = plan
+                .calls
+                .iter()
+                .map(|cp| choose(opts.strategy, cp.class, &pstats, &opts.cost_model))
+                .collect();
+            let all_naive = choices.iter().all(|&s| s == Strategy::Naive);
+            {
+                let mut sp = strategy_acc.lock().expect("strategy accumulator poisoned");
+                for (ci, s) in choices.iter().enumerate() {
+                    sp.decisions[s.index()] += 1;
+                    sp.per_call[ci][s.index()] += 1;
+                }
+                if all_naive {
+                    sp.cacheless_partitions += 1;
+                }
+            }
+
+            let dctx = DirectCtx { table, rows: &rows, frames: &frames, inner_keys: &hoisted_keys };
             let mut outs: Vec<Vec<Value>> = Vec::with_capacity(self.calls.len());
-            if opts.share_artifacts {
+            if all_naive {
+                // Small-partition fast path: no cache, no seeding, no
+                // footprint accounting — just direct evaluation.
+                build_nanos.fetch_add(build_start.elapsed().as_nanos() as u64, Relaxed);
+                let probe_start = Instant::now();
+                for (call, cp) in self.calls.iter().zip(&plan.calls) {
+                    outs.push(direct::evaluate(&dctx, call, cp)?);
+                }
+                probe_nanos.fetch_add(probe_start.elapsed().as_nanos() as u64, Relaxed);
+            } else if opts.share_artifacts {
                 let cache = seeded_cache();
                 let ctx = Ctx {
                     table,
@@ -363,13 +465,24 @@ impl WindowQuery {
                     cursors: opts.probe.cursors,
                     kernel: &kernel,
                 };
-                for key in &plan.prebuild {
-                    artifacts::force(&ctx, key)?;
+                // Eager prebuild only for calls the MST actually serves;
+                // alternates build lazily from the shared cache and the
+                // direct path needs nothing.
+                for (cp, &s) in plan.calls.iter().zip(&choices) {
+                    if s == Strategy::Mst {
+                        for key in cp.keys.eager() {
+                            artifacts::force(&ctx, key)?;
+                        }
+                    }
                 }
                 build_nanos.fetch_add(build_start.elapsed().as_nanos() as u64, Relaxed);
                 let probe_start = Instant::now();
-                for (call, cp) in self.calls.iter().zip(&plan.calls) {
-                    outs.push(evaluate_call(&ctx, call, cp)?);
+                for ((call, cp), &s) in self.calls.iter().zip(&plan.calls).zip(&choices) {
+                    outs.push(match s {
+                        Strategy::Mst => evaluate_call(&ctx, call, cp)?,
+                        Strategy::Naive => direct::evaluate(&dctx, call, cp)?,
+                        other => alt::evaluate(&ctx, call, cp, other)?,
+                    });
                 }
                 probe_nanos.fetch_add(probe_start.elapsed().as_nanos() as u64, Relaxed);
                 cache.stats().merge_into(&totals);
@@ -377,7 +490,11 @@ impl WindowQuery {
             } else {
                 build_nanos.fetch_add(build_start.elapsed().as_nanos() as u64, Relaxed);
                 let probe_start = Instant::now();
-                for (call, cp) in self.calls.iter().zip(&plan.calls) {
+                for ((call, cp), &s) in self.calls.iter().zip(&plan.calls).zip(&choices) {
+                    if s == Strategy::Naive {
+                        outs.push(direct::evaluate(&dctx, call, cp)?);
+                        continue;
+                    }
                     // A fresh cache per call: artifacts are still shared
                     // *within* the call, never across calls.
                     let cache = seeded_cache();
@@ -391,7 +508,10 @@ impl WindowQuery {
                         cursors: opts.probe.cursors,
                         kernel: &kernel,
                     };
-                    outs.push(evaluate_call(&ctx, call, cp)?);
+                    outs.push(match s {
+                        Strategy::Mst => evaluate_call(&ctx, call, cp)?,
+                        other => alt::evaluate(&ctx, call, cp, other)?,
+                    });
                     cache.stats().merge_into(&totals);
                     absorb_footprints(&cache);
                 }
@@ -433,6 +553,7 @@ impl WindowQuery {
             cache: totals.snapshot(),
             probe_kernel: kernel.snapshot(),
             artifacts,
+            strategy: strategy_acc.into_inner().expect("strategy accumulator poisoned"),
         };
         Ok((out, profile))
     }
@@ -575,10 +696,15 @@ mod tests {
         )
         .call(FunctionCall::median(col("x")).named("med"))
         .call(FunctionCall::sum(col("x")).named("s"));
-        let (out, profile) = q.execute_profiled(&t, ExecOptions::serial()).unwrap();
+        // Force the MST so the tiny partition doesn't take the cacheless
+        // direct path (this test pins the cache counters).
+        let opts = ExecOptions::serial().force_strategy(Strategy::Mst);
+        let (out, profile) = q.execute_profiled(&t, opts).unwrap();
         assert_eq!(out.column("med").unwrap().len(), 5);
         assert_eq!(profile.partitions, 1);
         assert!(profile.cache.misses > 0);
+        assert_eq!(profile.strategy.decisions[Strategy::Mst.index()], 2);
+        assert_eq!(profile.strategy.cacheless_partitions, 0);
         // The median needs exactly one inner sort; the sum needs none.
         assert_eq!(profile.cache.inner_sorts, 1);
         assert_eq!(profile.cache.segtree_builds, 2); // count + sum trees
@@ -607,6 +733,7 @@ mod tests {
         .call(FunctionCall::median(col("x")).named("med"))
         .call(FunctionCall::rank(vec![SortKey::desc(col("x"))]).named("r"));
         for opts in ExecOptions::all_configs() {
+            let opts = opts.force_strategy(Strategy::Mst);
             let (_, profile) = q.execute_profiled(&t, opts).unwrap();
             assert!(profile.cache.hits > 0, "{}: sharing expected", opts.label());
             assert_eq!(

@@ -53,18 +53,21 @@ mod plan;
 pub mod profile;
 pub mod remap;
 pub mod spec;
+pub mod strategy;
 pub mod table;
 pub mod value;
 
 pub use column::Column;
 pub use error::{Error, Result};
 pub use executor::{
-    CacheStats, ExecOptions, ExecProfile, ProbeKernelStats, ProbeOptions, WindowQuery,
+    CacheStats, ExecOptions, ExecProfile, ProbeKernelStats, ProbeOptions, StrategyProfile,
+    WindowQuery,
 };
 pub use expr::{col, lit, BinOp, Expr};
 pub use frame::{FrameBound, FrameExclusion, FrameMode, FrameSpec};
 pub use order::SortKey;
 pub use spec::{FuncKind, FunctionCall, WindowSpec};
+pub use strategy::{CallClass, CostModel, PartitionStats, Strategy, StrategyMode};
 pub use table::Table;
 pub use value::{DataType, Value};
 
@@ -78,6 +81,7 @@ pub mod prelude {
     pub use crate::frame::{FrameBound, FrameExclusion, FrameSpec};
     pub use crate::order::SortKey;
     pub use crate::spec::{FuncKind, FunctionCall, WindowSpec};
+    pub use crate::strategy::{CostModel, Strategy, StrategyMode};
     pub use crate::table::Table;
     pub use crate::value::Value;
 }

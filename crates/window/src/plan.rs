@@ -21,6 +21,7 @@
 use crate::expr::{BinOp, Expr};
 use crate::order::SortKey;
 use crate::spec::{FuncKind, FunctionCall, WindowSpec};
+use crate::strategy::CallClass;
 use crate::value::Value;
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
@@ -369,7 +370,7 @@ impl CallKeys {
     /// compatible order (the getters recurse through missing ingredients, so
     /// the order is cosmetic, not load-bearing). Lazy data-dependent keys
     /// (SUM flavors, ordinal trees, annotated distinct trees) are excluded.
-    fn eager(&self) -> impl Iterator<Item = &ArtifactKey> {
+    pub(crate) fn eager(&self) -> impl Iterator<Item = &ArtifactKey> {
         [
             self.values.as_ref(),
             self.mask.as_ref(),
@@ -396,6 +397,8 @@ pub(crate) struct CallPlan {
     pub order: Option<OrderKey>,
     /// Pre-derived artifact keys (see [`CallKeys`]).
     pub keys: CallKeys,
+    /// Call classification for the strategy layer (cost model input).
+    pub class: CallClass,
 }
 
 /// The whole-query plan: per-call keys plus the deduplicated, statically
@@ -456,7 +459,7 @@ fn plan_call(spec: &WindowSpec, call: &FunctionCall) -> CallPlan {
     };
     let args: Vec<CanonicalExpr> = call.args.iter().map(CanonicalExpr::from_expr).collect();
     let keys = derive_keys(call, &order, &mask, &args);
-    CallPlan { order, keys }
+    CallPlan { order, keys, class: CallClass::of(call) }
 }
 
 /// Derives every artifact key the call's evaluator may request — the one

@@ -160,7 +160,10 @@ mod tests {
                 .frame(FrameSpec::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow)),
         )
         .call(FunctionCall::median(col("x")).named("med"));
-        let (phases, stats, out) = profile_query(&q, &t, ExecOptions::serial()).unwrap();
+        // Force the MST: the tiny partition would otherwise take the
+        // cacheless direct path and report no artifact builds.
+        let opts = ExecOptions::serial().force_strategy(crate::strategy::Strategy::Mst);
+        let (phases, stats, out) = profile_query(&q, &t, opts).unwrap();
         let names: Vec<&str> = phases.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["plan", "build artifacts", "probe"]);
         assert!(stats.misses > 0);

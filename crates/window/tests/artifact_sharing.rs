@@ -6,8 +6,15 @@
 
 use holistic_window::frame::{FrameBound, FrameSpec};
 use holistic_window::{
-    col, lit, Column, ExecOptions, FunctionCall, SortKey, Table, WindowQuery, WindowSpec,
+    col, lit, Column, ExecOptions, FunctionCall, SortKey, Strategy, Table, WindowQuery, WindowSpec,
 };
+
+/// Serial execution pinned to the merge sort tree: these tests assert cache
+/// counters, which the adaptive mode's cacheless direct path would zero out
+/// on tables this small.
+fn mst() -> ExecOptions {
+    ExecOptions::serial().force_strategy(Strategy::Mst)
+}
 
 /// Three holistic calls from different families — rank, row_number and a
 /// framed LEAD — all ordering by `v` under identical (empty) FILTER masks.
@@ -33,7 +40,7 @@ fn demo_table(n: usize) -> Table {
 fn three_calls_one_criterion_sort_once() {
     let table = demo_table(64);
     let q = shared_order_query();
-    let (_, profile) = q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+    let (_, profile) = q.execute_profiled(&table, mst()).unwrap();
     assert_eq!(profile.partitions, 1);
     // One partition: the single inner sort feeds all three calls.
     assert_eq!(profile.cache.inner_sorts, 1, "inner ORDER BY must be sorted exactly once");
@@ -47,9 +54,8 @@ fn three_calls_one_criterion_sort_once() {
 fn no_sharing_redoes_the_sort_per_call() {
     let table = demo_table(64);
     let q = shared_order_query();
-    let shared = q.execute_with(&table, ExecOptions::serial()).unwrap();
-    let (private, profile) =
-        q.execute_profiled(&table, ExecOptions::serial().no_sharing()).unwrap();
+    let shared = q.execute_with(&table, mst()).unwrap();
+    let (private, profile) = q.execute_profiled(&table, mst().no_sharing()).unwrap();
     // Each of the three calls now sorts for itself...
     assert_eq!(profile.cache.inner_sorts, 3);
     // ...rank and row_number build one code tree each, LEAD builds a code
@@ -84,7 +90,7 @@ fn sharing_counters_scale_with_partitions() {
     .call(FunctionCall::rank(inner()).named("r"))
     .call(FunctionCall::row_number(inner()).named("rn"))
     .call(FunctionCall::lead(col("v"), 1, lit(-1i64)).order_by(inner()).named("ld"));
-    let (_, profile) = q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+    let (_, profile) = q.execute_profiled(&table, mst()).unwrap();
     assert_eq!(profile.partitions, 4);
     // Exactly one sort and one tree build of each kind per partition.
     assert_eq!(profile.cache.inner_sorts, 4);
@@ -113,7 +119,7 @@ fn differing_masks_do_not_share_sorts() {
     )
     .call(FunctionCall::rank(vec![SortKey::asc(col("v"))]).named("r"))
     .call(FunctionCall::median(col("v")).named("med"));
-    let (_, profile) = q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+    let (_, profile) = q.execute_profiled(&table, mst()).unwrap();
     assert_eq!(profile.cache.inner_sorts, 2, "NULL-screened and unscreened sorts must stay apart");
 }
 
@@ -130,7 +136,7 @@ fn window_order_fallback_shares_with_seeded_keys() {
     )
     .call(FunctionCall::rank(vec![]).named("r"))
     .call(FunctionCall::rank(vec![SortKey::asc(col("v"))]).named("r2"));
-    let (out, profile) = q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+    let (out, profile) = q.execute_profiled(&table, mst()).unwrap();
     // The explicit ORDER BY v criterion is structurally equal to the window
     // order fallback: one sort serves both calls.
     assert_eq!(profile.cache.inner_sorts, 1);

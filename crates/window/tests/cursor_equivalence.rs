@@ -6,8 +6,15 @@
 
 use holistic_window::frame::{FrameBound, FrameExclusion, FrameSpec};
 use holistic_window::{
-    col, lit, Column, ExecOptions, Expr, FunctionCall, SortKey, Table, WindowQuery, WindowSpec,
+    col, lit, Column, ExecOptions, Expr, FunctionCall, SortKey, Strategy, Table, WindowQuery,
+    WindowSpec,
 };
+
+/// Every config here is pinned to the merge sort tree: these tests assert
+/// probe-kernel counters that only the MST path produces.
+fn mst(opts: ExecOptions) -> ExecOptions {
+    opts.force_strategy(Strategy::Mst)
+}
 use proptest::prelude::*;
 
 /// `y > 3` as a FILTER predicate.
@@ -75,7 +82,7 @@ proptest! {
         let q = WindowQuery { spec, calls: calls.clone() };
 
         // Reference: cursors enabled (the default), serial.
-        let (base, base_profile) = q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+        let (base, base_profile) = q.execute_profiled(&table, mst(ExecOptions::serial())).unwrap();
         prop_assert!(
             base_profile.probe_kernel.cursor_probes > 0,
             "cursor path must be exercised when probe cursors are on"
@@ -83,9 +90,9 @@ proptest! {
         prop_assert_eq!(base_profile.probe_kernel.stateless_probes, 0);
 
         for (label, opts) in [
-            ("serial/stateless", ExecOptions::serial().stateless_probes()),
-            ("parallel/cursor", ExecOptions::default()),
-            ("parallel/stateless", ExecOptions::default().stateless_probes()),
+            ("serial/stateless", mst(ExecOptions::serial().stateless_probes())),
+            ("parallel/cursor", mst(ExecOptions::default())),
+            ("parallel/stateless", mst(ExecOptions::default().stateless_probes())),
         ] {
             let (out, profile) = q.execute_profiled(&table, opts).unwrap();
             if label.ends_with("stateless") {
@@ -125,7 +132,7 @@ fn monotonic_frames_gallop() {
     .call(FunctionCall::median(col("v")).named("med"))
     .call(FunctionCall::count_distinct(col("v")).named("cd"));
 
-    let (_, profile) = q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+    let (_, profile) = q.execute_profiled(&table, mst(ExecOptions::serial())).unwrap();
     let k = &profile.probe_kernel;
     assert!(k.cursor_probes > 0, "cursor probes: {k:?}");
     assert_eq!(k.stateless_probes, 0, "stateless probes: {k:?}");

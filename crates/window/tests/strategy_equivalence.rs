@@ -1,0 +1,192 @@
+//! Property test for the strategy layer: per-partition algorithm choice is
+//! an invisible optimization. Over random specs and skewed partition-size
+//! mixes, adaptive execution must be bit-identical to forced-MST execution,
+//! serial or parallel — the cost model may only change *how* a result is
+//! computed, never the result. The `ExecProfile` assertions pin down that
+//! the adaptive path really is adaptive: tiny partitions take the cacheless
+//! direct path, forced MST never does.
+
+use holistic_window::frame::{FrameBound, FrameExclusion, FrameSpec};
+use holistic_window::{
+    col, lit, Column, ExecOptions, FunctionCall, SortKey, Strategy, Table, WindowQuery, WindowSpec,
+};
+use proptest::prelude::*;
+
+/// Candidate calls spanning every evaluator family the strategy layer
+/// dispatches: distributive, distinct, rank, percentile, value, lead/lag and
+/// mode. No `SUM(DISTINCT)` — that family is MST-only and would keep tiny
+/// partitions off the cacheless path this test asserts on.
+fn battery(mask: u16) -> Vec<FunctionCall> {
+    let all = vec![
+        FunctionCall::count_star().named("c0"),
+        FunctionCall::sum(col("x")).named("c1"),
+        FunctionCall::count_distinct(col("x")).named("c2"),
+        FunctionCall::rank(vec![SortKey::asc(col("y"))]).named("c3"),
+        FunctionCall::dense_rank(vec![SortKey::desc(col("y"))]).named("c4"),
+        FunctionCall::median(col("y")).named("c5"),
+        FunctionCall::percentile_cont(0.25, SortKey::asc(col("y"))).named("c6"),
+        FunctionCall::first_value(col("x")).ignore_nulls().named("c7"),
+        FunctionCall::lag(col("x"), 2, lit(-1i64)).named("c8"),
+        FunctionCall::mode(col("y")).named("c9"),
+    ];
+    let picked: Vec<FunctionCall> =
+        all.into_iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| c).collect();
+    if picked.is_empty() {
+        vec![FunctionCall::median(col("y")).named("c5")]
+    } else {
+        picked
+    }
+}
+
+fn exclusion_of(idx: usize) -> FrameExclusion {
+    match idx {
+        0 => FrameExclusion::NoOthers,
+        1 => FrameExclusion::CurrentRow,
+        2 => FrameExclusion::Group,
+        _ => FrameExclusion::Ties,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adaptive ≡ forced-MST ≡ serial ≡ parallel, bit for bit, over skewed
+    /// partition mixes (several tiny partitions, optionally one large one).
+    #[test]
+    fn adaptive_matches_forced_mst(
+        tiny_sizes in prop::collection::vec(1usize..13, 1..6),
+        big in prop::option::of(70usize..140),
+        xs_seed in prop::collection::vec(prop::option::of(-9i64..9), 210),
+        ys_seed in prop::collection::vec(-5i64..6, 210),
+        lo in 0i64..5,
+        hi in 0i64..5,
+        excl in 0usize..4,
+        groups_mode in any::<bool>(),
+        mask in 1u16..1024,
+    ) {
+        // Skewed layout: partition p holds sizes[p] consecutive rows.
+        let mut sizes = tiny_sizes.clone();
+        if let Some(b) = big {
+            sizes.push(b);
+        }
+        let n: usize = sizes.iter().sum();
+        let mut g = Vec::with_capacity(n);
+        for (p, &s) in sizes.iter().enumerate() {
+            g.extend(std::iter::repeat_n(p as i64, s));
+        }
+        let table = Table::new(vec![
+            ("x", Column::ints_opt((0..n).map(|i| xs_seed[i % xs_seed.len()]).collect())),
+            ("y", Column::ints((0..n).map(|i| ys_seed[i % ys_seed.len()]).collect())),
+            ("g", Column::ints(g)),
+            ("pos", Column::ints((0..n as i64).collect())),
+        ])
+        .unwrap();
+
+        let frame = if groups_mode {
+            FrameSpec::groups(FrameBound::Preceding(lit(lo)), FrameBound::Following(lit(hi)))
+        } else {
+            FrameSpec::rows(FrameBound::Preceding(lit(lo)), FrameBound::Following(lit(hi)))
+        };
+        let spec = WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("pos"))])
+            .frame(frame.exclude(exclusion_of(excl)));
+        let calls = battery(mask);
+        let q = WindowQuery { spec, calls: calls.clone() };
+
+        let (base, base_profile) =
+            q.execute_profiled(&table, ExecOptions::serial()).unwrap();
+
+        // The chooser decides once per (partition × call), nothing dropped.
+        let partitions = sizes.len() as u64;
+        let total: u64 = base_profile.strategy.decisions.iter().sum();
+        prop_assert_eq!(total, partitions * calls.len() as u64);
+        let per_call_total: u64 =
+            base_profile.strategy.per_call.iter().flatten().sum();
+        prop_assert_eq!(per_call_total, total);
+
+        // Tiny partitions (≤ 64 rows, every battery call naive-capable) must
+        // skip the artifact machinery entirely.
+        prop_assert!(
+            base_profile.strategy.cacheless_partitions >= tiny_sizes.len() as u64,
+            "tiny partitions stayed on the artifact path: {:?}",
+            base_profile.strategy
+        );
+        if big.is_none() {
+            prop_assert_eq!(base_profile.strategy.cacheless_partitions, partitions);
+            prop_assert_eq!(
+                base_profile.cache.misses, 0,
+                "all-tiny query built artifacts: {:?}", base_profile.cache
+            );
+        }
+
+        for (label, opts) in [
+            ("adaptive/parallel", ExecOptions::default()),
+            ("mst/serial", ExecOptions::serial().force_strategy(Strategy::Mst)),
+            ("mst/parallel", ExecOptions::default().force_strategy(Strategy::Mst)),
+        ] {
+            let (out, profile) = q.execute_profiled(&table, opts).unwrap();
+            if label.starts_with("mst") {
+                prop_assert_eq!(
+                    profile.strategy.decisions[Strategy::Mst.index()],
+                    partitions * calls.len() as u64,
+                    "forced MST did not stick ({})", label
+                );
+                prop_assert_eq!(profile.strategy.cacheless_partitions, 0);
+            }
+            for call in &calls {
+                let name = call.output_name.as_str();
+                let (b, o) =
+                    (base.column(name).unwrap().to_values(), out.column(name).unwrap().to_values());
+                for (row, (bv, ov)) in b.iter().zip(o.iter()).enumerate() {
+                    let same = match (bv, ov) {
+                        (
+                            holistic_window::Value::Float(x),
+                            holistic_window::Value::Float(y),
+                        ) => x.to_bits() == y.to_bits(),
+                        _ => bv == ov,
+                    };
+                    prop_assert!(
+                        same,
+                        "column {} row {} differs under {}: {} vs {}",
+                        name, row, label, bv, ov
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forcing each alternate strategy end-to-end on a mixed query must agree
+/// with the default path: inapplicable calls fall back to the MST, the rest
+/// take the forced engine. Integer-only inputs make exact comparison sound.
+#[test]
+fn forced_alternates_agree_on_integer_data() {
+    let n = 300i64;
+    let table = Table::new(vec![
+        ("pos", Column::ints((0..n).collect())),
+        ("v", Column::ints((0..n).map(|i| (i * 37) % 23).collect())),
+    ])
+    .unwrap();
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("pos"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(17i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("v")).named("med"))
+    .call(FunctionCall::count_distinct(col("v")).named("cd"))
+    .call(FunctionCall::sum(col("v")).named("s"));
+
+    let base = q.execute_with(&table, ExecOptions::serial()).unwrap();
+    for s in Strategy::ALL {
+        let out = q.execute_with(&table, ExecOptions::serial().force_strategy(s)).unwrap();
+        for name in ["med", "cd", "s"] {
+            assert_eq!(
+                base.column(name).unwrap().to_values(),
+                out.column(name).unwrap().to_values(),
+                "column {name} differs under forced {}",
+                s.name()
+            );
+        }
+    }
+}
