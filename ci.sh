@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (strategy crates, explicit gate)"
 cargo clippy -p holistic-baselines -p holistic-strategies --all-targets -- -D warnings
 
+echo "==> cargo clippy (expression VM + block-kernel crates, explicit gate)"
+cargo clippy -p holistic-window -p holistic-core --all-targets -- -D warnings
+
 echo "==> cargo doc (workspace, deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
@@ -38,5 +41,8 @@ N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext
 N=4000 W=64 REPS=1 ENGINE_N=2000 cargo run --release -q -p holistic-bench --bin layout_ext -- --json
 N=4000 REPS=1 cargo run --release -q -p holistic-bench --bin crossover_ext -- --json
+# Asserts all 13 configs (incl. VM/block-probe escape hatches) bit-identical;
+# the ≥2×/≥3× speedup gates self-skip at tiny n.
+N=3000 REPS=1 cargo run --release -q -p holistic-bench --bin probe_batch_ext -- --json
 
 echo "CI OK"

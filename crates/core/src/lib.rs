@@ -64,7 +64,7 @@ pub use annotated::AnnotatedMst;
 pub use codes::{dense_codes, DenseCodes};
 pub use cursor::{CursorStats, ProbeCursor, SelectCursor};
 pub use index::TreeIndex;
-pub use mst::MergeSortTree;
+pub use mst::{BlockScratch, BlockStats, MergeSortTree};
 pub use params::MstParams;
 pub use prev_idcs::{prev_idcs_by_key, prev_idcs_u64};
 pub use range_set::RangeSet;

@@ -165,6 +165,18 @@ pub struct MergeSortTree<I: TreeIndex> {
     levels: Vec<LevelMeta>,
     params: MstParams,
     n: usize,
+    /// True when the top run is the identity permutation `0..n` — always the
+    /// case for the executor's position trees (built over a permutation of
+    /// `0..n`, whose sorted order is the identity). Rank in the identity is a
+    /// clamp, so the block kernels answer top searches arithmetically instead
+    /// of binary-searching `log n` scattered lines per threshold.
+    identity_top: bool,
+    /// Every [`TOP_SAMPLE_STRIDE`]-th top-run key (empty for identity tops).
+    /// The sample vector is `n / 64` keys — cache-resident at any realistic
+    /// `n` — so the block kernels' top searches binary-search the samples
+    /// without missing, then finish inside one warmed `≤ stride` window
+    /// instead of chasing `log n` scattered lines.
+    top_samples: Vec<I>,
 }
 
 impl<I: TreeIndex> MergeSortTree<I> {
@@ -185,7 +197,10 @@ impl<I: TreeIndex> MergeSortTree<I> {
         let (keys, ptrs) = arena.split_at_mut(keys_len);
         keys[..n].copy_from_slice(values);
         let times = fill_levels(n, params, &meta, keys, ptrs);
-        (MergeSortTree { arena, levels: meta, params, n }, times)
+        let top_keys = &keys[(meta.len() - 1) * n..];
+        let identity_top = top_is_identity(top_keys, n);
+        let top_samples = sample_top(top_keys, identity_top);
+        (MergeSortTree { arena, levels: meta, params, n, identity_top, top_samples }, times)
     }
 
     /// Wraps storage produced elsewhere (the annotated build fills a pair
@@ -197,7 +212,10 @@ impl<I: TreeIndex> MergeSortTree<I> {
         n: usize,
     ) -> Self {
         debug_assert_eq!(arena.len(), levels.len() * n + levels.last().unwrap().ptrs.end());
-        MergeSortTree { arena, levels, params, n }
+        let top_keys = &arena[(levels.len() - 1) * n..levels.len() * n];
+        let identity_top = top_is_identity(top_keys, n);
+        let top_samples = sample_top(top_keys, identity_top);
+        MergeSortTree { arena, levels, params, n, identity_top, top_samples }
     }
 
     /// Number of elements.
@@ -822,6 +840,506 @@ impl<I: TreeIndex> MergeSortTree<I> {
         self.select(&RangeSet::single(lo, hi), j)
     }
 
+    /// Level-invariant cascade state for the block kernels. The scalar
+    /// descent re-derives level metadata and re-slices the arena inside every
+    /// [`Self::cascade`]/[`Self::warm_children`] call — unavoidable when each
+    /// query walks its own recursion — but a level-synchronous sweep touches
+    /// one level at a time, so the block kernels hoist all of it here once
+    /// per level and run the cascades against pre-resolved slices.
+    fn cascade_ctx(&self, level: usize) -> CascadeCtx<'_, I> {
+        let lvl = &self.levels[level];
+        let child = &self.levels[level - 1];
+        let k = self.params.sampling;
+        CascadeCtx {
+            child_keys: self.keys(level - 1),
+            ptrs: self.ptr_slab(level),
+            run_len: lvl.run_len,
+            child_run_len: child.run_len,
+            ratio: lvl.run_len / child.run_len,
+            samples_per_run: lvl.samples_per_run,
+            fanout: self.params.fanout,
+            sampling: k,
+            samp_shift: if k.is_power_of_two() { Some(k.trailing_zeros()) } else { None },
+            n: self.n,
+            cascading: self.params.cascading,
+            prefetch: self.params.prefetch,
+        }
+    }
+
+    /// Lockstep top searches for a block: rank of every threshold in the top
+    /// run. The identity fast path computes the rank arithmetically; the
+    /// general path runs the batched (load-before-compare) binary searches.
+    /// Both produce `partition_point(|&x| x < thr)` exactly.
+    fn top_ranks(&self, scratch: &mut BlockScratch<I>, warm: &mut usize) {
+        scratch.tops.resize(scratch.thr.len(), 0);
+        if self.identity_top {
+            for (o, &t) in scratch.tops.iter_mut().zip(scratch.thr.iter()) {
+                *o = t.to_usize().min(self.n);
+            }
+        } else {
+            let top = self.levels.len() - 1;
+            let keys = self.keys(top);
+            if self.top_samples.is_empty() {
+                batched_partition_points(
+                    keys,
+                    &scratch.thr,
+                    &mut scratch.tops,
+                    self.params.prefetch,
+                    warm,
+                );
+                return;
+            }
+            // Two passes: the sample searches never miss, and every window's
+            // lines are warmed before any window search consumes them.
+            let stride = TOP_SAMPLE_STRIDE;
+            scratch.win_lo.resize(scratch.thr.len(), 0);
+            for (w, &t) in scratch.win_lo.iter_mut().zip(scratch.thr.iter()) {
+                let si = self.top_samples.partition_point(|&x| x < t);
+                // `samples[si-1] = keys[(si-1)·stride] < t ≤ keys[si·stride]`,
+                // so the rank lies in `((si-1)·stride, si·stride]`.
+                let lo = if si > 0 { (si - 1) * stride + 1 } else { 0 };
+                let hi = (si * stride).min(self.n);
+                if self.params.prefetch && lo < hi {
+                    *warm ^= prefetch_read(keys, lo);
+                    *warm ^= prefetch_read(keys, hi - 1);
+                }
+                *w = lo;
+            }
+            for ((o, &lo), &t) in
+                scratch.tops.iter_mut().zip(scratch.win_lo.iter()).zip(scratch.thr.iter())
+            {
+                let hi = (lo + stride - usize::from(lo > 0)).min(self.n);
+                *o = lo + keys[lo..hi].partition_point(|&x| x < t);
+            }
+        }
+    }
+
+    /// Block-batched [`Self::count_below`]: answers a whole block of `(a, b,
+    /// t)` queries level-synchronously. Per level, every pending query's
+    /// landing windows are warmed a group ahead of the cascade searches that
+    /// consume them, so the scattered key-line misses of *different queries*
+    /// overlap in the memory system — the scalar path can only overlap misses
+    /// within one query's siblings. The top-level binary searches run in
+    /// lockstep over the shared sorted top run (all loads of a probe depth
+    /// issued before any comparison consumes them).
+    ///
+    /// Each query performs the exact decomposition and cascade sequence of
+    /// [`Self::count_below`]; per-query counts are order-independent integer
+    /// sums, so results are bit-identical to the scalar path.
+    pub fn count_below_block(
+        &self,
+        queries: &[(usize, usize, I)],
+        out: &mut [usize],
+        scratch: &mut BlockScratch<I>,
+    ) {
+        debug_assert_eq!(queries.len(), out.len());
+        scratch.stats.block_calls += 1;
+        scratch.stats.block_queries += queries.len() as u64;
+        out.fill(0);
+        if self.n == 0 || queries.is_empty() {
+            return;
+        }
+        let top = self.levels.len() - 1;
+        let mut warm = 0usize;
+
+        scratch.thr.clear();
+        scratch.thr.extend(queries.iter().map(|&(_, _, t)| t));
+        self.top_ranks(scratch, &mut warm);
+
+        // Seed one task per clamped non-empty query; whole-tree queries are
+        // answered by the top search alone.
+        let tasks = &mut scratch.cnt_cur;
+        let next = &mut scratch.cnt_next;
+        tasks.clear();
+        let (rs_top, re_top) = self.levels[top].run_bounds(0, self.n);
+        for (q, &(a, b, _)) in queries.iter().enumerate() {
+            let b = b.min(self.n);
+            if a >= b {
+                continue;
+            }
+            if a == rs_top && b == re_top {
+                out[q] = scratch.tops[q];
+            } else {
+                tasks.push(CountTask {
+                    run: 0,
+                    a,
+                    b,
+                    pos: scratch.tops[q],
+                    q: q as u32,
+                    neg: false,
+                });
+            }
+        }
+
+        let mut level = top;
+        while level >= 1 && !tasks.is_empty() {
+            if level == 1 || self.levels[level].run_len <= SCAN_WIDTH {
+                // Residual tasks are narrower than their run, and the run is
+                // narrow enough that a contiguous base-key scan beats two
+                // more levels of scattered cascade searches: the compares
+                // vectorize and the lines stream. The scan counts the same
+                // `k < thr` memberships the cascades would have summed, so
+                // the (integer) totals are bit-identical.
+                let keys0 = self.keys(0);
+                let lvl = &self.levels[level];
+                let below = |a: usize, b: usize, thr: I| {
+                    let mut c = 0usize;
+                    for &k in &keys0[a..b] {
+                        c += usize::from(k < thr);
+                    }
+                    c
+                };
+                // A fragment's count is also `t.pos` (the rank of the
+                // threshold in the *whole* run) minus the complement's count,
+                // so only the shorter side is ever scanned.
+                let sides = |t: &CountTask| {
+                    let (rs, re) = lvl.run_bounds(t.run, self.n);
+                    (t.b - t.a <= (t.a - rs) + (re - t.b), rs, re)
+                };
+                // One-task lookahead: the next task's region streams in while
+                // this one's (sequential, prefetcher-friendly) compares run.
+                let line = (64 / std::mem::size_of::<I>()).max(1);
+                let warm_span = |a: usize, b: usize, warm: &mut usize| {
+                    let mut p = a;
+                    while p < b.min(a + SCAN_WARM) {
+                        *warm ^= prefetch_read(keys0, p);
+                        p += line;
+                    }
+                };
+                let warm_scan = |t: &CountTask, warm: &mut usize| {
+                    let (frag, rs, re) = sides(t);
+                    if frag {
+                        warm_span(t.a, t.b, warm);
+                    } else {
+                        warm_span(rs, t.a, warm);
+                        warm_span(t.b, re, warm);
+                    }
+                };
+                if let Some(t) = tasks.first() {
+                    warm_scan(t, &mut warm);
+                }
+                for (ti, t) in tasks.iter().enumerate() {
+                    if let Some(nt) = tasks.get(ti + 1) {
+                        warm_scan(nt, &mut warm);
+                    }
+                    let thr = queries[t.q as usize].2;
+                    let (frag, rs, re) = sides(t);
+                    let c = if frag {
+                        below(t.a, t.b, thr)
+                    } else {
+                        t.pos - below(rs, t.a, thr) - below(t.b, re, thr)
+                    };
+                    let o = &mut out[t.q as usize];
+                    *o = if t.neg { o.wrapping_sub(c) } else { o.wrapping_add(c) };
+                }
+                break;
+            }
+            next.clear();
+            let ctx = self.cascade_ctx(level);
+            let child_len = ctx.child_run_len;
+            let nc_full = ctx.fanout.min(ctx.ratio);
+            // A fragment spanning more than half its run flips to its
+            // complement — `count(frag) = t.pos − count(complement)` with
+            // `t.pos` (the threshold's whole-run rank) already in hand — so
+            // the cascades walk whichever side overlaps fewer children.
+            let split = |t: &CountTask| -> (bool, [(usize, usize); 2]) {
+                let rs = t.run * ctx.run_len;
+                let re = (rs + ctx.run_len).min(self.n);
+                if 2 * (t.b - t.a) <= re - rs {
+                    (false, [(t.a, t.b), (0, 0)])
+                } else {
+                    (true, [(rs, t.a), (t.b, re)])
+                }
+            };
+            let nchunks = tasks.len().div_ceil(BLOCK_GROUP);
+            for g in 0..nchunks {
+                // One-group lookahead: warm the next group's landing windows
+                // while this group's cascades consume lines already in flight.
+                let warm_group = |grp: usize, warm: &mut usize| {
+                    for t in &tasks[grp * BLOCK_GROUP..((grp + 1) * BLOCK_GROUP).min(tasks.len())] {
+                        let rs = t.run * ctx.run_len;
+                        let (_, pieces) = split(t);
+                        for &(pa, pb) in &pieces {
+                            if pa < pb {
+                                ctx.warm(
+                                    t.run,
+                                    t.pos,
+                                    (pa - rs) / child_len,
+                                    ((pb - 1 - rs) / child_len + 1).min(nc_full),
+                                    warm,
+                                );
+                            }
+                        }
+                    }
+                };
+                if g == 0 {
+                    warm_group(0, &mut warm);
+                }
+                if g + 1 < nchunks {
+                    warm_group(g + 1, &mut warm);
+                }
+                for t in &tasks[g * BLOCK_GROUP..((g + 1) * BLOCK_GROUP).min(tasks.len())] {
+                    let rs = t.run * ctx.run_len;
+                    let re = (rs + ctx.run_len).min(self.n);
+                    let thr = queries[t.q as usize].2;
+                    let (flip, pieces) = split(t);
+                    let neg = t.neg ^ flip;
+                    if flip {
+                        let o = &mut out[t.q as usize];
+                        *o = if t.neg { o.wrapping_sub(t.pos) } else { o.wrapping_add(t.pos) };
+                    }
+                    for &(pa, pb) in &pieces {
+                        if pa >= pb {
+                            continue;
+                        }
+                        for c in (pa - rs) / child_len..=(pb - 1 - rs) / child_len {
+                            let cs = rs + c * child_len;
+                            let ce = (cs + child_len).min(re);
+                            let lo = pa.max(cs);
+                            let hi = pb.min(ce);
+                            let cpos = ctx.cascade_linear(t.run, t.pos, c, thr);
+                            if lo == cs && hi == ce {
+                                let o = &mut out[t.q as usize];
+                                *o = if neg { o.wrapping_sub(cpos) } else { o.wrapping_add(cpos) };
+                            } else {
+                                next.push(CountTask {
+                                    run: cs / child_len,
+                                    a: lo,
+                                    b: hi,
+                                    pos: cpos,
+                                    q: t.q,
+                                    neg,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            std::mem::swap(tasks, next);
+            level -= 1;
+        }
+        std::hint::black_box(warm);
+    }
+
+    /// Block-batched [`Self::select`]: answers a block of `(ranges, j)`
+    /// queries level-synchronously with the same lockstep top searches and
+    /// group-ahead warm-up as [`Self::count_below_block`]. Every query walks
+    /// the exact cascade-and-count sequence of the scalar descent, so the
+    /// selected positions are bit-identical.
+    pub fn select_block(
+        &self,
+        queries: &[(RangeSet, usize)],
+        out: &mut [Option<usize>],
+        scratch: &mut BlockScratch<I>,
+    ) {
+        debug_assert_eq!(queries.len(), out.len());
+        scratch.stats.block_calls += 1;
+        scratch.stats.block_queries += queries.len() as u64;
+        out.fill(None);
+        if self.n == 0 || queries.is_empty() {
+            return;
+        }
+        let top = self.levels.len() - 1;
+        let mut warm = 0usize;
+
+        // Lockstep top searches: two value-bound probes per frame piece,
+        // flattened across the block (pieces per query vary).
+        scratch.thr.clear();
+        for (ranges, _) in queries {
+            for (lo, hi) in ranges.iter() {
+                scratch.thr.push(I::from_usize(lo));
+                scratch.thr.push(I::from_usize(hi));
+            }
+        }
+        self.top_ranks(scratch, &mut warm);
+
+        let tasks = &mut scratch.sel_cur;
+        let next = &mut scratch.sel_next;
+        tasks.clear();
+        let mut off = 0usize;
+        for (q, (ranges, j)) in queries.iter().enumerate() {
+            let nr = ranges.len();
+            let mut bounds = [(0usize, 0usize); MAX_RANGES];
+            let mut total = 0usize;
+            for (ri, b) in bounds.iter_mut().enumerate().take(nr) {
+                *b = (scratch.tops[off + 2 * ri], scratch.tops[off + 2 * ri + 1]);
+                total += b.1 - b.0;
+            }
+            off += 2 * nr;
+            if *j < total {
+                tasks.push(SelTask { run: 0, bounds, j: *j, q: q as u32 });
+            }
+        }
+
+        let mut level = top;
+        while level > 1 && !tasks.is_empty() && self.levels[level].run_len > SCAN_WIDTH {
+            next.clear();
+            let ctx = self.cascade_ctx(level);
+            let child_len = ctx.child_run_len;
+            let nchunks = tasks.len().div_ceil(BLOCK_GROUP);
+            for g in 0..nchunks {
+                let warm_group = |grp: usize, warm: &mut usize| {
+                    for t in &tasks[grp * BLOCK_GROUP..((grp + 1) * BLOCK_GROUP).min(tasks.len())] {
+                        let rs = t.run * ctx.run_len;
+                        let re = (rs + ctx.run_len).min(self.n);
+                        let nc = (re - rs).div_ceil(child_len).min(ctx.fanout);
+                        // Both bounds cascade below, so both landing windows
+                        // need their lines in flight — but only up to the
+                        // walk's exit child. Members spread roughly uniformly
+                        // across children, so the expected exit is
+                        // `j·nc/total`; warming a small slack past it covers
+                        // the variance while skipping the (on average) half of
+                        // the run the walk never reaches.
+                        let total: usize = t.bounds.iter().map(|b| b.1 - b.0).sum();
+                        let wc = (t.j * nc)
+                            .checked_div(total)
+                            .map_or(nc, |e| (e + SEL_WARM_SLACK).min(nc));
+                        ctx.warm(t.run, t.bounds[0].0, 0, wc, warm);
+                        ctx.warm(t.run, t.bounds[0].1, 0, wc, warm);
+                    }
+                };
+                if g == 0 {
+                    warm_group(0, &mut warm);
+                }
+                if g + 1 < nchunks {
+                    warm_group(g + 1, &mut warm);
+                }
+                for t in &tasks[g * BLOCK_GROUP..((g + 1) * BLOCK_GROUP).min(tasks.len())] {
+                    let rs = t.run * ctx.run_len;
+                    let re = (rs + ctx.run_len).min(self.n);
+                    let nc = (re - rs).div_ceil(child_len).min(ctx.fanout);
+                    let (ranges, _) = &queries[t.q as usize];
+                    let nr = ranges.len();
+                    let mut vb = [(0usize, 0usize); MAX_RANGES];
+                    for (ri, b) in vb.iter_mut().enumerate().take(nr) {
+                        *b = ranges.nth(ri);
+                    }
+                    // Walk toward the exit child from whichever end of the
+                    // run is nearer: the `j`-th member from the left is the
+                    // `total-1-j`-th from the right, and a right-to-left walk
+                    // finds the same exit child with the complementary local
+                    // index `cnt-1-jr` — identical integers, half the
+                    // expected cascades.
+                    let mut j = t.j;
+                    let mut found = false;
+                    let child_cnt = |c: usize, refs: &mut [(usize, usize); MAX_RANGES]| {
+                        let mut cnt = 0usize;
+                        for ri in 0..nr {
+                            let (blo, bhi) = t.bounds[ri];
+                            let (lo_v, hi_v) = vb[ri];
+                            let pl = ctx.cascade(t.run, blo, c, I::from_usize(lo_v));
+                            let ph = ctx.cascade(t.run, bhi, c, I::from_usize(hi_v));
+                            cnt += ph - pl;
+                            refs[ri] = (pl, ph);
+                        }
+                        cnt
+                    };
+                    let mut refs = [(0usize, 0usize); MAX_RANGES];
+                    for c in 0..nc {
+                        let cnt = child_cnt(c, &mut refs);
+                        if j < cnt {
+                            next.push(SelTask {
+                                run: t.run * ctx.ratio + c,
+                                bounds: refs,
+                                j,
+                                q: t.q,
+                            });
+                            found = true;
+                            break;
+                        }
+                        j -= cnt;
+                    }
+                    debug_assert!(found, "select descent lost the target");
+                    let _ = found; // lost targets leave `out[q]` at None
+                }
+            }
+            std::mem::swap(tasks, next);
+            level -= 1;
+        }
+        if level >= 1 {
+            // Membership scans over the residual runs: once a run is
+            // [`SCAN_WIDTH`]-narrow, counting members in position order over
+            // the contiguous base keys beats further cascade descents (and at
+            // `level == 1` it is exactly the scalar leaf fast path). The
+            // countdown runs a chunk at a time — whole-chunk member counts
+            // are branchless (vectorizable), and only the chunk containing
+            // the `j`-th member is rescanned position by position. Position
+            // order is the descent's child order, so the selected position is
+            // bit-identical.
+            let lvl = &self.levels[level];
+            let keys0 = self.keys(0);
+            // The `j`-th member from the left is the `total-1-j`-th from the
+            // right (`total` = this run's member count, from the refined
+            // bounds) — the countdown starts from whichever end is nearer,
+            // halving the expected scan. One-task lookahead streams the next
+            // task's region in while this task's scan runs.
+            let line = (64 / std::mem::size_of::<I>()).max(1);
+            let total_of = |t: &SelTask| t.bounds.iter().map(|b| b.1 - b.0).sum::<usize>();
+            let warm_scan = |t: &SelTask, warm: &mut usize| {
+                let (rs, re) = lvl.run_bounds(t.run, self.n);
+                if 2 * t.j < total_of(t) {
+                    let mut p = rs;
+                    while p < re.min(rs + SCAN_WARM) {
+                        *warm ^= prefetch_read(keys0, p);
+                        p += line;
+                    }
+                } else {
+                    let mut p = re.saturating_sub(SCAN_WARM).max(rs);
+                    while p < re {
+                        *warm ^= prefetch_read(keys0, p);
+                        p += line;
+                    }
+                }
+            };
+            if let Some(t) = tasks.first() {
+                warm_scan(t, &mut warm);
+            }
+            for (ti, t) in tasks.iter().enumerate() {
+                if let Some(nt) = tasks.get(ti + 1) {
+                    warm_scan(nt, &mut warm);
+                }
+                let (rs, re) = lvl.run_bounds(t.run, self.n);
+                let (ranges, _) = &queries[t.q as usize];
+                let nr = ranges.len();
+                let mut vb = [(0usize, 0usize); MAX_RANGES];
+                for (ri, b) in vb.iter_mut().enumerate().take(nr) {
+                    *b = ranges.nth(ri);
+                }
+                // Monomorphize the countdown per membership test: the
+                // single-range predicate (two compares, no inner loop) is the
+                // common case and must vectorize; the multi-piece fallback
+                // keeps the general loop.
+                let res = if nr == 1 {
+                    // Compare in the key's native width: u32 keys pack twice
+                    // the SIMD lanes of a usize-widened compare.
+                    let (lo_i, hi_i) = (I::from_usize(vb[0].0), I::from_usize(vb[0].1));
+                    select_scan(keys0, rs, re, t.j, total_of(t), |k: I| {
+                        usize::from(k >= lo_i && k < hi_i)
+                    })
+                } else {
+                    select_scan(keys0, rs, re, t.j, total_of(t), |k: I| {
+                        let v = k.to_usize();
+                        let mut m = 0usize;
+                        for &(lo_v, hi_v) in vb.iter().take(nr) {
+                            m += usize::from(v >= lo_v && v < hi_v);
+                        }
+                        m
+                    })
+                };
+                if let Some(p) = res {
+                    out[t.q as usize] = Some(p);
+                }
+            }
+        } else {
+            // Height-1 tree (n ≤ 1): `j < total` already proved membership of
+            // the single element, which sits at position 0.
+            for t in tasks.iter() {
+                out[t.q as usize] = Some(0);
+            }
+        }
+        std::hint::black_box(warm);
+    }
+
     /// Total number of stored elements across all levels (memory accounting,
     /// §5.1/§6.6).
     pub fn stored_elements(&self) -> usize {
@@ -848,6 +1366,318 @@ impl<I: TreeIndex> MergeSortTree<I> {
     #[cfg(test)]
     pub(crate) fn level_meta(&self) -> &[LevelMeta] {
         &self.levels
+    }
+}
+
+/// Task group size of the block kernels: landing windows are warmed one group
+/// ahead of the cascades that consume them, so up to `2 · BLOCK_GROUP` warm
+/// reads are in flight while a group's searches run.
+const BLOCK_GROUP: usize = 8;
+
+/// Run-width cutoff below which the block kernels answer residual tasks by a
+/// contiguous scan of the base keys instead of further cascade descents. A
+/// boundary fragment inside a `≤ SCAN_WIDTH`-element run costs at most that
+/// many vectorizable compares over streamed lines, which beats one scattered
+/// pointer-chase per `fanout`-wide child across the remaining levels. Counts
+/// are integer sums and selections follow position order either way, so
+/// results stay bit-identical to the scalar descent.
+const SCAN_WIDTH: usize = 2048;
+
+/// Chunk size of the select scan's branchless member countdown.
+const SCAN_CHUNK: usize = 64;
+
+/// The chunked member countdown of one residual select task: scans the run
+/// `[rs, re)` of the base keys from whichever end is nearer to the `j0`-th
+/// member (of `total`), counting whole [`SCAN_CHUNK`]s branchlessly and
+/// rescanning only the chunk containing the target. Generic over the
+/// membership predicate so each range-shape monomorphizes (and vectorizes)
+/// separately; position order matches the scalar descent, so the returned
+/// position is bit-identical.
+#[inline(always)]
+fn select_scan<I: TreeIndex>(
+    keys0: &[I],
+    rs: usize,
+    re: usize,
+    j0: usize,
+    total: usize,
+    member: impl Fn(I) -> usize,
+) -> Option<usize> {
+    if 2 * j0 < total {
+        let mut j = j0;
+        let mut p = rs;
+        while p < re {
+            let pe = (p + SCAN_CHUNK).min(re);
+            let cnt: usize = keys0[p..pe].iter().map(|&k| member(k)).sum();
+            if j < cnt {
+                for (pp, &k) in keys0[p..pe].iter().enumerate() {
+                    let m = member(k);
+                    if j < m {
+                        return Some(p + pp);
+                    }
+                    j -= m;
+                }
+                return None;
+            }
+            j -= cnt;
+            p = pe;
+        }
+        None
+    } else {
+        let mut j = total - 1 - j0;
+        let mut p = re;
+        while p > rs {
+            let ps = p.saturating_sub(SCAN_CHUNK).max(rs);
+            let cnt: usize = keys0[ps..p].iter().map(|&k| member(k)).sum();
+            if j < cnt {
+                for (pp, &k) in keys0[ps..p].iter().enumerate().rev() {
+                    let m = member(k);
+                    if j < m {
+                        return Some(ps + pp);
+                    }
+                    j -= m;
+                }
+                return None;
+            }
+            j -= cnt;
+            p = ps;
+        }
+        None
+    }
+}
+
+/// Elements of the *next* task's scan region streamed in ahead of its scan.
+const SCAN_WARM: usize = 256;
+
+/// Children warmed past the select walk's expected exit child. The kernels
+/// sit near the memory-parallelism ceiling, so wasted warm reads cost real
+/// throughput; a cold cascade past the slack merely costs latency.
+const SEL_WARM_SLACK: usize = 1;
+
+/// One level's pre-resolved cascade state (see [`MergeSortTree::cascade_ctx`]).
+struct CascadeCtx<'a, I> {
+    child_keys: &'a [I],
+    ptrs: &'a [I],
+    run_len: usize,
+    child_run_len: usize,
+    /// Children per full run: `run_len / child_run_len`.
+    ratio: usize,
+    samples_per_run: usize,
+    fanout: usize,
+    sampling: usize,
+    /// `log2(sampling)` when the stride is a power of two — replaces the
+    /// per-cascade integer division with a shift.
+    samp_shift: Option<u32>,
+    n: usize,
+    cascading: bool,
+    prefetch: bool,
+}
+
+impl<I: TreeIndex> CascadeCtx<'_, I> {
+    /// The sample slot of `pos`: `pos / sampling`, as a shift when possible.
+    #[inline(always)]
+    fn slot(&self, pos: usize) -> usize {
+        match self.samp_shift {
+            Some(s) => pos >> s,
+            None => pos / self.sampling,
+        }
+    }
+
+    /// Exactly [`MergeSortTree::cascade`] with the level state pre-resolved:
+    /// same pointer window, same `partition_point`, bit-identical result.
+    #[inline(always)]
+    fn cascade(&self, run: usize, pos: usize, c: usize, t: I) -> usize {
+        let cs = (run * self.ratio + c) * self.child_run_len;
+        let ce = (cs + self.child_run_len).min(self.n);
+        if !self.cascading {
+            return self.child_keys[cs..ce].partition_point(|&x| x < t);
+        }
+        let base = (run * self.samples_per_run + self.slot(pos)) * self.fanout + c;
+        let lo = self.ptrs[base].to_usize();
+        let hi = self.ptrs[base + self.fanout].to_usize().min(ce - cs);
+        debug_assert!(lo <= hi);
+        lo + self.child_keys[cs + lo..cs + hi].partition_point(|&x| x < t)
+    }
+
+    /// [`Self::cascade`] with the landing-window search replaced by a
+    /// branchless linear count — bit-identical on the sorted window (the
+    /// count of keys `< t` *is* the partition point). The count kernel's
+    /// windows are warm when read, so trading the dependent-probe binary
+    /// search for vectorizable compares wins there; the select walk's mixed
+    /// reuse pattern prefers the probe version.
+    #[inline(always)]
+    fn cascade_linear(&self, run: usize, pos: usize, c: usize, t: I) -> usize {
+        let cs = (run * self.ratio + c) * self.child_run_len;
+        let ce = (cs + self.child_run_len).min(self.n);
+        if !self.cascading {
+            return self.child_keys[cs..ce].partition_point(|&x| x < t);
+        }
+        let base = (run * self.samples_per_run + self.slot(pos)) * self.fanout + c;
+        let lo = self.ptrs[base].to_usize();
+        let hi = self.ptrs[base + self.fanout].to_usize().min(ce - cs);
+        debug_assert!(lo <= hi);
+        let mut cnt = 0usize;
+        for &x in &self.child_keys[cs + lo..cs + hi] {
+            cnt += usize::from(x < t);
+        }
+        lo + cnt
+    }
+
+    /// Exactly [`MergeSortTree::warm_children`] with the level state
+    /// pre-resolved (pure reads folded into `warm`).
+    #[inline]
+    fn warm(&self, run: usize, pos: usize, c_from: usize, c_to: usize, warm: &mut usize) {
+        if !self.prefetch || !self.cascading || c_to <= c_from {
+            return;
+        }
+        let base = (run * self.samples_per_run + self.slot(pos)) * self.fanout + c_from;
+        let ptrs = &self.ptrs[base..base + (c_to - c_from)];
+        for (i, p) in ptrs.iter().enumerate() {
+            let cs = (run * self.ratio + c_from + i) * self.child_run_len;
+            let ce = (cs + self.child_run_len).min(self.n);
+            if cs >= ce {
+                break;
+            }
+            *warm ^= prefetch_read(self.child_keys, cs + p.to_usize().min(ce - cs - 1));
+        }
+    }
+}
+
+/// A pending partial node of one block count query: covers `[a, b)` of `run`
+/// at the current level, with `pos` the lower bound of query `q`'s threshold
+/// within that run.
+#[derive(Debug, Clone, Copy)]
+struct CountTask {
+    run: usize,
+    a: usize,
+    b: usize,
+    pos: usize,
+    q: u32,
+    /// Complement-flipped tasks *subtract* from their query's total (the
+    /// flip added `pos`, the whole-run rank, up front). Totals are exact
+    /// integers, so transiently-wrapping sums stay bit-identical.
+    neg: bool,
+}
+
+/// The single active node of one block select query: per-piece value-bound
+/// positions within `run`, and the remaining in-frame rank `j` to locate.
+#[derive(Debug, Clone, Copy)]
+struct SelTask {
+    run: usize,
+    bounds: [(usize, usize); MAX_RANGES],
+    j: usize,
+    q: u32,
+}
+
+/// Counters of the block-batched probe kernels ([`MergeSortTree::count_below_block`],
+/// [`MergeSortTree::select_block`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Kernel invocations (one per query block).
+    pub block_calls: u64,
+    /// Queries answered across all invocations.
+    pub block_queries: u64,
+}
+
+impl BlockStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge_from(&mut self, other: &BlockStats) {
+        self.block_calls += other.block_calls;
+        self.block_queries += other.block_queries;
+    }
+}
+
+/// Reusable scratch for the block-batched probe kernels: task lists, lockstep
+/// search buffers, and accumulated [`BlockStats`]. Buffers grow to the block
+/// size on first use and are reused across calls, keeping the kernels
+/// allocation-free in steady state.
+#[derive(Debug)]
+pub struct BlockScratch<I: TreeIndex> {
+    /// Counters accumulated across every kernel call on this scratch.
+    pub stats: BlockStats,
+    thr: Vec<I>,
+    tops: Vec<usize>,
+    win_lo: Vec<usize>,
+    cnt_cur: Vec<CountTask>,
+    cnt_next: Vec<CountTask>,
+    sel_cur: Vec<SelTask>,
+    sel_next: Vec<SelTask>,
+}
+
+impl<I: TreeIndex> BlockScratch<I> {
+    /// Creates empty scratch.
+    pub fn new() -> Self {
+        BlockScratch {
+            stats: BlockStats::default(),
+            thr: Vec::new(),
+            tops: Vec::new(),
+            win_lo: Vec::new(),
+            cnt_cur: Vec::new(),
+            cnt_next: Vec::new(),
+            sel_cur: Vec::new(),
+            sel_next: Vec::new(),
+        }
+    }
+}
+
+impl<I: TreeIndex> Default for BlockScratch<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lockstep batched `partition_point(|&x| x < thr[i])` over one shared sorted
+/// slice: all searches share the same probe-depth schedule (the interval
+/// length shrinks identically regardless of comparison outcomes), so each
+/// depth issues every query's load before any comparison consumes one —
+/// software pipelining of the block's top-level searches.
+/// Stride of the top-run sample vector (see `MergeSortTree::top_samples`).
+const TOP_SAMPLE_STRIDE: usize = 64;
+
+/// Every [`TOP_SAMPLE_STRIDE`]-th top-run key; empty when the top is the
+/// identity (ranks are a clamp there) or too small to matter.
+fn sample_top<I: TreeIndex>(top_keys: &[I], identity: bool) -> Vec<I> {
+    if identity || top_keys.len() <= 2 * TOP_SAMPLE_STRIDE {
+        return Vec::new();
+    }
+    top_keys.iter().copied().step_by(TOP_SAMPLE_STRIDE).collect()
+}
+
+/// Whether `top_keys` (the sorted top run) is exactly `0, 1, …, n-1`.
+fn top_is_identity<I: TreeIndex>(top_keys: &[I], n: usize) -> bool {
+    top_keys.len() == n && top_keys.iter().enumerate().all(|(i, &k)| k.to_usize() == i)
+}
+
+fn batched_partition_points<I: TreeIndex>(
+    keys: &[I],
+    thr: &[I],
+    out: &mut [usize],
+    prefetch: bool,
+    warm: &mut usize,
+) {
+    debug_assert_eq!(thr.len(), out.len());
+    out.fill(0);
+    let n = keys.len();
+    if n == 0 {
+        return;
+    }
+    // Invariant: the answer for query i lies in [out[i], out[i] + len].
+    let mut len = n;
+    while len > 1 {
+        let half = len / 2;
+        if prefetch {
+            for &base in out.iter() {
+                *warm ^= prefetch_read(keys, base + half - 1);
+            }
+        }
+        for (base, &t) in out.iter_mut().zip(thr) {
+            if keys[*base + half - 1] < t {
+                *base += half;
+            }
+        }
+        len -= half;
+    }
+    for (base, &t) in out.iter_mut().zip(thr) {
+        *base += usize::from(keys[*base] < t);
     }
 }
 
@@ -1201,6 +2031,116 @@ mod tests {
                 assert_eq!(cursored, stateless, "f={f} k={k} a={a} b={b} t={t}");
             }
         }
+    }
+
+    #[test]
+    fn block_count_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let param_set = [
+            MstParams::new(2, 1),
+            MstParams::new(4, 2),
+            MstParams::new(8, 32),
+            MstParams::new(32, 32),
+            MstParams::new(5, 7),
+            MstParams::new(8, 16).no_cascading(),
+            MstParams::new(8, 16).no_prefetch(),
+        ];
+        for params in param_set {
+            for _ in 0..4 {
+                let n = rng.gen_range(0..400);
+                let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..90)).collect();
+                let tree = MergeSortTree::<u32>::build(&vals, params);
+                let mut scratch = BlockScratch::new();
+                let mut calls = 0u64;
+                let mut total = 0u64;
+                for &bs in &[1usize, 3, 8, 17, 64] {
+                    let queries: Vec<(usize, usize, u32)> = (0..bs)
+                        .map(|_| {
+                            (
+                                rng.gen_range(0..=n as usize),
+                                rng.gen_range(0..=n as usize + 2),
+                                rng.gen_range(0..95),
+                            )
+                        })
+                        .collect();
+                    let mut out = vec![0usize; bs];
+                    tree.count_below_block(&queries, &mut out, &mut scratch);
+                    calls += 1;
+                    total += bs as u64;
+                    for (qi, &(a, b, t)) in queries.iter().enumerate() {
+                        assert_eq!(out[qi], tree.count_below(a, b, t), "n={n} a={a} b={b} t={t}");
+                    }
+                }
+                assert_eq!(scratch.stats, BlockStats { block_calls: calls, block_queries: total });
+            }
+        }
+    }
+
+    #[test]
+    fn block_select_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let param_set = [
+            MstParams::new(2, 1),
+            MstParams::new(3, 2),
+            MstParams::new(8, 32),
+            MstParams::new(32, 32),
+            MstParams::new(8, 16).no_cascading(),
+        ];
+        for params in param_set {
+            for _ in 0..4 {
+                let n = rng.gen_range(1..300);
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    perm.swap(i, rng.gen_range(0..=i));
+                }
+                let tree = MergeSortTree::<u32>::build(&perm, params);
+                let mut scratch = BlockScratch::new();
+                for &bs in &[1usize, 5, 8, 19, 64] {
+                    let queries: Vec<(RangeSet, usize)> = (0..bs)
+                        .map(|_| {
+                            let i = rng.gen_range(0..n);
+                            let lo = i.saturating_sub(20);
+                            let hi = (i + 20).min(n);
+                            let rs = if rng.gen_range(0..2) == 0 {
+                                RangeSet::single(lo, hi.max(lo + 1))
+                            } else {
+                                RangeSet::frame_minus_holes(lo, hi, &[(i, (i + 1).min(hi))])
+                            };
+                            (rs, rng.gen_range(0..45))
+                        })
+                        .collect();
+                    let mut out = vec![None; bs];
+                    tree.select_block(&queries, &mut out, &mut scratch);
+                    for (qi, (rs, j)) in queries.iter().enumerate() {
+                        assert_eq!(out[qi], tree.select(rs, *j), "n={n} j={j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernels_on_tiny_and_empty_trees() {
+        let empty = MergeSortTree::<u32>::build(&[], MstParams::default());
+        let mut scratch = BlockScratch::new();
+        let mut out = vec![7usize; 2];
+        empty.count_below_block(&[(0, 5, 3), (0, 0, 0)], &mut out, &mut scratch);
+        assert_eq!(out, vec![0, 0]);
+        let mut sel = vec![Some(9usize); 1];
+        empty.select_block(&[(RangeSet::single(0, 4), 0)], &mut sel, &mut scratch);
+        assert_eq!(sel, vec![None]);
+
+        let one = MergeSortTree::<u32>::build(&[3], MstParams::default());
+        let mut out = vec![0usize; 3];
+        one.count_below_block(&[(0, 1, 4), (0, 1, 3), (0, 9, 4)], &mut out, &mut scratch);
+        assert_eq!(out, vec![1, 0, 1]);
+        let mut sel = vec![None; 2];
+        one.select_block(
+            &[(RangeSet::single(3, 4), 0), (RangeSet::single(0, 3), 0)],
+            &mut sel,
+            &mut scratch,
+        );
+        assert_eq!(sel, vec![Some(0), None]);
     }
 
     #[test]

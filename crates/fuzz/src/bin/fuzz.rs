@@ -185,7 +185,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "fuzz OK: {ran} cases, seed {:#x}, max-n {}, 10 exact configs + 4 forced strategies vs naive ({:.1}s)",
+        "fuzz OK: {ran} cases, seed {:#x}, max-n {}, 16 exact configs + 4 forced strategies vs naive ({:.1}s)",
         args.seed,
         args.max_n,
         start.elapsed().as_secs_f64()

@@ -127,8 +127,9 @@ fn compare_tables(
 ///
 /// Comparison groups:
 ///
-/// * the eight adaptive configs plus forced-MST (serial and parallel) form
-///   the **bit-identical** group — the adaptive chooser is a pure function
+/// * the eight adaptive configs, forced-MST (serial and parallel), and the
+///   interpreted-expression / unbatched-probe escape hatches form the
+///   **bit-identical** group — the adaptive chooser is a pure function
 ///   of the resolved frames, so per-partition strategy choices cannot vary
 ///   across configs, and the direct/alternate evaluators replicate the MST
 ///   artifact recipes exactly;
@@ -143,6 +144,14 @@ pub fn check_case(table: &Table, query: &WindowQuery) -> Result<(), Divergence> 
     let mut exact: Vec<ExecOptions> = ExecOptions::all_configs().to_vec();
     exact.push(ExecOptions::serial().force_strategy(Strategy::Mst));
     exact.push(ExecOptions::default().force_strategy(Strategy::Mst));
+    // Escape hatches: the interpreter and the scalar (cursor-seeded) probe
+    // path must stay bit-identical to the compiled VM and the block kernels.
+    exact.push(ExecOptions::serial().interpreted_exprs());
+    exact.push(ExecOptions::default().interpreted_exprs());
+    exact.push(ExecOptions::serial().unbatched_probes());
+    exact.push(ExecOptions::default().unbatched_probes());
+    exact.push(ExecOptions::serial().interpreted_exprs().unbatched_probes());
+    exact.push(ExecOptions::serial().force_strategy(Strategy::Mst).unbatched_probes());
     for opts in exact {
         let label = opts.label();
         let engine_res = run_protected(&label, || query.execute_with(table, opts))?;

@@ -332,10 +332,16 @@ impl Ctx<'_> {
                 None => vec![true; m],
                 Some(f) => {
                     let bound = f.to_expr().bind(self.table)?;
-                    self.rows
-                        .iter()
-                        .map(|&r| Ok(bound.eval(self.table, r)?.is_truthy()))
-                        .collect::<Result<Vec<bool>>>()?
+                    let mut stats = crate::vm::ExprVmStats::default();
+                    let keep = crate::vm::eval_filter_rows(
+                        &bound,
+                        self.table,
+                        self.rows,
+                        self.compiled_exprs,
+                        &mut stats,
+                    )?;
+                    self.vm.absorb(&stats);
+                    keep
                 }
             };
             if let Some(screen) = &mk.screen {

@@ -24,7 +24,7 @@
 //! exact, and O(hole · log n) per row (the hole is the current row's peer
 //! group, so this is the peer-group-size-bounded part of the query).
 
-use super::{distributive, Ctx};
+use super::{distributive, Ctx, Planned};
 use crate::artifacts::{DistinctPrepArt, MaskArtifact};
 use crate::error::{Error, Result};
 use crate::plan::{AggFlavor, CallPlan};
@@ -108,15 +108,22 @@ fn evaluate_impl<I: TreeIndex>(
     match call.kind {
         FuncKind::Count => {
             let tree = ctx.distinct_count_mst::<I>(cp.keys.distinct_count_mst())?;
-            ctx.probe_with(
-                || ctx.new_probe_cursor(),
-                move |cur, i| {
+            ctx.probe_counts(
+                &tree,
+                |i, push| {
                     let (a, b) = ctx.frames.bounds[i];
                     let (ka, kb) = mask.remap.range(a, b);
-                    let base = tree.count_below_with_cursor(ka, kb, I::from_usize(ka + 1), cur);
+                    if ka < kb {
+                        push(&holistic_core::RangeSet::single(ka, kb), I::from_usize(ka + 1));
+                    }
+                    Ok(Planned::Counted(()))
+                },
+                |i, (), base| {
                     if !ctx.frames.has_exclusion() {
                         return Ok(Value::Int(base as i64));
                     }
+                    // Hole-only corrections never touch the tree; they stay
+                    // scalar in both probe modes.
                     let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                     let (holes, nh) = kept_holes(ctx, &mask, i);
                     let mut correction = 0usize;

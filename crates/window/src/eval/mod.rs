@@ -26,7 +26,16 @@ use crate::plan::CallPlan;
 use crate::spec::{FuncKind, FunctionCall};
 use crate::table::Table;
 use crate::value::Value;
-use holistic_core::{CursorStats, MstParams, ProbeCursor, SelectCursor};
+use crate::vm::{self, AtomicExprVm, ExprVmStats};
+use holistic_core::{
+    BlockScratch, CursorStats, MergeSortTree, MstParams, ProbeCursor, RangeSet, SelectCursor,
+    TreeIndex,
+};
+
+/// Rows per block handed to the MST block kernels. Large enough to keep
+/// dozens of independent cascade searches in flight per level, small enough
+/// that the per-block query/count buffers stay cache-resident.
+const PROBE_BLOCK: usize = 256;
 
 /// Evaluation context of one sorted partition.
 pub(crate) struct Ctx<'a> {
@@ -44,9 +53,25 @@ pub(crate) struct Ctx<'a> {
     pub cache: &'a ArtifactCache,
     /// Seed tree probes with cursors (see `ProbeOptions`).
     pub cursors: bool,
+    /// Route MST probes through the block kernels (see `ProbeOptions`).
+    pub block_probes: bool,
+    /// Evaluate row expressions through compiled VM programs.
+    pub compiled_exprs: bool,
     /// Query-level probe-kernel counters; cursors flush into it when their
     /// probe loop (or chunk) finishes.
     pub kernel: &'a AtomicProbeKernel,
+    /// Query-level expression-VM counters.
+    pub vm: &'a AtomicExprVm,
+}
+
+/// Outcome of planning one row's block queries: either the row pushed
+/// queries and `finish` computes its value from their results, or the row
+/// resolved immediately (empty frame, dropped row, NULL argument).
+pub(crate) enum Planned<S> {
+    /// Queries pushed; carry per-row state to `finish`.
+    Counted(S),
+    /// Row resolved without consuming block-kernel results.
+    Done(Value),
 }
 
 /// Per-probe-loop cursor state: owns the loop's cursors and exposes their
@@ -90,10 +115,16 @@ impl<'a> Ctx<'a> {
         self.rows.len()
     }
 
-    /// Evaluates an expression for every position (in window order).
+    /// Evaluates an expression for every position (in window order): one
+    /// compiled-program run over the whole partition, falling back to the
+    /// per-row interpreter for the canonical first error (or when compiled
+    /// evaluation is disabled).
     pub fn eval_positions(&self, expr: &crate::expr::Expr) -> Result<Vec<Value>> {
         let bound = expr.bind(self.table)?;
-        self.rows.iter().map(|&r| bound.eval(self.table, r)).collect()
+        let mut stats = ExprVmStats::default();
+        let out = vm::eval_rows(&bound, self.table, self.rows, self.compiled_exprs, &mut stats);
+        self.vm.absorb(&stats);
+        out
     }
 
     /// A probe cursor honoring the query's `ProbeOptions`.
@@ -161,6 +192,167 @@ impl<'a> Ctx<'a> {
         F: Fn(usize) -> Result<Value> + Send + Sync,
     {
         self.probe_with(|| (), |_, i| f(i))
+    }
+
+    /// Count-probe driver: per row, `plan(i, push)` pushes `(ranges,
+    /// threshold)` count queries (or resolves the row directly) and `finish(i,
+    /// state, sum)` turns the summed counts into the row's value.
+    ///
+    /// With block probes enabled, rows are planned [`PROBE_BLOCK`] at a time
+    /// and their flattened per-piece queries answered by one
+    /// [`MergeSortTree::count_below_block`] call; otherwise each query runs
+    /// through `count_below_multi_with_cursor` in row order — the exact
+    /// pre-existing cursor path. Both paths are bit-identical.
+    pub fn probe_counts<I, S, P, F>(
+        &self,
+        tree: &MergeSortTree<I>,
+        plan: P,
+        finish: F,
+    ) -> Result<Vec<Value>>
+    where
+        I: TreeIndex,
+        S: Send,
+        P: Fn(usize, &mut dyn FnMut(&RangeSet, I)) -> Result<Planned<S>> + Send + Sync,
+        F: Fn(usize, S, usize) -> Result<Value> + Send + Sync,
+    {
+        if !self.block_probes {
+            return self.probe_with(
+                || self.new_probe_cursor(),
+                |cur, i| {
+                    let mut sum = 0usize;
+                    let planned = plan(i, &mut |rs: &RangeSet, t: I| {
+                        sum += tree.count_below_multi_with_cursor(rs, t, cur);
+                    })?;
+                    match planned {
+                        Planned::Done(v) => Ok(v),
+                        Planned::Counted(s) => finish(i, s, sum),
+                    }
+                },
+            );
+        }
+        self.run_blocked(|base, slots| {
+            let mut scratch = BlockScratch::new();
+            let mut queries: Vec<(usize, usize, I)> = Vec::new();
+            let mut counts: Vec<usize> = Vec::new();
+            // (slot index, query span start/end, row state)
+            let mut pending: Vec<(usize, usize, usize, S)> = Vec::new();
+            for bs in (0..slots.len()).step_by(PROBE_BLOCK) {
+                let be = (bs + PROBE_BLOCK).min(slots.len());
+                queries.clear();
+                pending.clear();
+                for (off, slot) in slots[bs..be].iter_mut().enumerate() {
+                    let li = bs + off;
+                    let i = base + li;
+                    let start = queries.len();
+                    let planned = plan(i, &mut |rs: &RangeSet, t: I| {
+                        for (a, b) in rs.iter() {
+                            queries.push((a, b, t));
+                        }
+                    })?;
+                    match planned {
+                        Planned::Done(v) => *slot = v,
+                        Planned::Counted(s) => pending.push((li, start, queries.len(), s)),
+                    }
+                }
+                counts.resize(queries.len(), 0);
+                tree.count_below_block(&queries, &mut counts[..queries.len()], &mut scratch);
+                for (li, qs, qe, s) in pending.drain(..) {
+                    let sum = counts[qs..qe].iter().sum();
+                    slots[li] = finish(base + li, s, sum)?;
+                }
+            }
+            self.kernel.absorb_block(&scratch.stats);
+            Ok(())
+        })
+    }
+
+    /// Select-probe driver: per row, `plan(i, push)` pushes `(ranges, j)`
+    /// selection queries and `finish(i, state, results)` receives the row's
+    /// selected positions in push order. Block and cursor paths mirror
+    /// [`Self::probe_counts`].
+    pub fn probe_selects<I, S, P, F>(
+        &self,
+        tree: &MergeSortTree<I>,
+        plan: P,
+        finish: F,
+    ) -> Result<Vec<Value>>
+    where
+        I: TreeIndex,
+        S: Send,
+        P: Fn(usize, &mut dyn FnMut(RangeSet, usize)) -> Result<Planned<S>> + Send + Sync,
+        F: Fn(usize, S, &[Option<usize>]) -> Result<Value> + Send + Sync,
+    {
+        if !self.block_probes {
+            return self.probe_with(
+                || self.new_select_cursor(),
+                |cur, i| {
+                    // Rows push at most two selections (PERCENTILE_CONT's
+                    // interpolation endpoints).
+                    let mut res = [None, None];
+                    let mut nres = 0usize;
+                    let planned = plan(i, &mut |rs: RangeSet, j: usize| {
+                        res[nres] = tree.select_with_cursor(&rs, j, cur);
+                        nres += 1;
+                    })?;
+                    match planned {
+                        Planned::Done(v) => Ok(v),
+                        Planned::Counted(s) => finish(i, s, &res[..nres]),
+                    }
+                },
+            );
+        }
+        self.run_blocked(|base, slots| {
+            let mut scratch = BlockScratch::new();
+            let mut queries: Vec<(RangeSet, usize)> = Vec::new();
+            let mut results: Vec<Option<usize>> = Vec::new();
+            let mut pending: Vec<(usize, usize, usize, S)> = Vec::new();
+            for bs in (0..slots.len()).step_by(PROBE_BLOCK) {
+                let be = (bs + PROBE_BLOCK).min(slots.len());
+                queries.clear();
+                pending.clear();
+                for (off, slot) in slots[bs..be].iter_mut().enumerate() {
+                    let li = bs + off;
+                    let i = base + li;
+                    let start = queries.len();
+                    let planned = plan(i, &mut |rs: RangeSet, j: usize| {
+                        queries.push((rs, j));
+                    })?;
+                    match planned {
+                        Planned::Done(v) => *slot = v,
+                        Planned::Counted(s) => pending.push((li, start, queries.len(), s)),
+                    }
+                }
+                results.resize(queries.len(), None);
+                tree.select_block(&queries, &mut results[..queries.len()], &mut scratch);
+                for (li, qs, qe, s) in pending.drain(..) {
+                    slots[li] = finish(base + li, s, &results[qs..qe])?;
+                }
+            }
+            self.kernel.absorb_block(&scratch.stats);
+            Ok(())
+        })
+    }
+
+    /// Shared chunking for the block drivers: the same parallel split as
+    /// [`Self::probe_with`] (contiguous chunks, one task per chunk), with
+    /// `body(chunk_base, chunk_slots)` filling each chunk.
+    fn run_blocked<B>(&self, body: B) -> Result<Vec<Value>>
+    where
+        B: Fn(usize, &mut [Value]) -> Result<()> + Send + Sync,
+    {
+        use rayon::prelude::*;
+        let m = self.m();
+        let mut out = vec![Value::Null; m];
+        if self.parallel && m >= 2048 {
+            let chunk = m.div_ceil(rayon::current_num_threads()).max(2048);
+            out.par_chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, slots)| body(ci * chunk, slots))
+                .collect::<Result<()>>()?;
+        } else {
+            body(0, &mut out)?;
+        }
+        Ok(out)
     }
 }
 

@@ -17,7 +17,7 @@
 //! whole family over one (criterion, mask) pair shares a single sort and a
 //! single code tree.
 
-use super::Ctx;
+use super::{Ctx, Planned};
 use crate::artifacts::MaskArtifact;
 use crate::error::{Error, Result};
 use crate::order::KeyColumns;
@@ -26,7 +26,7 @@ use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::codes::DenseCodes;
 use holistic_core::index::fits_u32;
-use holistic_core::{ProbeCursor, RangeSet, TreeIndex};
+use holistic_core::{RangeSet, TreeIndex};
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
 
@@ -106,62 +106,65 @@ fn evaluate_impl<I: TreeIndex>(
     let prep = prepare(ctx, cp)?;
     let tree = ctx.code_mst::<I>(cp.keys.code_mst())?;
 
-    // ROW_NUMBER of row i within its frame (1-based); also used by NTILE.
-    // Kept rows probe through the cursor (one threshold stream); dropped rows
-    // interleave several thresholds and clipped piece sets, so their extra
-    // probes stay stateless — they are the cold path.
-    let row_number = |i: usize, pieces: &RangeSet, cur: &mut ProbeCursor| -> usize {
-        let (gmin, _gend, ucode) = prep.code_bounds(ctx, i);
-        match ucode {
-            Some(c) => tree.count_below_multi_with_cursor(pieces, I::from_usize(c), cur) + 1,
-            None => {
-                // Dropped rows: key-smaller rows plus equal-key rows that
-                // precede the current row positionally.
-                let smaller = tree.count_below_multi(pieces, I::from_usize(gmin));
-                let ki = self_kept_prefix(&prep, i);
-                let mut earlier = RangeSet::empty();
-                for (a, b) in pieces.iter() {
-                    let b2 = b.min(ki);
-                    if a < b2 {
-                        earlier.push(a, b2);
-                    }
-                }
-                let eq_before = tree
-                    .count_below_multi(&earlier, I::from_usize(prep.code_bounds(ctx, i).1))
-                    - tree.count_below_multi(&earlier, I::from_usize(gmin));
-                smaller + eq_before + 1
+    // ROW_NUMBER of a FILTER-dropped row (1-based): key-smaller rows plus
+    // equal-key rows that precede the current row positionally. Dropped rows
+    // interleave several thresholds and clipped piece sets, so their probes
+    // stay stateless and unblocked — they are the cold path.
+    let row_number_dropped = |i: usize, pieces: &RangeSet| -> usize {
+        let (gmin, gend, _) = prep.code_bounds(ctx, i);
+        let smaller = tree.count_below_multi(pieces, I::from_usize(gmin));
+        let ki = self_kept_prefix(&prep, i);
+        let mut earlier = RangeSet::empty();
+        for (a, b) in pieces.iter() {
+            let b2 = b.min(ki);
+            if a < b2 {
+                earlier.push(a, b2);
             }
         }
+        let eq_before = tree.count_below_multi(&earlier, I::from_usize(gend))
+            - tree.count_below_multi(&earlier, I::from_usize(gmin));
+        smaller + eq_before + 1
     };
 
     match call.kind {
-        FuncKind::RowNumber => ctx.probe_with(
-            || ctx.new_probe_cursor(),
-            |cur, i| {
+        FuncKind::RowNumber => ctx.probe_counts(
+            &tree,
+            |i, push| {
                 let pieces = prep.kept_pieces(ctx, i);
-                Ok(Value::Int(row_number(i, &pieces, cur) as i64))
+                match prep.code_bounds(ctx, i).2 {
+                    Some(c) => {
+                        push(&pieces, I::from_usize(c));
+                        Ok(Planned::Counted(()))
+                    }
+                    None => Ok(Planned::Done(Value::Int(row_number_dropped(i, &pieces) as i64))),
+                }
             },
+            |_, (), below| Ok(Value::Int((below + 1) as i64)),
         ),
-        FuncKind::Rank => ctx.probe_with(
-            || ctx.new_probe_cursor(),
-            |cur, i| {
+        FuncKind::Rank => ctx.probe_counts(
+            &tree,
+            |i, push| {
                 let pieces = prep.kept_pieces(ctx, i);
                 let (gmin, _, _) = prep.code_bounds(ctx, i);
-                let below = tree.count_below_multi_with_cursor(&pieces, I::from_usize(gmin), cur);
-                Ok(Value::Int((below + 1) as i64))
+                push(&pieces, I::from_usize(gmin));
+                Ok(Planned::Counted(()))
             },
+            |_, (), below| Ok(Value::Int((below + 1) as i64)),
         ),
-        FuncKind::PercentRank => ctx.probe_with(
-            || ctx.new_probe_cursor(),
-            |cur, i| {
+        FuncKind::PercentRank => ctx.probe_counts(
+            &tree,
+            |i, push| {
                 let pieces = prep.kept_pieces(ctx, i);
                 let size = pieces.count();
                 if size == 0 {
-                    return Ok(Value::Null);
+                    return Ok(Planned::Done(Value::Null));
                 }
                 let (gmin, _, _) = prep.code_bounds(ctx, i);
-                let rank =
-                    tree.count_below_multi_with_cursor(&pieces, I::from_usize(gmin), cur) + 1;
+                push(&pieces, I::from_usize(gmin));
+                Ok(Planned::Counted(size))
+            },
+            |_, size, below| {
+                let rank = below + 1;
                 Ok(Value::Float(if size <= 1 {
                     0.0
                 } else {
@@ -169,27 +172,28 @@ fn evaluate_impl<I: TreeIndex>(
                 }))
             },
         ),
-        FuncKind::CumeDist => ctx.probe_with(
-            || ctx.new_probe_cursor(),
-            |cur, i| {
+        FuncKind::CumeDist => ctx.probe_counts(
+            &tree,
+            |i, push| {
                 let pieces = prep.kept_pieces(ctx, i);
                 let size = pieces.count();
                 if size == 0 {
-                    return Ok(Value::Null);
+                    return Ok(Planned::Done(Value::Null));
                 }
                 let (_, gend, _) = prep.code_bounds(ctx, i);
-                let le = tree.count_below_multi_with_cursor(&pieces, I::from_usize(gend), cur);
-                Ok(Value::Float(le as f64 / size as f64))
+                push(&pieces, I::from_usize(gend));
+                Ok(Planned::Counted(size))
             },
+            |_, size, le| Ok(Value::Float(le as f64 / size as f64)),
         ),
         FuncKind::Ntile => {
             let buckets_expr = call.args[0].bind(ctx.table)?;
-            ctx.probe_with(
-                || ctx.new_probe_cursor(),
-                |cur, i| {
+            ctx.probe_counts(
+                &tree,
+                |i, push| {
                     let b = match buckets_expr.eval(ctx.table, ctx.rows[i])? {
                         Value::Int(x) if x >= 1 => x as usize,
-                        Value::Null => return Ok(Value::Null),
+                        Value::Null => return Ok(Planned::Done(Value::Null)),
                         v => {
                             return Err(Error::InvalidArgument(format!(
                                 "ntile: bucket count must be a positive integer, got {v}"
@@ -199,11 +203,20 @@ fn evaluate_impl<I: TreeIndex>(
                     let pieces = prep.kept_pieces(ctx, i);
                     let size = pieces.count();
                     if size == 0 {
-                        return Ok(Value::Null);
+                        return Ok(Planned::Done(Value::Null));
                     }
-                    let rn = row_number(i, &pieces, cur);
-                    Ok(Value::Int(ntile_of(rn, size, b) as i64))
+                    match prep.code_bounds(ctx, i).2 {
+                        Some(c) => {
+                            push(&pieces, I::from_usize(c));
+                            Ok(Planned::Counted((size, b)))
+                        }
+                        None => {
+                            let rn = row_number_dropped(i, &pieces);
+                            Ok(Planned::Done(Value::Int(ntile_of(rn, size, b) as i64)))
+                        }
+                    }
                 },
+                |_, (size, b), below| Ok(Value::Int(ntile_of(below + 1, size, b) as i64)),
             )
         }
         _ => unreachable!("rank dispatch"),

@@ -12,13 +12,13 @@
 //! remapping). The planner encodes exactly this rule in the call's mask key,
 //! so the sort and both trees come from the shared artifact cache.
 
-use super::{fraction_arg, Ctx};
+use super::{fraction_arg, Ctx, Planned};
 use crate::error::{Error, Result};
 use crate::plan::{CallPlan, OrderKey};
 use crate::spec::{FuncKind, FunctionCall};
 use crate::value::Value;
 use holistic_core::index::fits_u32;
-use holistic_core::{RangeSet, SelectCursor, TreeIndex};
+use holistic_core::TreeIndex;
 
 pub(crate) fn evaluate(ctx: &Ctx<'_>, call: &FunctionCall, cp: &CallPlan) -> Result<Vec<Value>> {
     if fits_u32(ctx.m() + 1) {
@@ -47,30 +47,32 @@ fn evaluate_impl<I: TreeIndex>(
     };
     let tree = ctx.perm_mst::<I>(cp.keys.perm_mst())?;
 
-    // Selects the j-th (0-based) frame row by inner order; returns its kept
-    // position. The cursor seeds the per-piece value-bound searches from the
-    // previous row's positions.
-    let select = |pieces: &RangeSet, j: usize, cur: &mut SelectCursor| -> Option<usize> {
-        tree.select_with_cursor(pieces, j, cur).map(|rank| match &dc {
+    // A selected tree rank → the kept position it points at.
+    let map_rank = |rank: usize| -> usize {
+        match &dc {
             Some(dc) => dc.perm[rank],
             None => rank,
-        })
+        }
     };
 
     match call.kind {
         FuncKind::PercentileDisc | FuncKind::Median => {
             let p = if call.kind == FuncKind::Median { 0.5 } else { fraction_arg(ctx, call)? };
-            ctx.probe_with(
-                || ctx.new_select_cursor(),
-                |cur, i| {
+            ctx.probe_selects(
+                &tree,
+                |i, push| {
                     let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                     let s = pieces.count();
                     if s == 0 {
-                        return Ok(Value::Null);
+                        return Ok(Planned::Done(Value::Null));
                     }
                     // PERCENTILE_DISC: first value with cume_dist >= p.
                     let j = ((p * s as f64).ceil() as usize).clamp(1, s);
-                    let kp = select(&pieces, j - 1, cur).expect("j <= s");
+                    push(pieces, j - 1);
+                    Ok(Planned::Counted(()))
+                },
+                |_, (), res| {
+                    let kp = map_rank(res[0].expect("j <= s"));
                     Ok(kept_out[kp].clone())
                 },
             )
@@ -86,19 +88,26 @@ fn evaluate_impl<I: TreeIndex>(
                     context: "percentile_cont",
                 });
             }
-            ctx.probe_with(
-                || ctx.new_select_cursor(),
-                |cur, i| {
+            ctx.probe_selects(
+                &tree,
+                |i, push| {
                     let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                     let s = pieces.count();
                     if s == 0 {
-                        return Ok(Value::Null);
+                        return Ok(Planned::Done(Value::Null));
                     }
                     let rn = p * (s - 1) as f64;
                     let lo = rn.floor() as usize;
                     let hi = rn.ceil() as usize;
-                    let vlo = &kept_out[select(&pieces, lo, cur).expect("lo < s")];
-                    if lo == hi {
+                    push(pieces, lo);
+                    if hi != lo {
+                        push(pieces, hi);
+                    }
+                    Ok(Planned::Counted((rn, lo)))
+                },
+                |_, (rn, lo), res| {
+                    let vlo = &kept_out[map_rank(res[0].expect("lo < s"))];
+                    if res.len() == 1 {
                         // CONT yields a float even on an exact rank hit (SQL:
                         // double precision) — over an integer key, returning
                         // the key itself would mix Int and Float rows in one
@@ -106,7 +115,7 @@ fn evaluate_impl<I: TreeIndex>(
                         let x = vlo.as_f64().expect("checked numeric above");
                         return Ok(Value::Float(x));
                     }
-                    let vhi = &kept_out[select(&pieces, hi, cur).expect("hi < s")];
+                    let vhi = &kept_out[map_rank(res[1].expect("hi < s"))];
                     let (Some(x), Some(y)) = (vlo.as_f64(), vhi.as_f64()) else {
                         return Err(Error::TypeMismatch {
                             expected: "numeric",
@@ -118,36 +127,41 @@ fn evaluate_impl<I: TreeIndex>(
                 },
             )
         }
-        FuncKind::FirstValue => ctx.probe_with(
-            || ctx.new_select_cursor(),
-            |cur, i| {
+        FuncKind::FirstValue => ctx.probe_selects(
+            &tree,
+            |i, push| {
                 let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-                Ok(match select(&pieces, 0, cur) {
-                    Some(kp) => kept_out[kp].clone(),
+                push(pieces, 0);
+                Ok(Planned::Counted(()))
+            },
+            |_, (), res| {
+                Ok(match res[0] {
+                    Some(r) => kept_out[map_rank(r)].clone(),
                     None => Value::Null,
                 })
             },
         ),
-        FuncKind::LastValue => ctx.probe_with(
-            || ctx.new_select_cursor(),
-            |cur, i| {
+        FuncKind::LastValue => ctx.probe_selects(
+            &tree,
+            |i, push| {
                 let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
                 let s = pieces.count();
-                Ok(if s == 0 {
-                    Value::Null
-                } else {
-                    kept_out[select(&pieces, s - 1, cur).expect("s-1 < s")].clone()
-                })
+                if s == 0 {
+                    return Ok(Planned::Done(Value::Null));
+                }
+                push(pieces, s - 1);
+                Ok(Planned::Counted(()))
             },
+            |_, (), res| Ok(kept_out[map_rank(res[0].expect("s-1 < s"))].clone()),
         ),
         FuncKind::NthValue => {
             let n_expr = call.args[1].bind(ctx.table)?;
-            ctx.probe_with(
-                || ctx.new_select_cursor(),
-                |cur, i| {
+            ctx.probe_selects(
+                &tree,
+                |i, push| {
                     let n = match n_expr.eval(ctx.table, ctx.rows[i])? {
                         Value::Int(x) if x >= 1 => x as usize,
-                        Value::Null => return Ok(Value::Null),
+                        Value::Null => return Ok(Planned::Done(Value::Null)),
                         v => {
                             return Err(Error::InvalidArgument(format!(
                                 "nth_value: n must be a positive integer, got {v}"
@@ -155,8 +169,12 @@ fn evaluate_impl<I: TreeIndex>(
                         }
                     };
                     let pieces = mask.remap.range_set(&ctx.frames.range_set(i));
-                    Ok(match select(&pieces, n - 1, cur) {
-                        Some(kp) => kept_out[kp].clone(),
+                    push(pieces, n - 1);
+                    Ok(Planned::Counted(()))
+                },
+                |_, (), res| {
+                    Ok(match res[0] {
+                        Some(r) => kept_out[map_rank(r)].clone(),
                         None => Value::Null,
                     })
                 },

@@ -15,7 +15,7 @@ use crate::column::Column;
 use crate::error::Result;
 use crate::eval::direct::DirectCtx;
 use crate::eval::{alt, direct, evaluate_call, Ctx};
-use crate::frame::resolve_frames;
+use crate::frame::resolve_frames_opts;
 use crate::order::{sort_permutation, KeyColumns};
 use crate::partition::partition_rows;
 use crate::plan::{
@@ -25,6 +25,7 @@ use crate::spec::{FunctionCall, WindowSpec};
 use crate::strategy::{choose, CostModel, PartitionStats, Strategy, StrategyMode};
 use crate::table::Table;
 use crate::value::Value;
+use crate::vm::{AtomicExprVm, ExprVmStats};
 use holistic_core::MstParams;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -54,6 +55,10 @@ pub struct ExecOptions {
     /// Cost-model constants driving [`StrategyMode::Adaptive`]. Defaults are
     /// calibrated by the `crossover_ext` benchmark.
     pub cost_model: CostModel,
+    /// Evaluate frame-bound/FILTER/argument expressions through compiled
+    /// stack-VM programs (default). The interpreter escape hatch exists for
+    /// benchmarking and differential testing; results are bit-identical.
+    pub compiled_exprs: bool,
 }
 
 /// Probe-kernel tuning knobs.
@@ -65,11 +70,16 @@ pub struct ProbeOptions {
     /// amortized O(1) galloping on monotonic frame sequences. The stateless
     /// path is kept for benchmarking and as a safety valve.
     pub cursors: bool,
+    /// Answer MST probes in blocks of rows through the level-synchronous
+    /// block kernels (default); blocked probes bypass cursors. Results are
+    /// bit-identical with blocking on or off — the scalar escape hatch is
+    /// kept for benchmarking and differential testing.
+    pub block: bool,
 }
 
 impl Default for ProbeOptions {
     fn default() -> Self {
-        ProbeOptions { cursors: true }
+        ProbeOptions { cursors: true, block: true }
     }
 }
 
@@ -82,6 +92,7 @@ impl Default for ExecOptions {
             probe: ProbeOptions::default(),
             strategy: StrategyMode::default(),
             cost_model: CostModel::default(),
+            compiled_exprs: true,
         }
     }
 }
@@ -96,6 +107,7 @@ impl ExecOptions {
             probe: ProbeOptions::default(),
             strategy: StrategyMode::default(),
             cost_model: CostModel::default(),
+            compiled_exprs: true,
         }
     }
 
@@ -116,6 +128,22 @@ impl ExecOptions {
     /// scratch). Used by benchmarks quantifying probe locality.
     pub fn stateless_probes(mut self) -> Self {
         self.probe.cursors = false;
+        self
+    }
+
+    /// Escape hatch: evaluate expressions through the recursive interpreter
+    /// instead of compiled VM programs. Bit-identical output; used by the
+    /// differential fuzzer and the `probe_batch_ext` benchmark.
+    pub fn interpreted_exprs(mut self) -> Self {
+        self.compiled_exprs = false;
+        self
+    }
+
+    /// Escape hatch: answer every MST probe row-at-a-time (cursor-seeded)
+    /// instead of through the block kernels. Bit-identical output; used by
+    /// the differential fuzzer and the `probe_batch_ext` benchmark.
+    pub fn unbatched_probes(mut self) -> Self {
+        self.probe.block = false;
         self
     }
 
@@ -148,10 +176,12 @@ impl ExecOptions {
             StrategyMode::Force(s) => format!("/force-{}", s.name()),
         };
         format!(
-            "{}/{}/{}{}",
+            "{}/{}/{}{}{}{}",
             if self.parallel { "parallel" } else { "serial" },
             if self.probe.cursors { "cursors" } else { "stateless" },
             if self.share_artifacts { "shared" } else { "private" },
+            if self.compiled_exprs { "" } else { "/interp" },
+            if self.probe.block { "" } else { "/scalar" },
             forced,
         )
     }
@@ -200,6 +230,10 @@ pub struct ProbeKernelStats {
     pub full_searches: u64,
     /// Per-level memo misses that fell back to cascaded refinement.
     pub level_resets: u64,
+    /// Block-kernel invocations (one per probe block per tree).
+    pub block_calls: u64,
+    /// Queries answered by the block kernels.
+    pub block_queries: u64,
 }
 
 /// Lock-free accumulator for [`ProbeKernelStats`]; one per execution, shared
@@ -212,6 +246,8 @@ pub(crate) struct AtomicProbeKernel {
     gallop_steps: AtomicU64,
     full_searches: AtomicU64,
     level_resets: AtomicU64,
+    block_calls: AtomicU64,
+    block_queries: AtomicU64,
 }
 
 impl AtomicProbeKernel {
@@ -225,6 +261,12 @@ impl AtomicProbeKernel {
         self.level_resets.fetch_add(s.level_resets, Relaxed);
     }
 
+    /// Folds one block-scratch's counters into the query-level totals.
+    pub(crate) fn absorb_block(&self, s: &holistic_core::BlockStats) {
+        self.block_calls.fetch_add(s.block_calls, Relaxed);
+        self.block_queries.fetch_add(s.block_queries, Relaxed);
+    }
+
     fn snapshot(&self) -> ProbeKernelStats {
         ProbeKernelStats {
             cursor_probes: self.cursor_probes.load(Relaxed),
@@ -233,6 +275,8 @@ impl AtomicProbeKernel {
             gallop_steps: self.gallop_steps.load(Relaxed),
             full_searches: self.full_searches.load(Relaxed),
             level_resets: self.level_resets.load(Relaxed),
+            block_calls: self.block_calls.load(Relaxed),
+            block_queries: self.block_queries.load(Relaxed),
         }
     }
 }
@@ -280,6 +324,10 @@ pub struct ExecProfile {
     /// Call evaluation (probing, plus lazy artifact builds), summed over
     /// partitions.
     pub probe: Duration,
+    /// Frame resolution alone, summed over partitions. A sub-span of
+    /// `build`; reported separately so the compiled-VM speedup on
+    /// expression-bound frames is directly observable.
+    pub resolve: Duration,
     /// Number of partitions processed.
     pub partitions: usize,
     /// Accumulated artifact-cache counters.
@@ -291,6 +339,9 @@ pub struct ExecProfile {
     pub artifacts: Vec<ArtifactFootprint>,
     /// Per-(partition × call) strategy decisions.
     pub strategy: StrategyProfile,
+    /// Expression-VM counters (programs compiled, rows evaluated by the VM
+    /// vs. the interpreter, fallbacks).
+    pub expr_vm: ExprVmStats,
 }
 
 /// A window query: one OVER clause, many function calls.
@@ -380,8 +431,10 @@ impl WindowQuery {
 
         let build_nanos = AtomicU64::new(0);
         let probe_nanos = AtomicU64::new(0);
+        let resolve_nanos = AtomicU64::new(0);
         let totals = AtomicStats::default();
         let kernel = AtomicProbeKernel::default();
+        let vm_acc = AtomicExprVm::new();
         // label → (builds, bytes), accumulated as each cache retires.
         let footprints = Mutex::new(FxHashMap::<&'static str, (u64, u64)>::default());
         let absorb_footprints = |cache: &ArtifactCache| {
@@ -417,7 +470,18 @@ impl WindowQuery {
             let build_start = Instant::now();
             let mut rows = rows_unsorted.clone();
             sort_permutation(&window_keys, &mut rows, within);
-            let frames = resolve_frames(table, &rows, &window_keys, &self.spec.frame)?;
+            let resolve_start = Instant::now();
+            let mut vm_stats = ExprVmStats::default();
+            let frames = resolve_frames_opts(
+                table,
+                &rows,
+                &window_keys,
+                &self.spec.frame,
+                opts.compiled_exprs,
+                &mut vm_stats,
+            )?;
+            resolve_nanos.fetch_add(resolve_start.elapsed().as_nanos() as u64, Relaxed);
+            vm_acc.absorb(&vm_stats);
             let params = if within { opts.params } else { opts.params.serial() };
 
             // Pick a strategy per call. The choice is a pure function of
@@ -464,6 +528,9 @@ impl WindowQuery {
                     cache: &cache,
                     cursors: opts.probe.cursors,
                     kernel: &kernel,
+                    block_probes: opts.probe.block,
+                    compiled_exprs: opts.compiled_exprs,
+                    vm: &vm_acc,
                 };
                 // Eager prebuild only for calls the MST actually serves;
                 // alternates build lazily from the shared cache and the
@@ -507,6 +574,9 @@ impl WindowQuery {
                         cache: &cache,
                         cursors: opts.probe.cursors,
                         kernel: &kernel,
+                        block_probes: opts.probe.block,
+                        compiled_exprs: opts.compiled_exprs,
+                        vm: &vm_acc,
                     };
                     outs.push(match s {
                         Strategy::Mst => evaluate_call(&ctx, call, cp)?,
@@ -549,11 +619,13 @@ impl WindowQuery {
             plan: plan_time,
             build: Duration::from_nanos(build_nanos.load(Relaxed)),
             probe: Duration::from_nanos(probe_nanos.load(Relaxed)),
+            resolve: Duration::from_nanos(resolve_nanos.load(Relaxed)),
             partitions: partitions.len(),
             cache: totals.snapshot(),
             probe_kernel: kernel.snapshot(),
             artifacts,
             strategy: strategy_acc.into_inner().expect("strategy accumulator poisoned"),
+            expr_vm: vm_acc.snapshot(),
         };
         Ok((out, profile))
     }

@@ -142,29 +142,8 @@ impl BoundExpr {
                 let vb = b.eval(table, row)?;
                 eval_binop(*op, va, vb)?
             }
-            BoundExpr::Not(e) => match e.eval(table, row)? {
-                Value::Null => Value::Null,
-                Value::Bool(b) => Value::Bool(!b),
-                v => {
-                    return Err(Error::TypeMismatch {
-                        expected: "bool",
-                        got: v.type_name(),
-                        context: "NOT",
-                    })
-                }
-            },
-            BoundExpr::Neg(e) => match e.eval(table, row)? {
-                Value::Null => Value::Null,
-                Value::Int(v) => Value::Int(-v),
-                Value::Float(v) => Value::Float(-v),
-                v => {
-                    return Err(Error::TypeMismatch {
-                        expected: "numeric",
-                        got: v.type_name(),
-                        context: "negation",
-                    })
-                }
-            },
+            BoundExpr::Not(e) => not_value(e.eval(table, row)?)?,
+            BoundExpr::Neg(e) => neg_value(e.eval(table, row)?)?,
         })
     }
 
@@ -174,12 +153,45 @@ impl BoundExpr {
     }
 
     /// Evaluates and materializes into a typed [`Column`].
+    ///
+    /// Runs through the compiled [`crate::vm`] stack machine, which builds
+    /// typed column blocks directly (no per-row `Value` round-trip); a VM
+    /// error falls back to the per-row interpreter so the canonical
+    /// first-row error is reported.
     pub fn eval_column(&self, table: &Table) -> Result<Column> {
-        Column::from_values(&self.eval_all(table)?)
+        let prog = crate::vm::Program::compile(self);
+        let mut vm = crate::vm::ExprVm::new();
+        match vm.run_column(&prog, table) {
+            Ok(col) => Ok(col),
+            Err(_) => Column::from_values(&self.eval_all(table)?),
+        }
     }
 }
 
-fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value> {
+/// Logical NOT over one value (shared by the interpreter and the VM).
+pub(crate) fn not_value(v: Value) -> Result<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Bool(b) => Ok(Value::Bool(!b)),
+        v => Err(Error::TypeMismatch { expected: "bool", got: v.type_name(), context: "NOT" }),
+    }
+}
+
+/// Arithmetic negation over one value (shared by the interpreter and the VM).
+pub(crate) fn neg_value(v: Value) -> Result<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(v) => Ok(Value::Int(-v)),
+        Value::Float(v) => Ok(Value::Float(-v)),
+        v => Err(Error::TypeMismatch {
+            expected: "numeric",
+            got: v.type_name(),
+            context: "negation",
+        }),
+    }
+}
+
+pub(crate) fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value> {
     use BinOp::*;
     // Logical operators have their own three-valued NULL rules.
     if matches!(op, And | Or) {

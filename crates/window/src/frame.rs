@@ -18,6 +18,7 @@ use crate::expr::Expr;
 use crate::order::{peer_bounds, KeyColumns};
 use crate::table::Table;
 use crate::value::Value;
+use crate::vm::{self, ExprVmStats};
 use holistic_core::RangeSet;
 use std::cmp::Ordering;
 
@@ -251,6 +252,95 @@ fn eval_offset(expr: &crate::expr::BoundExpr, table: &Table, row: usize) -> Resu
     }
 }
 
+/// Converts a VM result block into validated offsets — the columnar twin of
+/// [`eval_offset`]: every row must be a non-negative Int or a non-negative
+/// finite Float. `None` on any violation (the per-row path then reports the
+/// canonical error for the canonical row).
+fn offsets_from_block(block: &vm::Block, n: usize) -> Option<Vec<Offset>> {
+    fn one(v: &Value) -> Option<Offset> {
+        match v {
+            Value::Int(x) if *x >= 0 => Some(Offset::Int(*x)),
+            Value::Float(x) if *x >= 0.0 && x.is_finite() => Some(Offset::Float(*x)),
+            _ => None,
+        }
+    }
+    match block {
+        vm::Block::Const(v) => one(v).map(|o| vec![o; n]),
+        vm::Block::Int(d, valid) => {
+            let mut out = Vec::with_capacity(n);
+            for (i, &x) in d.iter().enumerate() {
+                if !vm::vld(valid, i) || x < 0 {
+                    return None;
+                }
+                out.push(Offset::Int(x));
+            }
+            Some(out)
+        }
+        vm::Block::Float(d, valid) => {
+            let mut out = Vec::with_capacity(n);
+            for (i, &x) in d.iter().enumerate() {
+                if !(vm::vld(valid, i) && x >= 0.0 && x.is_finite()) {
+                    return None;
+                }
+                out.push(Offset::Float(x));
+            }
+            Some(out)
+        }
+        vm::Block::Bool(..) => None,
+        vm::Block::Vals(vs) => {
+            let mut out = Vec::with_capacity(n);
+            for v in vs {
+                out.push(one(v)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Batch-evaluates one bound's offset expression over the whole partition
+/// through the compiled VM. Returns `None` when the bound carries no offset
+/// expression, compilation is disabled, or any row fails evaluation or
+/// validation — callers then evaluate that bound per row, which reproduces
+/// the interpreter's canonical first error.
+fn precompute_offsets(
+    b: &PreBound,
+    table: &Table,
+    rows: &[usize],
+    compiled: bool,
+    stats: &mut ExprVmStats,
+) -> Option<Vec<Offset>> {
+    let e = match b {
+        PreBound::Preceding(e) | PreBound::Following(e) => e,
+        _ => return None,
+    };
+    let n = rows.len();
+    if n == 0 {
+        return None;
+    }
+    if !compiled {
+        stats.interpreted_rows += n as u64;
+        return None;
+    }
+    let prog = vm::Program::compile(e);
+    stats.programs_compiled += 1;
+    let mut machine = vm::ExprVm::new();
+    let offs = machine
+        .run_block(&prog, table, vm::RowSel::Rows(rows))
+        .ok()
+        .and_then(|block| offsets_from_block(&block, n));
+    match offs {
+        Some(offs) => {
+            stats.vm_rows += n as u64;
+            Some(offs)
+        }
+        None => {
+            stats.vm_fallbacks += 1;
+            stats.interpreted_rows += n as u64;
+            None
+        }
+    }
+}
+
 /// Resolves all frames of a sorted partition.
 ///
 /// `rows` maps partition positions to table rows *in window order*; `keys`
@@ -261,26 +351,56 @@ pub fn resolve_frames(
     keys: &KeyColumns,
     spec: &FrameSpec,
 ) -> Result<ResolvedFrames> {
+    resolve_frames_opts(table, rows, keys, spec, true, &mut ExprVmStats::default())
+}
+
+/// [`resolve_frames`] with engine options: when `compiled`, per-row offset
+/// expressions run through the compiled VM in whole-partition batches
+/// (interpreter-identical results; counters land in `stats`), falling back
+/// to the per-row interpreter when a bound's batch fails so errors keep the
+/// canonical row order.
+pub fn resolve_frames_opts(
+    table: &Table,
+    rows: &[usize],
+    keys: &KeyColumns,
+    spec: &FrameSpec,
+    compiled: bool,
+    stats: &mut ExprVmStats,
+) -> Result<ResolvedFrames> {
     let m = rows.len();
     let (peer_start, peer_end) = peer_bounds(keys, rows);
     let mut bounds = Vec::with_capacity(m);
 
     let pstart = pre_bind(&spec.start, table)?;
     let pend = pre_bind(&spec.end, table)?;
+    // When a statically invalid bound is present, the per-row loop errors at
+    // its first row *before* touching the other bound's expression; skip
+    // batching entirely so no expression is evaluated on rows the canonical
+    // path never reaches.
+    let static_invalid = matches!(pstart, PreBound::UnboundedFollowing)
+        || matches!(pend, PreBound::UnboundedPreceding);
+    let batch = compiled && !static_invalid;
 
     match spec.mode {
         FrameMode::Rows => {
+            let pre_s = precompute_offsets(&pstart, table, rows, batch, stats);
+            let pre_e = precompute_offsets(&pend, table, rows, batch, stats);
+            let offset_at =
+                |pre: &Option<Vec<Offset>>, e: &crate::expr::BoundExpr, i: usize| match pre {
+                    Some(v) => Ok(v[i]),
+                    None => eval_offset(e, table, rows[i]),
+                };
             #[allow(clippy::needless_range_loop)] // i is simultaneously position and index
             for i in 0..m {
                 let start = match &pstart {
                     PreBound::UnboundedPreceding => 0,
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(m);
+                        let off = offset_at(&pre_s, e, i)?.count(m);
                         i.saturating_sub(off)
                     }
                     PreBound::CurrentRow => i,
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(m);
+                        let off = offset_at(&pre_s, e, i)?.count(m);
                         i.saturating_add(off).min(m)
                     }
                     PreBound::UnboundedFollowing => {
@@ -292,12 +412,12 @@ pub fn resolve_frames(
                 let end = match &pend {
                     PreBound::UnboundedFollowing => m,
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(m);
+                        let off = offset_at(&pre_e, e, i)?.count(m);
                         i.saturating_add(off).saturating_add(1).min(m)
                     }
                     PreBound::CurrentRow => i + 1,
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(m);
+                        let off = offset_at(&pre_e, e, i)?.count(m);
                         (i + 1).saturating_sub(off)
                     }
                     PreBound::UnboundedPreceding => {
@@ -319,6 +439,8 @@ pub fn resolve_frames(
                 &peer_start,
                 &peer_end,
                 &mut bounds,
+                batch,
+                stats,
             )?;
         }
         FrameMode::Groups => {
@@ -337,17 +459,24 @@ pub fn resolve_frames(
                 p = e;
             }
             let num_groups = starts.len();
+            let pre_s = precompute_offsets(&pstart, table, rows, batch, stats);
+            let pre_e = precompute_offsets(&pend, table, rows, batch, stats);
+            let offset_at =
+                |pre: &Option<Vec<Offset>>, e: &crate::expr::BoundExpr, i: usize| match pre {
+                    Some(v) => Ok(v[i]),
+                    None => eval_offset(e, table, rows[i]),
+                };
             for i in 0..m {
                 let gi = group_of[i];
                 let start = match &pstart {
                     PreBound::UnboundedPreceding => 0,
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
+                        let off = offset_at(&pre_s, e, i)?.count(num_groups);
                         starts[gi.saturating_sub(off)]
                     }
                     PreBound::CurrentRow => peer_start[i],
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
+                        let off = offset_at(&pre_s, e, i)?.count(num_groups);
                         match gi.checked_add(off) {
                             Some(g) if g < num_groups => starts[g],
                             _ => m,
@@ -362,7 +491,7 @@ pub fn resolve_frames(
                 let end = match &pend {
                     PreBound::UnboundedFollowing => m,
                     PreBound::Following(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
+                        let off = offset_at(&pre_e, e, i)?.count(num_groups);
                         match gi.checked_add(off) {
                             Some(g) if g < num_groups => ends[g],
                             _ => m,
@@ -370,7 +499,7 @@ pub fn resolve_frames(
                     }
                     PreBound::CurrentRow => peer_end[i],
                     PreBound::Preceding(e) => {
-                        let off = eval_offset(e, table, rows[i])?.count(num_groups);
+                        let off = offset_at(&pre_e, e, i)?.count(num_groups);
                         if off > gi {
                             0
                         } else {
@@ -402,6 +531,8 @@ fn resolve_range_frames(
     peer_start: &[usize],
     peer_end: &[usize],
     bounds: &mut Vec<(usize, usize)>,
+    batch: bool,
+    stats: &mut ExprVmStats,
 ) -> Result<()> {
     let m = rows.len();
     let needs_key = |b: &PreBound| matches!(b, PreBound::Preceding(_) | PreBound::Following(_));
@@ -518,6 +649,15 @@ fn resolve_range_frames(
         lo
     };
 
+    // Offsets batch only after the key checks above: the canonical error
+    // order reports an unsupported ORDER BY before any offset evaluation.
+    let pre_s = precompute_offsets(pstart, table, rows, batch, stats);
+    let pre_e = precompute_offsets(pend, table, rows, batch, stats);
+    let offset_at = |pre: &Option<Vec<Offset>>, e: &crate::expr::BoundExpr, i: usize| match pre {
+        Some(v) => Ok(v[i]),
+        None => eval_offset(e, table, rows[i]),
+    };
+
     for i in 0..m {
         // SQL: a NULL key row's offset frame is its peer group of NULLs.
         let is_null = key_vals.is_null(i);
@@ -525,7 +665,7 @@ fn resolve_range_frames(
             PreBound::UnboundedPreceding => 0,
             PreBound::CurrentRow => peer_start[i],
             PreBound::Preceding(e) => {
-                let off = eval_offset(e, table, rows[i])?;
+                let off = offset_at(&pre_s, e, i)?;
                 if is_null {
                     peer_start[i]
                 } else {
@@ -533,7 +673,7 @@ fn resolve_range_frames(
                 }
             }
             PreBound::Following(e) => {
-                let off = eval_offset(e, table, rows[i])?;
+                let off = offset_at(&pre_s, e, i)?;
                 if is_null {
                     peer_start[i]
                 } else {
@@ -550,7 +690,7 @@ fn resolve_range_frames(
             PreBound::UnboundedFollowing => m,
             PreBound::CurrentRow => peer_end[i],
             PreBound::Following(e) => {
-                let off = eval_offset(e, table, rows[i])?;
+                let off = offset_at(&pre_e, e, i)?;
                 if is_null {
                     peer_end[i]
                 } else {
@@ -558,7 +698,7 @@ fn resolve_range_frames(
                 }
             }
             PreBound::Preceding(e) => {
-                let off = eval_offset(e, table, rows[i])?;
+                let off = offset_at(&pre_e, e, i)?;
                 if is_null {
                     peer_end[i]
                 } else {

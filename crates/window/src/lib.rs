@@ -56,6 +56,7 @@ pub mod spec;
 pub mod strategy;
 pub mod table;
 pub mod value;
+pub mod vm;
 
 pub use column::Column;
 pub use error::{Error, Result};
@@ -70,6 +71,7 @@ pub use spec::{FuncKind, FunctionCall, WindowSpec};
 pub use strategy::{CallClass, CostModel, PartitionStats, Strategy, StrategyMode};
 pub use table::Table;
 pub use value::{DataType, Value};
+pub use vm::{ExprVm, ExprVmStats, Program};
 
 /// Convenient glob import.
 pub mod prelude {

@@ -193,6 +193,11 @@ pub struct PartitionStats {
     /// The frame has an exclusion clause (hull-based alternates don't
     /// apply).
     pub has_exclusion: bool,
+    /// Distinct window ORDER BY keys: the number of peer groups
+    /// (`peer_start[i] == i`). A free O(m) duplication estimate — heavy key
+    /// duplication predicts cheap hash upkeep for COUNT DISTINCT / MODE
+    /// scans, distinct-heavy data the opposite.
+    pub distinct_keys: usize,
 }
 
 impl PartitionStats {
@@ -211,12 +216,24 @@ impl PartitionStats {
             }
             prev = Some((a, b));
         }
+        let distinct_keys = frames.peer_start.iter().enumerate().filter(|&(i, &p)| p == i).count();
         PartitionStats {
             m,
             avg_frame: if m == 0 { 0.0 } else { sum_width as f64 / m as f64 },
             total_slide: slide,
             monotonic,
             has_exclusion: frames.has_exclusion(),
+            distinct_keys,
+        }
+    }
+
+    /// `distinct_keys / m` in `[0, 1]`; 1.0 on empty partitions (the
+    /// conservative all-distinct assumption).
+    pub fn distinct_ratio(&self) -> f64 {
+        if self.m == 0 {
+            1.0
+        } else {
+            self.distinct_keys as f64 / self.m as f64
         }
     }
 }
@@ -296,15 +313,24 @@ impl CostModel {
                 let cell = match class {
                     // Per-row gather + sort of the frame's codes.
                     CallClass::Percentile => self.naive_cell * lg_f * 2.0,
-                    // Per-cell hash-map upkeep.
-                    CallClass::CountDistinct | CallClass::Mode => self.naive_cell * 4.0,
+                    // Per-cell hash-map upkeep: inserts of *new* keys (misses,
+                    // rehashing, map growth) dominate hits on already-present
+                    // ones, so the per-cell charge scales with the partition's
+                    // distinct-key ratio. All-distinct data recovers the old
+                    // flat 4× constant; heavy duplication keeps naive scans
+                    // competitive far longer.
+                    CallClass::CountDistinct | CallClass::Mode => {
+                        self.naive_cell * (1.0 + 3.0 * stats.distinct_ratio())
+                    }
                     _ => self.naive_cell,
                 };
                 m * self.naive_row + m * f * cell
             }
             Strategy::Incremental => {
                 let per_update = if class == CallClass::CountDistinct {
-                    self.incr_update
+                    // Hash-multiset slide: duplicated keys mostly bump counts
+                    // (cheap); distinct-heavy data inserts/evicts entries.
+                    self.incr_update * (0.25 + 0.75 * stats.distinct_ratio())
                 } else {
                     // Ordered-vector insert/remove: search + memmove.
                     self.incr_update + self.incr_shift * f
@@ -385,7 +411,14 @@ mod tests {
     use super::*;
 
     fn stats(m: usize, avg_frame: f64, total_slide: u64) -> PartitionStats {
-        PartitionStats { m, avg_frame, total_slide, monotonic: true, has_exclusion: false }
+        PartitionStats {
+            m,
+            avg_frame,
+            total_slide,
+            monotonic: true,
+            has_exclusion: false,
+            distinct_keys: m,
+        }
     }
 
     #[test]
@@ -479,5 +512,29 @@ mod tests {
         assert!(!s.monotonic);
         assert!((s.avg_frame - 10.0 / 3.0).abs() < 1e-12);
         assert!(!s.has_exclusion);
+        assert_eq!(s.distinct_keys, 3);
+    }
+
+    #[test]
+    fn duplication_favors_naive_and_incremental_count_distinct() {
+        // Same geometry, two duplication profiles: all-distinct vs. 1% keys.
+        let model = CostModel::default();
+        let all_distinct = stats(100_000, 200.0, 400_000);
+        let mut duplicated = all_distinct;
+        duplicated.distinct_keys = 1_000;
+        for s in [Strategy::Naive, Strategy::Incremental] {
+            let hi = model.cost(s, CallClass::CountDistinct, &all_distinct);
+            let lo = model.cost(s, CallClass::CountDistinct, &duplicated);
+            assert!(
+                lo < hi,
+                "{s:?}: duplication should lower the COUNT DISTINCT estimate ({lo} vs {hi})"
+            );
+        }
+        // All-distinct data recovers the old flat constants exactly.
+        let flat = model.naive_cell * 4.0;
+        let m = all_distinct.m as f64;
+        let expect = m * model.naive_row + m * all_distinct.avg_frame * flat;
+        let got = model.cost(Strategy::Naive, CallClass::CountDistinct, &all_distinct);
+        assert!((got - expect).abs() < 1e-6);
     }
 }

@@ -10,10 +10,12 @@ use holistic_window::{
     WindowSpec,
 };
 
-/// Every config here is pinned to the merge sort tree: these tests assert
-/// probe-kernel counters that only the MST path produces.
+/// Every config here is pinned to the merge sort tree AND to scalar
+/// (unbatched) probes: these tests assert cursor counters that only the
+/// row-at-a-time MST path produces — block kernels bypass cursors entirely
+/// (their equivalence is covered by the block-probe tests and the fuzzer).
 fn mst(opts: ExecOptions) -> ExecOptions {
-    opts.force_strategy(Strategy::Mst)
+    opts.force_strategy(Strategy::Mst).unbatched_probes()
 }
 use proptest::prelude::*;
 
