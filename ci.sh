@@ -33,12 +33,19 @@ echo "==> fuzz smoke (differential: naive vs adaptive/forced configs, fixed seed
 cargo run --release -q -p holistic-fuzz --bin fuzz -- \
   --cases 600 --seed 0xC0FFEE --max-n 40 --time-budget-secs 120
 
+echo "==> fuzz smoke (append delta API: bit-identity vs from-scratch, fixed seed)"
+cargo run --release -q -p holistic-fuzz --bin fuzz -- \
+  --append --cases 600 --seed 0xC0FFEE --max-n 40 --time-budget-secs 120
+
 echo "==> fuzz panic sweep (invalid specs must Error, never panic)"
 cargo run --release -q -p holistic-fuzz --bin fuzz -- --panic-sweep --cases 400 --seed 0x5EED
 
 echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private identity)"
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json
-N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext
+N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin sharing_ext -- --json
+# Asserts append outputs bit-identical across all 8 configs and vs from-scratch;
+# the ≥5×-vs-rebuild and beats-per-row gates self-skip below n = 500k.
+N=6000 B=200 REBUILD_SAMPLES=4 cargo run --release -q -p holistic-bench --bin append_ext -- --json
 N=4000 W=64 REPS=1 ENGINE_N=2000 cargo run --release -q -p holistic-bench --bin layout_ext -- --json
 N=4000 REPS=1 cargo run --release -q -p holistic-bench --bin crossover_ext -- --json
 # Asserts all 13 configs (incl. VM/block-probe escape hatches) bit-identical;

@@ -9,12 +9,15 @@
 //!   stateful algorithm performs under task splitting, measured directly as
 //!   a work ratio (machine-independent, unlike wall-clock speedups).
 
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{random_ints, sliding_frames};
 use holistic_bench::{env_usize, mtps, time_once};
 use holistic_core::{MergeSortTree, MstParams};
 
 fn main() {
     let n = env_usize("N", 500_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     let vals64 = random_ints(n, 9);
     let vals_u32: Vec<u32> = vals64.iter().map(|&v| (v as u32) ^ (1 << 31)).collect();
     let vals_u64: Vec<u64> = vals_u32.iter().map(|&v| v as u64).collect();
@@ -48,6 +51,7 @@ fn main() {
             d.as_secs_f64() * 1e3,
             mtps(n, d)
         );
+        records.push(BenchRecord::new("cascading", n, label, d.as_nanos() as f64 / n as f64));
     }
 
     // --- integer width ---
@@ -78,6 +82,14 @@ fn main() {
             d64.as_secs_f64() * 1e3,
             s64.bytes as f64 / 1e6,
         );
+        records.push(
+            BenchRecord::new("int_width", n, "u32", d32.as_nanos() as f64 / n as f64)
+                .with("tree_mb", s32.bytes as f64 / 1e6),
+        );
+        records.push(
+            BenchRecord::new("int_width", n, "u64", d64.as_nanos() as f64 / n as f64)
+                .with("tree_mb", s64.bytes as f64 / 1e6),
+        );
     }
 
     // --- task-parallelization work ratio ---
@@ -96,7 +108,16 @@ fn main() {
             n.div_ceil(task),
             warmup / n.div_ceil(task).max(1),
         );
+        records.push(
+            BenchRecord::new(&format!("task_warmup/w{w}"), n, "work_ratio", f64::NAN)
+                .with("warmup_over_useful", warmup as f64 / useful as f64),
+        );
     }
     println!("# the ratio grows linearly with the frame size: task-parallel stateful");
     println!("# algorithms do O(frame) redundant work per task — O(n^2) for O(n) frames.");
+
+    if emit_json {
+        let path = json::write("ablation", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

@@ -7,6 +7,7 @@
 //! relative to a merge sort tree, and a comparison against naive
 //! re-evaluation.
 
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
 use holistic_bench::{env_usize, mtps, time_once};
 use holistic_core::{dense_codes, prev_idcs_by_key, MergeSortTree, MstParams};
@@ -42,6 +43,8 @@ fn naive_dense_rank(keys: &[i64], frames: &[(usize, usize)]) -> Vec<usize> {
 
 fn main() {
     let n0 = env_usize("N", 50_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     println!("# Supplementary: framed DENSE_RANK via range tree (paper §4.4, sketched only)");
     println!(
         "{:<10} {:>12} {:>12} {:>14} {:>14} {:>12}",
@@ -59,6 +62,9 @@ fn main() {
         let naive_tps = if n == n0 {
             let (naive_out, dn) = time_once(|| naive_dense_rank(keys, &frames));
             assert_eq!(rt_out, naive_out, "range tree disagrees with naive");
+            records.push(BenchRecord::new("dense_rank", n, "naive", {
+                dn.as_nanos() as f64 / n as f64
+            }));
             format!("{:.3}", mtps(n, dn))
         } else {
             "skip".to_string()
@@ -78,10 +84,20 @@ fn main() {
             rt.bytes() as f64 / n as f64,
             mst.stats().bytes as f64 / n as f64,
         );
+        records.push(
+            BenchRecord::new("dense_rank", n, "rangetree", d.as_nanos() as f64 / n as f64)
+                .with("rt_bytes_per_element", rt.bytes() as f64 / n as f64)
+                .with("mst_bytes_per_element", mst.stats().bytes as f64 / n as f64),
+        );
         if let Some(p) = prev_time {
             println!("#   growth for doubled n: {:.2}x (theory n log^2 n: ~2.3-2.5x)", rt_ms / p);
         }
         prev_time = Some(rt_ms);
     }
     println!("# space: O(n log^2 n) range tree vs O(n log n) merge sort tree, as Table 1 predicts");
+
+    if emit_json {
+        let path = json::write("dense_rank_ext", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

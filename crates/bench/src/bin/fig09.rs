@@ -13,6 +13,7 @@
 //! merge sort tree ~63× over the best SQL plan.
 
 use holistic_baselines::{sqlsim, taskpar};
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
 use holistic_bench::{algos, env_usize, mtps, time_best};
 use holistic_core::MstParams;
@@ -21,6 +22,7 @@ fn main() {
     let n = env_usize("N", 20_000);
     let w = env_usize("W", 1_000);
     let reps = env_usize("REPS", 3);
+    let emit_json = std::env::args().any(|a| a == "--json");
     let data = sorted_lineitem(n, 42);
     let values = &data.extendedprice;
     let frames = sliding_frames(n, w);
@@ -68,4 +70,17 @@ fn main() {
         );
     }
     println!("# (all approaches verified to produce identical medians)");
+
+    if emit_json {
+        let workload = format!("framed_median/w{w}");
+        let records: Vec<BenchRecord> = rows
+            .iter()
+            .map(|(name, secs)| {
+                BenchRecord::new(&workload, n, name, secs * 1e9 / n as f64)
+                    .with("speedup_vs_best_sql", best_sql / secs)
+            })
+            .collect();
+        let path = json::write("fig09", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

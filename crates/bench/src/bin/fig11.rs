@@ -11,6 +11,7 @@
 //! frame (the whole prefix) only the merge sort tree remains practical.
 
 use holistic_baselines::{incremental, taskpar};
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
 use holistic_bench::{algos, env_usize, mtps, time_once};
 use holistic_core::MstParams;
@@ -18,6 +19,8 @@ use holistic_core::MstParams;
 fn main() {
     let n = env_usize("N", 200_000);
     let work_cap = env_usize("WORK_CAP", 2_000_000_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     let task = taskpar::HYPER_TASK_SIZE;
     let data = sorted_lineitem(n, 42);
     let vals = &data.extendedprice;
@@ -67,6 +70,19 @@ fn main() {
             fmt(inc),
             fmt(naive)
         );
+        let workload = format!("frame_size/w{w}");
+        for (algo, cell) in [("mst", mst), ("ostree", ost), ("incremental", inc), ("naive", naive)]
+        {
+            // ns/row = 1000 / Mtuples-per-second; skipped cells are omitted.
+            if let Some(m) = cell {
+                records.push(BenchRecord::new(&workload, n, algo, 1e3 / m));
+            }
+        }
     }
     println!("# crossover check: find where each competitor's column drops below mst's");
+
+    if emit_json {
+        let path = json::write("fig11", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

@@ -14,12 +14,15 @@
 //! overlap at all and stays flat.
 
 use holistic_baselines::{incremental, taskpar};
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{nonmonotonic_frames, sorted_lineitem};
 use holistic_bench::{algos, env_usize, mtps, time_once};
 use holistic_core::MstParams;
 
 fn main() {
     let n = env_usize("N", 200_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     let data = sorted_lineitem(n, 42);
     let vals = &data.extendedprice;
 
@@ -37,6 +40,15 @@ fn main() {
         assert_eq!(mst_out, inc_out, "algorithms disagree at m={m}");
         assert_eq!(mst_out, naive_out, "algorithms disagree at m={m}");
         println!("{:<6} | {:>10.3} {:>12.3} {:>10.3}", m, mst, inc, naive);
+        let workload = format!("nonmonotonic/m{m}");
+        for (algo, tput) in [("mst", mst), ("incremental", inc), ("naive", naive)] {
+            records.push(BenchRecord::new(&workload, n, algo, 1e3 / tput));
+        }
     }
     println!("# (all three algorithms verified to produce identical medians)");
+
+    if emit_json {
+        let path = json::write("fig12", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

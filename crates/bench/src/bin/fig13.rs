@@ -8,6 +8,7 @@
 //! scans) both hurt; f = 256 with k = 1 is the worst corner. The memory
 //! table shows the exponential payoff of larger fanouts.
 
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::sliding_frames;
 use holistic_bench::{algos, env_usize, time_once};
 use holistic_core::{MergeSortTree, MstParams};
@@ -16,6 +17,8 @@ fn main() {
     // Default scaled down for the single-core runner; N=1000000 reproduces
     // the paper's exact setting.
     let n = env_usize("N", 300_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     let vals = holistic_bench::workloads::random_ints(n, 7);
     let frames = sliding_frames(n, n / 20);
 
@@ -34,6 +37,13 @@ fn main() {
             let params = MstParams::new(f, k).serial();
             let (_, d) = time_once(|| algos::mst_rank(&vals, &frames, params));
             print!("{:>8.2}", d.as_secs_f64());
+            records.push(
+                BenchRecord::new("rank_params", n, &format!("f{f}_k{k}"), {
+                    d.as_nanos() as f64 / n as f64
+                })
+                .with("fanout", f as f64)
+                .with("sampling", k as f64),
+            );
         }
         println!();
     }
@@ -52,8 +62,17 @@ fn main() {
             let t = MergeSortTree::<u32>::build(&mem_vals, MstParams::new(f, k).serial());
             let s = t.stats();
             print!("{:>10.2}", s.bytes as f64 / mem_n as f64);
+            records.push(
+                BenchRecord::new("tree_memory", mem_n, &format!("f{f}_k{k}"), f64::NAN)
+                    .with("bytes_per_element", s.bytes as f64 / mem_n as f64),
+            );
         }
         println!();
     }
     println!("# paper: f=16,k=4 fastest but 12.4 GB at 100M elements; f=k=32 chosen (4.4 GB)");
+
+    if emit_json {
+        let path = json::write("fig13", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

@@ -13,6 +13,7 @@
 //! layer. (The paper's 6-layer tree at SF 10 matches f = 32: 32⁶ ≥ 60 M.)
 
 use holistic_bench::env_usize;
+use holistic_bench::json::{self, BenchRecord};
 use holistic_tpch::lineitem;
 use holistic_window::expr::col;
 use holistic_window::frame::{FrameBound, FrameSpec};
@@ -50,4 +51,18 @@ fn main() {
         "# final running distinct count = {} (distinct part keys seen overall)",
         counts.iter().max().unwrap_or(&0)
     );
+
+    if std::env::args().any(|a| a == "--json") {
+        let records: Vec<BenchRecord> = phases
+            .iter()
+            .map(|(name, d)| {
+                BenchRecord::new("distinct_count_phases", n, name, {
+                    d.as_nanos() as f64 / n as f64
+                })
+                .with("share", d.as_secs_f64() / total)
+            })
+            .collect();
+        let path = json::write("fig14", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

@@ -9,6 +9,7 @@
 //! Figure 12 while the index does not care.
 
 use holistic_baselines::incremental;
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{nonmonotonic_frames, sliding_frames, sorted_lineitem};
 use holistic_bench::{env_usize, mtps, time_once};
 use holistic_rangemode::RangeModeIndex;
@@ -42,6 +43,8 @@ fn naive_mode(values: &[u32], frames: &[(usize, usize)]) -> Vec<Option<u32>> {
 
 fn main() {
     let n = env_usize("N", 100_000);
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     let data = sorted_lineitem(n, 42);
     // Mode over supplier-ish ids: reuse partkey hashes compressed to ids.
     let mut ids: Vec<u32> = data.partkey_hash.iter().map(|&h| (h % 2003) as u32).collect();
@@ -74,6 +77,15 @@ fn main() {
             assert_eq!(idx_out[i], naive_out[i], "rangemode vs naive at {i}");
         }
         println!("{:<22} | {:>12.3} {:>12.3} {:>10.3}", label, rm, inc, nv);
+        let workload = format!("mode/{}", label.replace(' ', "_"));
+        for (algo, tput) in [("rangemode", rm), ("incremental", inc), ("naive", nv)] {
+            records.push(BenchRecord::new(&workload, n, algo, 1e3 / tput));
+        }
     }
     println!("# (all three algorithms verified to produce identical modes)");
+
+    if emit_json {
+        let path = json::write("mode_ext", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

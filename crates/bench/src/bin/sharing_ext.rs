@@ -9,6 +9,7 @@
 //! one shared inner ORDER BY — timed with the shared cache on and off,
 //! asserting identical results. Output is one JSON object per line.
 
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::{env_usize, time_best};
 use holistic_tpch::lineitem;
 use holistic_window::frame::{FrameBound, FrameSpec};
@@ -41,6 +42,7 @@ fn main() {
     let n = env_usize("N", 50_000);
     let window = env_usize("W", n / 20) as i64;
     let reps = env_usize("REPS", 3);
+    let emit_json = std::env::args().any(|a| a == "--json");
 
     let li = lineitem(n, 42);
     let table = Table::new(vec![
@@ -83,4 +85,19 @@ fn main() {
         counters_json(&shared_profile.cache),
         counters_json(&private_profile.cache),
     );
+
+    if emit_json {
+        let workload = format!("sharing/w{window}");
+        let records = vec![
+            BenchRecord::new(&workload, n, "shared", shared_d.as_nanos() as f64 / n as f64)
+                .with("cache_hits", shared_profile.cache.hits as f64)
+                .with("mst_builds", shared_profile.cache.mst_builds as f64)
+                .with("speedup_vs_private", private_ms / shared_ms),
+            BenchRecord::new(&workload, n, "private", private_d.as_nanos() as f64 / n as f64)
+                .with("cache_hits", private_profile.cache.hits as f64)
+                .with("mst_builds", private_profile.cache.mst_builds as f64),
+        ];
+        let path = json::write("sharing_ext", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

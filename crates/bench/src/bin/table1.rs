@@ -8,6 +8,7 @@
 //! we additionally report measured O(n log n) space.
 
 use holistic_baselines::{incremental, taskpar};
+use holistic_bench::json::{self, BenchRecord};
 use holistic_bench::workloads::{sliding_frames, sorted_lineitem};
 use holistic_bench::{algos, env_usize, time_best};
 use holistic_core::{paper_element_estimate, MergeSortTree, MstParams};
@@ -75,11 +76,17 @@ fn main() {
         ("rank", "order stat. tree [17]", "ost-rank", "O(n log n)"),
         ("rank", "MST (ours)", "mst-rank", "O(n log n)"),
     ];
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<BenchRecord> = Vec::new();
     for (agg, alg, key, theory) in rows {
         // Quadratic algorithms get a smaller n so the run stays bounded.
         let nn = if theory == "O(n^2)" { n.min(20_000) } else { n };
         let (t1, t2, r) = growth(|x| run(x, key), nn);
         println!("{:<14} {:<22} {:>9.1} {:>9.1} {:>6.2}x {:>11}", agg, alg, t1, t2, r, theory);
+        records.push(
+            BenchRecord::new(&format!("growth/{agg}"), nn, key, t1 * 1e6 / nn as f64)
+                .with("growth_ratio", r),
+        );
     }
 
     println!("\n# space: merge sort tree elements vs the paper's n log n estimate (f = k = 32)");
@@ -96,6 +103,17 @@ fn main() {
             paper_element_estimate(nn, 32, 32),
             s.bytes as f64 / nn as f64
         );
+        records.push(
+            BenchRecord::new("mst_space", nn, "f32_k32", f64::NAN)
+                .with("stored", (s.elements + s.pointers) as f64)
+                .with("estimate", paper_element_estimate(nn, 32, 32) as f64)
+                .with("bytes_per_element", s.bytes as f64 / nn as f64),
+        );
     }
     println!("# parallel: MST build/probe = yes (rayon); incremental/order-statistic = no (task warm-up, §3.2)");
+
+    if emit_json {
+        let path = json::write("table1", &records).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

@@ -1,0 +1,414 @@
+//! Leveled mergeable merge-sort-tree forest — amortized incremental appends.
+//!
+//! A [`crate::MergeSortTree`] is a static structure: the window engine builds
+//! it once per partition and discards it after the query. A growing table
+//! (live dashboard, CDC replay) would pay the full O(n log n) rebuild on
+//! every refresh. This module makes the MST *mergeable* with the classic
+//! LSM / binary-counter run discipline of merge-based sorting (Graefe's run
+//! consolidation): the position space `[0, n)` is covered by a small forest
+//! of contiguous *runs*, each carrying its own arena-flat MST. An append of
+//! `b` elements pushes a new run of length `b` and then merges trailing runs
+//! while the second-to-last is no longer than the merged tail span.
+//!
+//! The invariant after every append is that run lengths decrease by more
+//! than 2× front to back, so there are at most ⌈log₂ n⌉ runs and every
+//! element participates in O(log n) rebuilds over its lifetime — amortized
+//! O(b log n) per append. Each rebuild goes through
+//! [`MergeSortTree::build`], which internally performs the parallel multiway
+//! merge of [`crate::merge`] (§5.2): the forest *reuses* the existing merge
+//! machinery rather than re-implementing it.
+//!
+//! Probes decompose across runs:
+//!
+//! * [`MstForest::count_below`] — counts sum across runs (each run clamps
+//!   the query ranges to its own position span and delegates to its tree's
+//!   block/cursor kernels);
+//! * [`MstForest::select`] — a cross-run rank search over the shared value
+//!   domain: bisect for the smallest value `v` whose cumulative
+//!   `count_leq(v)` across all runs exceeds the requested rank.
+//!
+//! Values are order-preserving `u64` encodings (the window layer encodes
+//! `i64`/`f64` sort keys bijectively); `u64::MAX` is reserved so that
+//! `count_leq(t)` can always be phrased as `count_below(t + 1)`. Annotated
+//! (SUM/AVG DISTINCT) aggregates are not forest-accelerated — callers fall
+//! back to a full rebuild for those, which the window layer's append engine
+//! does automatically.
+
+use crate::cursor::ProbeCursor;
+use crate::mst::MergeSortTree;
+use crate::params::MstParams;
+use crate::range_set::RangeSet;
+
+/// One leveled run: a contiguous position span `[start, start + len)` with
+/// its own merge sort tree over the values in that span. The run's value
+/// bounds let probes skip (or fully count) it without descending the tree:
+/// a probe threshold at or below `min_val` contributes nothing, one above
+/// `max_val` contributes every clamped position.
+struct Run {
+    start: usize,
+    tree: MergeSortTree<u64>,
+    min_val: u64,
+    max_val: u64,
+}
+
+/// An appendable forest of merge sort trees over a growing value sequence.
+///
+/// ```
+/// use holistic_core::{MstForest, MstParams, RangeSet};
+///
+/// let mut f = MstForest::new(MstParams::default().serial());
+/// f.append(&[5, 1, 4]);
+/// f.append(&[2, 8]);
+/// assert_eq!(f.len(), 5);
+/// // Two values below 4 in the full span:
+/// assert_eq!(f.count_below(&RangeSet::single(0, 5), 4), 2);
+/// // The 0-based rank-2 value (third smallest) is 4:
+/// assert_eq!(f.select(&RangeSet::single(0, 5), 2), Some(4));
+/// ```
+pub struct MstForest {
+    params: MstParams,
+    /// All values in position (append) order; run `r` owns the slice
+    /// `vals[runs[r].start .. runs[r].start + runs[r].tree.len()]`.
+    vals: Vec<u64>,
+    runs: Vec<Run>,
+    merges: u64,
+    rebuilt: u64,
+}
+
+impl MstForest {
+    /// An empty forest.
+    pub fn new(params: MstParams) -> Self {
+        params.validate();
+        MstForest { params, vals: Vec::new(), runs: Vec::new(), merges: 0, rebuilt: 0 }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no elements have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Number of live runs (≤ ⌈log₂ n⌉ + 1).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Run merges performed across all appends.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total elements passed through tree rebuilds (the amortization
+    /// currency: O(n log n) over the forest's lifetime).
+    pub fn rebuilt_elements(&self) -> u64 {
+        self.rebuilt
+    }
+
+    /// Arena bytes across all run trees.
+    pub fn arena_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.tree.arena_bytes()).sum()
+    }
+
+    /// The values in position order.
+    pub fn values(&self) -> &[u64] {
+        &self.vals
+    }
+
+    /// Appends `new_vals` at the end of the position space, merging trailing
+    /// runs per the binary-counter discipline. Values must be below
+    /// `u64::MAX` (reserved for the `count_leq` encoding).
+    pub fn append(&mut self, new_vals: &[u64]) {
+        if new_vals.is_empty() {
+            return;
+        }
+        debug_assert!(
+            new_vals.iter().all(|&v| v < u64::MAX),
+            "u64::MAX is reserved; encode values below it"
+        );
+        let mut span_start = self.vals.len();
+        self.vals.extend_from_slice(new_vals);
+        // Collapse trailing runs while the second-to-last run is no longer
+        // than the pending merged span, then rebuild once over the final
+        // span — one tree build no matter how many runs collapse.
+        while let Some(last) = self.runs.last() {
+            if last.tree.len() <= self.vals.len() - span_start {
+                span_start = last.start;
+                self.runs.pop();
+                self.merges += 1;
+            } else {
+                break;
+            }
+        }
+        let slice = &self.vals[span_start..];
+        self.rebuilt += slice.len() as u64;
+        let (mut min_val, mut max_val) = (u64::MAX, 0u64);
+        for &v in slice {
+            min_val = min_val.min(v);
+            max_val = max_val.max(v);
+        }
+        self.runs.push(Run {
+            start: span_start,
+            tree: MergeSortTree::build(slice, self.params),
+            min_val,
+            max_val,
+        });
+    }
+
+    /// Number of positions of `ranges` that exist in the forest (ranges are
+    /// clamped to `[0, len)`).
+    pub fn positions(&self, ranges: &RangeSet) -> usize {
+        let n = self.vals.len();
+        ranges.iter().map(|(a, b)| b.min(n).saturating_sub(a.min(n))).sum()
+    }
+
+    /// How many values at positions in `ranges` are strictly below `t` —
+    /// the per-run counts sum across runs.
+    pub fn count_below(&self, ranges: &RangeSet, t: u64) -> usize {
+        let mut total = 0usize;
+        for run in &self.runs {
+            if t <= run.min_val {
+                continue;
+            }
+            let saturated = t > run.max_val;
+            let end = run.start + run.tree.len();
+            for (a, b) in ranges.iter() {
+                let (la, lb) = (a.max(run.start), b.min(end));
+                if la < lb {
+                    total += if saturated {
+                        lb - la
+                    } else {
+                        run.tree.count_below(la - run.start, lb - run.start, t)
+                    };
+                }
+            }
+        }
+        total
+    }
+
+    /// How many values at positions in `ranges` are ≤ `t` (requires
+    /// `t < u64::MAX`, guaranteed by the append-time reservation).
+    pub fn count_leq(&self, ranges: &RangeSet, t: u64) -> usize {
+        debug_assert!(t < u64::MAX);
+        self.count_below(ranges, t + 1)
+    }
+
+    /// Cursor-seeded [`Self::count_below`]: one [`ProbeCursor`] per run, so
+    /// batches of probes advancing monotonically (the append engine's
+    /// freshly-appended suffix) amortize the per-level binary searches
+    /// exactly as the single-tree cursors do.
+    pub fn count_below_with(&self, ranges: &RangeSet, t: u64, cur: &mut ForestCursor) -> usize {
+        cur.ensure(self.runs.len());
+        let mut total = 0usize;
+        for (ri, run) in self.runs.iter().enumerate() {
+            if t <= run.min_val {
+                continue;
+            }
+            let end = run.start + run.tree.len();
+            if t > run.max_val {
+                for (a, b) in ranges.iter() {
+                    let (la, lb) = (a.max(run.start), b.min(end));
+                    total += lb.saturating_sub(la);
+                }
+                continue;
+            }
+            let mut clamped = RangeSet::empty();
+            for (a, b) in ranges.iter() {
+                let (la, lb) = (a.max(run.start), b.min(end));
+                if la < lb {
+                    clamped.push(la - run.start, lb - run.start);
+                }
+            }
+            if !clamped.is_empty() {
+                total += run.tree.count_below_multi_with_cursor(&clamped, t, &mut cur.cursors[ri]);
+            }
+        }
+        total
+    }
+
+    /// Cursor-seeded [`Self::count_leq`].
+    pub fn count_leq_with(&self, ranges: &RangeSet, t: u64, cur: &mut ForestCursor) -> usize {
+        debug_assert!(t < u64::MAX);
+        self.count_below_with(ranges, t + 1, cur)
+    }
+
+    /// The `j`-th smallest value (0-based) among the positions in `ranges`,
+    /// or `None` when fewer than `j + 1` positions exist. Cross-run rank
+    /// search: bisect the value domain for the smallest `v` with
+    /// `count_leq(ranges, v) > j`; per-run `count_below` probes decompose
+    /// the rank without ever materializing a merged run.
+    pub fn select(&self, ranges: &RangeSet, j: usize) -> Option<u64> {
+        self.select_from(ranges, j, None)
+    }
+
+    /// [`Self::select`] seeded with a guess (typically the previous probe's
+    /// answer when frames slide by one row). A correct guess costs two
+    /// `count_below` probes; a miss still halves the bisection domain.
+    pub fn select_from(&self, ranges: &RangeSet, j: usize, hint: Option<u64>) -> Option<u64> {
+        if j >= self.positions(ranges) {
+            return None;
+        }
+        // Invariant: the answer lies in [lo, hi]. Starting from the
+        // observed per-run value bounds (rather than the full `u64` domain)
+        // makes the bisection O(log of the live value spread) — for typical
+        // integer domains a handful of iterations instead of 64.
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for run in &self.runs {
+            lo = lo.min(run.min_val);
+            hi = hi.max(run.max_val);
+        }
+        if let Some(h) = hint.filter(|&h| lo <= h && h <= hi) {
+            let below = self.count_below(ranges, h);
+            if below > j {
+                // At least j + 1 values sit strictly below the hint.
+                hi = h - 1;
+            } else if self.count_below(ranges, h + 1) > j {
+                return Some(h);
+            } else {
+                lo = h + 1;
+            }
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.count_below(ranges, mid + 1) > j {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+/// Per-run probe cursors for batched monotone probes over a forest. Resized
+/// (and reset) automatically whenever the run structure changed since the
+/// cursor was last used.
+#[derive(Default)]
+pub struct ForestCursor {
+    cursors: Vec<ProbeCursor>,
+}
+
+impl ForestCursor {
+    /// A cursor bundle with no per-run state yet.
+    pub fn new() -> Self {
+        ForestCursor::default()
+    }
+
+    fn ensure(&mut self, runs: usize) {
+        if self.cursors.len() != runs {
+            self.cursors = (0..runs).map(|_| ProbeCursor::new()).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_count_below(vals: &[u64], ranges: &RangeSet, t: u64) -> usize {
+        ranges
+            .iter()
+            .flat_map(|(a, b)| a..b.min(vals.len()))
+            .filter(|&p| p < vals.len() && vals[p] < t)
+            .count()
+    }
+
+    fn brute_select(vals: &[u64], ranges: &RangeSet, j: usize) -> Option<u64> {
+        let mut xs: Vec<u64> = ranges
+            .iter()
+            .flat_map(|(a, b)| a..b.min(vals.len()))
+            .filter(|&p| p < vals.len())
+            .map(|p| vals[p])
+            .collect();
+        xs.sort_unstable();
+        xs.get(j).copied()
+    }
+
+    #[test]
+    fn binary_counter_run_lengths() {
+        let mut f = MstForest::new(MstParams::new(2, 2).serial());
+        for i in 0..100u64 {
+            f.append(&[i]);
+            // Run lengths strictly decrease front to back.
+            let lens: Vec<usize> = f.runs.iter().map(|r| r.tree.len()).collect();
+            assert!(lens.windows(2).all(|w| w[0] > w[1]), "{lens:?}");
+            assert_eq!(lens.iter().sum::<usize>(), (i + 1) as usize);
+            assert!(f.num_runs() <= 64 - (i + 1).leading_zeros() as usize + 1);
+        }
+        // Amortization: ~n log n elements rebuilt in total for 1-by-1 appends.
+        assert!(f.rebuilt_elements() <= 100 * 8);
+    }
+
+    #[test]
+    fn forest_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x1EAF);
+        for case in 0..40 {
+            let params = if case % 2 == 0 {
+                MstParams::new(2, 1).serial()
+            } else {
+                MstParams::new(4, 2).serial()
+            };
+            let mut f = MstForest::new(params);
+            let mut vals: Vec<u64> = Vec::new();
+            let batches = rng.gen_range(1..6);
+            for _ in 0..batches {
+                let b: Vec<u64> =
+                    (0..rng.gen_range(0..12)).map(|_| rng.gen_range(0..30u64)).collect();
+                f.append(&b);
+                vals.extend_from_slice(&b);
+            }
+            let n = vals.len();
+            let mut ranges = RangeSet::empty();
+            let mut lo = 0usize;
+            while lo < n && ranges.len() < 3 {
+                let a = lo + rng.gen_range(0..3usize);
+                let b = a + rng.gen_range(0..6usize);
+                if a < b && a < n {
+                    ranges.push(a, b.min(n));
+                }
+                lo = b + 1;
+            }
+            let mut cur = ForestCursor::new();
+            for t in 0..31u64 {
+                assert_eq!(f.count_below(&ranges, t), brute_count_below(&vals, &ranges, t));
+                assert_eq!(f.count_below_with(&ranges, t, &mut cur), f.count_below(&ranges, t));
+                assert_eq!(f.count_leq(&ranges, t), brute_count_below(&vals, &ranges, t + 1));
+            }
+            for j in 0..f.positions(&ranges) + 2 {
+                assert_eq!(f.select(&ranges, j), brute_select(&vals, &ranges, j), "j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_run_edges() {
+        let mut f = MstForest::new(MstParams::default().serial());
+        assert!(f.is_empty());
+        assert_eq!(f.count_below(&RangeSet::single(0, 10), 5), 0);
+        assert_eq!(f.select(&RangeSet::single(0, 10), 0), None);
+        f.append(&[]);
+        assert!(f.is_empty());
+        f.append(&[7]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.num_runs(), 1);
+        assert_eq!(f.select(&RangeSet::single(0, 1), 0), Some(7));
+        assert_eq!(f.count_leq(&RangeSet::single(0, 1), 7), 1);
+        assert_eq!(f.count_below(&RangeSet::single(0, 1), 7), 0);
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        let mut f = MstForest::new(MstParams::default().serial());
+        f.append(&[0, u64::MAX - 1, 1 << 63]);
+        let all = RangeSet::single(0, 3);
+        assert_eq!(f.select(&all, 0), Some(0));
+        assert_eq!(f.select(&all, 1), Some(1 << 63));
+        assert_eq!(f.select(&all, 2), Some(u64::MAX - 1));
+        assert_eq!(f.count_leq(&all, u64::MAX - 1), 3);
+    }
+}

@@ -50,6 +50,7 @@ pub mod codes;
 pub mod cursor;
 pub mod index;
 pub mod layout_baseline;
+pub mod leveled;
 pub mod loser_tree;
 pub mod merge;
 pub mod mst;
@@ -64,6 +65,7 @@ pub use annotated::AnnotatedMst;
 pub use codes::{dense_codes, DenseCodes};
 pub use cursor::{CursorStats, ProbeCursor, SelectCursor};
 pub use index::TreeIndex;
+pub use leveled::{ForestCursor, MstForest};
 pub use mst::{BlockScratch, BlockStats, MergeSortTree};
 pub use params::MstParams;
 pub use prev_idcs::{prev_idcs_by_key, prev_idcs_u64};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]
-//!      [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep]
+//!      [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]
 //! ```
 //!
 //! Default mode generates `--cases` cases from `--seed` and runs each
@@ -11,10 +11,15 @@
 //! replayable report and exits non-zero. `--replay` re-runs exactly one case
 //! by its per-case seed (printed in every failure report). `--panic-sweep`
 //! runs the invalid-spec corpus instead: everything must return `Error`,
-//! nothing may panic.
+//! nothing may panic. `--append` runs the append-sequence mode instead: each
+//! case's table is carved into a base plus seeded batches, fed through the
+//! incremental delta API, and compared bit-identically against from-scratch
+//! execution under every configuration.
 
 use holistic_fuzz::gen::{case_seed, generate, GenConfig};
-use holistic_fuzz::{check_case, dump_table, panic_sweep, shrink, with_quiet_panics};
+use holistic_fuzz::{
+    check_append_case, check_case, dump_table, panic_sweep, shrink, with_quiet_panics,
+};
 use std::time::Instant;
 
 struct Args {
@@ -25,6 +30,7 @@ struct Args {
     time_budget_secs: Option<u64>,
     replay: Option<u64>,
     panic_sweep: bool,
+    append: bool,
 }
 
 impl Default for Args {
@@ -37,6 +43,7 @@ impl Default for Args {
             time_budget_secs: None,
             replay: None,
             panic_sweep: false,
+            append: false,
         }
     }
 }
@@ -65,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay" => args.replay = Some(parse_u64(&value("--replay")?)?),
             "--panic-sweep" => args.panic_sweep = true,
+            "--append" => args.append = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -74,15 +82,17 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]\n\
-         \x20           [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep]"
+         \x20           [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]"
     );
 }
 
 fn replay_command(case_seed: u64, args: &Args) -> String {
     format!(
         "cargo run --release -p holistic-fuzz --bin fuzz -- --replay {case_seed:#x} \
-         --max-n {} --max-calls {}",
-        args.max_n, args.max_calls
+         --max-n {} --max-calls {}{}",
+        args.max_n,
+        args.max_calls,
+        if args.append { " --append" } else { "" }
     )
 }
 
@@ -99,10 +109,16 @@ fn report_failure(
     }
     println!("  divergence: {divergence}");
     println!("  replay:     {}", replay_command(cs, args));
-    let fails =
-        |t: &holistic_window::Table, q: &holistic_window::WindowQuery| check_case(t, q).is_err();
+    let check = |t: &holistic_window::Table, q: &holistic_window::WindowQuery| {
+        if args.append {
+            check_append_case(t, q, cs)
+        } else {
+            check_case(t, q)
+        }
+    };
+    let fails = |t: &holistic_window::Table, q: &holistic_window::WindowQuery| check(t, q).is_err();
     let (table, query) = shrink(&case.table, &case.query, &fails);
-    let shrunk_div = check_case(&table, &query).err();
+    let shrunk_div = check(&table, &query).err();
     println!(
         "  shrunk to {} rows, {} calls{}:",
         table.num_rows(),
@@ -143,12 +159,20 @@ fn main() {
 
     let cfg = GenConfig { max_n: args.max_n, max_calls: args.max_calls };
 
+    let check = |t: &holistic_window::Table, q: &holistic_window::WindowQuery, cs: u64| {
+        if args.append {
+            check_append_case(t, q, cs)
+        } else {
+            check_case(t, q)
+        }
+    };
+
     if let Some(cs) = args.replay {
         let case = generate(cs, &cfg);
         println!("replaying case seed {cs:#x}:");
         print!("{}", dump_table(&case.table));
         println!("  query: {:#?}", case.query);
-        match with_quiet_panics(|| check_case(&case.table, &case.query)) {
+        match with_quiet_panics(|| check(&case.table, &case.query, cs)) {
             Ok(()) => println!("replay OK: no divergence"),
             Err(d) => {
                 report_failure(None, cs, &case, &d, &args);
@@ -170,7 +194,7 @@ fn main() {
             }
             let cs = case_seed(args.seed, i);
             let case = generate(cs, &cfg);
-            if let Err(d) = check_case(&case.table, &case.query) {
+            if let Err(d) = check(&case.table, &case.query, cs) {
                 report_failure(Some(i), cs, &case, &d, &args);
                 return true;
             }
@@ -184,10 +208,20 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!(
-        "fuzz OK: {ran} cases, seed {:#x}, max-n {}, 16 exact configs + 4 forced strategies vs naive ({:.1}s)",
-        args.seed,
-        args.max_n,
-        start.elapsed().as_secs_f64()
-    );
+    if args.append {
+        println!(
+            "fuzz OK (append mode): {ran} cases, seed {:#x}, max-n {}, delta API vs \
+             from-scratch bit-identical over 8 configs ({:.1}s)",
+            args.seed,
+            args.max_n,
+            start.elapsed().as_secs_f64()
+        );
+    } else {
+        println!(
+            "fuzz OK: {ran} cases, seed {:#x}, max-n {}, 16 exact configs + 4 forced strategies vs naive ({:.1}s)",
+            args.seed,
+            args.max_n,
+            start.elapsed().as_secs_f64()
+        );
+    }
 }

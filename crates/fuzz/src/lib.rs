@@ -29,11 +29,13 @@
 //! at the workspace root draws its scenarios from the same generator so the
 //! oracle and the fuzzer share one definition of the spec space.
 
+pub mod append;
 pub mod diff;
 pub mod gen;
 pub mod panic_sweep;
 pub mod shrink;
 
+pub use append::{append_plan, check_append_case, AppendPlan};
 pub use diff::{check_case, Divergence};
 pub use gen::{case_seed, generate, FuzzCase, GenConfig};
 pub use panic_sweep::{panic_sweep, SweepReport};

@@ -156,6 +156,10 @@ pub(crate) struct ArtifactCache {
     /// `(label, bytes)` per slot actually built (seeded slots excluded).
     footprints: Mutex<Vec<(&'static str, usize)>>,
     stats: AtomicStats,
+    /// Bumped by every invalidation; incremental consumers compare their
+    /// remembered generation against [`ArtifactCache::generation`] to detect
+    /// that borrowed artifacts may have been dropped underneath a delta.
+    generation: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -164,11 +168,43 @@ impl ArtifactCache {
             slots: Mutex::new(FxHashMap::default()),
             footprints: Mutex::new(Vec::new()),
             stats: AtomicStats::default(),
+            generation: AtomicU64::new(0),
         }
     }
 
     pub fn stats(&self) -> &AtomicStats {
         &self.stats
+    }
+
+    /// The current invalidation generation: 0 for a fresh cache, +1 per
+    /// [`ArtifactCache::invalidate_all`] / [`ArtifactCache::invalidate_where`]
+    /// call (even when nothing matched — the *intent* to invalidate is what a
+    /// consumer must observe).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Relaxed)
+    }
+
+    /// Drops every cached artifact. Footprints and hit/miss statistics are
+    /// retained: they describe build work actually performed, which
+    /// invalidation cannot undo. Returns the number of slots dropped.
+    pub fn invalidate_all(&self) -> usize {
+        let mut slots = self.slots.lock().expect("artifact cache poisoned");
+        let n = slots.len();
+        slots.clear();
+        self.generation.fetch_add(1, Relaxed);
+        n
+    }
+
+    /// Drops the cached artifacts whose key matches `pred` — the append
+    /// engine's targeted hook: a delta that only grows the partition keeps
+    /// order-independent artifacts and evicts the positional ones. Returns
+    /// the number of slots dropped.
+    pub fn invalidate_where(&self, mut pred: impl FnMut(&ArtifactKey) -> bool) -> usize {
+        let mut slots = self.slots.lock().expect("artifact cache poisoned");
+        let before = slots.len();
+        slots.retain(|k, _| !pred(k));
+        self.generation.fetch_add(1, Relaxed);
+        before - slots.len()
     }
 
     /// Drains the per-slot build footprints recorded so far.

@@ -197,6 +197,33 @@ impl Column {
     pub fn to_values(&self) -> Vec<Value> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
+
+    /// Rows `[a, b)` as a new column of the *same* type, validity preserved.
+    /// Unlike a [`Column::from_values`] round-trip, slicing never re-infers
+    /// the type, so an all-NULL or empty slice keeps the source type — which
+    /// is what makes sliced batches push-compatible with their source (see
+    /// [`crate::table::Table::slice_rows`]).
+    pub fn slice(&self, a: usize, b: usize) -> Column {
+        fn vslice(valid: &Validity, a: usize, b: usize) -> Validity {
+            if valid.is_empty() {
+                Vec::new()
+            } else {
+                let s = valid[a..b].to_vec();
+                if s.iter().all(|&x| x) {
+                    Vec::new()
+                } else {
+                    s
+                }
+            }
+        }
+        match self {
+            Column::Int(d, v) => Column::Int(d[a..b].to_vec(), vslice(v, a, b)),
+            Column::Float(d, v) => Column::Float(d[a..b].to_vec(), vslice(v, a, b)),
+            Column::Str(d, v) => Column::Str(d[a..b].to_vec(), vslice(v, a, b)),
+            Column::Date(d, v) => Column::Date(d[a..b].to_vec(), vslice(v, a, b)),
+            Column::Bool(d, v) => Column::Bool(d[a..b].to_vec(), vslice(v, a, b)),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod append;
 mod artifacts;
 pub mod column;
 pub mod csv;
@@ -58,6 +59,7 @@ pub mod table;
 pub mod value;
 pub mod vm;
 
+pub use append::{AppendProfile, AppendResult, IncrementalEngine};
 pub use column::Column;
 pub use error::{Error, Result};
 pub use executor::{
@@ -68,13 +70,14 @@ pub use expr::{col, lit, BinOp, Expr};
 pub use frame::{FrameBound, FrameExclusion, FrameMode, FrameSpec};
 pub use order::SortKey;
 pub use spec::{FuncKind, FunctionCall, WindowSpec};
-pub use strategy::{CallClass, CostModel, PartitionStats, Strategy, StrategyMode};
+pub use strategy::{CallClass, CostModel, PartitionStats, StatsAcc, Strategy, StrategyMode};
 pub use table::Table;
 pub use value::{DataType, Value};
 pub use vm::{ExprVm, ExprVmStats, Program};
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::append::{AppendProfile, AppendResult, IncrementalEngine};
     pub use crate::column::Column;
     pub use crate::executor::{
         CacheStats, ExecOptions, ExecProfile, ProbeKernelStats, ProbeOptions, WindowQuery,

@@ -43,6 +43,7 @@ impl SortKey {
 }
 
 /// Materialized sort key values for a set of rows, with comparison flags.
+#[derive(Clone)]
 pub struct KeyColumns {
     keys: Vec<(Vec<Value>, bool, bool)>, // (values per row, desc, nulls_first)
 }
@@ -56,6 +57,22 @@ impl KeyColumns {
             keys.push((bound.eval_all(table)?, sk.desc, sk.nulls_first));
         }
         Ok(KeyColumns { keys })
+    }
+
+    /// Extends already-materialized key columns with rows `from_row..` of a
+    /// grown table — the O(b) append path: only the new rows are evaluated.
+    /// `sort_keys` must be the criteria this instance was built from.
+    pub fn extend(&mut self, table: &Table, sort_keys: &[SortKey], from_row: usize) -> Result<()> {
+        debug_assert_eq!(self.keys.len(), sort_keys.len());
+        let n = table.num_rows();
+        for (sk, (vals, _, _)) in sort_keys.iter().zip(self.keys.iter_mut()) {
+            let bound = sk.expr.bind(table)?;
+            vals.reserve(n - from_row);
+            for r in from_row..n {
+                vals.push(bound.eval(table, r)?);
+            }
+        }
+        Ok(())
     }
 
     /// Number of criteria.

@@ -72,6 +72,46 @@ impl Table {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Column)> {
         self.columns.iter().map(|(n, c)| (n.as_str(), c))
     }
+
+    /// Appends the rows of `batch` (the delta-API ingest path): `batch` must
+    /// carry exactly this table's columns, by name and order, with
+    /// push-compatible types. On error the table is left unchanged.
+    pub fn append_rows(&mut self, batch: &Table) -> Result<()> {
+        if batch.num_columns() != self.num_columns() {
+            return Err(Error::LengthMismatch {
+                expected: self.num_columns(),
+                got: batch.num_columns(),
+            });
+        }
+        for ((name, _), (bname, _)) in self.columns.iter().zip(batch.columns.iter()) {
+            if name != bname {
+                return Err(Error::UnknownColumn(bname.clone()));
+            }
+        }
+        // Validate all pushes against clones first so a mid-batch type error
+        // cannot leave the table ragged.
+        let mut grown: Vec<Column> = self.columns.iter().map(|(_, c)| c.clone()).collect();
+        for (col, (_, src)) in grown.iter_mut().zip(batch.columns.iter()) {
+            for i in 0..batch.rows {
+                col.push(src.get(i))?;
+            }
+        }
+        for ((_, dst), col) in self.columns.iter_mut().zip(grown) {
+            *dst = col;
+        }
+        self.rows += batch.rows;
+        Ok(())
+    }
+
+    /// Rows `[a, b)` as a new table with the same columns (exact types and
+    /// validity preserved — the natural way to carve a table into
+    /// [`Table::append_rows`]-compatible batches).
+    pub fn slice_rows(&self, a: usize, b: usize) -> Table {
+        Table {
+            columns: self.columns.iter().map(|(n, c)| (n.clone(), c.slice(a, b))).collect(),
+            rows: b - a,
+        }
+    }
 }
 
 #[cfg(test)]

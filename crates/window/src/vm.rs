@@ -3,7 +3,7 @@
 //!
 //! Frame-bound and FILTER expressions used to be evaluated by walking the
 //! [`BoundExpr`] tree once per row — a pointer chase plus a `Value` enum
-//! round-trip per node per row. [`ExprCompiler`] lowers a bound tree once
+//! round-trip per node per row. `ExprCompiler` lowers a bound tree once
 //! into a flat [`Program`] (a post-order op vector plus a constant pool,
 //! both `Arc`-shared so plans can hand programs to worker threads for free),
 //! and a reusable [`ExprVm`] executes the program over a whole partition at

@@ -1,0 +1,418 @@
+//! The delta API's contract: after any sequence of appends, an
+//! [`IncrementalEngine`]'s outputs are bit-identical to re-running the query
+//! from scratch on the grown table — under every engine configuration, on
+//! both the splice fast path and the recompute path — and `changed_outputs`
+//! reports exactly the rows whose outputs changed.
+
+use holistic_window::frame::{FrameBound, FrameExclusion, FrameSpec};
+use holistic_window::strategy::StatsAcc;
+use holistic_window::{
+    col, lit, Column, ExecOptions, FunctionCall, IncrementalEngine, SortKey, Table, Value,
+    WindowQuery, WindowSpec,
+};
+use proptest::prelude::*;
+
+/// Bit-faithful value equality (floats by bits, like the fuzzer's oracle).
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn tables_bit_identical(a: &Table, b: &Table) {
+    assert_eq!(a.num_columns(), b.num_columns());
+    assert_eq!(a.num_rows(), b.num_rows());
+    for ((na, ca), (nb, cb)) in a.iter().zip(b.iter()) {
+        assert_eq!(na, nb);
+        let (va, vb) = (ca.to_values(), cb.to_values());
+        for (i, (x, y)) in va.iter().zip(&vb).enumerate() {
+            assert!(bits_eq(x, y), "column {na} row {i}: {x:?} != {y:?}");
+        }
+    }
+}
+
+/// Appends every batch, then checks the refreshed output against a
+/// from-scratch execution of the same options on the grown table.
+fn check_equivalence(query: &WindowQuery, base: &Table, batches: &[Table]) {
+    for opts in ExecOptions::all_configs() {
+        let mut engine = query.begin_incremental(base, opts).unwrap();
+        for batch in batches {
+            engine.append(batch).unwrap();
+        }
+        let expected = query.execute_with(engine.table(), opts).unwrap();
+        tables_bit_identical(&engine.output_table().unwrap(), &expected);
+    }
+}
+
+/// A query where every call is forest-eligible and the frame splices.
+fn all_fast_query() -> WindowQuery {
+    let order = || vec![SortKey::asc(col("v"))];
+    WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("t"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(5i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::count_star().named("c"))
+    .call(FunctionCall::row_number(order()).named("rn"))
+    .call(FunctionCall::rank(order()).named("r"))
+    .call(FunctionCall::percent_rank(order()).named("pr"))
+    .call(FunctionCall::cume_dist(order()).named("cd"))
+    .call(FunctionCall::percentile_disc(0.25, SortKey::asc(col("v"))).named("pd"))
+    .call(FunctionCall::percentile_cont(0.75, SortKey::asc(col("v"))).named("pc"))
+    .call(FunctionCall::median(col("v")).named("med"))
+}
+
+/// `n` rows of (g, t, v) with `t` globally increasing — appending suffix
+/// slices is an end-append in every partition.
+fn timeseries(n: usize) -> Table {
+    let g: Vec<i64> = (0..n as i64).map(|i| i % 3).collect();
+    let t: Vec<i64> = (0..n as i64).collect();
+    let v: Vec<i64> = (0..n as i64).map(|i| (i * 37 + 11) % 23).collect();
+    Table::new(vec![("g", Column::ints(g)), ("t", Column::ints(t)), ("v", Column::ints(v))])
+        .unwrap()
+}
+
+fn suffix_batches(full: &Table, base_n: usize, k: usize) -> (Table, Vec<Table>) {
+    let n = full.num_rows();
+    let base = full.slice_rows(0, base_n);
+    let step = (n - base_n).div_ceil(k).max(1);
+    let mut batches = Vec::new();
+    let mut at = base_n;
+    while at < n {
+        let hi = (at + step).min(n);
+        batches.push(full.slice_rows(at, hi));
+        at = hi;
+    }
+    (base, batches)
+}
+
+#[test]
+fn fast_path_matches_batch_execution_under_all_configs() {
+    let full = timeseries(300);
+    let (base, batches) = suffix_batches(&full, 120, 6);
+    let q = all_fast_query();
+    check_equivalence(&q, &base, &batches);
+
+    // And the refreshes really took the fast path: every touched partition
+    // spliced, outputs for exactly the new rows were reported changed.
+    let mut engine = q.begin_incremental(&base, ExecOptions::default()).unwrap();
+    let mut at = 120;
+    for batch in &batches {
+        let res = engine.append(batch).unwrap();
+        assert_eq!(res.profile.recomputed_partitions, 0, "end-appends must splice");
+        assert_eq!(res.profile.spliced_partitions, res.profile.touched_partitions);
+        assert_eq!(res.profile.fast_path_rows, batch.num_rows());
+        let expect: Vec<usize> = (at..at + batch.num_rows()).collect();
+        assert_eq!(res.changed_outputs, expect);
+        at += batch.num_rows();
+    }
+}
+
+#[test]
+fn frame_exclusion_is_safe_on_the_splice_path() {
+    let full = timeseries(240);
+    for excl in [FrameExclusion::CurrentRow, FrameExclusion::Group, FrameExclusion::Ties] {
+        let order = || vec![SortKey::asc(col("v"))];
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .partition_by(vec![col("g")])
+                .order_by(vec![SortKey::asc(col("t"))])
+                .frame(
+                    FrameSpec::rows(FrameBound::Preceding(lit(7i64)), FrameBound::CurrentRow)
+                        .exclude(excl),
+                ),
+        )
+        .call(FunctionCall::rank(order()).named("r"))
+        .call(FunctionCall::cume_dist(order()).named("cd"))
+        .call(FunctionCall::median(col("v")).named("med"));
+        let (base, batches) = suffix_batches(&full, 100, 5);
+        check_equivalence(&q, &base, &batches);
+        let mut engine = q.begin_incremental(&base, ExecOptions::default()).unwrap();
+        for batch in &batches {
+            let res = engine.append(batch).unwrap();
+            assert_eq!(res.profile.recomputed_partitions, 0, "exclusion must not block splicing");
+        }
+    }
+}
+
+#[test]
+fn desc_and_float_keys_splice_bit_identically() {
+    let n = 200usize;
+    let t: Vec<i64> = (0..n as i64).collect();
+    // Ties, negative zero and negative values exercise the total-order
+    // encoding and the bit-faithful decode.
+    let v: Vec<f64> = (0..n)
+        .map(|i| match i % 7 {
+            0 => -0.0,
+            1 => 0.0,
+            k => ((i as f64) - 100.0) * 0.5 * if k % 2 == 0 { -1.0 } else { 1.0 },
+        })
+        .collect();
+    let full = Table::new(vec![("t", Column::ints(t)), ("v", Column::floats(v))]).unwrap();
+    let order = || vec![SortKey::desc(col("v"))];
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .order_by(vec![SortKey::asc(col("t"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(9i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::rank(order()).named("r"))
+    .call(FunctionCall::percent_rank(order()).named("pr"))
+    .call(FunctionCall::percentile_disc(0.5, SortKey::desc(col("v"))).named("pd"))
+    .call(FunctionCall::percentile_cont(0.25, SortKey::desc(col("v"))).named("pc"));
+    let (base, batches) = suffix_batches(&full, 80, 4);
+    check_equivalence(&q, &base, &batches);
+}
+
+#[test]
+fn out_of_order_appends_recompute_and_still_match() {
+    // `t` decreasing: every batch sorts *before* the existing rows, so the
+    // engine must detect the non-end-append and recompute.
+    let n = 150usize;
+    let g: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+    let t: Vec<i64> = (0..n as i64).map(|i| n as i64 - i).collect();
+    let v: Vec<i64> = (0..n as i64).map(|i| (i * 13 + 5) % 17).collect();
+    let full =
+        Table::new(vec![("g", Column::ints(g)), ("t", Column::ints(t)), ("v", Column::ints(v))])
+            .unwrap();
+    let q = all_fast_query();
+    let (base, batches) = suffix_batches(&full, 60, 3);
+    check_equivalence(&q, &base, &batches);
+    let mut engine = q.begin_incremental(&base, ExecOptions::default()).unwrap();
+    for batch in &batches {
+        let res = engine.append(batch).unwrap();
+        assert_eq!(res.profile.spliced_partitions, 0, "prepends must not splice");
+    }
+}
+
+#[test]
+fn ineligible_queries_recompute_and_match() {
+    // SUM and MIN aren't forest-eligible; RANGE frames aren't spliceable;
+    // per-row bounds aren't spliceable. All must still refresh correctly.
+    let full = timeseries(160);
+    let (base, batches) = suffix_batches(&full, 70, 3);
+
+    let sum_q = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("t"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(4i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::sum(col("v")).named("s"))
+    .call(FunctionCall::min(col("v")).named("mn"));
+    check_equivalence(&sum_q, &base, &batches);
+
+    let range_q = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("t"))])
+            .frame(FrameSpec::range(FrameBound::Preceding(lit(6i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("v")).named("med"));
+    check_equivalence(&range_q, &base, &batches);
+
+    let perrow_q = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("t"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(col("v")), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::rank(vec![SortKey::asc(col("v"))]).named("r"));
+    check_equivalence(&perrow_q, &base, &batches);
+}
+
+#[test]
+fn null_keys_demote_the_partition_but_stay_correct() {
+    let g: Vec<i64> = vec![0; 60];
+    let t: Vec<i64> = (0..60).collect();
+    let v: Vec<Option<i64>> = (0..60).map(|i| if i == 47 { None } else { Some(i % 9) }).collect();
+    let full = Table::new(vec![
+        ("g", Column::ints(g)),
+        ("t", Column::ints(t)),
+        ("v", Column::ints_opt(v)),
+    ])
+    .unwrap();
+    // Median screens its NULL key rows (fallback semantics the forest can't
+    // express), so meeting the NULL must demote the partition.
+    let q = WindowQuery::over(
+        WindowSpec::new()
+            .partition_by(vec![col("g")])
+            .order_by(vec![SortKey::asc(col("t"))])
+            .frame(FrameSpec::rows(FrameBound::Preceding(lit(5i64)), FrameBound::CurrentRow)),
+    )
+    .call(FunctionCall::median(col("v")).named("med"))
+    .call(FunctionCall::rank(vec![SortKey::asc(col("v"))]).named("r"));
+    let (base, batches) = suffix_batches(&full, 40, 4);
+    check_equivalence(&q, &base, &batches);
+
+    let mut engine = q.begin_incremental(&base, ExecOptions::default()).unwrap();
+    let mut saw_recompute = false;
+    for batch in &batches {
+        let res = engine.append(batch).unwrap();
+        saw_recompute |= res.profile.recomputed_partitions > 0;
+    }
+    assert!(saw_recompute, "the NULL key at row 47 must force a recompute");
+}
+
+#[test]
+fn new_partitions_appear_mid_stream() {
+    // Partition key 2 only shows up in later batches.
+    let n = 120usize;
+    let g: Vec<i64> = (0..n as i64).map(|i| if i < 60 { i % 2 } else { i % 3 }).collect();
+    let t: Vec<i64> = (0..n as i64).collect();
+    let v: Vec<i64> = (0..n as i64).map(|i| (i * 7 + 3) % 11).collect();
+    let full =
+        Table::new(vec![("g", Column::ints(g)), ("t", Column::ints(t)), ("v", Column::ints(v))])
+            .unwrap();
+    let q = all_fast_query();
+    let (base, batches) = suffix_batches(&full, 60, 3);
+    check_equivalence(&q, &base, &batches);
+
+    let mut engine = q.begin_incremental(&base, ExecOptions::default()).unwrap();
+    let mut new_parts = 0;
+    for batch in &batches {
+        new_parts += engine.append(batch).unwrap().profile.new_partitions;
+    }
+    assert_eq!(new_parts, 1, "partition g=2 appears exactly once");
+}
+
+#[test]
+fn incremental_stats_and_strategy_match_from_scratch() {
+    let full = timeseries(300);
+    let (base, batches) = suffix_batches(&full, 120, 6);
+    let q = all_fast_query();
+    let opts = ExecOptions::default();
+
+    let mut engine = q.begin_incremental(&base, opts).unwrap();
+    for batch in &batches {
+        engine.append(batch).unwrap();
+    }
+    // A second engine built directly on the grown table computes its stats
+    // and strategy choices from scratch; the incrementally-maintained ones
+    // must agree exactly.
+    let fresh = q.begin_incremental(engine.table(), opts).unwrap();
+    assert_eq!(engine.partition_stats(), fresh.partition_stats());
+    assert_eq!(engine.strategy_decisions(), fresh.strategy_decisions());
+
+    // And the engine's decision histogram matches the batch executor's.
+    let (_, profile) = q.execute_profiled(engine.table(), opts).unwrap();
+    assert_eq!(engine.strategy_decisions(), profile.strategy.decisions);
+}
+
+#[test]
+fn rejected_batches_leave_the_engine_usable() {
+    let full = timeseries(100);
+    let (base, batches) = suffix_batches(&full, 80, 1);
+    let q = all_fast_query();
+    let mut engine = q.begin_incremental(&base, ExecOptions::default()).unwrap();
+
+    // Wrong column set: rejected up front, engine untouched.
+    let bad = Table::new(vec![("x", Column::ints(vec![1]))]).unwrap();
+    assert!(engine.append(&bad).is_err());
+    assert!(!engine.is_poisoned(), "a rejected batch must not poison the engine");
+
+    engine.append(&batches[0]).unwrap();
+    let expected = q.execute(engine.table()).unwrap();
+    tables_bit_identical(&engine.output_table().unwrap(), &expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `changed_outputs` is exact: it contains every new row, every old row
+    /// whose output changed, and *nothing else* — validated against a
+    /// before/after diff of full output tables under bit equality.
+    #[test]
+    fn changed_outputs_are_exactly_the_diff(
+        gs in prop::collection::vec(0i64..3, 8..60),
+        ts in prop::collection::vec(-20i64..20, 8..60),
+        vs in prop::collection::vec(prop::option::of(-8i64..8), 8..60),
+        split_num in 1usize..4,
+        pre in 0i64..6,
+    ) {
+        let n = gs.len().min(ts.len()).min(vs.len());
+        let full = Table::new(vec![
+            ("g", Column::ints(gs[..n].to_vec())),
+            ("t", Column::ints(ts[..n].to_vec())),
+            ("v", Column::ints_opt(vs[..n].to_vec())),
+        ]).unwrap();
+        let base_n = n * split_num / 4;
+        let q = WindowQuery::over(
+            WindowSpec::new()
+                .partition_by(vec![col("g")])
+                .order_by(vec![SortKey::asc(col("t"))])
+                .frame(FrameSpec::rows(FrameBound::Preceding(lit(pre)), FrameBound::CurrentRow)),
+        )
+        .call(FunctionCall::count_star().named("c"))
+        .call(FunctionCall::rank(vec![SortKey::asc(col("v"))]).named("r"))
+        .call(FunctionCall::median(col("v")).named("med"));
+
+        let base = full.slice_rows(0, base_n);
+        let batch = full.slice_rows(base_n, n);
+        let mut engine: IncrementalEngine =
+            q.begin_incremental(&base, ExecOptions::default()).unwrap();
+        let before = engine.output_table().unwrap();
+        let res = engine.append(&batch).unwrap();
+        let after = engine.output_table().unwrap();
+
+        // Oracle diff: new rows always count as changed; old rows compare
+        // bit-for-bit across all output columns.
+        let mut oracle: Vec<usize> = (base_n..n).collect();
+        for row in 0..base_n {
+            let changed = before.iter().zip(after.iter()).any(|((_, cb), (_, ca))| {
+                !bits_eq(&cb.get(row), &ca.get(row))
+            });
+            if changed {
+                oracle.push(row);
+            }
+        }
+        oracle.sort_unstable();
+        prop_assert_eq!(res.changed_outputs, oracle);
+
+        // And the refreshed outputs equal a from-scratch execution.
+        let expected = q.execute(engine.table()).unwrap();
+        tables_bit_identical(&after, &expected);
+    }
+
+    /// [`StatsAcc`] extended batch-by-batch agrees with one whole-frames
+    /// accumulation (the O(b)-update satellite's core claim).
+    #[test]
+    fn stats_acc_batch_extension_matches_whole(
+        widths in prop::collection::vec((0usize..10, 0usize..10), 1..50),
+        cut in 0usize..49,
+    ) {
+        use holistic_window::frame::ResolvedFrames;
+        let m = widths.len();
+        let cut = cut.min(m);
+        let mut bounds = Vec::with_capacity(m);
+        for (i, &(a_off, b_off)) in widths.iter().enumerate() {
+            let a = i.saturating_sub(a_off);
+            let b = (i + b_off).min(m).max(a);
+            bounds.push((a, b));
+        }
+        // Synthetic peer groups: runs of 3.
+        let peer_start: Vec<usize> = (0..m).map(|i| i - i % 3).collect();
+        let peer_end: Vec<usize> = (0..m).map(|i| (i - i % 3 + 3).min(m)).collect();
+        let prefix = ResolvedFrames {
+            bounds: bounds[..cut].to_vec(),
+            exclusion: FrameExclusion::NoOthers,
+            peer_start: peer_start[..cut].to_vec(),
+            peer_end: peer_end[..cut].to_vec(),
+        };
+        let frames = ResolvedFrames {
+            bounds,
+            exclusion: FrameExclusion::NoOthers,
+            peer_start,
+            peer_end,
+        };
+        let mut whole = StatsAcc::new();
+        whole.extend(&frames, 0);
+        // Accumulate the prefix first, then the tail of the full frames —
+        // the engine's per-batch update pattern.
+        let mut split = StatsAcc::new();
+        split.extend(&prefix, 0);
+        split.extend(&frames, cut);
+        prop_assert_eq!(whole.stats(), split.stats());
+    }
+}
