@@ -37,8 +37,12 @@ echo "==> fuzz smoke (append delta API: bit-identity vs from-scratch, fixed seed
 cargo run --release -q -p holistic-fuzz --bin fuzz -- \
   --append --cases 600 --seed 0xC0FFEE --max-n 40 --time-budget-secs 120
 
-echo "==> fuzz panic sweep (invalid specs must Error, never panic)"
+echo "==> fuzz panic sweep (invalid specs must Error, never panic; incl. tiny-budget configs)"
 cargo run --release -q -p holistic-fuzz --bin fuzz -- --panic-sweep --cases 400 --seed 0x5EED
+
+echo "==> fuzz smoke (budget mode: bit-identical under budget or typed BudgetExceeded)"
+cargo run --release -q -p holistic-fuzz --bin fuzz -- \
+  --cases 500 --seed 0xB4D6E7 --max-n 40 --budget 8192 --time-budget-secs 120
 
 echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private identity)"
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json
@@ -51,5 +55,8 @@ N=4000 REPS=1 cargo run --release -q -p holistic-bench --bin crossover_ext -- --
 # Asserts all 13 configs (incl. VM/block-probe escape hatches) bit-identical;
 # the ≥2×/≥3× speedup gates self-skip at tiny n.
 N=3000 REPS=1 cargo run --release -q -p holistic-bench --bin probe_batch_ext -- --json
+# Asserts budgeted execution bit-identical to unbudgeted, peak resident within
+# 1.25x budget, and that the auto-derived budget actually spills.
+N=60000 PARTS=6 BUDGET=0 REPS=1 cargo run --release -q -p holistic-bench --bin spill_ext -- --json
 
 echo "CI OK"

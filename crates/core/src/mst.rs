@@ -11,7 +11,7 @@
 //! scanning the contiguous base keys directly instead of cascading into
 //! singleton children.
 
-use crate::arena::{prefetch_read, Span};
+use crate::arena::{prefetch_read, Span, SpillableArena};
 use crate::cursor::{gallop_partition_point, ProbeCursor, SelectCursor, Side};
 use crate::index::TreeIndex;
 use crate::merge::{merge_run, Keyed, RunChildren};
@@ -85,68 +85,119 @@ pub(crate) fn fill_levels<I: TreeIndex, T: Keyed<I>>(
     data: &mut [T],
     ptrs: &mut [I],
 ) -> Vec<std::time::Duration> {
-    let (f, k) = (params.fanout, params.sampling);
     debug_assert_eq!(data.len(), meta.len() * n);
     let mut times = Vec::with_capacity(meta.len().saturating_sub(1));
     for lvl in 1..meta.len() {
         let t0 = std::time::Instant::now();
-        let m = meta[lvl];
-        let child_run_len = meta[lvl - 1].run_len;
-        let run_len = m.run_len;
-        let num_runs = n.div_ceil(run_len);
-
         // The child level is read-only while the current level is written:
         // disjoint regions of the single keys buffer.
         let (lower, upper) = data.split_at_mut(lvl * n);
         let child_data = &lower[(lvl - 1) * n..];
         let out_level = &mut upper[..n];
-        let ptr_level = m.ptrs.slice_mut(ptrs);
-
-        // Carve output and pointer storage into per-run slices.
-        let mut out_parts: Vec<&mut [T]> = Vec::with_capacity(num_runs);
-        let mut ptr_parts: Vec<&mut [I]> = Vec::with_capacity(num_runs);
-        {
-            let mut data_rest = out_level;
-            let mut ptr_rest = ptr_level;
-            for r in 0..num_runs {
-                let start = r * run_len;
-                let len = (start + run_len).min(n) - start;
-                let (h, t) = data_rest.split_at_mut(len);
-                out_parts.push(h);
-                data_rest = t;
-                let (ph, pt) = ptr_rest.split_at_mut((len / k + 2) * f);
-                ptr_parts.push(ph);
-                ptr_rest = pt;
-            }
-        }
-
-        let make_children = |r: usize| -> RunChildren<'_, T> {
-            let start = r * run_len;
-            let end = (start + run_len).min(n);
-            let mut children = Vec::with_capacity(f);
-            let mut cs = start;
-            while cs < end {
-                let ce = (cs + child_run_len).min(end);
-                children.push(&child_data[cs..ce]);
-                cs = ce;
-            }
-            RunChildren { children }
-        };
-
-        if params.parallel && num_runs > 1 {
-            // Lower levels: one merge task per run (§5.2).
-            out_parts.into_par_iter().zip(ptr_parts).enumerate().for_each(|(r, (out, snaps))| {
-                merge_run(&make_children(r), f, k, out, snaps, false);
-            });
-        } else {
-            // Upper levels (single run): parallelize inside the merge.
-            for (r, (out, snaps)) in out_parts.into_iter().zip(ptr_parts).enumerate() {
-                merge_run(&make_children(r), f, k, out, snaps, params.parallel);
-            }
-        }
+        let ptr_level = meta[lvl].ptrs.slice_mut(ptrs);
+        fill_one_level(n, params, meta, lvl, child_data, out_level, ptr_level);
         times.push(t0.elapsed());
     }
     times
+}
+
+/// Merges level `lvl - 1` into level `lvl`'s preallocated key and pointer
+/// storage — the per-level body shared by the in-memory build (which walks
+/// one big arena) and the out-of-core build (which ping-pongs two `n`-sized
+/// buffers, spilling each completed level). Merging is identical either way,
+/// so the two builds are bit-identical by construction.
+pub(crate) fn fill_one_level<I: TreeIndex, T: Keyed<I>>(
+    n: usize,
+    params: MstParams,
+    meta: &[LevelMeta],
+    lvl: usize,
+    child_data: &[T],
+    out_level: &mut [T],
+    ptr_level: &mut [I],
+) {
+    let (f, k) = (params.fanout, params.sampling);
+    let m = meta[lvl];
+    let child_run_len = meta[lvl - 1].run_len;
+    let run_len = m.run_len;
+    let num_runs = n.div_ceil(run_len);
+
+    // Carve output and pointer storage into per-run slices.
+    let mut out_parts: Vec<&mut [T]> = Vec::with_capacity(num_runs);
+    let mut ptr_parts: Vec<&mut [I]> = Vec::with_capacity(num_runs);
+    {
+        let mut data_rest = out_level;
+        let mut ptr_rest = ptr_level;
+        for r in 0..num_runs {
+            let start = r * run_len;
+            let len = (start + run_len).min(n) - start;
+            let (h, t) = data_rest.split_at_mut(len);
+            out_parts.push(h);
+            data_rest = t;
+            let (ph, pt) = ptr_rest.split_at_mut((len / k + 2) * f);
+            ptr_parts.push(ph);
+            ptr_rest = pt;
+        }
+    }
+
+    let make_children = |r: usize| -> RunChildren<'_, T> {
+        let start = r * run_len;
+        let end = (start + run_len).min(n);
+        let mut children = Vec::with_capacity(f);
+        let mut cs = start;
+        while cs < end {
+            let ce = (cs + child_run_len).min(end);
+            children.push(&child_data[cs..ce]);
+            cs = ce;
+        }
+        RunChildren { children }
+    };
+
+    if params.parallel && num_runs > 1 {
+        // Lower levels: one merge task per run (§5.2).
+        out_parts.into_par_iter().zip(ptr_parts).enumerate().for_each(|(r, (out, snaps))| {
+            merge_run(&make_children(r), f, k, out, snaps, false);
+        });
+    } else {
+        // Upper levels (single run): parallelize inside the merge.
+        for (r, (out, snaps)) in out_parts.into_iter().zip(ptr_parts).enumerate() {
+            merge_run(&make_children(r), f, k, out, snaps, params.parallel);
+        }
+    }
+}
+
+/// Total arena length (keys + pointer slabs, in elements) of a tree over `n`
+/// values — a pure function of the geometry, so budget governors can price a
+/// build before running it.
+pub fn mst_arena_len(n: usize, params: MstParams) -> usize {
+    let meta = level_geometry(n, params);
+    meta.len() * n + meta.last().expect("geometry has at least one level").ptrs.end()
+}
+
+/// Peak resident element count of [`MergeSortTree::build_spilled`]: the two
+/// ping-pong key buffers plus the largest single pointer slab — what an
+/// out-of-core build keeps in memory instead of the full
+/// [`mst_arena_len`]-element arena.
+pub fn mst_spill_build_len(n: usize, params: MstParams) -> usize {
+    let meta = level_geometry(n, params);
+    2 * n + meta.iter().map(|m| m.ptrs.len).max().unwrap_or(0)
+}
+
+/// The cumulative segment boundaries of an arena slab in layout order: one
+/// segment per key level (each `n` elements), then one per pointer slab.
+/// This is the granularity [`crate::arena::SpillableArena`] spills and
+/// re-faults at.
+fn arena_segments(levels: &[LevelMeta], n: usize) -> Vec<usize> {
+    let h = levels.len();
+    let mut segs = Vec::with_capacity(2 * h);
+    segs.push(0);
+    for l in 1..=h {
+        segs.push(l * n);
+    }
+    let base = h * n;
+    for m in &levels[1..] {
+        segs.push(base + m.ptrs.end());
+    }
+    segs
 }
 
 /// A merge sort tree over integer payloads.
@@ -177,6 +228,44 @@ pub struct MergeSortTree<I: TreeIndex> {
     /// without missing, then finish inside one warmed `≤ stride` window
     /// instead of chasing `log n` scattered lines.
     top_samples: Vec<I>,
+}
+
+/// The metadata of a [`MergeSortTree`] without its arena slab: level table,
+/// build parameters and the (cache-sized) top-run samples. A parked tree is
+/// exactly a shell plus a spilled slab; [`MergeSortTree::from_shell`]
+/// reassembles the tree without rescanning anything.
+#[derive(Debug, Clone)]
+pub struct MstShell<I: TreeIndex> {
+    levels: Vec<LevelMeta>,
+    params: MstParams,
+    n: usize,
+    identity_top: bool,
+    top_samples: Vec<I>,
+}
+
+impl<I: TreeIndex> MstShell<I> {
+    /// Number of elements of the (parked) tree.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the parked tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The arena's cumulative segment boundaries in layout order (one
+    /// segment per key level, then one per pointer slab) — the segment table
+    /// a [`SpillableArena`] for this tree must be built with.
+    pub fn segments(&self) -> Vec<usize> {
+        arena_segments(&self.levels, self.n)
+    }
+
+    /// Full arena footprint of the tree when resident, in bytes.
+    pub fn arena_bytes(&self) -> usize {
+        (self.levels.len() * self.n + self.levels.last().unwrap().ptrs.end())
+            * std::mem::size_of::<I>()
+    }
 }
 
 impl<I: TreeIndex> MergeSortTree<I> {
@@ -216,6 +305,83 @@ impl<I: TreeIndex> MergeSortTree<I> {
         let identity_top = top_is_identity(top_keys, n);
         let top_samples = sample_top(top_keys, identity_top);
         MergeSortTree { arena, levels, params, n, identity_top, top_samples }
+    }
+
+    /// Builds a tree over `values` without ever materializing the full
+    /// arena: levels are merged into two ping-pong buffers through the same
+    /// loser-tree merge as [`Self::build`] and each completed level (keys,
+    /// then its cascading-pointer slab) is streamed straight into a spill
+    /// file. The result is *born parked*: re-fault the returned arena and
+    /// wrap it with [`Self::from_shell`] to probe it.
+    ///
+    /// Peak resident memory is [`mst_spill_build_len`] elements (two key
+    /// buffers plus one pointer slab) instead of the full
+    /// [`mst_arena_len`]-element arena — the out-of-core path for partitions
+    /// whose tree exceeds the memory budget.
+    ///
+    /// Bit-identical to [`Self::build`]: both run `fill_one_level` per
+    /// level; only the backing storage differs.
+    pub fn build_spilled(
+        values: &[I],
+        params: MstParams,
+    ) -> std::io::Result<(MstShell<I>, SpillableArena<I>)> {
+        let n = values.len();
+        let meta = level_geometry(n, params);
+        let h = meta.len();
+        let mut arena = SpillableArena::new(arena_segments(&meta, n));
+        arena.write_segment(0, values)?;
+        let mut prev: Vec<I> = values.to_vec();
+        let mut cur: Vec<I> = vec![I::ZERO; n];
+        let mut ptr_buf: Vec<I> = Vec::new();
+        for lvl in 1..h {
+            ptr_buf.clear();
+            ptr_buf.resize(meta[lvl].ptrs.len, I::ZERO);
+            fill_one_level(n, params, &meta, lvl, &prev, &mut cur, &mut ptr_buf);
+            arena.write_segment(lvl, &cur)?;
+            arena.write_segment(h + lvl - 1, &ptr_buf)?;
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        arena.mark_written();
+        // `prev` now holds the top level's keys.
+        let identity_top = top_is_identity(&prev, n);
+        let top_samples = sample_top(&prev, identity_top);
+        Ok((MstShell { levels: meta, params, n, identity_top, top_samples }, arena))
+    }
+
+    /// Splits the tree into its metadata shell and its arena slab — the
+    /// parking operation: the shell stays resident (a few dozen bytes plus
+    /// the cache-sized top samples), the slab goes to a
+    /// [`SpillableArena`].
+    pub fn into_shell(self) -> (MstShell<I>, Vec<I>) {
+        (
+            MstShell {
+                levels: self.levels,
+                params: self.params,
+                n: self.n,
+                identity_top: self.identity_top,
+                top_samples: self.top_samples,
+            },
+            self.arena,
+        )
+    }
+
+    /// Reassembles a tree from a shell and its re-faulted arena. The shell
+    /// preserves `identity_top` and the top samples, so — unlike
+    /// `Self::from_parts` — nothing is rescanned: the round trip
+    /// `into_shell` → `from_shell` is exact and cheap.
+    pub fn from_shell(shell: MstShell<I>, arena: Vec<I>) -> Self {
+        debug_assert_eq!(
+            arena.len(),
+            shell.levels.len() * shell.n + shell.levels.last().unwrap().ptrs.end()
+        );
+        MergeSortTree {
+            arena,
+            levels: shell.levels,
+            params: shell.params,
+            n: shell.n,
+            identity_top: shell.identity_top,
+            top_samples: shell.top_samples,
+        }
     }
 
     /// Number of elements.
@@ -2165,5 +2331,69 @@ mod tests {
             })
             .sum();
         assert_eq!(tree.stored_pointers(), expected_ptrs);
+    }
+
+    #[test]
+    fn build_spilled_is_bit_identical_to_build() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for &(f, k) in &[(2, 1), (4, 2), (8, 32), (32, 32), (5, 7)] {
+            for &n in &[2usize, 17, 255, 1000] {
+                let params = MstParams::new(f, k);
+                let vals: Vec<u32> = (0..n).map(|_| rng.gen_range(0..200)).collect();
+                let reference = MergeSortTree::<u32>::build(&vals, params);
+                let (shell, mut arena) =
+                    MergeSortTree::<u32>::build_spilled(&vals, params).unwrap();
+                assert_eq!(arena.total_elements(), mst_arena_len(n, params));
+                assert_eq!(shell.arena_bytes(), reference.arena_bytes());
+                let tree = MergeSortTree::from_shell(shell, arena.fault().unwrap());
+                // The slabs are bit-identical, so every probe agrees too.
+                assert_eq!(tree.arena, reference.arena, "f={f} k={k} n={n}");
+                for _ in 0..50 {
+                    let a = rng.gen_range(0..=n);
+                    let b = rng.gen_range(0..=n);
+                    let t = rng.gen_range(0..210);
+                    assert_eq!(tree.count_below(a, b, t), reference.count_below(a, b, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shell_roundtrip_is_exact() {
+        let vals: Vec<u64> = (0..300u64).rev().collect();
+        let params = MstParams::new(4, 2);
+        let tree = MergeSortTree::<u64>::build(&vals, params);
+        let identity_top = tree.identity_top;
+        let samples = tree.top_samples.clone();
+        let (shell, slab) = tree.into_shell();
+        assert_eq!(shell.len(), 300);
+        assert!(!shell.is_empty());
+        let back = MergeSortTree::from_shell(shell, slab);
+        assert_eq!(back.identity_top, identity_top);
+        assert_eq!(back.top_samples, samples);
+        assert_eq!(back.count_below(0, 300, 150), 150);
+    }
+
+    #[test]
+    fn spilled_build_handles_tiny_inputs() {
+        for n in 0..2usize {
+            let params = MstParams::default();
+            let vals: Vec<u32> = (0..n as u32).collect();
+            let reference = MergeSortTree::<u32>::build(&vals, params);
+            let (shell, mut arena) = MergeSortTree::<u32>::build_spilled(&vals, params).unwrap();
+            let tree = MergeSortTree::from_shell(shell, arena.fault().unwrap());
+            assert_eq!(tree.arena, reference.arena);
+            assert_eq!(tree.count_below(0, n, 1), reference.count_below(0, n, 1));
+        }
+    }
+
+    #[test]
+    fn spill_build_len_is_below_arena_len() {
+        // The out-of-core build's resident set must genuinely undercut the
+        // full arena for any tree tall enough to spill.
+        let params = MstParams::default();
+        for &n in &[1000usize, 50_000] {
+            assert!(mst_spill_build_len(n, params) < mst_arena_len(n, params));
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]
 //!      [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]
+//!      [--budget BYTES]
 //! ```
 //!
 //! Default mode generates `--cases` cases from `--seed` and runs each
@@ -14,11 +15,15 @@
 //! nothing may panic. `--append` runs the append-sequence mode instead: each
 //! case's table is carved into a base plus seeded batches, fed through the
 //! incremental delta API, and compared bit-identically against from-scratch
-//! execution under every configuration.
+//! execution under every configuration. `--budget BYTES` runs the
+//! budget-constrained mode instead: every case runs under a memory budget
+//! and must be bit-identical to the unbudgeted serial reference or fail
+//! with the typed `BudgetExceeded` (never panic).
 
 use holistic_fuzz::gen::{case_seed, generate, GenConfig};
 use holistic_fuzz::{
-    check_append_case, check_case, dump_table, panic_sweep, shrink, with_quiet_panics,
+    check_append_case, check_budget_case, check_case, dump_table, panic_sweep, shrink,
+    with_quiet_panics,
 };
 use std::time::Instant;
 
@@ -31,6 +36,7 @@ struct Args {
     replay: Option<u64>,
     panic_sweep: bool,
     append: bool,
+    budget: Option<u64>,
 }
 
 impl Default for Args {
@@ -44,6 +50,7 @@ impl Default for Args {
             replay: None,
             panic_sweep: false,
             append: false,
+            budget: None,
         }
     }
 }
@@ -73,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(parse_u64(&value("--replay")?)?),
             "--panic-sweep" => args.panic_sweep = true,
             "--append" => args.append = true,
+            "--budget" => args.budget = Some(parse_u64(&value("--budget")?)?),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -82,17 +90,22 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]\n\
-         \x20           [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]"
+         \x20           [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]\n\
+         \x20           [--budget BYTES]"
     );
 }
 
 fn replay_command(case_seed: u64, args: &Args) -> String {
     format!(
         "cargo run --release -p holistic-fuzz --bin fuzz -- --replay {case_seed:#x} \
-         --max-n {} --max-calls {}{}",
+         --max-n {} --max-calls {}{}{}",
         args.max_n,
         args.max_calls,
-        if args.append { " --append" } else { "" }
+        if args.append { " --append" } else { "" },
+        match args.budget {
+            Some(b) => format!(" --budget {b}"),
+            None => String::new(),
+        }
     )
 }
 
@@ -110,7 +123,9 @@ fn report_failure(
     println!("  divergence: {divergence}");
     println!("  replay:     {}", replay_command(cs, args));
     let check = |t: &holistic_window::Table, q: &holistic_window::WindowQuery| {
-        if args.append {
+        if let Some(b) = args.budget {
+            check_budget_case(t, q, b)
+        } else if args.append {
             check_append_case(t, q, cs)
         } else {
             check_case(t, q)
@@ -160,7 +175,9 @@ fn main() {
     let cfg = GenConfig { max_n: args.max_n, max_calls: args.max_calls };
 
     let check = |t: &holistic_window::Table, q: &holistic_window::WindowQuery, cs: u64| {
-        if args.append {
+        if let Some(b) = args.budget {
+            check_budget_case(t, q, b)
+        } else if args.append {
             check_append_case(t, q, cs)
         } else {
             check_case(t, q)
@@ -208,7 +225,15 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    if args.append {
+    if let Some(b) = args.budget {
+        println!(
+            "fuzz OK (budget mode): {ran} cases, seed {:#x}, max-n {}, budget {b} B — \
+             budgeted configs bit-identical or typed BudgetExceeded ({:.1}s)",
+            args.seed,
+            args.max_n,
+            start.elapsed().as_secs_f64()
+        );
+    } else if args.append {
         println!(
             "fuzz OK (append mode): {ran} cases, seed {:#x}, max-n {}, delta API vs \
              from-scratch bit-identical over 8 configs ({:.1}s)",

@@ -120,6 +120,55 @@ fn compare_tables(
     Ok(())
 }
 
+/// Checks one case under a memory budget: budgeted configurations must be
+/// **bit-identical** to an unbudgeted serial reference whenever they
+/// complete, and may otherwise fail only with the typed
+/// [`holistic_window::Error::BudgetExceeded`] — any other fresh error, and
+/// any panic, is a divergence. Spilling and out-of-core builds are pure
+/// execution strategies, so the comparison regime is the strict one.
+pub fn check_budget_case(
+    table: &Table,
+    query: &WindowQuery,
+    budget: u64,
+) -> Result<(), Divergence> {
+    let reference =
+        run_protected("serial-reference", || query.execute_with(table, ExecOptions::serial()))?;
+    let configs = [
+        ExecOptions::serial().memory_budget(budget),
+        ExecOptions::default().memory_budget(budget),
+        ExecOptions::serial().force_strategy(Strategy::Mst).memory_budget(budget),
+    ];
+    for opts in configs {
+        let label = opts.label();
+        let res = run_protected(&label, || query.execute_with(table, opts))?;
+        match (&reference, res) {
+            // Running out of budget is always a legitimate outcome — but
+            // only through the typed error, never a panic (caught above).
+            (_, Err(holistic_window::Error::BudgetExceeded { .. })) => {}
+            (Err(_), Err(_)) => {}
+            (Err(e), Ok(_)) => {
+                return Err(Divergence {
+                    config: label,
+                    message: format!("budgeted run succeeded where reference errors ({e})"),
+                })
+            }
+            (Ok(_), Err(e)) => {
+                return Err(Divergence {
+                    config: label,
+                    message: format!(
+                        "budgeted run failed with a non-budget error where reference \
+                         succeeds: {e}"
+                    ),
+                })
+            }
+            (Ok(expect), Ok(got)) => {
+                compare_tables(&label, "serial-reference", query, expect, &got, values_identical)?
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Checks one case: the naive baseline, all eight adaptive engine
 /// configurations, forced-MST, and every forced alternate strategy must
 /// agree (per the module-level comparison regimes). `Ok(())` means full

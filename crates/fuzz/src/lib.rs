@@ -36,7 +36,7 @@ pub mod panic_sweep;
 pub mod shrink;
 
 pub use append::{append_plan, check_append_case, AppendPlan};
-pub use diff::{check_case, Divergence};
+pub use diff::{check_budget_case, check_case, Divergence};
 pub use gen::{case_seed, generate, FuzzCase, GenConfig};
 pub use panic_sweep::{panic_sweep, SweepReport};
 pub use shrink::shrink;

@@ -358,6 +358,17 @@ fn sweep_one(
         let label = opts.label();
         runs.push((label.clone(), run_protected(&label, || query.execute_with(table, opts))));
     }
+    // Budget-constrained configs: a tiny budget routes builds through the
+    // spill/eviction machinery (or the typed `BudgetExceeded`), which must
+    // reject invalid specs as cleanly as the unbudgeted paths — an Err
+    // either way satisfies `MustErr`, but a panic never does.
+    for opts in [
+        ExecOptions::serial().memory_budget(4096),
+        ExecOptions::serial().force_strategy(Strategy::Mst).memory_budget(4096),
+    ] {
+        let label = opts.label();
+        runs.push((label.clone(), run_protected(&label, || query.execute_with(table, opts))));
+    }
     for (label, run) in runs {
         match run {
             Err(d) => failures.push(format!("{desc} [{label}]: {}", d.message)),

@@ -1,0 +1,89 @@
+//! Memory-pressure cost shaping for strategy selection.
+//!
+//! The cost model of the strategy layer prices a merge sort tree by its
+//! build and probe work, implicitly assuming the whole arena stays resident.
+//! Under a memory budget that assumption breaks: a tree that exceeds its
+//! share of the budget will be built out-of-core and/or parked and
+//! re-faulted between probes, paying spill I/O the base model knows nothing
+//! about. This module supplies the multiplicative penalty the window crate
+//! folds into the MST cost terms when a budget is active, steering the
+//! planner toward budget-friendly strategies (naive, incremental, segment
+//! trees) for partitions whose tree would thrash the arena cache.
+//!
+//! The penalty is deliberately a pure function of two numbers — estimated
+//! tree bytes and the budget — so it stays trivially testable and never
+//! couples this dependency-free crate to engine types.
+
+/// Largest multiplier [`mst_pressure_penalty`] returns. Spill I/O is slow
+/// but not unboundedly so (sequential writes + segment-wise re-faults), so
+/// the penalty saturates instead of growing without bound — an MST can still
+/// win on a huge partition where every alternative is asymptotically worse.
+pub const MAX_PRESSURE_PENALTY: f64 = 8.0;
+
+/// Multiplier for the MST build/probe cost terms of a partition whose tree
+/// is estimated at `estimated_bytes` under an optional `budget`.
+///
+/// * No budget: `1.0` (the base model is already right).
+/// * Tree at most half the budget: `1.0` — it fits comfortably alongside
+///   its siblings; no spilling is expected.
+/// * Beyond half the budget the penalty ramps linearly with the
+///   tree-to-budget ratio and saturates at [`MAX_PRESSURE_PENALTY`] (a tree
+///   several times the budget is re-faulted roughly once per probe pass;
+///   more overshoot cannot make a single pass slower than that).
+/// * Zero budget: [`MAX_PRESSURE_PENALTY`] (everything thrashes).
+#[must_use]
+pub fn mst_pressure_penalty(estimated_bytes: u64, budget: Option<u64>) -> f64 {
+    let Some(b) = budget else {
+        return 1.0;
+    };
+    if b == 0 {
+        return MAX_PRESSURE_PENALTY;
+    }
+    let ratio = estimated_bytes as f64 / b as f64;
+    if ratio <= 0.5 {
+        1.0
+    } else {
+        (1.0 + (ratio - 0.5) * 2.0).min(MAX_PRESSURE_PENALTY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_means_no_penalty() {
+        assert_eq!(mst_pressure_penalty(u64::MAX, None), 1.0);
+        assert_eq!(mst_pressure_penalty(0, None), 1.0);
+    }
+
+    #[test]
+    fn comfortable_fit_is_free() {
+        assert_eq!(mst_pressure_penalty(0, Some(1 << 20)), 1.0);
+        assert_eq!(mst_pressure_penalty(1 << 19, Some(1 << 20)), 1.0);
+    }
+
+    #[test]
+    fn penalty_ramps_and_saturates() {
+        let b = Some(1u64 << 20);
+        // At exactly the budget the tree competes with everything else
+        // resident: ratio 1.0 → penalty 2.0.
+        assert_eq!(mst_pressure_penalty(1 << 20, b), 2.0);
+        let p_fits = mst_pressure_penalty(3 << 18, b); // ratio 0.75 → 1.5
+        assert!(p_fits > 1.0 && p_fits < 2.0);
+        // Far past the budget the penalty saturates.
+        assert_eq!(mst_pressure_penalty(1 << 30, b), MAX_PRESSURE_PENALTY);
+        assert_eq!(mst_pressure_penalty(123, Some(0)), MAX_PRESSURE_PENALTY);
+    }
+
+    #[test]
+    fn penalty_is_monotone_in_tree_size() {
+        let b = Some(4096u64);
+        let mut last = 0.0f64;
+        for bytes in (0..20).map(|i| i * 1024) {
+            let p = mst_pressure_penalty(bytes, b);
+            assert!(p >= last, "penalty regressed at {bytes} bytes");
+            last = p;
+        }
+    }
+}

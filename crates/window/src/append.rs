@@ -40,12 +40,12 @@
 //! key seeds afterwards so the engine's key columns stay uniquely owned and
 //! extend in place.
 
-use crate::artifacts::{self, ArtifactCache};
+use crate::artifacts::{self, ArtifactCache, BudgetGovernor};
 use crate::column::Column;
 use crate::error::{Error, Result};
 use crate::eval::direct::DirectCtx;
 use crate::eval::{alt, direct, evaluate_call, Ctx};
-use crate::executor::{AtomicProbeKernel, ExecOptions, WindowQuery};
+use crate::executor::{AtomicProbeKernel, ExecOptions, SpillStats, WindowQuery};
 use crate::expr::Expr;
 use crate::frame::{resolve_frames_opts, FrameBound, FrameMode, ResolvedFrames};
 use crate::hash::hash_values;
@@ -91,6 +91,17 @@ pub struct AppendProfile {
     /// Cumulative elements rewritten by forest run merges (gauge; divide by
     /// total appended elements for the amortization factor).
     pub forest_rebuilt_elements: u64,
+    /// Artifact bytes built by this append's recomputes (the per-build
+    /// footprints the caches record — previously discarded, leaving the
+    /// profile blind to artifact memory after the first append).
+    pub artifact_bytes_built: u64,
+    /// Budget-governed artifact bytes resident after this append (gauge).
+    pub resident_artifact_bytes: u64,
+    /// High-water mark of budget-governed resident bytes so far (gauge).
+    pub peak_resident_artifact_bytes: u64,
+    /// Arena bytes held by the fast path's per-call forests (gauge;
+    /// observation only — forests are not budget-governed).
+    pub forest_resident_bytes: u64,
 }
 
 /// What changed after one append.
@@ -278,6 +289,10 @@ pub struct IncrementalEngine {
     trivial_keys: Arc<KeyColumns>,
     kernel: AtomicProbeKernel,
     vm: AtomicExprVm,
+    /// Budget governor shared by every partition's persistent cache (and by
+    /// the per-call caches of private mode), so resident artifact bytes are
+    /// bounded across the engine's whole lifetime, not per recompute.
+    gov: Arc<BudgetGovernor>,
     poisoned: bool,
 }
 
@@ -322,6 +337,7 @@ impl IncrementalEngine {
             trivial_keys,
             kernel: AtomicProbeKernel::default(),
             vm: AtomicExprVm::new(),
+            gov: Arc::new(BudgetGovernor::new(opts.budget)),
             poisoned: false,
         };
         // The initial ingest always recomputes: a from-scratch sort + batch
@@ -339,6 +355,13 @@ impl IncrementalEngine {
     /// subsequent call errors. Rebuild with [`WindowQuery::begin_incremental`].
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Spill telemetry of the engine's budget governor: bytes spilled,
+    /// evictions, re-faults and the resident/peak gauges across the whole
+    /// engine lifetime (all appends).
+    pub fn spill_stats(&self) -> SpillStats {
+        self.gov.snapshot()
     }
 
     /// Current per-partition frame statistics (first-appearance order),
@@ -443,7 +466,7 @@ impl IncrementalEngine {
                         _ => None,
                     })
                     .collect(),
-                cache: ArtifactCache::new(),
+                cache: ArtifactCache::new(Arc::clone(&self.gov)),
             });
             profile.new_partitions += 1;
             pid
@@ -577,8 +600,12 @@ impl IncrementalEngine {
                 profile.forest_runs += cf.forest.num_runs();
                 profile.forest_merges += cf.forest.merges();
                 profile.forest_rebuilt_elements += cf.forest.rebuilt_elements();
+                profile.forest_resident_bytes += cf.forest.arena_bytes() as u64;
             }
         }
+        let spill = self.gov.snapshot();
+        profile.resident_artifact_bytes = spill.resident;
+        profile.peak_resident_artifact_bytes = spill.peak_resident;
         changed.sort_unstable();
         changed.dedup();
         Ok(AppendResult { changed_outputs: changed, profile })
@@ -755,17 +782,24 @@ impl IncrementalEngine {
         let mut acc = StatsAcc::new();
         acc.extend(&frames, 0);
         let stats = acc.stats();
+        // Same pressure surcharge as the batch executor, so the engine
+        // re-plans to the choices a from-scratch run would make.
+        let est_tree_bytes = (holistic_core::mst_arena_len(rows.len(), self.opts.params)
+            * if holistic_core::index::fits_u32(rows.len() + 1) { 4 } else { 8 })
+            as u64;
+        let model = self.opts.cost_model.under_memory_pressure(est_tree_bytes, self.opts.budget);
         let choices: Vec<Strategy> = self
             .plan
             .calls
             .iter()
-            .map(|cp| choose(self.opts.strategy, cp.class, &stats, &self.opts.cost_model))
+            .map(|cp| choose(self.opts.strategy, cp.class, &stats, &model))
             .collect();
         if choices != self.parts[pid].choices {
             profile.strategy_replans += 1;
         }
-        let (outs, evicted) = self.compute_rows(&rows, &frames, &choices, pid)?;
+        let (outs, evicted, built) = self.compute_rows(&rows, &frames, &choices, pid)?;
         profile.evicted_artifacts += evicted;
+        profile.artifact_bytes_built += built;
 
         let mut changed: Vec<usize> = Vec::new();
         {
@@ -831,15 +865,15 @@ impl IncrementalEngine {
     /// Evaluates every call over one sorted partition, replicating the batch
     /// executor's dispatch exactly (direct / shared cache / private caches)
     /// so outputs stay bit-identical under every [`ExecOptions`] config.
-    /// Returns the outputs and the number of stale artifacts evicted from
-    /// the partition's persistent cache.
+    /// Returns the outputs, the number of stale artifacts evicted from the
+    /// partition's persistent cache, and the artifact bytes built.
     fn compute_rows(
         &self,
         rows: &[usize],
         frames: &ResolvedFrames,
         choices: &[Strategy],
         pid: usize,
-    ) -> Result<(Vec<Vec<Value>>, usize)> {
+    ) -> Result<(Vec<Vec<Value>>, usize, u64)> {
         let cache = &self.parts[pid].cache;
         // Positions shifted, so every position-space artifact is stale:
         // invalidate up front (the generation bump is what downstream
@@ -853,6 +887,7 @@ impl IncrementalEngine {
         let all_naive = choices.iter().all(|&s| s == Strategy::Naive);
         let dctx = DirectCtx { table: &self.table, rows, frames, inner_keys: &self.hoisted };
         let mut outs: Vec<Vec<Value>> = Vec::with_capacity(self.query.calls.len());
+        let mut built: u64 = 0;
         if all_naive {
             for (call, cp) in self.query.calls.iter().zip(&self.plan.calls) {
                 outs.push(direct::evaluate(&dctx, call, cp)?);
@@ -898,7 +933,7 @@ impl IncrementalEngine {
                     continue;
                 }
                 // Private mode: a fresh cache per call, as in the executor.
-                let call_cache = ArtifactCache::new();
+                let call_cache = ArtifactCache::new(Arc::clone(&self.gov));
                 for (ks, kc) in &self.hoisted {
                     call_cache.seed(ArtifactKey::InnerKeys(ks.clone()), Arc::clone(kc));
                 }
@@ -919,11 +954,13 @@ impl IncrementalEngine {
                     Strategy::Mst => evaluate_call(&ctx, call, cp)?,
                     other => alt::evaluate(&ctx, call, cp, other)?,
                 });
+                built += call_cache.take_footprints().iter().map(|&(_, b)| b as u64).sum::<u64>();
             }
         }
-        // Footprint telemetry is per-execution; don't let it pool forever.
-        let _ = cache.take_footprints();
-        Ok((outs, evicted))
+        // Drain the footprints into the append profile (draining also keeps
+        // the per-partition cache's ledger from pooling across appends).
+        built += cache.take_footprints().iter().map(|&(_, b)| b as u64).sum::<u64>();
+        Ok((outs, evicted, built))
     }
 }
 

@@ -32,7 +32,7 @@
 
 use crate::error::{Error, Result};
 use crate::eval::Ctx;
-use crate::executor::CacheStats;
+use crate::executor::{CacheStats, SpillStats};
 use crate::hash::hash_value;
 use crate::order::{dense_codes_for, KeyColumns};
 use crate::plan::{sort_keys_of, ArtifactKey, OrderKey, SegFlavor};
@@ -41,34 +41,47 @@ use crate::value::Value;
 use holistic_core::aggregate::DistinctAggregate;
 use holistic_core::codes::DenseCodes;
 use holistic_core::index::fits_u32;
-use holistic_core::{AnnotatedMst, MergeSortTree, TreeIndex};
+use holistic_core::{
+    mst_arena_len, mst_spill_build_len, AnnotatedMst, MergeSortTree, MstParams, MstShell,
+    SpillableArena, TreeIndex,
+};
 use holistic_rangemode::RangeModeIndex;
 use holistic_rangetree::RangeTree3;
 use holistic_segtree::{CountMonoid, Monoid, SegmentTree};
 use rustc_hash::FxHashMap;
 use std::any::Any;
 use std::mem::size_of;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 type Payload = Arc<dyn Any + Send + Sync>;
-type Slot = Arc<OnceLock<std::result::Result<Payload, Error>>>;
+/// A built artifact plus the bytes the cache charged to the budget governor
+/// on its behalf (0 for seeded and self-governed artifacts) — released when
+/// the slot is invalidated or the cache dropped.
+type Slot = Arc<OnceLock<std::result::Result<(Payload, usize), Error>>>;
 
-/// Approximate heap footprint of a cached artifact, recorded at build time.
+/// Heap footprint of a cached artifact, recorded at build time and charged
+/// against the memory budget.
 ///
-/// Estimates are deliberately shallow: a `Vec<Value>` counts its spine (the
-/// inline `Value` representation), not the string heap behind `Arc<str>`
-/// values, and `Arc`-shared ingredients are attributed to the artifact that
-/// owns them. The numbers answer "which preprocessing products dominate
-/// memory", not "what does the allocator report".
+/// String heap data behind `Arc<str>` values is counted once per owned
+/// reference (see [`Value::heap_bytes`]) — an upper bound that prices what
+/// keeping the artifact alive keeps alive. `Arc`-shared ingredients are
+/// attributed to the artifact that owns them.
 pub(crate) trait ArtifactBytes {
     /// Heap bytes owned by this artifact.
     fn bytes_built(&self) -> usize;
+
+    /// True when the artifact manages its own budget charges (a
+    /// [`SpillableMst`] charges per residency transition, not per build) —
+    /// the cache then records its footprint but does not charge it.
+    fn governor_charged(&self) -> bool {
+        false
+    }
 }
 
 impl ArtifactBytes for Vec<Value> {
     fn bytes_built(&self) -> usize {
-        self.len() * size_of::<Value>()
+        self.len() * size_of::<Value>() + self.iter().map(Value::heap_bytes).sum::<usize>()
     }
 }
 
@@ -150,6 +163,332 @@ impl AtomicStats {
     }
 }
 
+/// An artifact whose resident bytes the governor can reclaim by parking it
+/// in a spill file. Candidates register themselves ([`BudgetGovernor::register`])
+/// and are tried coldest-first when a charge pushes residency over budget.
+pub(crate) trait ParkCandidate: Send + Sync {
+    /// Attempts to spill the artifact's resident bytes; returns how many
+    /// bytes were released (0 when in use, already parked, or I/O failed).
+    fn try_park(&self) -> usize;
+    /// Logical clock value of the last checkout (LRU ordering).
+    fn last_touch(&self) -> u64;
+    /// The owning partition (eviction is LRU *by partition*: all of a cold
+    /// partition's artifacts go before any of a warmer one's).
+    fn partition(&self) -> u64;
+}
+
+/// The query-wide memory-budget governor: one per execution, shared by every
+/// per-partition [`ArtifactCache`]. Tracks resident artifact bytes, evicts
+/// cold spillable artifacts when a charge overflows the budget, and turns
+/// unsatisfiable charges into [`Error::BudgetExceeded`] — never a panic.
+///
+/// With no budget configured every charge succeeds; the governor then only
+/// keeps the resident/peak telemetry that [`SpillStats`] reports.
+pub(crate) struct BudgetGovernor {
+    budget: Option<u64>,
+    resident: AtomicU64,
+    peak: AtomicU64,
+    /// Logical clock for LRU ordering; bumped per checkout.
+    clock: AtomicU64,
+    /// Partition-id well for the caches sharing this governor.
+    partition_seq: AtomicU64,
+    bytes_spilled: AtomicU64,
+    evictions: AtomicU64,
+    refaults: AtomicU64,
+    refault_bytes: AtomicU64,
+    registry: Mutex<Vec<Weak<dyn ParkCandidate>>>,
+}
+
+impl BudgetGovernor {
+    pub fn new(budget: Option<u64>) -> Self {
+        BudgetGovernor {
+            budget,
+            resident: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            partition_seq: AtomicU64::new(0),
+            bytes_spilled: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            refaults: AtomicU64::new(0),
+            refault_bytes: AtomicU64::new(0),
+            registry: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Next LRU clock value.
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Relaxed) + 1
+    }
+
+    /// Next partition id (one per [`ArtifactCache`]).
+    pub fn next_partition(&self) -> u64 {
+        self.partition_seq.fetch_add(1, Relaxed)
+    }
+
+    /// Registers a spillable artifact as an eviction candidate.
+    pub fn register(&self, candidate: Weak<dyn ParkCandidate>) {
+        self.registry.lock().expect("governor registry poisoned").push(candidate);
+    }
+
+    /// Charges `bytes` of resident footprint. Over budget, cold candidates
+    /// are parked LRU-by-partition; if residency still cannot fit, the
+    /// charge is rolled back and [`Error::BudgetExceeded`] returned.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        self.resident.fetch_add(bytes, Relaxed);
+        if let Some(b) = self.budget {
+            if self.resident.load(Relaxed) > b {
+                self.evict_down_to(b);
+                if self.resident.load(Relaxed) > b {
+                    self.resident.fetch_sub(bytes, Relaxed);
+                    return Err(Error::BudgetExceeded { requested: bytes, budget: b });
+                }
+            }
+        }
+        self.peak.fetch_max(self.resident.load(Relaxed), Relaxed);
+        Ok(())
+    }
+
+    /// Returns `bytes` of resident footprint (artifact parked or dropped).
+    pub fn release(&self, bytes: u64) {
+        self.resident.fetch_sub(bytes, Relaxed);
+    }
+
+    /// Records a re-fault of `bytes` from a spill file.
+    pub fn note_refault(&self, bytes: u64) {
+        self.refaults.fetch_add(1, Relaxed);
+        self.refault_bytes.fetch_add(bytes, Relaxed);
+    }
+
+    /// Records `bytes` actually written to spill files (out-of-core builds
+    /// and first-time parks; re-parks of an already written slab are free
+    /// and report 0).
+    pub fn note_spill_write(&self, bytes: u64) {
+        self.bytes_spilled.fetch_add(bytes, Relaxed);
+    }
+
+    /// Parks cold candidates until residency is at most `target`.
+    ///
+    /// The registry lock is released before any candidate is touched:
+    /// parking takes per-candidate locks and may be re-entered from a build
+    /// in progress, so holding the registry across it would invite
+    /// deadlock. Candidates busy elsewhere simply fail their `try_lock` and
+    /// are skipped.
+    fn evict_down_to(&self, target: u64) {
+        let candidates: Vec<Arc<dyn ParkCandidate>> = {
+            let mut reg = self.registry.lock().expect("governor registry poisoned");
+            reg.retain(|w| w.strong_count() > 0);
+            reg.iter().filter_map(Weak::upgrade).collect()
+        };
+        // A partition is as warm as its hottest artifact: evict whole cold
+        // partitions before touching any artifact of a warmer one.
+        let mut partition_touch: FxHashMap<u64, u64> = FxHashMap::default();
+        for c in &candidates {
+            let t = partition_touch.entry(c.partition()).or_insert(0);
+            *t = (*t).max(c.last_touch());
+        }
+        let mut ordered = candidates;
+        ordered.sort_by_key(|c| (partition_touch[&c.partition()], c.last_touch()));
+        for c in ordered {
+            if self.resident.load(Relaxed) <= target {
+                break;
+            }
+            if c.try_park() > 0 {
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Spill telemetry for [`crate::ExecProfile`] / the append engine.
+    pub fn snapshot(&self) -> SpillStats {
+        SpillStats {
+            budget: self.budget,
+            bytes_spilled: self.bytes_spilled.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            refaults: self.refaults.load(Relaxed),
+            refault_bytes: self.refault_bytes.load(Relaxed),
+            peak_resident: self.peak.load(Relaxed),
+            resident: self.resident.load(Relaxed),
+        }
+    }
+}
+
+/// Residency state of a [`SpillableMst`]: exactly one of `tree` (resident)
+/// or `shell` + `arena` (parked) is the source of truth; the arena sticks
+/// around after a re-fault so later parks are free.
+struct SpillInner<I: TreeIndex> {
+    tree: Option<Arc<MergeSortTree<I>>>,
+    shell: Option<MstShell<I>>,
+    arena: Option<SpillableArena<I>>,
+}
+
+/// A merge sort tree whose arena slab the budget governor can park in a
+/// spill file and re-fault on demand — the cached form of every MST
+/// artifact. Evaluators never see this type: the getters check the tree out
+/// ([`SpillableMst::checkout`]) and hand them a plain resident
+/// [`MergeSortTree`]; a checked-out tree cannot be parked until its last
+/// probe-side reference drops.
+///
+/// Budget accounting is per residency transition (charge on build/re-fault,
+/// release on park/drop), so the artifact is self-governed:
+/// [`ArtifactBytes::governor_charged`] returns true and the cache does not
+/// double-charge the build.
+pub(crate) struct SpillableMst<I: TreeIndex> {
+    inner: Mutex<SpillInner<I>>,
+    /// Full arena footprint when resident, in bytes.
+    bytes: usize,
+    partition: u64,
+    touch: AtomicU64,
+    registered: AtomicBool,
+    gov: Arc<BudgetGovernor>,
+}
+
+impl<I: TreeIndex> SpillableMst<I> {
+    /// Builds the tree under the governor's budget. Trees that fit build
+    /// in memory (resident, charged); trees whose arena alone would
+    /// dominate the budget — or whose charge fails even after eviction —
+    /// build out-of-core via [`MergeSortTree::build_spilled`] and start
+    /// parked, charging only the (smaller) transient build footprint.
+    pub fn build(
+        values: &[I],
+        params: MstParams,
+        gov: &Arc<BudgetGovernor>,
+        partition: u64,
+    ) -> Result<Self> {
+        let bytes = mst_arena_len(values.len(), params) * size_of::<I>();
+        let oversized = gov.budget().is_some_and(|b| (bytes as u64).saturating_mul(2) > b);
+        let inner = if !oversized && gov.charge(bytes as u64).is_ok() {
+            SpillInner {
+                tree: Some(Arc::new(MergeSortTree::<I>::build(values, params))),
+                shell: None,
+                arena: None,
+            }
+        } else {
+            // Out-of-core: charge the transient ping-pong buffers, stream
+            // the arena to disk, release the transient charge. The tree is
+            // born parked; the first checkout faults it in (and only then
+            // charges the full arena).
+            let transient = (mst_spill_build_len(values.len(), params) * size_of::<I>()) as u64;
+            gov.charge(transient)?;
+            let built = MergeSortTree::<I>::build_spilled(values, params);
+            gov.release(transient);
+            let (shell, arena) = built.map_err(|e| Error::Spill(e.to_string()))?;
+            gov.note_spill_write(arena.bytes_written());
+            SpillInner { tree: None, shell: Some(shell), arena: Some(arena) }
+        };
+        Ok(SpillableMst {
+            inner: Mutex::new(inner),
+            bytes,
+            partition,
+            touch: AtomicU64::new(gov.tick()),
+            registered: AtomicBool::new(false),
+            gov: Arc::clone(gov),
+        })
+    }
+
+    /// Registers the artifact as an eviction candidate (idempotent; needs
+    /// the `Arc` the cache stores, hence not done in `build`).
+    pub fn register(this: &Arc<Self>) {
+        if !this.registered.swap(true, Relaxed) {
+            let weak: Weak<dyn ParkCandidate> = Arc::downgrade(this) as Weak<dyn ParkCandidate>;
+            this.gov.register(weak);
+        }
+    }
+
+    /// The resident tree, re-faulting it from the spill file if parked.
+    /// Fails with [`Error::BudgetExceeded`] when the arena cannot be made
+    /// resident even after evicting everything cold.
+    pub fn checkout(&self) -> Result<Arc<MergeSortTree<I>>> {
+        self.touch.store(self.gov.tick(), Relaxed);
+        let mut inner = self.inner.lock().expect("spillable tree poisoned");
+        if let Some(tree) = &inner.tree {
+            return Ok(Arc::clone(tree));
+        }
+        // Charging while holding our own lock is safe: eviction only
+        // `try_lock`s candidates, so it skips us instead of deadlocking.
+        self.gov.charge(self.bytes as u64)?;
+        let arena = inner.arena.as_mut().expect("parked tree lost its arena");
+        let slab = match arena.fault() {
+            Ok(slab) => slab,
+            Err(e) => {
+                self.gov.release(self.bytes as u64);
+                return Err(Error::Spill(e.to_string()));
+            }
+        };
+        self.gov.note_refault(self.bytes as u64);
+        let shell = inner.shell.take().expect("parked tree lost its shell");
+        let tree = Arc::new(MergeSortTree::from_shell(shell, slab));
+        inner.tree = Some(Arc::clone(&tree));
+        Ok(tree)
+    }
+}
+
+impl<I: TreeIndex> ParkCandidate for SpillableMst<I> {
+    fn try_park(&self) -> usize {
+        let Ok(mut inner) = self.inner.try_lock() else { return 0 };
+        let Some(tree) = inner.tree.take() else { return 0 };
+        let tree = match Arc::try_unwrap(tree) {
+            Ok(tree) => tree,
+            Err(shared) => {
+                // Checked out: a probe still holds the tree.
+                inner.tree = Some(shared);
+                return 0;
+            }
+        };
+        let (shell, slab) = tree.into_shell();
+        if inner.arena.is_none() {
+            inner.arena = Some(SpillableArena::new(shell.segments()));
+        }
+        let arena = inner.arena.as_mut().expect("arena just ensured");
+        let before = arena.bytes_written();
+        match arena.park(&slab) {
+            Ok(_) => {
+                self.gov.note_spill_write(arena.bytes_written() - before);
+                inner.shell = Some(shell);
+                self.gov.release(self.bytes as u64);
+                self.bytes
+            }
+            Err(_) => {
+                // Spill I/O failed: stay resident, release nothing. The
+                // charge that triggered eviction will surface the pressure
+                // as BudgetExceeded if nothing else can be parked.
+                inner.tree = Some(Arc::new(MergeSortTree::from_shell(shell, slab)));
+                0
+            }
+        }
+    }
+
+    fn last_touch(&self) -> u64 {
+        self.touch.load(Relaxed)
+    }
+
+    fn partition(&self) -> u64 {
+        self.partition
+    }
+}
+
+impl<I: TreeIndex> ArtifactBytes for SpillableMst<I> {
+    fn bytes_built(&self) -> usize {
+        self.bytes
+    }
+
+    fn governor_charged(&self) -> bool {
+        true
+    }
+}
+
+impl<I: TreeIndex> Drop for SpillableMst<I> {
+    fn drop(&mut self) {
+        let resident = self.inner.get_mut().map(|inner| inner.tree.is_some()).unwrap_or(false);
+        if resident {
+            self.gov.release(self.bytes as u64);
+        }
+    }
+}
+
 /// The per-partition artifact cache.
 pub(crate) struct ArtifactCache {
     slots: Mutex<FxHashMap<ArtifactKey, Slot>>,
@@ -160,20 +499,48 @@ pub(crate) struct ArtifactCache {
     /// remembered generation against [`ArtifactCache::generation`] to detect
     /// that borrowed artifacts may have been dropped underneath a delta.
     generation: AtomicU64,
+    /// The execution's shared budget governor.
+    gov: Arc<BudgetGovernor>,
+    /// This cache's partition id under the governor (eviction order).
+    partition: u64,
 }
 
 impl ArtifactCache {
-    pub fn new() -> Self {
+    pub fn new(gov: Arc<BudgetGovernor>) -> Self {
+        let partition = gov.next_partition();
         ArtifactCache {
             slots: Mutex::new(FxHashMap::default()),
             footprints: Mutex::new(Vec::new()),
             stats: AtomicStats::default(),
             generation: AtomicU64::new(0),
+            gov,
+            partition,
         }
     }
 
     pub fn stats(&self) -> &AtomicStats {
         &self.stats
+    }
+
+    /// The execution-wide budget governor this cache charges builds to.
+    pub fn governor(&self) -> &Arc<BudgetGovernor> {
+        &self.gov
+    }
+
+    /// This cache's partition id under the governor.
+    pub fn partition(&self) -> u64 {
+        self.partition
+    }
+
+    /// Releases the governor charges of `slots` (drop/invalidate paths).
+    fn release_charges<'s>(&self, slots: impl Iterator<Item = &'s Slot>) {
+        for slot in slots {
+            if let Some(Ok((_, charged))) = slot.get() {
+                if *charged > 0 {
+                    self.gov.release(*charged as u64);
+                }
+            }
+        }
     }
 
     /// The current invalidation generation: 0 for a fresh cache, +1 per
@@ -190,6 +557,7 @@ impl ArtifactCache {
     pub fn invalidate_all(&self) -> usize {
         let mut slots = self.slots.lock().expect("artifact cache poisoned");
         let n = slots.len();
+        self.release_charges(slots.values());
         slots.clear();
         self.generation.fetch_add(1, Relaxed);
         n
@@ -202,7 +570,17 @@ impl ArtifactCache {
     pub fn invalidate_where(&self, mut pred: impl FnMut(&ArtifactKey) -> bool) -> usize {
         let mut slots = self.slots.lock().expect("artifact cache poisoned");
         let before = slots.len();
-        slots.retain(|k, _| !pred(k));
+        slots.retain(|k, slot| {
+            let drop_it = pred(k);
+            if drop_it {
+                if let Some(Ok((_, charged))) = slot.get() {
+                    if *charged > 0 {
+                        self.gov.release(*charged as u64);
+                    }
+                }
+            }
+            !drop_it
+        });
         self.generation.fetch_add(1, Relaxed);
         before - slots.len()
     }
@@ -217,7 +595,7 @@ impl ArtifactCache {
     /// hit nor a miss; later requests count as hits.
     pub fn seed<T: Any + Send + Sync>(&self, key: ArtifactKey, value: Arc<T>) {
         let slot: Slot = Arc::new(OnceLock::new());
-        let _ = slot.set(Ok(value as Payload));
+        let _ = slot.set(Ok((value as Payload, 0)));
         self.slots.lock().expect("artifact cache poisoned").insert(key, slot);
     }
 
@@ -249,12 +627,22 @@ impl ArtifactCache {
         let mut fresh = false;
         let res = slot.get_or_init(|| {
             fresh = true;
-            build().map(|v| {
+            build().and_then(|v| {
                 let v = Arc::new(v);
                 let bytes = v.bytes_built();
                 self.stats.bytes_built.fetch_add(bytes as u64, Relaxed);
                 self.footprints.lock().expect("artifact cache poisoned").push((key.label(), bytes));
-                v as Payload
+                // Self-governed artifacts charge per residency transition;
+                // everything else is charged for its lifetime here. A failed
+                // charge is cached like any build error: the recipe fails
+                // identically for every requester.
+                let charged = if v.governor_charged() {
+                    0
+                } else {
+                    self.gov.charge(bytes as u64)?;
+                    bytes
+                };
+                Ok((v as Payload, charged))
             })
         });
         if fresh {
@@ -263,10 +651,26 @@ impl ArtifactCache {
             self.stats.hits.fetch_add(1, Relaxed);
         }
         match res {
-            Ok(p) => Ok(Arc::clone(p)
+            Ok((p, _)) => Ok(Arc::clone(p)
                 .downcast::<T>()
                 .expect("artifact payload type is fixed by its key")),
             Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+impl Drop for ArtifactCache {
+    fn drop(&mut self) {
+        // Never panic in drop (we may already be unwinding): a poisoned
+        // map simply forfeits its releases.
+        let Ok(slots) = self.slots.get_mut() else { return };
+        let gov = Arc::clone(&self.gov);
+        for slot in slots.values() {
+            if let Some(Ok((_, charged))) = slot.get() {
+                if *charged > 0 {
+                    gov.release(*charged as u64);
+                }
+            }
         }
     }
 }
@@ -341,7 +745,9 @@ pub(crate) struct ModeArt {
 
 impl ArtifactBytes for ModeArt {
     fn bytes_built(&self) -> usize {
-        self.decode.len() * size_of::<Value>() + self.index.bytes()
+        self.decode.len() * size_of::<Value>()
+            + self.decode.iter().map(Value::heap_bytes).sum::<usize>()
+            + self.index.bytes()
     }
 }
 
@@ -446,12 +852,14 @@ impl Ctx<'_> {
             unreachable!("code_mst wants a CodeMst key")
         };
         let stats = self.cache.stats();
-        self.cache.get_or_build(key, || {
+        let sp = self.cache.get_or_build::<SpillableMst<I>, _>(key, || {
             let dc = self.dense_codes_art(&ArtifactKey::DenseCodes(order.clone(), mk.clone()))?;
             stats.mst_builds.fetch_add(1, Relaxed);
             let codes: Vec<I> = dc.code.iter().map(|&c| I::from_usize(c)).collect();
-            Ok(MergeSortTree::<I>::build(&codes, self.params))
-        })
+            SpillableMst::build(&codes, self.params, self.cache.governor(), self.cache.partition())
+        })?;
+        SpillableMst::register(&sp);
+        sp.checkout()
     }
 
     /// Merge sort tree over the permutation array (selection family). The
@@ -465,7 +873,7 @@ impl Ctx<'_> {
             unreachable!("perm_mst wants a PermMst key")
         };
         let stats = self.cache.stats();
-        self.cache.get_or_build(key, || {
+        let sp = self.cache.get_or_build::<SpillableMst<I>, _>(key, || {
             stats.mst_builds.fetch_add(1, Relaxed);
             let perm_i: Vec<I> = match order {
                 OrderKey::Identity => {
@@ -478,8 +886,10 @@ impl Ctx<'_> {
                     dc.perm.iter().map(|&p| I::from_usize(p)).collect()
                 }
             };
-            Ok(MergeSortTree::<I>::build(&perm_i, self.params))
-        })
+            SpillableMst::build(&perm_i, self.params, self.cache.governor(), self.cache.partition())
+        })?;
+        SpillableMst::register(&sp);
+        sp.checkout()
     }
 
     /// Distinct preprocessing: hashes, previous-occurrence indices and (under
@@ -512,12 +922,14 @@ impl Ctx<'_> {
             unreachable!("distinct_count_mst wants a DistinctCountMst key")
         };
         let stats = self.cache.stats();
-        self.cache.get_or_build(key, || {
+        let sp = self.cache.get_or_build::<SpillableMst<I>, _>(key, || {
             let prep = self.distinct_prep_art(&ArtifactKey::DistinctPrep(e.clone(), mk.clone()))?;
             stats.mst_builds.fetch_add(1, Relaxed);
             let prev: Vec<I> = prep.prev.iter().map(|&p| I::from_usize(p)).collect();
-            Ok(MergeSortTree::<I>::build(&prev, self.params))
-        })
+            SpillableMst::build(&prev, self.params, self.cache.governor(), self.cache.partition())
+        })?;
+        SpillableMst::register(&sp);
+        sp.checkout()
     }
 
     /// The kept-row count segment tree shared by a mask's aggregates, from

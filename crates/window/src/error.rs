@@ -34,6 +34,18 @@ pub enum Error {
     },
     /// Integer overflow in an aggregate result.
     Overflow(&'static str),
+    /// An artifact build could not fit in the configured memory budget even
+    /// after spilling every cold artifact. Never a panic, never an abort:
+    /// budget exhaustion always surfaces as this `Err`.
+    BudgetExceeded {
+        /// Bytes the failing build needed resident.
+        requested: u64,
+        /// The configured budget, in bytes.
+        budget: u64,
+    },
+    /// Spill I/O failed (temp-file creation, write, or re-fault). Carries
+    /// the rendered `std::io::Error` so the error type stays `Clone + Eq`.
+    Spill(String),
 }
 
 impl fmt::Display for Error {
@@ -50,6 +62,10 @@ impl fmt::Display for Error {
                 write!(f, "column length mismatch: expected {expected}, got {got}")
             }
             Error::Overflow(what) => write!(f, "integer overflow in {what}"),
+            Error::BudgetExceeded { requested, budget } => {
+                write!(f, "memory budget exceeded: build needs {requested} B resident, budget is {budget} B")
+            }
+            Error::Spill(m) => write!(f, "spill I/O failed: {m}"),
         }
     }
 }

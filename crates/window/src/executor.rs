@@ -10,7 +10,7 @@
 //! inside a partition, build and probe phases parallelize as described in
 //! §5.2.
 
-use crate::artifacts::{self, ArtifactCache, AtomicStats};
+use crate::artifacts::{self, ArtifactCache, AtomicStats, BudgetGovernor};
 use crate::column::Column;
 use crate::error::Result;
 use crate::eval::direct::DirectCtx;
@@ -59,6 +59,13 @@ pub struct ExecOptions {
     /// stack-VM programs (default). The interpreter escape hatch exists for
     /// benchmarking and differential testing; results are bit-identical.
     pub compiled_exprs: bool,
+    /// Memory budget in bytes for resident preprocessing artifacts (`None`
+    /// = unbounded, the default). Under a budget, merge-sort-tree arenas
+    /// spill to temp files when cold and oversized partitions build their
+    /// trees out-of-core; results stay bit-identical, and a build that
+    /// cannot fit even after spilling fails with
+    /// [`crate::Error::BudgetExceeded`] instead of aborting.
+    pub budget: Option<u64>,
 }
 
 /// Probe-kernel tuning knobs.
@@ -93,6 +100,7 @@ impl Default for ExecOptions {
             strategy: StrategyMode::default(),
             cost_model: CostModel::default(),
             compiled_exprs: true,
+            budget: None,
         }
     }
 }
@@ -108,7 +116,15 @@ impl ExecOptions {
             strategy: StrategyMode::default(),
             cost_model: CostModel::default(),
             compiled_exprs: true,
+            budget: None,
         }
+    }
+
+    /// Caps resident preprocessing-artifact memory at `bytes`. See
+    /// [`ExecOptions::budget`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes);
+        self
     }
 
     /// Forces one strategy for every (partition × call) where it applies;
@@ -175,14 +191,19 @@ impl ExecOptions {
             StrategyMode::Adaptive => String::new(),
             StrategyMode::Force(s) => format!("/force-{}", s.name()),
         };
+        let budget = match self.budget {
+            None => String::new(),
+            Some(b) => format!("/budget-{b}"),
+        };
         format!(
-            "{}/{}/{}{}{}{}",
+            "{}/{}/{}{}{}{}{}",
             if self.parallel { "parallel" } else { "serial" },
             if self.probe.cursors { "cursors" } else { "stateless" },
             if self.share_artifacts { "shared" } else { "private" },
             if self.compiled_exprs { "" } else { "/interp" },
             if self.probe.block { "" } else { "/scalar" },
             forced,
+            budget,
         )
     }
 }
@@ -281,6 +302,28 @@ impl AtomicProbeKernel {
     }
 }
 
+/// Spill telemetry of one execution under a memory budget (all zeros, with
+/// `budget: None`, when no budget is configured — unbudgeted executions
+/// still track resident/peak bytes of governed artifacts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// The configured budget ([`ExecOptions::budget`]).
+    pub budget: Option<u64>,
+    /// Bytes actually written to spill files (out-of-core builds and
+    /// first-time parks; re-parking an already-written slab is free).
+    pub bytes_spilled: u64,
+    /// Artifacts parked by the governor to make room for a charge.
+    pub evictions: u64,
+    /// Times a parked arena was re-faulted from its spill file.
+    pub refaults: u64,
+    /// Bytes re-faulted across those re-faults.
+    pub refault_bytes: u64,
+    /// High-water mark of resident governed bytes.
+    pub peak_resident: u64,
+    /// Resident governed bytes at the end of the execution.
+    pub resident: u64,
+}
+
 /// Memory footprint of one artifact kind, accumulated over every build of
 /// one execution (all partitions, all per-call caches).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -342,6 +385,9 @@ pub struct ExecProfile {
     /// Expression-VM counters (programs compiled, rows evaluated by the VM
     /// vs. the interpreter, fallbacks).
     pub expr_vm: ExprVmStats,
+    /// Memory-budget spill telemetry (bytes spilled, evictions, re-faults,
+    /// peak resident).
+    pub spill: SpillStats,
 }
 
 /// A window query: one OVER clause, many function calls.
@@ -432,6 +478,10 @@ impl WindowQuery {
         let build_nanos = AtomicU64::new(0);
         let probe_nanos = AtomicU64::new(0);
         let resolve_nanos = AtomicU64::new(0);
+        // One budget governor per execution, shared by every per-partition
+        // cache: charges accumulate across partitions, and eviction can park
+        // a cold partition's trees to make room for a hot one's.
+        let gov = Arc::new(BudgetGovernor::new(opts.budget));
         let totals = AtomicStats::default();
         let kernel = AtomicProbeKernel::default();
         let vm_acc = AtomicExprVm::new();
@@ -451,7 +501,7 @@ impl WindowQuery {
         };
 
         let seeded_cache = || {
-            let cache = ArtifactCache::new();
+            let cache = ArtifactCache::new(Arc::clone(&gov));
             for (ks, kc) in &hoisted_keys {
                 cache.seed(ArtifactKey::InnerKeys(ks.clone()), Arc::clone(kc));
             }
@@ -489,10 +539,19 @@ impl WindowQuery {
             // depend on parallelism, cursors or sharing — so every engine
             // configuration makes identical choices and stays bit-identical.
             let pstats = PartitionStats::from_frames(&frames);
+            // Under a budget, surcharge the MST's cost terms by how hard
+            // this partition's tree would press on it (spill writes +
+            // re-faults the base model doesn't price). The penalty is a pure
+            // function of (partition size, params, budget) — identical
+            // across engine configurations, so choices stay deterministic.
+            let est_tree_bytes = (holistic_core::mst_arena_len(rows.len(), params)
+                * if holistic_core::index::fits_u32(rows.len() + 1) { 4 } else { 8 })
+                as u64;
+            let model = opts.cost_model.under_memory_pressure(est_tree_bytes, opts.budget);
             let choices: Vec<Strategy> = plan
                 .calls
                 .iter()
-                .map(|cp| choose(opts.strategy, cp.class, &pstats, &opts.cost_model))
+                .map(|cp| choose(opts.strategy, cp.class, &pstats, &model))
                 .collect();
             let all_naive = choices.iter().all(|&s| s == Strategy::Naive);
             {
@@ -626,6 +685,7 @@ impl WindowQuery {
             artifacts,
             strategy: strategy_acc.into_inner().expect("strategy accumulator poisoned"),
             expr_vm: vm_acc.snapshot(),
+            spill: gov.snapshot(),
         };
         Ok((out, profile))
     }

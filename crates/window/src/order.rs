@@ -80,10 +80,19 @@ impl KeyColumns {
         self.keys.is_empty()
     }
 
-    /// Shallow footprint in bytes of the materialized key columns (the
-    /// `Value` spines; string heap data behind `Arc<str>` is not counted).
+    /// Footprint in bytes of the materialized key columns: the `Value`
+    /// spines plus the string heap behind `Arc<str>` keys, counted once per
+    /// owned reference (see [`Value::heap_bytes`]). The per-ref count is a
+    /// deliberate upper bound — it prices what keeping these columns alive
+    /// keeps alive, which is what a memory budget must charge for.
     pub fn bytes(&self) -> usize {
-        self.keys.iter().map(|(vals, _, _)| vals.len() * std::mem::size_of::<Value>()).sum()
+        self.keys
+            .iter()
+            .map(|(vals, _, _)| {
+                vals.len() * std::mem::size_of::<Value>()
+                    + vals.iter().map(Value::heap_bytes).sum::<usize>()
+            })
+            .sum()
     }
 
     /// Compares two rows under the full criteria list.
@@ -285,6 +294,25 @@ mod tests {
         let (start, end) = peer_bounds(&keys, &rows);
         assert_eq!(start, vec![0, 0, 2, 2, 2, 5]);
         assert_eq!(end, vec![2, 2, 5, 5, 5, 6]);
+    }
+
+    #[test]
+    fn bytes_counts_string_heap_payloads() {
+        // Regression: `bytes()` used to count only the `Value` spine, so
+        // string-key partitions under-reported footprints and a memory
+        // budget would be blown silently.
+        let payloads = ["a long order-by key that clearly dwarfs the spine"; 64];
+        let t = Table::new(vec![("s", Column::strs(payloads.to_vec()))]).unwrap();
+        let keys = KeyColumns::evaluate(&t, &[SortKey::asc(col("s"))]).unwrap();
+        let payload_total: usize = payloads.iter().map(|s| s.len()).sum();
+        assert!(
+            keys.bytes() >= payload_total,
+            "footprint {} must cover {} heap bytes",
+            keys.bytes(),
+            payload_total
+        );
+        // And the spine is still counted on top of the payload.
+        assert!(keys.bytes() >= payload_total + 64 * std::mem::size_of::<Value>());
     }
 
     #[test]

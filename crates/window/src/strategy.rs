@@ -340,6 +340,24 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// A copy of this model with the MST terms surcharged for memory
+    /// pressure: a partition whose estimated tree footprint crowds the
+    /// budget pays spill writes at build and re-faults at probe, neither of
+    /// which the base constants price. The multiplier comes from
+    /// [`holistic_strategies::memory::mst_pressure_penalty`] (1.0 with no
+    /// budget or a comfortably fitting tree, saturating at its
+    /// `MAX_PRESSURE_PENALTY` for trees far beyond the budget), steering
+    /// borderline partitions toward budget-friendly strategies while
+    /// letting the MST keep wins that survive the surcharge.
+    pub fn under_memory_pressure(self, est_tree_bytes: u64, budget: Option<u64>) -> CostModel {
+        let penalty = holistic_strategies::memory::mst_pressure_penalty(est_tree_bytes, budget);
+        CostModel {
+            mst_build_cell: self.mst_build_cell * penalty,
+            mst_probe: self.mst_probe * penalty,
+            ..self
+        }
+    }
+
     /// Estimated cost (ns) of evaluating one call of `class` over a
     /// partition with `stats` using `s`. Only meaningful for applicable
     /// strategies; `+∞` otherwise.

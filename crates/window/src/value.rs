@@ -62,6 +62,18 @@ impl Value {
         }
     }
 
+    /// Heap bytes behind this value, beyond the enum spine: the UTF-8
+    /// payload of a string, zero for everything else. Each owned `Arc<str>`
+    /// reference reports the full payload — footprint accounting counts the
+    /// payload once per owned ref, an upper bound that prices what keeping
+    /// the referencing artifact alive keeps alive.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        }
+    }
+
     /// Numeric view (ints, floats and dates), used by RANGE frame arithmetic.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
