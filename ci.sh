@@ -16,7 +16,10 @@ cargo clippy -p holistic-baselines -p holistic-strategies --all-targets -- -D wa
 echo "==> cargo clippy (expression VM + block-kernel crates, explicit gate)"
 cargo clippy -p holistic-window -p holistic-core --all-targets -- -D warnings
 
-echo "==> cargo doc (workspace, deny warnings)"
+echo "==> cargo clippy (SQL frontend, explicit gate)"
+cargo clippy -p holistic-sql --all-targets -- -D warnings
+
+echo "==> cargo doc (workspace, deny warnings; holistic-sql denies missing_docs)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo build --release"
@@ -24,6 +27,12 @@ cargo build --release --workspace
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
+
+echo "==> SQL frontend tests + error-message snapshots"
+cargo test -q -p holistic-sql
+
+echo "==> SQL quickstart example (the README snippet must not rot)"
+cargo run --release -q --example sql_quickstart > /dev/null
 
 echo "==> strategy equivalence (adaptive vs forced-MST, serial vs parallel)"
 cargo test --release -q -p holistic-window --test strategy_equivalence
@@ -43,6 +52,10 @@ cargo run --release -q -p holistic-fuzz --bin fuzz -- --panic-sweep --cases 400 
 echo "==> fuzz smoke (budget mode: bit-identical under budget or typed BudgetExceeded)"
 cargo run --release -q -p holistic-fuzz --bin fuzz -- \
   --cases 500 --seed 0xB4D6E7 --max-n 40 --budget 8192 --time-budget-secs 120
+
+echo "==> fuzz smoke (sql-roundtrip: print → parse → plan structural + session bit-identity)"
+cargo run --release -q -p holistic-fuzz --bin fuzz -- \
+  --sql-roundtrip --cases 500 --seed 0xC0FFEE --max-n 40 --time-budget-secs 120
 
 echo "==> bench smoke (tiny n; asserts cursor/stateless and shared/private identity)"
 N=3000 W=64 REPS=1 cargo run --release -q -p holistic-bench --bin probe_locality_ext -- --json

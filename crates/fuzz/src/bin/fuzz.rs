@@ -3,7 +3,7 @@
 //! ```text
 //! fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]
 //!      [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]
-//!      [--budget BYTES]
+//!      [--budget BYTES] [--sql-roundtrip]
 //! ```
 //!
 //! Default mode generates `--cases` cases from `--seed` and runs each
@@ -18,12 +18,16 @@
 //! execution under every configuration. `--budget BYTES` runs the
 //! budget-constrained mode instead: every case runs under a memory budget
 //! and must be bit-identical to the unbudgeted serial reference or fail
-//! with the typed `BudgetExceeded` (never panic).
+//! with the typed `BudgetExceeded` (never panic). `--sql-roundtrip` runs the
+//! frontend loop instead: each case's query is printed as SQL, re-parsed and
+//! re-planned (must reproduce the spec structurally), and executed through
+//! the `holistic-sql` session path (must be bit-identical to the builder
+//! path).
 
 use holistic_fuzz::gen::{case_seed, generate, GenConfig};
 use holistic_fuzz::{
-    check_append_case, check_budget_case, check_case, dump_table, panic_sweep, shrink,
-    with_quiet_panics,
+    check_append_case, check_budget_case, check_case, check_sql_roundtrip, dump_table, panic_sweep,
+    shrink, with_quiet_panics,
 };
 use std::time::Instant;
 
@@ -37,6 +41,7 @@ struct Args {
     panic_sweep: bool,
     append: bool,
     budget: Option<u64>,
+    sql_roundtrip: bool,
 }
 
 impl Default for Args {
@@ -51,6 +56,7 @@ impl Default for Args {
             panic_sweep: false,
             append: false,
             budget: None,
+            sql_roundtrip: false,
         }
     }
 }
@@ -81,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
             "--panic-sweep" => args.panic_sweep = true,
             "--append" => args.append = true,
             "--budget" => args.budget = Some(parse_u64(&value("--budget")?)?),
+            "--sql-roundtrip" => args.sql_roundtrip = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -91,21 +98,22 @@ fn usage() {
     eprintln!(
         "usage: fuzz [--cases N] [--seed S] [--max-n N] [--max-calls N]\n\
          \x20           [--time-budget-secs T] [--replay CASE_SEED] [--panic-sweep] [--append]\n\
-         \x20           [--budget BYTES]"
+         \x20           [--budget BYTES] [--sql-roundtrip]"
     );
 }
 
 fn replay_command(case_seed: u64, args: &Args) -> String {
     format!(
         "cargo run --release -p holistic-fuzz --bin fuzz -- --replay {case_seed:#x} \
-         --max-n {} --max-calls {}{}{}",
+         --max-n {} --max-calls {}{}{}{}",
         args.max_n,
         args.max_calls,
         if args.append { " --append" } else { "" },
         match args.budget {
             Some(b) => format!(" --budget {b}"),
             None => String::new(),
-        }
+        },
+        if args.sql_roundtrip { " --sql-roundtrip" } else { "" }
     )
 }
 
@@ -123,7 +131,9 @@ fn report_failure(
     println!("  divergence: {divergence}");
     println!("  replay:     {}", replay_command(cs, args));
     let check = |t: &holistic_window::Table, q: &holistic_window::WindowQuery| {
-        if let Some(b) = args.budget {
+        if args.sql_roundtrip {
+            check_sql_roundtrip(t, q)
+        } else if let Some(b) = args.budget {
             check_budget_case(t, q, b)
         } else if args.append {
             check_append_case(t, q, cs)
@@ -175,7 +185,9 @@ fn main() {
     let cfg = GenConfig { max_n: args.max_n, max_calls: args.max_calls };
 
     let check = |t: &holistic_window::Table, q: &holistic_window::WindowQuery, cs: u64| {
-        if let Some(b) = args.budget {
+        if args.sql_roundtrip {
+            check_sql_roundtrip(t, q)
+        } else if let Some(b) = args.budget {
             check_budget_case(t, q, b)
         } else if args.append {
             check_append_case(t, q, cs)
@@ -225,7 +237,15 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    if let Some(b) = args.budget {
+    if args.sql_roundtrip {
+        println!(
+            "fuzz OK (sql-roundtrip mode): {ran} cases, seed {:#x}, max-n {}, \
+             print→parse→plan structural + session-vs-builder bit-identical ({:.1}s)",
+            args.seed,
+            args.max_n,
+            start.elapsed().as_secs_f64()
+        );
+    } else if let Some(b) = args.budget {
         println!(
             "fuzz OK (budget mode): {ran} cases, seed {:#x}, max-n {}, budget {b} B — \
              budgeted configs bit-identical or typed BudgetExceeded ({:.1}s)",

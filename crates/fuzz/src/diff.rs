@@ -83,7 +83,7 @@ pub(crate) fn run_protected<T>(
     })
 }
 
-fn compare_tables(
+pub(crate) fn compare_tables(
     config: &str,
     against: &str,
     query: &WindowQuery,

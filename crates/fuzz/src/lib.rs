@@ -23,6 +23,9 @@
 //! * [`mod@panic_sweep`] — the negative half: generated-*invalid* specs
 //!   (negative/NULL/non-integer offsets, bad key types, malformed call
 //!   shapes) must yield `Error`, never panic, on every configuration.
+//! * [`mod@sql_roundtrip`] — the frontend loop: every generated spec printed
+//!   as SQL must re-parse to a structurally identical spec and execute
+//!   bit-identically through the `holistic-sql` session path.
 //!
 //! The `fuzz` binary drives all of this from the command line; `ci.sh` runs
 //! a deterministic smoke portion of it on every commit, and `tests/oracle.rs`
@@ -34,12 +37,14 @@ pub mod diff;
 pub mod gen;
 pub mod panic_sweep;
 pub mod shrink;
+pub mod sql_roundtrip;
 
 pub use append::{append_plan, check_append_case, AppendPlan};
 pub use diff::{check_budget_case, check_case, Divergence};
 pub use gen::{case_seed, generate, FuzzCase, GenConfig};
 pub use panic_sweep::{panic_sweep, SweepReport};
 pub use shrink::shrink;
+pub use sql_roundtrip::check_sql_roundtrip;
 
 /// Runs `f` with the global panic hook silenced, restoring it afterwards.
 ///

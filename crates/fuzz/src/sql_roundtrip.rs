@@ -1,0 +1,85 @@
+//! SQL round-trip checking: `parse(print(query))` must reproduce the query.
+//!
+//! For every generated case the engine spec is printed as SQL
+//! ([`holistic_sql::to_sql`]), re-parsed and re-planned
+//! ([`holistic_sql::parse_window_query`]), and the two specs must match
+//! **structurally** (by `Debug` rendering — both sides are plain data).
+//! Then both the original spec (builder path) and the SQL text (full
+//! [`holistic_sql::SqlSession`] path: parse → plan → session assembly) are
+//! executed and must agree **bit-identically** — the frontend is a pure
+//! lowering, so any difference at all, down to the sign of a zero, is a bug
+//! in the parser, the planner, the printer, or the session glue.
+//!
+//! Error cases count as agreement only when *both* sides reject (the
+//! generator rarely produces specs the engine rejects, but when it does the
+//! SQL path must reject them too — at plan time or engine time).
+
+use crate::diff::{compare_tables, run_protected, values_identical, Divergence};
+use holistic_sql::SqlSession;
+use holistic_window::{ExecOptions, Table, WindowQuery};
+
+/// The table name the round-trip registers and prints.
+const TABLE: &str = "t";
+
+/// Checks one case through the print → parse → plan → execute loop.
+pub fn check_sql_roundtrip(table: &Table, query: &WindowQuery) -> Result<(), Divergence> {
+    let sql = holistic_sql::to_sql(query, TABLE);
+    let fail = |message: String| Divergence { config: "sql-roundtrip".to_string(), message };
+
+    // 1. The SQL text must parse and plan back into the same spec.
+    let (reparsed, table_name) = match holistic_sql::parse_window_query(&sql) {
+        Ok(r) => r,
+        Err(e) => return Err(fail(format!("printed SQL does not parse:\n  {sql}\n  {e}"))),
+    };
+    if table_name != TABLE {
+        return Err(fail(format!("FROM clause resolved to `{table_name}`:\n  {sql}")));
+    }
+    let (orig_dbg, reparsed_dbg) = (format!("{query:?}"), format!("{reparsed:?}"));
+    if orig_dbg != reparsed_dbg {
+        return Err(fail(format!(
+            "round-trip changed the spec:\n  sql:      {sql}\n  original: {orig_dbg}\n  \
+             reparsed: {reparsed_dbg}"
+        )));
+    }
+
+    // 2. Builder-path and SQL-path execution must agree bit-identically.
+    let opts = ExecOptions::serial();
+    let direct = run_protected("sql-roundtrip-direct", || query.execute_with(table, opts))?;
+    let via_sql = run_protected("sql-roundtrip-session", || {
+        let mut session = SqlSession::with_options(opts);
+        session.register(TABLE, table.clone());
+        // Session errors are not engine errors; box them into one shape.
+        session.query(&sql).map_err(|e| match e {
+            holistic_sql::SqlError::Engine(e) => e,
+            other => holistic_window::Error::InvalidArgument(other.to_string()),
+        })
+    })?;
+    match (direct, via_sql) {
+        (Err(_), Err(_)) => Ok(()),
+        (Err(e), Ok(_)) => {
+            Err(fail(format!("SQL path succeeded where the builder path errors ({e}):\n  {sql}")))
+        }
+        (Ok(_), Err(e)) => {
+            Err(fail(format!("SQL path failed where the builder path succeeds:\n  {sql}\n  {e}")))
+        }
+        (Ok(expect), Ok(got)) => {
+            compare_tables("sql-roundtrip", "builder path", query, &expect, &got, values_identical)
+                .map_err(|d| fail(format!("{d}\n  sql: {sql}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{case_seed, generate, GenConfig};
+
+    #[test]
+    fn round_trips_a_seeded_sample() {
+        let cfg = GenConfig::default();
+        for i in 0..40 {
+            let case = generate(case_seed(0xD1A1EC7, i), &cfg);
+            check_sql_roundtrip(&case.table, &case.query).unwrap();
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! Every node keeps the byte [`Span`] of its source text so the planner can
+//! attach positions to name-resolution errors. Scalar expressions reuse the
+//! engine's [`BinOp`] and [`Value`] directly; lowering to
+//! [`holistic_window::Expr`] is a structural transcription in the planner.
+
+use crate::error::Span;
+use holistic_window::expr::BinOp;
+use holistic_window::frame::{FrameExclusion, FrameMode};
+use holistic_window::Value;
+
+/// A scalar expression with source spans.
+#[derive(Debug, Clone)]
+pub enum AstExpr {
+    /// Column reference.
+    Col(String, Span),
+    /// Literal (including `DATE '...'`).
+    Lit(Value, Span),
+    /// Binary operation.
+    Bin(BinOp, Box<AstExpr>, Box<AstExpr>, Span),
+    /// `NOT expr`.
+    Not(Box<AstExpr>, Span),
+    /// Unary minus.
+    Neg(Box<AstExpr>, Span),
+}
+
+impl AstExpr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            AstExpr::Col(_, s)
+            | AstExpr::Lit(_, s)
+            | AstExpr::Bin(_, _, _, s)
+            | AstExpr::Not(_, s)
+            | AstExpr::Neg(_, s) => *s,
+        }
+    }
+}
+
+/// One `ORDER BY` criterion.
+#[derive(Debug, Clone)]
+pub struct AstSortKey {
+    /// The key expression.
+    pub expr: AstExpr,
+    /// `ASC` / `DESC` if written (`None` = default `ASC`).
+    pub desc: Option<bool>,
+    /// `NULLS FIRST` / `NULLS LAST` if written (`None` = direction default:
+    /// `NULLS LAST` for ascending, `NULLS FIRST` for descending).
+    pub nulls_first: Option<bool>,
+}
+
+/// One frame boundary.
+#[derive(Debug, Clone)]
+pub enum AstBound {
+    /// `UNBOUNDED PRECEDING`.
+    UnboundedPreceding,
+    /// `expr PRECEDING`.
+    Preceding(AstExpr),
+    /// `CURRENT ROW`.
+    CurrentRow,
+    /// `expr FOLLOWING`.
+    Following(AstExpr),
+    /// `UNBOUNDED FOLLOWING`.
+    UnboundedFollowing,
+}
+
+/// A frame clause.
+#[derive(Debug, Clone)]
+pub struct AstFrame {
+    /// `ROWS` / `RANGE` / `GROUPS`.
+    pub mode: FrameMode,
+    /// Lower bound.
+    pub start: AstBound,
+    /// Upper bound.
+    pub end: AstBound,
+    /// `EXCLUDE ...` if written (`None` = `EXCLUDE NO OTHERS`).
+    pub exclusion: Option<FrameExclusion>,
+    /// Span of the whole frame clause.
+    pub span: Span,
+}
+
+/// The body of a window definition: `[base] [PARTITION BY ...] [ORDER BY ...]
+/// [frame]`.
+#[derive(Debug, Clone)]
+pub struct AstWindowDef {
+    /// Referenced (inherited) window name, if any.
+    pub base: Option<(String, Span)>,
+    /// `PARTITION BY` list if written. `Some` vs. `None` matters for the
+    /// inheritance rules: a referencing window may not *specify* one.
+    pub partition_by: Option<Vec<AstExpr>>,
+    /// `ORDER BY` list if written.
+    pub order_by: Option<Vec<AstSortKey>>,
+    /// Frame clause if written.
+    pub frame: Option<AstFrame>,
+    /// Span of the definition body.
+    pub span: Span,
+}
+
+/// The `OVER` clause of a window call.
+#[derive(Debug, Clone)]
+pub enum OverClause {
+    /// `OVER name` — use the named window as-is (frame included).
+    Named(String, Span),
+    /// `OVER ( ... )` — inline definition, possibly referencing a base name.
+    Inline(AstWindowDef),
+}
+
+/// A window function call.
+#[derive(Debug, Clone)]
+pub struct AstCall {
+    /// Function name as written (lowercased for lookup by the planner).
+    pub name: String,
+    /// Span of the function name.
+    pub name_span: Span,
+    /// `*` argument (`count(*)`).
+    pub star: bool,
+    /// `DISTINCT` before the arguments.
+    pub distinct: bool,
+    /// Positional arguments.
+    pub args: Vec<AstExpr>,
+    /// Function-level `ORDER BY` (in the parentheses, or `WITHIN GROUP`).
+    pub inner_order: Vec<AstSortKey>,
+    /// `IGNORE NULLS` after the argument list.
+    pub ignore_nulls: bool,
+    /// `FILTER (WHERE ...)` predicate.
+    pub filter: Option<AstExpr>,
+    /// Span of the whole call (name through the last clause before `OVER`).
+    pub span: Span,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `*` — every input column, in table order.
+    Star(Span),
+    /// A scalar expression, with optional alias.
+    Scalar {
+        /// The expression.
+        expr: AstExpr,
+        /// `AS name` if written.
+        alias: Option<(String, Span)>,
+    },
+    /// A window function call, with optional alias.
+    Window {
+        /// The call (boxed: much larger than the other variants).
+        call: Box<AstCall>,
+        /// Its `OVER` clause.
+        over: OverClause,
+        /// `AS name` if written.
+        alias: Option<(String, Span)>,
+    },
+}
+
+/// A named window definition from the `WINDOW` clause.
+#[derive(Debug, Clone)]
+pub struct WindowDef {
+    /// The window name.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// The definition body.
+    pub def: AstWindowDef,
+}
+
+/// A parsed window query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The `SELECT` list, in source order.
+    pub items: Vec<SelectItem>,
+    /// The `FROM` table name.
+    pub from: (String, Span),
+    /// `WHERE` predicate, if any (applied before window evaluation, per SQL).
+    pub where_clause: Option<AstExpr>,
+    /// `WINDOW name AS (...)` definitions, in source order.
+    pub windows: Vec<WindowDef>,
+    /// Final `ORDER BY` over the query output, if any.
+    pub order_by: Vec<AstSortKey>,
+}

@@ -1,0 +1,103 @@
+//! Civil-date ↔ epoch-day conversion for `DATE '...'` literals.
+//!
+//! The engine stores dates as `i32` days since 1970-01-01
+//! ([`holistic_window::Value::Date`]); SQL text writes them as
+//! `DATE 'YYYY-MM-DD'`. The conversion uses the classic era-based civil
+//! calendar algorithm (proleptic Gregorian), exact over the whole `i32` day
+//! range.
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe as i64 - 719468
+}
+
+/// Civil date `(year, month, day)` for a day count since 1970-01-01.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses `[-]YYYY-MM-DD` into epoch days; `None` when malformed, the civil
+/// date is invalid (e.g. month 13, Feb 30), or it falls outside the `i32`
+/// day range.
+pub fn parse_date(text: &str) -> Option<i32> {
+    let (neg_year, rest) = match text.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, text),
+    };
+    let mut parts = rest.splitn(3, '-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    let y = if neg_year { -y } else { y };
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let days = days_from_civil(y, m, d);
+    // Round-trip check rejects non-existent dates like Feb 30.
+    if civil_from_days(days) != (y, m, d) {
+        return None;
+    }
+    i32::try_from(days).ok()
+}
+
+/// Renders epoch days as `[-]YYYY-MM-DD` (always 2-digit month/day, year
+/// zero-padded to 4 digits).
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days as i64);
+    if y < 0 {
+        format!("-{:04}-{m:02}-{d:02}", -y)
+    } else {
+        format!("{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_neighbors() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(format_date(0), "1970-01-01");
+        assert_eq!(format_date(-1), "1969-12-31");
+    }
+
+    #[test]
+    fn round_trips_across_the_i32_range() {
+        for &d in &[i32::MIN, -719468, -1, 0, 1, 365, 59, 60, 730_000, i32::MAX] {
+            assert_eq!(parse_date(&format_date(d)), Some(d), "day {d}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert_eq!(parse_date("1970-02-30"), None);
+        assert_eq!(parse_date("1970-13-01"), None);
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("1970-01"), None);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(parse_date("2000-02-29").is_some());
+        assert_eq!(parse_date("1900-02-29"), None);
+        assert!(parse_date("2024-02-29").is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! Typed, positional errors for the SQL frontend.
+//!
+//! Every syntax error is a [`ParseError`] carrying a byte [`Span`] into the
+//! source plus `expected`/`found` strings; every name-resolution or lowering
+//! error is a [`PlanError`] carrying a span plus a message. Both render with
+//! a caret excerpt of the offending line — the rendered wording is a stable,
+//! documented API pinned by `crates/sql/tests/errors.rs`. The frontend never
+//! panics on malformed input.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// The line excerpt behind a positional error: 1-based line/column plus the
+/// text of the offending source line, captured at construction so the error
+/// stays self-contained (no borrow of the source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Excerpt {
+    /// 1-based line number of the span start.
+    pub line: usize,
+    /// 1-based column (in bytes) of the span start within that line.
+    pub column: usize,
+    /// The full text of that source line (without its newline).
+    pub line_text: String,
+    /// Caret count: the spanned bytes on that line (at least 1).
+    pub width: usize,
+}
+
+impl Excerpt {
+    /// Locates `span` inside `src` and captures the offending line.
+    pub fn capture(src: &str, span: Span) -> Excerpt {
+        let start = span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = src[line_start..].find('\n').map(|i| line_start + i).unwrap_or(src.len());
+        let line = src[..start].matches('\n').count() + 1;
+        let column = start - line_start + 1;
+        let width = span.end.saturating_sub(start).clamp(1, line_end.saturating_sub(start).max(1));
+        Excerpt { line, column, line_text: src[line_start..line_end].to_string(), width }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gutter = self.line.to_string();
+        writeln!(f, " --> line {}, column {}", self.line, self.column)?;
+        writeln!(f, " {} |", " ".repeat(gutter.len()))?;
+        writeln!(f, " {} | {}", gutter, self.line_text)?;
+        write!(
+            f,
+            " {} | {}{}",
+            " ".repeat(gutter.len()),
+            " ".repeat(self.column - 1),
+            "^".repeat(self.width)
+        )
+    }
+}
+
+/// A syntax error: what the parser expected and what it found, with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the source the error occurred.
+    pub span: Span,
+    /// What the parser expected at that point (e.g. `` `FROM` ``).
+    pub expected: String,
+    /// What it found instead (the offending token, or `end of input`).
+    pub found: String,
+    /// The captured line excerpt used for rendering.
+    pub excerpt: Excerpt,
+}
+
+impl ParseError {
+    /// Builds a parse error, capturing the offending line from `src`.
+    pub fn new(
+        src: &str,
+        span: Span,
+        expected: impl Into<String>,
+        found: impl Into<String>,
+    ) -> Self {
+        ParseError {
+            span,
+            expected: expected.into(),
+            found: found.into(),
+            excerpt: Excerpt::capture(src, span),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "parse error: expected {}, found {}", self.expected, self.found)?;
+        self.excerpt.render(f)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A planning error (name resolution, window inheritance, call shape), with
+/// the span of the offending construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Where in the source the offending construct sits.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// The captured line excerpt used for rendering.
+    pub excerpt: Excerpt,
+}
+
+impl PlanError {
+    /// Builds a plan error, capturing the offending line from `src`.
+    pub fn new(src: &str, span: Span, message: impl Into<String>) -> Self {
+        PlanError { span, message: message.into(), excerpt: Excerpt::capture(src, span) }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan error: {}", self.message)?;
+        self.excerpt.render(f)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Any error the SQL frontend can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Syntax error (lexing or parsing).
+    Parse(ParseError),
+    /// Name resolution / lowering error.
+    Plan(PlanError),
+    /// An error raised by the window engine during execution.
+    Engine(holistic_window::Error),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => e.fmt(f),
+            SqlError::Plan(e) => e.fmt(f),
+            SqlError::Engine(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+impl From<PlanError> for SqlError {
+    fn from(e: PlanError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+impl From<holistic_window::Error> for SqlError {
+    fn from(e: holistic_window::Error) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_points_at_span() {
+        let src = "SELECT x\nFROM t WHERE";
+        let e = ParseError::new(src, Span::new(14, 15), "`FROM`", "`t`");
+        let s = e.to_string();
+        assert!(s.contains("line 2, column 6"), "{s}");
+        assert!(s.contains("FROM t WHERE"), "{s}");
+        assert!(s.lines().last().unwrap().trim_end().ends_with('^'), "{s}");
+    }
+
+    #[test]
+    fn span_at_end_of_input_renders() {
+        let src = "SELECT";
+        let e = ParseError::new(src, Span::new(6, 6), "an expression", "end of input");
+        let s = e.to_string();
+        assert!(s.contains("column 7"), "{s}");
+    }
+}

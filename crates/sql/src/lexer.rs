@@ -1,0 +1,229 @@
+//! Hand-rolled SQL lexer.
+//!
+//! Produces a flat token stream with byte spans. Keywords are not
+//! distinguished from identifiers here — SQL keywords are contextual, so the
+//! parser matches identifier tokens case-insensitively against the keyword it
+//! needs. Numbers keep their raw text; the parser decides int vs. float.
+
+use crate::error::{ParseError, Span};
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Unquoted identifier or keyword (original case preserved).
+    Ident(String),
+    /// `"..."`-quoted identifier (quotes stripped, `""` unescaped).
+    QuotedIdent(String),
+    /// Numeric literal, raw text (e.g. `42`, `0.5`, `1e300`).
+    Number(String),
+    /// `'...'` string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator: one of `( ) , ; * + - / % < <= > >= = <>`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte span in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// How the token reads in an error message: the source text in backticks,
+    /// or `end of input`.
+    pub fn describe(&self, src: &str) -> String {
+        match self.tok {
+            Tok::Eof => "end of input".to_string(),
+            _ => format!("`{}`", &src[self.span.start..self.span.end]),
+        }
+    }
+}
+
+/// Lexes `src` into tokens (the final token is always [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'-' && i + 1 < b.len() && b[i + 1] == b'-' {
+            // Line comment.
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(src[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()) {
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' {
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Number(src[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        if c == b'\'' || c == b'"' {
+            let quote = c;
+            i += 1;
+            let mut text = String::new();
+            loop {
+                if i >= b.len() {
+                    return Err(ParseError::new(
+                        src,
+                        Span::new(start, src.len()),
+                        if quote == b'\'' { "a closing `'`" } else { "a closing `\"`" },
+                        "end of input",
+                    ));
+                }
+                if b[i] == quote {
+                    if i + 1 < b.len() && b[i + 1] == quote {
+                        text.push(quote as char);
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                // Advance one whole UTF-8 character.
+                let ch = src[i..].chars().next().expect("in-bounds char");
+                text.push(ch);
+                i += ch.len_utf8();
+            }
+            let tok = if quote == b'\'' { Tok::Str(text) } else { Tok::QuotedIdent(text) };
+            out.push(Token { tok, span: Span::new(start, i) });
+            continue;
+        }
+        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        let punct: Option<(&'static str, usize)> = match two {
+            "<=" => Some(("<=", 2)),
+            ">=" => Some((">=", 2)),
+            "<>" => Some(("<>", 2)),
+            "!=" => Some(("<>", 2)), // normalized alias
+            _ => match c {
+                b'(' => Some(("(", 1)),
+                b')' => Some((")", 1)),
+                b',' => Some((",", 1)),
+                b';' => Some((";", 1)),
+                b'*' => Some(("*", 1)),
+                b'+' => Some(("+", 1)),
+                b'-' => Some(("-", 1)),
+                b'/' => Some(("/", 1)),
+                b'%' => Some(("%", 1)),
+                b'<' => Some(("<", 1)),
+                b'>' => Some((">", 1)),
+                b'=' => Some(("=", 1)),
+                _ => None,
+            },
+        };
+        match punct {
+            Some((p, len)) => {
+                out.push(Token { tok: Tok::Punct(p), span: Span::new(i, i + len) });
+                i += len;
+            }
+            None => {
+                let ch = src[i..].chars().next().expect("in-bounds char");
+                return Err(ParseError::new(
+                    src,
+                    Span::new(i, i + ch.len_utf8()),
+                    "a token",
+                    format!("`{ch}`"),
+                ));
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, span: Span::new(src.len(), src.len()) });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_query() {
+        let toks = kinds("SELECT sum(v) OVER w FROM t");
+        assert_eq!(toks[0], Tok::Ident("SELECT".into()));
+        assert_eq!(toks[2], Tok::Punct("("));
+        assert!(matches!(toks.last(), Some(Tok::Eof)));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 0.5 1e300 2.5e-3")[..4].to_vec(),
+            vec![
+                Tok::Number("42".into()),
+                Tok::Number("0.5".into()),
+                Tok::Number("1e300".into()),
+                Tok::Number("2.5e-3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_quoted_idents() {
+        assert_eq!(
+            kinds("'it''s' \"ORDER\"")[..2].to_vec(),
+            vec![Tok::Str("it's".into()), Tok::QuotedIdent("ORDER".into()),]
+        );
+    }
+
+    #[test]
+    fn normalizes_bang_eq() {
+        assert_eq!(kinds("a != b")[1], Tok::Punct("<>"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a -- comment\n b").len(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_is_positional() {
+        let e = lex("SELECT 'oops").unwrap_err();
+        assert_eq!(e.found, "end of input");
+    }
+}

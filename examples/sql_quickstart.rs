@@ -1,0 +1,58 @@
+//! SQL quickstart: the same engine, driven by SQL text.
+//!
+//! ```bash
+//! cargo run --release --example sql_quickstart
+//! ```
+//!
+//! The query below is illegal in SQL:2011 twice over — a *framed* median
+//! and a *framed* `count(DISTINCT ...)` — and also shows a named window
+//! shared by all calls (one artifact cache), `FILTER`, a final `ORDER BY`
+//! over an alias, and the caret-rendered positional errors.
+//! The dialect reference is `SQL.md` at the repository root.
+
+use holistic_sql::SqlSession;
+use holistic_windows::window::{Column, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Daily sales of two stores.
+    let table = Table::new(vec![
+        ("store", Column::strs(vec!["A", "A", "A", "A", "B", "B", "B", "B"])),
+        ("day", Column::ints(vec![1, 2, 3, 4, 1, 2, 3, 4])),
+        ("sales", Column::ints(vec![120, 80, 80, 200, 50, 75, 75, 60])),
+        ("clerk", Column::ints(vec![7, 8, 7, 9, 1, 1, 2, 1])),
+    ])?;
+
+    let mut session = SqlSession::new();
+    session.register("sales", table);
+
+    let out = session.query(
+        "SELECT store, day, \
+                sum(sales)            OVER w AS moving_sum, \
+                median(sales)         OVER w AS moving_median, \
+                count(DISTINCT clerk) OVER w AS active_clerks, \
+                rank(ORDER BY sales DESC) OVER w AS rank_in_window, \
+                count(*) FILTER (WHERE sales > 70) OVER w AS busy_days \
+         FROM sales \
+         WINDOW w AS (PARTITION BY store ORDER BY day \
+                      ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) \
+         ORDER BY store, day",
+    )?;
+
+    let headers: Vec<&str> = out.iter().map(|(n, _)| n).collect();
+    println!("{}", headers.join(" | "));
+    for i in 0..out.num_rows() {
+        let row: Vec<String> = out
+            .iter()
+            .map(|(_, c)| format!("{:>width$}", c.get(i).to_string(), width = 8))
+            .collect();
+        println!("{}", row.join(" | "));
+    }
+
+    // Errors are typed and positional — point at the offending token:
+    let err = session
+        .query("SELECT median(sales) OVER (ROWS BETWEEN 2 PRECEDING AND) FROM sales")
+        .unwrap_err();
+    println!("\nA malformed query reports:\n{err}");
+
+    Ok(())
+}
