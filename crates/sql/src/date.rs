@@ -47,6 +47,11 @@ pub fn parse_date(text: &str) -> Option<i32> {
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return None;
     }
+    // The i32 day range spans roughly ±5.9M years; anything beyond this bound
+    // can't fit and would overflow `era * 146097` inside `days_from_civil`.
+    if y.abs() > 6_000_000 {
+        return None;
+    }
     let days = days_from_civil(y, m, d);
     // Round-trip check rejects non-existent dates like Feb 30.
     if civil_from_days(days) != (y, m, d) {
@@ -92,6 +97,15 @@ mod tests {
         assert_eq!(parse_date("1970-13-01"), None);
         assert_eq!(parse_date("not-a-date"), None);
         assert_eq!(parse_date("1970-01"), None);
+    }
+
+    #[test]
+    fn rejects_extreme_years_without_overflow() {
+        // Would overflow `era * 146097` if not rejected up front.
+        assert_eq!(parse_date("9223372036854775807-01-01"), None);
+        assert_eq!(parse_date("-9223372036854775808-01-01"), None);
+        assert_eq!(parse_date("6000001-01-01"), None);
+        assert_eq!(parse_date("-6000001-01-01"), None);
     }
 
     #[test]

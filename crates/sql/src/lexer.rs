@@ -132,7 +132,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             out.push(Token { tok, span: Span::new(start, i) });
             continue;
         }
-        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        // `get` (not slicing) so a multibyte char after `i` can't split a
+        // UTF-8 boundary; a failed lookahead just falls through to single-char
+        // punctuation or the error arm below.
+        let two = src.get(i..i + 2).unwrap_or("");
         let punct: Option<(&'static str, usize)> = match two {
             "<=" => Some(("<=", 2)),
             ">=" => Some((">=", 2)),
@@ -225,5 +228,19 @@ mod tests {
     fn unterminated_string_is_positional() {
         let e = lex("SELECT 'oops").unwrap_err();
         assert_eq!(e.found, "end of input");
+    }
+
+    #[test]
+    fn multibyte_chars_error_instead_of_panicking() {
+        // 3- and 4-byte chars, both at the end and mid-input, must hit the
+        // typed-error path rather than split a UTF-8 boundary in the
+        // two-char punctuation lookahead.
+        for src in ["SELECT a €", "SELECT a € FROM t", "a—b", "x 😀 y", "€"] {
+            let e = lex(src).unwrap_err();
+            assert_eq!(e.expected, "a token", "input {src:?}");
+        }
+        // Multibyte chars inside strings/quoted idents are still fine.
+        assert_eq!(kinds("'€—😀'")[0], Tok::Str("€—😀".into()));
+        assert_eq!(kinds("\"naïve\"")[0], Tok::QuotedIdent("naïve".into()));
     }
 }

@@ -227,6 +227,7 @@ impl<'a> Parser<'a> {
             filter: None,
             span: name_span,
         };
+        let mut saw_null_treatment = false;
         if self.at_punct("*") {
             self.bump();
             call.star = true;
@@ -246,6 +247,7 @@ impl<'a> Parser<'a> {
             }
             if self.at_kw("IGNORE") || self.at_kw("RESPECT") {
                 call.ignore_nulls = self.null_treatment()?;
+                saw_null_treatment = true;
             }
         }
         let close = self.expect_punct(")")?;
@@ -253,8 +255,17 @@ impl<'a> Parser<'a> {
         // Post-parenthesis clauses, each at most once.
         loop {
             if self.at_kw("IGNORE") || self.at_kw("RESPECT") {
-                let ignore = self.null_treatment()?;
-                call.ignore_nulls = call.ignore_nulls || ignore;
+                let tok = self.peek().clone();
+                if saw_null_treatment {
+                    return Err(ParseError::new(
+                        self.src,
+                        tok.span,
+                        "`OVER` (this call already has a null-treatment clause)",
+                        tok.describe(self.src),
+                    ));
+                }
+                call.ignore_nulls = self.null_treatment()?;
+                saw_null_treatment = true;
             } else if self.at_kw("WITHIN") {
                 let within = self.bump();
                 self.expect_kw("GROUP")?;
@@ -743,5 +754,21 @@ mod tests {
         assert!(e.expected.contains("OVER"), "{e}");
         let e = parse_query("SELECT count(*) OVER () FROM").unwrap_err();
         assert_eq!(e.found, "end of input");
+    }
+
+    #[test]
+    fn duplicate_null_treatment_is_rejected() {
+        // A second clause must error, not be OR-ed into the first.
+        for sql in [
+            "SELECT first_value(v) IGNORE NULLS RESPECT NULLS OVER () FROM t",
+            "SELECT first_value(v) RESPECT NULLS IGNORE NULLS OVER () FROM t",
+            "SELECT first_value(v IGNORE NULLS) RESPECT NULLS OVER () FROM t",
+        ] {
+            let e = parse_query(sql).unwrap_err();
+            assert!(e.expected.contains("null-treatment"), "{sql}: {e}");
+        }
+        // A single clause in either position still parses.
+        assert!(parse_query("SELECT lead(v) IGNORE NULLS OVER () FROM t").is_ok());
+        assert!(parse_query("SELECT lead(v IGNORE NULLS) OVER () FROM t").is_ok());
     }
 }
